@@ -1,0 +1,97 @@
+// Ablation D (§6 future work): the transactional B+-tree across meta-data layouts
+// and clock policies.
+//
+// B-tree transactions have much larger read sets than hash/skip-list operations
+// (every node on the root-to-leaf path contributes its routing keys), so this is
+// the regime where the -l variants' per-read revalidation bites hardest, and where
+// the global clock's cheap read validation pays — the same trade-off as Figure
+// 10(b)'s long chains, on the paper's proposed future structure. Range scans make
+// the effect extreme.
+#include <memory>
+
+#include "bench/set_bench.h"
+#include "src/common/rng.h"
+#include "src/structures/btree_tm.h"
+#include "src/tm/variants.h"
+
+namespace spectm {
+namespace {
+
+void RunPointOps(const char* title, int lookup_pct) {
+  WorkloadConfig cfg;
+  cfg.key_range = 65536;
+  cfg.lookup_pct = lookup_pct;
+
+  const std::vector<int> threads = bench::ThreadSweep();
+  std::vector<bench::Series> series;
+  auto sweep = [&](const char* name, auto make_set) {
+    bench::Series s{name, {}};
+    for (int t : threads) {
+      s.ops_per_sec.push_back(bench::MeasureCell(make_set, cfg, t));
+    }
+    series.push_back(std::move(s));
+  };
+
+  sweep("btree val", [] { return std::make_unique<TmBTree<Val>>(); });
+  sweep("btree tvar-g", [] { return std::make_unique<TmBTree<TvarG>>(); });
+  sweep("btree tvar-l", [] { return std::make_unique<TmBTree<TvarL>>(); });
+  sweep("btree orec-g", [] { return std::make_unique<TmBTree<OrecG>>(); });
+  sweep("btree orec-l", [] { return std::make_unique<TmBTree<OrecL>>(); });
+
+  bench::PrintThroughputFigure(title, threads, series);
+}
+
+template <typename Family>
+double MeasureScans(int threads) {
+  const int runs = BenchRuns(3);
+  const int duration_ms = BenchDurationMs(300);
+  std::vector<double> samples;
+  for (int run = 0; run < runs; ++run) {
+    auto tree = std::make_unique<TmBTree<Family>>();
+    for (std::uint64_t k = 0; k < 65536; k += 2) {
+      tree->Insert(k);
+    }
+    const ThroughputResult r = RunThroughput(
+        threads, duration_ms, [&](int tid, const std::atomic<bool>& stop) {
+          Xorshift128Plus rng(static_cast<std::uint64_t>(tid) * 31 + 7);
+          std::uint64_t ops = 0;
+          while (!stop.load(std::memory_order_relaxed)) {
+            if (rng.NextPercent() < 90) {
+              // Short range scan: ~64 keys.
+              const std::uint64_t lo = rng.NextBounded(65536 - 128);
+              tree->RangeCount(lo, lo + 127);
+            } else {
+              tree->Insert(rng.NextBounded(65536));
+            }
+            ++ops;
+          }
+          return ops;
+        });
+    samples.push_back(r.ops_per_sec);
+  }
+  return AggregateRuns(samples);
+}
+
+void RunScans() {
+  const std::vector<int> threads = bench::ThreadSweep();
+  std::printf("\nAblation D: B+-tree range scans (90%% 128-key scans, 10%% inserts)\n");
+  TextTable table({"threads", "val (kops/s)", "tvar-g (kops/s)", "tvar-l (kops/s)",
+                   "orec-g (kops/s)", "orec-l (kops/s)"});
+  for (int t : threads) {
+    table.AddRow({std::to_string(t), TextTable::Num(MeasureScans<Val>(t) / 1e3, 1),
+                  TextTable::Num(MeasureScans<TvarG>(t) / 1e3, 1),
+                  TextTable::Num(MeasureScans<TvarL>(t) / 1e3, 1),
+                  TextTable::Num(MeasureScans<OrecG>(t) / 1e3, 1),
+                  TextTable::Num(MeasureScans<OrecL>(t) / 1e3, 1)});
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+}
+
+}  // namespace
+}  // namespace spectm
+
+int main() {
+  spectm::RunPointOps("Ablation D: B+-tree point operations, 90% lookups", 90);
+  spectm::RunScans();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Ablation B (§4.1 design choice): global version clock vs per-orec local versions,
+// swept over the update rate.
+//
+// The global clock makes reads cheap (one snapshot comparison) but every writer
+// commit increments one shared cache line; local versions cost nothing at commit
+// but force full-transaction reads to revalidate their read set after every read.
+// The crossover as lookups fall is the effect behind the *-g/*-l split in Figures
+// 7–9.
+#include <memory>
+
+#include "bench/set_bench.h"
+#include "src/structures/hash_tm_full.h"
+#include "src/structures/hash_tm_short.h"
+#include "src/tm/variants.h"
+
+namespace spectm {
+namespace {
+
+constexpr std::size_t kBuckets = 16384;
+
+void Run() {
+  const std::vector<int> threads = bench::ThreadSweep();
+  const int max_threads = threads.back();
+
+  std::printf("\nAblation B: clock policy vs update rate (hash table, %d threads)\n",
+              max_threads);
+  TextTable table({"lookup%", "orec-short-g", "orec-short-l", "orec-full-g",
+                   "orec-full-l"});
+  for (int lookup_pct : {98, 90, 50, 10}) {
+    WorkloadConfig cfg;
+    cfg.key_range = 65536;
+    cfg.lookup_pct = lookup_pct;
+    const double sg = bench::MeasureCell(
+        [] { return std::make_unique<SpecHashSet<OrecG>>(kBuckets); }, cfg, max_threads);
+    const double sl = bench::MeasureCell(
+        [] { return std::make_unique<SpecHashSet<OrecL>>(kBuckets); }, cfg, max_threads);
+    const double fg = bench::MeasureCell(
+        [] { return std::make_unique<TmHashSet<OrecG>>(kBuckets); }, cfg, max_threads);
+    const double fl = bench::MeasureCell(
+        [] { return std::make_unique<TmHashSet<OrecL>>(kBuckets); }, cfg, max_threads);
+    table.AddRow({std::to_string(lookup_pct), TextTable::Num(sg / 1e6, 3),
+                  TextTable::Num(sl / 1e6, 3), TextTable::Num(fg / 1e6, 3),
+                  TextTable::Num(fl / 1e6, 3)});
+  }
+  std::printf("(Mops/s)\n%s", table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace spectm
+
+int main() {
+  spectm::Run();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Ablation E (§6 future work): the pointer-embedded-version layout ("pver") and the
+// eager-locking value-based STM ("val-eager") against the paper's evaluated
+// variants.
+//
+//   pver   — "pointer-only STM designs which use additional spare bits in the
+//            pointers as orecs": one word per location like `val`, but 15 spare high
+//            bits hold a real version number, so read validation is version-based
+//            and needs neither the §2.4 special cases nor commit counters.
+//   eager  — "a value-based STM that locks words when reading": full transactions
+//            with zero validation machinery, at the price of read-read conflicts.
+//
+// Expected: pver within a few percent of val-short (one extra shift per access, no
+// counter even in the general case); val-eager competitive at low contention and
+// collapsing as lookups contend on hot words.
+#include <memory>
+
+#include "bench/set_bench.h"
+#include "src/structures/hash_lockfree.h"
+#include "src/structures/hash_tm_full.h"
+#include "src/structures/hash_tm_short.h"
+#include "src/tm/pver.h"
+#include "src/tm/val_eager.h"
+#include "src/tm/variants.h"
+
+namespace spectm {
+namespace {
+
+constexpr std::size_t kBuckets = 16384;
+
+void RunPanel(const char* title, int lookup_pct) {
+  WorkloadConfig cfg;
+  cfg.key_range = 65536;
+  cfg.lookup_pct = lookup_pct;
+
+  const std::vector<int> threads = bench::ThreadSweep();
+  std::vector<bench::Series> series;
+  auto sweep = [&](const char* name, auto make_set) {
+    bench::Series s{name, {}};
+    for (int t : threads) {
+      s.ops_per_sec.push_back(bench::MeasureCell(make_set, cfg, t));
+    }
+    series.push_back(std::move(s));
+  };
+
+  sweep("lock-free", [] { return std::make_unique<LockFreeHashSet>(kBuckets); });
+  sweep("val-short", [] { return std::make_unique<SpecHashSet<Val>>(kBuckets); });
+  sweep("pver-short", [] { return std::make_unique<SpecHashSet<Pver>>(kBuckets); });
+  sweep("val-short (global ctr)",
+        [] { return std::make_unique<SpecHashSet<ValGlobalCounter>>(kBuckets); });
+  sweep("val-eager (full)",
+        [] { return std::make_unique<TmHashSet<ValEager>>(kBuckets); });
+
+  bench::PrintThroughputFigure(title, threads, series);
+}
+
+}  // namespace
+}  // namespace spectm
+
+int main() {
+  spectm::RunPanel("Ablation E: §6 designs — pver & val-eager, hash table, 90% lookups",
+                   90);
+  spectm::RunPanel("Ablation E: §6 designs — pver & val-eager, hash table, 10% lookups",
+                   10);
+  return 0;
+}

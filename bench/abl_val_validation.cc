@@ -1,0 +1,57 @@
+// Ablation A (§2.4 design choice): the cost of making value-based validation safe in
+// the general case.
+//
+// The paper's val-short relies on three special cases to run with NO commit counter;
+// for general-purpose code it suggests a global commit counter (Dalessandro et al.)
+// or per-thread distributed counters. This bench quantifies that choice on the
+// val-short hash table: non-reuse (free) vs global counter (one shared cache line
+// bumped per writer commit) vs per-thread counters (cheap bump, full scan per
+// validation).
+//
+// Expected shape: non-reuse fastest; global counter loses under high update rates
+// (shared-line contention); per-thread counters recover writer scalability at a
+// read-side cost.
+#include <memory>
+
+#include "bench/set_bench.h"
+#include "src/structures/hash_tm_short.h"
+#include "src/tm/variants.h"
+
+namespace spectm {
+namespace {
+
+constexpr std::size_t kBuckets = 16384;
+
+void RunPanel(const char* title, int lookup_pct) {
+  WorkloadConfig cfg;
+  cfg.key_range = 65536;
+  cfg.lookup_pct = lookup_pct;
+
+  const std::vector<int> threads = bench::ThreadSweep();
+  std::vector<bench::Series> series;
+  auto sweep = [&](const char* name, auto make_set) {
+    bench::Series s{name, {}};
+    for (int t : threads) {
+      s.ops_per_sec.push_back(bench::MeasureCell(make_set, cfg, t));
+    }
+    series.push_back(std::move(s));
+  };
+
+  sweep("val-short (non-reuse)",
+        [] { return std::make_unique<SpecHashSet<Val>>(kBuckets); });
+  sweep("val-short (global counter)",
+        [] { return std::make_unique<SpecHashSet<ValGlobalCounter>>(kBuckets); });
+  sweep("val-short (per-thread counters)",
+        [] { return std::make_unique<SpecHashSet<ValPerThreadCounter>>(kBuckets); });
+
+  bench::PrintThroughputFigure(title, threads, series);
+}
+
+}  // namespace
+}  // namespace spectm
+
+int main() {
+  spectm::RunPanel("Ablation A: val validation modes, hash table, 90% lookups", 90);
+  spectm::RunPanel("Ablation A: val validation modes, hash table, 10% lookups", 10);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 10: "Hash table, with short and long chains in each bucket, 128-way system"
+// — (a) 98% lookups, 64k buckets (0.5-entry chains); (b) 90% lookups, 1k buckets
+// (32-entry chains).
+//
+// Expected shape: val-short matches lock-free in both regimes. With long chains the
+// *-full-l variants scale poorly: "their read sets become large, increasing costs of
+// incremental validation" (§4.4.2).
+#include <memory>
+
+#include "bench/set_bench.h"
+#include "src/structures/hash_lockfree.h"
+#include "src/structures/hash_tm_full.h"
+#include "src/structures/hash_tm_short.h"
+#include "src/tm/variants.h"
+
+namespace spectm {
+namespace {
+
+void RunPanel(const char* title, int lookup_pct, std::size_t buckets) {
+  WorkloadConfig cfg;
+  cfg.key_range = 65536;
+  cfg.lookup_pct = lookup_pct;
+
+  const std::vector<int> threads = bench::ThreadSweep();
+  std::vector<bench::Series> series;
+  auto sweep = [&](const char* name, auto make_set) {
+    bench::Series s{name, {}};
+    for (int t : threads) {
+      s.ops_per_sec.push_back(bench::MeasureCell(make_set, cfg, t));
+    }
+    series.push_back(std::move(s));
+  };
+
+  sweep("lock-free", [&] { return std::make_unique<LockFreeHashSet>(buckets); });
+  sweep("val-short", [&] { return std::make_unique<SpecHashSet<Val>>(buckets); });
+  sweep("tvar-short-l", [&] { return std::make_unique<SpecHashSet<TvarL>>(buckets); });
+  sweep("orec-short-l", [&] { return std::make_unique<SpecHashSet<OrecL>>(buckets); });
+  sweep("orec-full-l", [&] { return std::make_unique<TmHashSet<OrecL>>(buckets); });
+
+  bench::PrintThroughputFigure(title, threads, series);
+}
+
+}  // namespace
+}  // namespace spectm
+
+int main() {
+  spectm::RunPanel(
+      "Figure 10(a): hash table, 64k buckets (0.5-entry chains), 98% lookups", 98,
+      65536);
+  spectm::RunPanel(
+      "Figure 10(b): hash table, 1k buckets (32-entry chains), 90% lookups", 90, 1024);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 1: "Throughput of operations on a hash table (90% lookups), normalized to
+// optimized sequential code."
+//
+// Series (top to bottom in the paper): CAS (lock-free), SpecTM-Short-TVar-Val
+// (val-short), SpecTM-Short-TVar (tvar-short-g), SpecTM-Short (orec-short-g),
+// BaseTM (orec-full-g). Expected shape: BaseTM under 0.5x at one thread; the
+// specialized variants close the gap to CAS, with val-short essentially matching it.
+#include <memory>
+
+#include "bench/set_bench.h"
+#include "src/structures/hash_lockfree.h"
+#include "src/structures/hash_seq.h"
+#include "src/structures/hash_tm_full.h"
+#include "src/structures/hash_tm_short.h"
+#include "src/tm/variants.h"
+
+namespace spectm {
+namespace {
+
+constexpr std::size_t kBuckets = 16384;
+
+void Run() {
+  WorkloadConfig cfg;
+  cfg.key_range = 65536;
+  cfg.lookup_pct = 90;
+
+  const std::vector<int> threads = bench::ThreadSweep();
+
+  const double seq = bench::MeasureSequentialBaseline(
+      [] { return std::make_unique<SeqHashSet>(kBuckets); }, cfg);
+
+  std::vector<bench::Series> series;
+  auto sweep = [&](const char* name, auto make_set) {
+    bench::Series s{name, {}};
+    for (int t : threads) {
+      s.ops_per_sec.push_back(bench::MeasureCell(make_set, cfg, t));
+    }
+    series.push_back(std::move(s));
+  };
+
+  sweep("CAS", [] { return std::make_unique<LockFreeHashSet>(kBuckets); });
+  sweep("SpecTM-Short-TVar-Val", [] { return std::make_unique<SpecHashSet<Val>>(kBuckets); });
+  sweep("SpecTM-Short-TVar", [] { return std::make_unique<SpecHashSet<TvarG>>(kBuckets); });
+  sweep("SpecTM-Short", [] { return std::make_unique<SpecHashSet<OrecG>>(kBuckets); });
+  sweep("BaseTM", [] { return std::make_unique<TmHashSet<OrecG>>(kBuckets); });
+
+  bench::PrintNormalizedFigure(
+      "Figure 1: hash table, 64k keys, 16k buckets, 90% lookups — throughput "
+      "normalized to sequential",
+      threads, seq, series);
+}
+
+}  // namespace
+}  // namespace spectm
+
+int main() {
+  spectm::Run();
+  return 0;
+}

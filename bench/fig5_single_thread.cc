@@ -1,0 +1,270 @@
+// Figure 5: "Single thread performance of SpecTM" — normalized execution time of
+// short transactions over a padded array, for array sizes half the L1 / L2 / L3
+// cache (128 / 1024 / 32768 cache-line-aligned elements).
+//
+// Transaction kinds (as in the paper): Tx_Single_Read; read-only transactions over 2
+// and 4 consecutive items; read-write transactions over 1, 2 and 4 consecutive
+// items. Read-only results are normalized to plain loads; read-write results to one
+// hardware CAS per item ("sequential code that performs a single-word CAS
+// instruction on each of the 1, 2, and 4 items").
+//
+// Variants: orec-full-g (BaseTM), val-full (per-read value revalidation — the paper
+// notes its read-set validation "dominates execution time"), orec-short-g,
+// tvar-short-g, val-short. Expected shape: 3x–10x for BaseTM; short variants close
+// to 1x, with val-short cheapest.
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "src/benchsupport/table.h"
+#include "src/common/cacheline.h"
+#include "src/common/rng.h"
+#include "src/tm/config.h"
+#include "src/tm/variants.h"
+
+namespace spectm {
+namespace {
+
+inline void DoNotOptimize(Word v) { asm volatile("" : : "r"(v) : "memory"); }
+
+int Iterations() {
+  if (const char* env = std::getenv("SPECTM_BENCH_ITERS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) {
+      return parsed;
+    }
+  }
+  return 400000;
+}
+
+// Pre-generated random start indices shared by every variant so index-generation
+// cost and access pattern are identical across the comparison.
+std::vector<std::uint32_t> MakeIndices(std::uint32_t array_size) {
+  std::vector<std::uint32_t> idx(65536);
+  Xorshift128Plus rng(0xf15);
+  for (auto& i : idx) {
+    i = static_cast<std::uint32_t>(rng.NextBounded(array_size));
+  }
+  return idx;
+}
+
+template <typename Body>
+double MeasureNs(int iters, const Body& body) {
+  // Warm-up pass to fault in the array and warm the caches.
+  for (int i = 0; i < iters / 8; ++i) {
+    body(i);
+  }
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    body(i);
+  }
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(end - start).count() / iters;
+}
+
+// One cache-line-aligned transactional word per element (the paper pads to L2 line
+// boundaries so that array size controls cache residency exactly).
+template <typename Family>
+struct PaddedArray {
+  std::vector<CacheAligned<typename Family::Slot>> slots;
+
+  explicit PaddedArray(std::uint32_t n) : slots(n) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      Family::RawWrite(&slots[i].value, EncodeInt(i + 1));
+    }
+  }
+  typename Family::Slot* At(std::uint32_t i) { return &slots[i].value; }
+};
+
+struct SeqArray {
+  std::vector<CacheAligned<std::atomic<Word>>> slots;
+
+  explicit SeqArray(std::uint32_t n) : slots(n) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      slots[i].value.store(EncodeInt(i + 1), std::memory_order_relaxed);
+    }
+  }
+};
+
+enum class OpKind { kSingleRead, kRo2, kRo4, kRw1, kRw2, kRw4 };
+
+const char* OpName(OpKind op) {
+  switch (op) {
+    case OpKind::kSingleRead:
+      return "single-read";
+    case OpKind::kRo2:
+      return "RO-2";
+    case OpKind::kRo4:
+      return "RO-4";
+    case OpKind::kRw1:
+      return "RW-1";
+    case OpKind::kRw2:
+      return "RW-2";
+    case OpKind::kRw4:
+      return "RW-4";
+  }
+  return "?";
+}
+
+int OpWidth(OpKind op) {
+  switch (op) {
+    case OpKind::kSingleRead:
+    case OpKind::kRw1:
+      return 1;
+    case OpKind::kRo2:
+    case OpKind::kRw2:
+      return 2;
+    case OpKind::kRo4:
+    case OpKind::kRw4:
+      return 4;
+  }
+  return 1;
+}
+
+bool IsReadOnly(OpKind op) {
+  return op == OpKind::kSingleRead || op == OpKind::kRo2 || op == OpKind::kRo4;
+}
+
+// Sequential baselines: plain loads for read shapes, one hardware CAS per item for
+// read-write shapes.
+double MeasureSeq(SeqArray& arr, const std::vector<std::uint32_t>& indices, OpKind op,
+                  int iters) {
+  const std::uint32_t n = static_cast<std::uint32_t>(arr.slots.size());
+  const int width = OpWidth(op);
+  if (IsReadOnly(op)) {
+    return MeasureNs(iters, [&](int i) {
+      const std::uint32_t base = indices[static_cast<std::size_t>(i) % indices.size()];
+      Word sum = 0;
+      for (int j = 0; j < width; ++j) {
+        sum += arr.slots[(base + static_cast<std::uint32_t>(j)) % n].value.load(
+            std::memory_order_acquire);
+      }
+      DoNotOptimize(sum);
+    });
+  }
+  return MeasureNs(iters, [&](int i) {
+    const std::uint32_t base = indices[static_cast<std::size_t>(i) % indices.size()];
+    for (int j = 0; j < width; ++j) {
+      auto& word = arr.slots[(base + static_cast<std::uint32_t>(j)) % n].value;
+      Word cur = word.load(std::memory_order_relaxed);
+      word.compare_exchange_strong(cur, cur, std::memory_order_acq_rel,
+                                   std::memory_order_relaxed);
+    }
+  });
+}
+
+// Short-transaction variants (orec-short-g, tvar-short-g, val-short).
+template <typename Family>
+double MeasureShort(PaddedArray<Family>& arr, const std::vector<std::uint32_t>& indices,
+                    OpKind op, int iters) {
+  const std::uint32_t n = static_cast<std::uint32_t>(arr.slots.size());
+  const int width = OpWidth(op);
+  if (op == OpKind::kSingleRead) {
+    return MeasureNs(iters, [&](int i) {
+      const std::uint32_t base = indices[static_cast<std::size_t>(i) % indices.size()];
+      DoNotOptimize(Family::SingleRead(arr.At(base)));
+    });
+  }
+  if (IsReadOnly(op)) {
+    return MeasureNs(iters, [&](int i) {
+      const std::uint32_t base = indices[static_cast<std::size_t>(i) % indices.size()];
+      typename Family::ShortTx t;
+      Word sum = 0;
+      for (int j = 0; j < width; ++j) {
+        sum += t.ReadRo(arr.At((base + static_cast<std::uint32_t>(j)) % n));
+      }
+      DoNotOptimize(sum);
+      DoNotOptimize(static_cast<Word>(t.ValidateRo()));
+    });
+  }
+  return MeasureNs(iters, [&](int i) {
+    const std::uint32_t base = indices[static_cast<std::size_t>(i) % indices.size()];
+    typename Family::ShortTx t;
+    Word vals[4];
+    for (int j = 0; j < width; ++j) {
+      vals[j] = t.ReadRw(arr.At((base + static_cast<std::uint32_t>(j)) % n));
+    }
+    switch (width) {
+      case 1:
+        t.CommitRw({vals[0]});
+        break;
+      case 2:
+        t.CommitRw({vals[0], vals[1]});
+        break;
+      default:
+        t.CommitRw({vals[0], vals[1], vals[2], vals[3]});
+        break;
+    }
+  });
+}
+
+// Full-transaction variants (orec-full-g = BaseTM, val-full).
+template <typename Family>
+double MeasureFull(PaddedArray<Family>& arr, const std::vector<std::uint32_t>& indices,
+                   OpKind op, int iters) {
+  const std::uint32_t n = static_cast<std::uint32_t>(arr.slots.size());
+  const int width = OpWidth(op);
+  const bool read_only = IsReadOnly(op);
+  return MeasureNs(iters, [&](int i) {
+    const std::uint32_t base = indices[static_cast<std::size_t>(i) % indices.size()];
+    typename Family::FullTx tx;
+    do {
+      tx.Start();
+      Word sum = 0;
+      for (int j = 0; j < width; ++j) {
+        auto* slot = arr.At((base + static_cast<std::uint32_t>(j)) % n);
+        const Word v = tx.Read(slot);
+        if (!read_only) {
+          tx.Write(slot, v);
+        }
+        sum += v;
+      }
+      DoNotOptimize(sum);
+    } while (!tx.Commit());
+  });
+}
+
+void RunForSize(std::uint32_t array_size, const char* cache_note) {
+  const int iters = Iterations();
+  const auto indices = MakeIndices(array_size);
+
+  SeqArray seq_arr(array_size);
+  PaddedArray<OrecG> orec_arr(array_size);
+  PaddedArray<TvarG> tvar_arr(array_size);
+  PaddedArray<Val> val_arr(array_size);
+
+  std::printf("\nFigure 5: single-thread normalized execution time — %u elements (%s)\n",
+              array_size, cache_note);
+  TextTable table({"op", "sequential", "orec-full-g", "val-full", "orec-short-g",
+                   "tvar-short-g", "val-short"});
+  for (OpKind op : {OpKind::kSingleRead, OpKind::kRo2, OpKind::kRo4, OpKind::kRw1,
+                    OpKind::kRw2, OpKind::kRw4}) {
+    const double seq_ns = MeasureSeq(seq_arr, indices, op, iters);
+    const double full_orec = MeasureFull<OrecG>(orec_arr, indices, op, iters);
+    const double full_val = MeasureFull<Val>(val_arr, indices, op, iters);
+    const double short_orec = MeasureShort<OrecG>(orec_arr, indices, op, iters);
+    const double short_tvar = MeasureShort<TvarG>(tvar_arr, indices, op, iters);
+    const double short_val = MeasureShort<Val>(val_arr, indices, op, iters);
+    table.AddRow({OpName(op), TextTable::Num(seq_ns, 1) + "ns",
+                  TextTable::Num(full_orec / seq_ns, 2),
+                  TextTable::Num(full_val / seq_ns, 2),
+                  TextTable::Num(short_orec / seq_ns, 2),
+                  TextTable::Num(short_tvar / seq_ns, 2),
+                  TextTable::Num(short_val / seq_ns, 2)});
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+}
+
+}  // namespace
+}  // namespace spectm
+
+int main() {
+  spectm::RunForSize(128, "half of a 32KB L1 cache");      // Figure 5(a)
+  spectm::RunForSize(1024, "half of a 256KB L2 cache");    // Figure 5(b)
+  spectm::RunForSize(32768, "half of an 8MB L3 cache");    // Figure 5(c)
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 6: "Skip list, 64k values, 16 cores" — (a) 90% lookups, (b) 10% lookups.
+//
+// Series include the fine-grained configuration "orec-full-g (fine)": the same
+// decomposed operations as the short variants but over the ordinary STM API —
+// showing that decomposition alone, without the specialized implementation, does
+// not pay (§4.4.1).
+//
+// Expected shape: val-short ~ lock-free, outperforming BaseTM (orec-full-g) by
+// 60–80%; tvar-short-g slightly behind lock-free; tvar-full-l poor due to
+// incremental validation; (fine) no better than orec-full-g.
+#include <memory>
+
+#include "bench/set_bench.h"
+#include "src/structures/skip_lockfree.h"
+#include "src/structures/skip_tm_full.h"
+#include "src/structures/skip_tm_short.h"
+#include "src/tm/fine_grained.h"
+#include "src/tm/variants.h"
+
+namespace spectm {
+namespace {
+
+void RunPanel(const char* title, int lookup_pct, bool extended_series) {
+  WorkloadConfig cfg;
+  cfg.key_range = 65536;
+  cfg.lookup_pct = lookup_pct;
+
+  const std::vector<int> threads = bench::ThreadSweep();
+  std::vector<bench::Series> series;
+  auto sweep = [&](const char* name, auto make_set) {
+    bench::Series s{name, {}};
+    for (int t : threads) {
+      s.ops_per_sec.push_back(bench::MeasureCell(make_set, cfg, t));
+    }
+    series.push_back(std::move(s));
+  };
+
+  sweep("lock-free", [] { return std::make_unique<LockFreeSkipList>(); });
+  sweep("val-short", [] { return std::make_unique<SpecSkipList<Val>>(); });
+  sweep("tvar-short-g", [] { return std::make_unique<SpecSkipList<TvarG>>(); });
+  sweep("orec-short-g", [] { return std::make_unique<SpecSkipList<OrecG>>(); });
+  sweep("orec-full-g", [] { return std::make_unique<TmSkipList<OrecG>>(); });
+  if (extended_series) {
+    sweep("tvar-full-l", [] { return std::make_unique<TmSkipList<TvarL>>(); });
+    sweep("orec-full-g (fine)",
+          [] { return std::make_unique<SpecSkipList<FineGrainedFamily<OrecG>>>(); });
+  }
+
+  bench::PrintThroughputFigure(title, threads, series);
+}
+
+}  // namespace
+}  // namespace spectm
+
+int main() {
+  spectm::RunPanel("Figure 6(a): skip list, 64k values, 90% lookups", 90,
+                   /*extended_series=*/true);
+  spectm::RunPanel("Figure 6(b): skip list, 64k values, 10% lookups", 10,
+                   /*extended_series=*/false);
+  return 0;
+}

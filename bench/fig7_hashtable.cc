@@ -1,0 +1,56 @@
+// Figure 7: "Hash table, 64k values, 16k buckets, 16-cores" — (a) 90% lookups,
+// (b) 10% lookups.
+//
+// Hash-table operations are much shorter than skip-list ones, so centralized state
+// (the shared global clock of the *-g variants) has a larger scalability impact
+// (§4.4.1). Expected shape: val-short ~ lock-free (2.5–3x over orec-full-g in (a));
+// *-g variants flatten as update rate grows; *-l variants trade single-thread speed
+// for scalability.
+#include <memory>
+
+#include "bench/set_bench.h"
+#include "src/structures/hash_lockfree.h"
+#include "src/structures/hash_tm_full.h"
+#include "src/structures/hash_tm_short.h"
+#include "src/tm/variants.h"
+
+namespace spectm {
+namespace {
+
+constexpr std::size_t kBuckets = 16384;
+
+void RunPanel(const char* title, int lookup_pct) {
+  WorkloadConfig cfg;
+  cfg.key_range = 65536;
+  cfg.lookup_pct = lookup_pct;
+
+  const std::vector<int> threads = bench::ThreadSweep();
+  std::vector<bench::Series> series;
+  auto sweep = [&](const char* name, auto make_set) {
+    bench::Series s{name, {}};
+    for (int t : threads) {
+      s.ops_per_sec.push_back(bench::MeasureCell(make_set, cfg, t));
+    }
+    series.push_back(std::move(s));
+  };
+
+  sweep("lock-free", [] { return std::make_unique<LockFreeHashSet>(kBuckets); });
+  sweep("val-short", [] { return std::make_unique<SpecHashSet<Val>>(kBuckets); });
+  sweep("tvar-short-g", [] { return std::make_unique<SpecHashSet<TvarG>>(kBuckets); });
+  sweep("tvar-short-l", [] { return std::make_unique<SpecHashSet<TvarL>>(kBuckets); });
+  sweep("orec-short-g", [] { return std::make_unique<SpecHashSet<OrecG>>(kBuckets); });
+  sweep("orec-short-l", [] { return std::make_unique<SpecHashSet<OrecL>>(kBuckets); });
+  sweep("orec-full-g", [] { return std::make_unique<TmHashSet<OrecG>>(kBuckets); });
+  sweep("orec-full-l", [] { return std::make_unique<TmHashSet<OrecL>>(kBuckets); });
+
+  bench::PrintThroughputFigure(title, threads, series);
+}
+
+}  // namespace
+}  // namespace spectm
+
+int main() {
+  spectm::RunPanel("Figure 7(a): hash table, 64k values, 16k buckets, 90% lookups", 90);
+  spectm::RunPanel("Figure 7(b): hash table, 64k values, 16k buckets, 10% lookups", 10);
+  return 0;
+}

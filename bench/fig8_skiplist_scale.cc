@@ -1,0 +1,60 @@
+// Figure 8: "Skip list, 64k values, 128-way system" — (a) 98%, (b) 90%, (c) 10%
+// lookups. At high thread counts contention on the shared timestamp makes the local
+// (per-orec) clock variants the interesting ones (§4.4.2), so the 90%/10% panels
+// focus on *-l as the paper does.
+//
+// Expected shape: val-short at 95–97% of lock-free, 2–2.5x over BaseTM at 98%;
+// tvar-short-l / orec-short-l best among versioned variants at 90%; everything
+// scales poorly at 10% (including lock-free), with relative order preserved.
+#include <memory>
+
+#include "bench/set_bench.h"
+#include "src/structures/skip_lockfree.h"
+#include "src/structures/skip_tm_full.h"
+#include "src/structures/skip_tm_short.h"
+#include "src/tm/variants.h"
+
+namespace spectm {
+namespace {
+
+void RunPanel(const char* title, int lookup_pct, bool include_global) {
+  WorkloadConfig cfg;
+  cfg.key_range = 65536;
+  cfg.lookup_pct = lookup_pct;
+
+  const std::vector<int> threads = bench::ThreadSweep();
+  std::vector<bench::Series> series;
+  auto sweep = [&](const char* name, auto make_set) {
+    bench::Series s{name, {}};
+    for (int t : threads) {
+      s.ops_per_sec.push_back(bench::MeasureCell(make_set, cfg, t));
+    }
+    series.push_back(std::move(s));
+  };
+
+  sweep("lock-free", [] { return std::make_unique<LockFreeSkipList>(); });
+  sweep("val-short", [] { return std::make_unique<SpecSkipList<Val>>(); });
+  if (include_global) {
+    sweep("tvar-short-g", [] { return std::make_unique<SpecSkipList<TvarG>>(); });
+    sweep("orec-short-g", [] { return std::make_unique<SpecSkipList<OrecG>>(); });
+    sweep("orec-full-g", [] { return std::make_unique<TmSkipList<OrecG>>(); });
+  }
+  sweep("tvar-short-l", [] { return std::make_unique<SpecSkipList<TvarL>>(); });
+  sweep("orec-short-l", [] { return std::make_unique<SpecSkipList<OrecL>>(); });
+  sweep("orec-full-l", [] { return std::make_unique<TmSkipList<OrecL>>(); });
+
+  bench::PrintThroughputFigure(title, threads, series);
+}
+
+}  // namespace
+}  // namespace spectm
+
+int main() {
+  spectm::RunPanel("Figure 8(a): skip list, 64k values, 98% lookups", 98,
+                   /*include_global=*/true);
+  spectm::RunPanel("Figure 8(b): skip list, 64k values, 90% lookups", 90,
+                   /*include_global=*/false);
+  spectm::RunPanel("Figure 8(c): skip list, 64k values, 10% lookups", 10,
+                   /*include_global=*/false);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 9: "Hash table, 64k values, 16k buckets, 128-way" — (a) 98%, (b) 90%,
+// (c) 10% lookups.
+//
+// Expected shape (§4.4.2): val-short matches lock-free and beats BaseTM by 60–70% at
+// 98%; at 10% lookups contention makes orec-short-l's encounter-time locking lose
+// its edge over orec-full-l's commit-time locking (locks acquired by transactions
+// that later abort) — the ETL/CTL effect isolated further in abl_etl_vs_ctl.
+#include <memory>
+
+#include "bench/set_bench.h"
+#include "src/structures/hash_lockfree.h"
+#include "src/structures/hash_tm_full.h"
+#include "src/structures/hash_tm_short.h"
+#include "src/tm/variants.h"
+
+namespace spectm {
+namespace {
+
+constexpr std::size_t kBuckets = 16384;
+
+void RunPanel(const char* title, int lookup_pct, bool include_global) {
+  WorkloadConfig cfg;
+  cfg.key_range = 65536;
+  cfg.lookup_pct = lookup_pct;
+
+  const std::vector<int> threads = bench::ThreadSweep();
+  std::vector<bench::Series> series;
+  auto sweep = [&](const char* name, auto make_set) {
+    bench::Series s{name, {}};
+    for (int t : threads) {
+      s.ops_per_sec.push_back(bench::MeasureCell(make_set, cfg, t));
+    }
+    series.push_back(std::move(s));
+  };
+
+  sweep("lock-free", [] { return std::make_unique<LockFreeHashSet>(kBuckets); });
+  sweep("val-short", [] { return std::make_unique<SpecHashSet<Val>>(kBuckets); });
+  if (include_global) {
+    sweep("orec-full-g", [] { return std::make_unique<TmHashSet<OrecG>>(kBuckets); });
+  }
+  sweep("tvar-short-l", [] { return std::make_unique<SpecHashSet<TvarL>>(kBuckets); });
+  sweep("orec-short-l", [] { return std::make_unique<SpecHashSet<OrecL>>(kBuckets); });
+  sweep("orec-full-l", [] { return std::make_unique<TmHashSet<OrecL>>(kBuckets); });
+
+  bench::PrintThroughputFigure(title, threads, series);
+}
+
+}  // namespace
+}  // namespace spectm
+
+int main() {
+  spectm::RunPanel("Figure 9(a): hash table, 16k buckets, 98% lookups", 98,
+                   /*include_global=*/true);
+  spectm::RunPanel("Figure 9(b): hash table, 16k buckets, 90% lookups", 90,
+                   /*include_global=*/false);
+  spectm::RunPanel("Figure 9(c): hash table, 16k buckets, 10% lookups", 10,
+                   /*include_global=*/false);
+  return 0;
+}

@@ -1,0 +1,116 @@
+// google-benchmark micro-op suite over the engine primitives: per-operation cost of
+// single reads/CAS, short RO/RW transactions and full transactions for each
+// meta-data layout. Complements fig5_single_thread (which reproduces the paper's
+// exact normalization) with standard benchmark tooling.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/common/cacheline.h"
+#include "src/common/rng.h"
+#include "src/tm/config.h"
+#include "src/tm/variants.h"
+
+namespace spectm {
+namespace {
+
+constexpr std::uint32_t kArraySize = 1024;
+
+template <typename Family>
+struct Fixture {
+  std::vector<CacheAligned<typename Family::Slot>> slots{kArraySize};
+  Fixture() {
+    for (std::uint32_t i = 0; i < kArraySize; ++i) {
+      Family::RawWrite(&slots[i].value, EncodeInt(i + 1));
+    }
+  }
+  typename Family::Slot* At(std::uint32_t i) { return &slots[i % kArraySize].value; }
+};
+
+template <typename Family>
+void BM_SingleRead(benchmark::State& state) {
+  Fixture<Family> f;
+  Xorshift128Plus rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Family::SingleRead(f.At(static_cast<std::uint32_t>(rng.Next()))));
+  }
+}
+
+template <typename Family>
+void BM_SingleCas(benchmark::State& state) {
+  Fixture<Family> f;
+  Xorshift128Plus rng(2);
+  for (auto _ : state) {
+    auto* slot = f.At(static_cast<std::uint32_t>(rng.Next()));
+    const Word v = Family::SingleRead(slot);
+    benchmark::DoNotOptimize(Family::SingleCas(slot, v, v));
+  }
+}
+
+template <typename Family>
+void BM_ShortRw2(benchmark::State& state) {
+  Fixture<Family> f;
+  Xorshift128Plus rng(3);
+  for (auto _ : state) {
+    const auto base = static_cast<std::uint32_t>(rng.Next());
+    typename Family::ShortTx t;
+    const Word a = t.ReadRw(f.At(base));
+    const Word b = t.ReadRw(f.At(base + 1));
+    t.CommitRw({a, b});
+  }
+}
+
+template <typename Family>
+void BM_ShortRo2(benchmark::State& state) {
+  Fixture<Family> f;
+  Xorshift128Plus rng(4);
+  for (auto _ : state) {
+    const auto base = static_cast<std::uint32_t>(rng.Next());
+    typename Family::ShortTx t;
+    benchmark::DoNotOptimize(t.ReadRo(f.At(base)));
+    benchmark::DoNotOptimize(t.ReadRo(f.At(base + 1)));
+    benchmark::DoNotOptimize(t.ValidateRo());
+  }
+}
+
+template <typename Family>
+void BM_FullTxRw2(benchmark::State& state) {
+  Fixture<Family> f;
+  Xorshift128Plus rng(5);
+  typename Family::FullTx tx;
+  for (auto _ : state) {
+    const auto base = static_cast<std::uint32_t>(rng.Next());
+    do {
+      tx.Start();
+      const Word a = tx.Read(f.At(base));
+      const Word b = tx.Read(f.At(base + 1));
+      tx.Write(f.At(base), a);
+      tx.Write(f.At(base + 1), b);
+    } while (!tx.Commit());
+  }
+}
+
+BENCHMARK(BM_SingleRead<OrecG>);
+BENCHMARK(BM_SingleRead<TvarG>);
+BENCHMARK(BM_SingleRead<Val>);
+BENCHMARK(BM_SingleCas<OrecG>);
+BENCHMARK(BM_SingleCas<TvarG>);
+BENCHMARK(BM_SingleCas<Val>);
+BENCHMARK(BM_ShortRw2<OrecG>);
+BENCHMARK(BM_ShortRw2<OrecL>);
+BENCHMARK(BM_ShortRw2<TvarG>);
+BENCHMARK(BM_ShortRw2<TvarL>);
+BENCHMARK(BM_ShortRw2<Val>);
+BENCHMARK(BM_ShortRo2<OrecG>);
+BENCHMARK(BM_ShortRo2<TvarG>);
+BENCHMARK(BM_ShortRo2<Val>);
+BENCHMARK(BM_FullTxRw2<OrecG>);
+BENCHMARK(BM_FullTxRw2<OrecL>);
+BENCHMARK(BM_FullTxRw2<TvarG>);
+BENCHMARK(BM_FullTxRw2<TvarL>);
+BENCHMARK(BM_FullTxRw2<Val>);
+
+}  // namespace
+}  // namespace spectm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,137 @@
+// Shared machinery for the integer-set figure benchmarks (§4.4): run a lookup/
+// insert/remove mix against a freshly pre-filled set for each (variant, thread-count)
+// cell, aggregate with the paper's 6-run statistic, and print the figure's series as
+// a text table.
+//
+// Environment knobs (quick CI pass vs. paper-style runs):
+//   SPECTM_BENCH_RUNS — repetitions per cell (default 3; paper uses 6)
+//   SPECTM_BENCH_MS   — milliseconds per run (default 300)
+//   SPECTM_BENCH_THREADS — comma-free max thread count for sweeps (default 8)
+#ifndef SPECTM_BENCH_SET_BENCH_H_
+#define SPECTM_BENCH_SET_BENCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/benchsupport/runner.h"
+#include "src/benchsupport/table.h"
+#include "src/benchsupport/workload.h"
+#include "src/common/rng.h"
+
+namespace spectm::bench {
+
+inline std::vector<int> ThreadSweep() {
+  int max_threads = 8;
+  if (const char* env = std::getenv("SPECTM_BENCH_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) {
+      max_threads = parsed;
+    }
+  }
+  std::vector<int> sweep;
+  for (int t = 1; t <= max_threads; t *= 2) {
+    sweep.push_back(t);
+  }
+  return sweep;
+}
+
+// One measurement cell: fresh set, prefill to half the key range, timed mixed
+// workload, repeated and aggregated. Returns ops/second.
+template <typename MakeSet>
+double MeasureCell(const MakeSet& make_set, const WorkloadConfig& cfg, int threads) {
+  const int runs = BenchRuns(3);
+  const int duration_ms = BenchDurationMs(300);
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(runs));
+  for (int run = 0; run < runs; ++run) {
+    auto set = make_set();
+    PrefillHalf(*set, cfg);
+    const ThroughputResult r = RunThroughput(
+        threads, duration_ms, [&](int tid, const std::atomic<bool>& stop) {
+          Xorshift128Plus rng(cfg.seed + static_cast<std::uint64_t>(tid) * 7919 + 13 +
+                              static_cast<std::uint64_t>(run) * 104729);
+          std::uint64_t ops = 0;
+          while (!stop.load(std::memory_order_relaxed)) {
+            const std::uint64_t key = PickKey(rng, cfg.key_range);
+            switch (PickOp(rng, cfg.lookup_pct)) {
+              case SetOp::kLookup:
+                set->Contains(key);
+                break;
+              case SetOp::kInsert:
+                set->Insert(key);
+                break;
+              case SetOp::kRemove:
+                set->Remove(key);
+                break;
+            }
+            ++ops;
+          }
+          return ops;
+        });
+    samples.push_back(r.ops_per_sec);
+  }
+  return AggregateRuns(samples);
+}
+
+// Single-threaded sequential baseline for normalization (Figure 1's "1.0 =
+// sequential" axis).
+template <typename MakeSet>
+double MeasureSequentialBaseline(const MakeSet& make_set, const WorkloadConfig& cfg) {
+  return MeasureCell(make_set, cfg, /*threads=*/1);
+}
+
+struct Series {
+  std::string name;
+  std::vector<double> ops_per_sec;  // one entry per thread count
+};
+
+// Prints a figure: rows = thread counts, one column per variant, in Mops/s.
+inline void PrintThroughputFigure(const std::string& title,
+                                  const std::vector<int>& threads,
+                                  const std::vector<Series>& series) {
+  std::printf("\n%s\n", title.c_str());
+  std::vector<std::string> header{"threads"};
+  for (const Series& s : series) {
+    header.push_back(s.name + " (Mops/s)");
+  }
+  TextTable table(header);
+  for (std::size_t row = 0; row < threads.size(); ++row) {
+    std::vector<std::string> cells{std::to_string(threads[row])};
+    for (const Series& s : series) {
+      cells.push_back(TextTable::Num(s.ops_per_sec[row] / 1e6, 3));
+    }
+    table.AddRow(std::move(cells));
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+}
+
+// Prints a figure normalized to a sequential baseline (Figure 1 style).
+inline void PrintNormalizedFigure(const std::string& title,
+                                  const std::vector<int>& threads,
+                                  double sequential_baseline,
+                                  const std::vector<Series>& series) {
+  std::printf("\n%s\n(1.0 = optimized sequential code, %.3f Mops/s)\n", title.c_str(),
+              sequential_baseline / 1e6);
+  std::vector<std::string> header{"threads"};
+  for (const Series& s : series) {
+    header.push_back(s.name);
+  }
+  TextTable table(header);
+  for (std::size_t row = 0; row < threads.size(); ++row) {
+    std::vector<std::string> cells{std::to_string(threads[row])};
+    for (const Series& s : series) {
+      cells.push_back(TextTable::Num(s.ops_per_sec[row] / sequential_baseline, 2));
+    }
+    table.AddRow(std::move(cells));
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+}
+
+}  // namespace spectm::bench
+
+#endif  // SPECTM_BENCH_SET_BENCH_H_

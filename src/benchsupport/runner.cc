@@ -1,0 +1,98 @@
+#include "src/benchsupport/runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <numeric>
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+#include "src/common/cacheline.h"
+
+namespace spectm {
+namespace {
+
+void PinToCpu(int index) {
+#if defined(__linux__)
+  const unsigned cpus = std::max(1u, std::thread::hardware_concurrency());
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(index) % cpus, &set);
+  pthread_setaffinity_np(pthread_self(), sizeof(set), &set);  // best effort
+#else
+  (void)index;
+#endif
+}
+
+}  // namespace
+
+ThroughputResult RunThroughput(int threads, int duration_ms, const WorkerBody& body) {
+  std::atomic<bool> stop{false};
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::uint64_t> ops(static_cast<std::size_t>(threads), 0);
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      PinToCpu(t);
+      ready.fetch_add(1, std::memory_order_acq_rel);
+      while (!go.load(std::memory_order_acquire)) {
+        CpuRelax();
+      }
+      ops[static_cast<std::size_t>(t)] = body(t, stop);
+    });
+  }
+
+  while (ready.load(std::memory_order_acquire) != threads) {
+    CpuRelax();
+  }
+  const auto start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  stop.store(true, std::memory_order_release);
+  for (auto& w : workers) {
+    w.join();
+  }
+  const auto end = std::chrono::steady_clock::now();
+
+  ThroughputResult r;
+  r.total_ops = std::accumulate(ops.begin(), ops.end(), std::uint64_t{0});
+  r.duration_s = std::chrono::duration<double>(end - start).count();
+  r.ops_per_sec = r.duration_s > 0 ? static_cast<double>(r.total_ops) / r.duration_s : 0;
+  return r;
+}
+
+double AggregateRuns(std::vector<double> samples) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  if (samples.size() >= 3) {
+    std::sort(samples.begin(), samples.end());
+    samples.erase(samples.begin());  // lowest
+    samples.pop_back();              // highest
+  }
+  return std::accumulate(samples.begin(), samples.end(), 0.0) /
+         static_cast<double>(samples.size());
+}
+
+namespace {
+int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') {
+    return fallback;
+  }
+  const int parsed = std::atoi(v);
+  return parsed > 0 ? parsed : fallback;
+}
+}  // namespace
+
+int BenchRuns(int default_runs) { return EnvInt("SPECTM_BENCH_RUNS", default_runs); }
+int BenchDurationMs(int default_ms) { return EnvInt("SPECTM_BENCH_MS", default_ms); }
+
+}  // namespace spectm

@@ -1,0 +1,40 @@
+// Multi-threaded throughput measurement harness (§4.4 experimental method).
+//
+// Threads are pinned round-robin to CPUs (best effort), released together through a
+// spin barrier, run the workload body until the stop flag rises, and report per-
+// thread operation counts. Repeated runs are aggregated with the paper's statistic:
+// "the mean of 6 runs with the lowest and the highest discarded".
+#ifndef SPECTM_BENCHSUPPORT_RUNNER_H_
+#define SPECTM_BENCHSUPPORT_RUNNER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace spectm {
+
+struct ThroughputResult {
+  double ops_per_sec = 0.0;
+  std::uint64_t total_ops = 0;
+  double duration_s = 0.0;
+};
+
+// body(thread_index, stop) runs the workload loop and returns the number of
+// operations completed by that thread.
+using WorkerBody = std::function<std::uint64_t(int, const std::atomic<bool>&)>;
+
+ThroughputResult RunThroughput(int threads, int duration_ms, const WorkerBody& body);
+
+// Paper statistic: mean after discarding min and max (requires >= 3 samples;
+// otherwise plain mean).
+double AggregateRuns(std::vector<double> samples);
+
+// Number of repetitions / per-run duration, overridable via SPECTM_BENCH_RUNS and
+// SPECTM_BENCH_MS for quick CI passes versus full paper-style runs.
+int BenchRuns(int default_runs = 6);
+int BenchDurationMs(int default_ms = 400);
+
+}  // namespace spectm
+
+#endif  // SPECTM_BENCHSUPPORT_RUNNER_H_

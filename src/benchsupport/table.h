@@ -1,0 +1,30 @@
+// Aligned text-table printer for the benchmark binaries: each figure bench prints the
+// same series the paper plots, as rows of a labeled table.
+#ifndef SPECTM_BENCHSUPPORT_TABLE_H_
+#define SPECTM_BENCHSUPPORT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace spectm {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 2);
+
+  // Renders with per-column alignment and a separator under the header.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace spectm
+
+#endif  // SPECTM_BENCHSUPPORT_TABLE_H_

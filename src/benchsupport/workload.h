@@ -1,0 +1,52 @@
+// Integer-set workload generation (§4.4).
+//
+// "threads performing a random mix of lookups, insertions and removals. For each of
+// the operations, threads pick a key uniformly at random from a predefined range...
+// the set is initialized by inserting half of the elements from the key range. In
+// order to keep the size of the set roughly constant, the ratio of insert and remove
+// operations is equal."
+#ifndef SPECTM_BENCHSUPPORT_WORKLOAD_H_
+#define SPECTM_BENCHSUPPORT_WORKLOAD_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+
+namespace spectm {
+
+struct WorkloadConfig {
+  std::uint64_t key_range = 65536;  // paper: keys in 0..65535
+  int lookup_pct = 90;              // remainder split equally insert/remove
+  std::uint64_t seed = 0x5eed;      // deterministic per-run base seed
+};
+
+enum class SetOp { kLookup, kInsert, kRemove };
+
+inline SetOp PickOp(Xorshift128Plus& rng, int lookup_pct) {
+  const std::uint32_t p = rng.NextPercent();
+  if (p < static_cast<std::uint32_t>(lookup_pct)) {
+    return SetOp::kLookup;
+  }
+  const std::uint32_t update = p - static_cast<std::uint32_t>(lookup_pct);
+  return (update % 2 == 0) ? SetOp::kInsert : SetOp::kRemove;
+}
+
+inline std::uint64_t PickKey(Xorshift128Plus& rng, std::uint64_t key_range) {
+  return rng.NextBounded(key_range);
+}
+
+// Pre-fills `set` (anything with bool Insert(std::uint64_t)) to roughly half the key
+// range, deterministically for a given seed.
+template <typename Set>
+void PrefillHalf(Set& set, const WorkloadConfig& cfg) {
+  Xorshift128Plus rng(cfg.seed ^ 0xf111ULL);
+  for (std::uint64_t k = 0; k < cfg.key_range; ++k) {
+    if ((rng.Next() & 1) == 0) {
+      set.Insert(k);
+    }
+  }
+}
+
+}  // namespace spectm
+
+#endif  // SPECTM_BENCHSUPPORT_WORKLOAD_H_

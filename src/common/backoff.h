@@ -1,0 +1,48 @@
+// Contention management by randomized linear backoff.
+//
+// §4.1: "upon conflict, a transaction aborts itself, and waits for a randomized
+// linear time before restarting (as in the first phase of SwissTM's two-phase
+// contention manager)". The wait is a bounded spin: the expected delay grows
+// linearly with the number of consecutive aborts, with a uniformly random factor to
+// de-synchronize repeat offenders.
+#ifndef SPECTM_COMMON_BACKOFF_H_
+#define SPECTM_COMMON_BACKOFF_H_
+
+#include <cstdint>
+
+#include "src/common/cacheline.h"
+#include "src/common/rng.h"
+
+namespace spectm {
+
+class Backoff {
+ public:
+  explicit Backoff(std::uint64_t seed = 0x9e3779b9ULL) : rng_(seed) {}
+
+  // Call after an abort; spins for a random time linear in the abort streak.
+  void OnAbort() {
+    if (attempts_ < kMaxAttemptFactor) {
+      ++attempts_;
+    }
+    const std::uint64_t spins = rng_.NextBounded(attempts_ * kSpinsPerAttempt + 1);
+    for (std::uint64_t i = 0; i < spins; ++i) {
+      CpuRelax();
+    }
+  }
+
+  // Call after a successful commit to reset the streak.
+  void OnCommit() { attempts_ = 0; }
+
+  std::uint64_t attempts() const { return attempts_; }
+
+ private:
+  static constexpr std::uint64_t kSpinsPerAttempt = 64;
+  static constexpr std::uint64_t kMaxAttemptFactor = 1024;  // caps worst-case delay
+
+  Xorshift128Plus rng_;
+  std::uint64_t attempts_ = 0;
+};
+
+}  // namespace spectm
+
+#endif  // SPECTM_COMMON_BACKOFF_H_

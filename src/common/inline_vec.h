@@ -1,0 +1,63 @@
+// Fixed-capacity inline vector: storage lives inside the object, no heap traffic.
+//
+// §2.2: "Focusing on short transactions means that the set of all locations accessed
+// can be held in a fixed-size array inline in the TX_RECORD." The same property is
+// exploited for the full-TM read log's common case via a small-size-optimized log
+// (see read_log in full_tm.h), so single-digit-location transactions never allocate.
+#ifndef SPECTM_COMMON_INLINE_VEC_H_
+#define SPECTM_COMMON_INLINE_VEC_H_
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+
+namespace spectm {
+
+template <typename T, std::size_t kCapacity>
+class InlineVec {
+ public:
+  InlineVec() = default;
+
+  // Trivially copyable payloads only; the tx fast paths store PODs.
+  static_assert(kCapacity > 0);
+
+  void PushBack(const T& v) {
+    assert(size_ < kCapacity);
+    items_[size_++] = v;
+  }
+
+  template <typename... Args>
+  T& EmplaceBack(Args&&... args) {
+    assert(size_ < kCapacity);
+    items_[size_] = T{std::forward<Args>(args)...};
+    return items_[size_++];
+  }
+
+  void Clear() { size_ = 0; }
+  std::size_t Size() const { return size_; }
+  bool Empty() const { return size_ == 0; }
+  bool Full() const { return size_ == kCapacity; }
+  static constexpr std::size_t Capacity() { return kCapacity; }
+
+  T& operator[](std::size_t i) {
+    assert(i < size_);
+    return items_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return items_[i];
+  }
+
+  T* begin() { return items_; }
+  T* end() { return items_ + size_; }
+  const T* begin() const { return items_; }
+  const T* end() const { return items_ + size_; }
+
+ private:
+  T items_[kCapacity];
+  std::size_t size_ = 0;
+};
+
+}  // namespace spectm
+
+#endif  // SPECTM_COMMON_INLINE_VEC_H_

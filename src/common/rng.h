@@ -1,0 +1,72 @@
+// Deterministic per-thread pseudo-random number generation.
+//
+// Used for workload key selection (§4.4: keys uniform over a predefined range),
+// skip-list level generation (§3: level l with probability 1/2^l), and the contention
+// manager's randomized linear backoff (§4.1). xorshift128+ is small, fast, and
+// allocation-free, which matters because it runs on the benchmark fast path.
+#ifndef SPECTM_COMMON_RNG_H_
+#define SPECTM_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace spectm {
+
+// xorshift128+ (Vigna). Not cryptographic; period 2^128 - 1.
+class Xorshift128Plus {
+ public:
+  // Seeds must not both be zero; mix the caller's seed through splitmix64 to guarantee
+  // a well-distributed non-zero state even for small consecutive seeds (thread ids).
+  explicit Xorshift128Plus(std::uint64_t seed) {
+    s0_ = SplitMix64(&seed);
+    s1_ = SplitMix64(&seed);
+    if (s0_ == 0 && s1_ == 0) {
+      s1_ = 1;
+    }
+  }
+
+  std::uint64_t Next() {
+    std::uint64_t x = s0_;
+    const std::uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  // Uniform integer in [0, bound). Bound must be nonzero. Uses the widening-multiply
+  // trick (Lemire) to avoid the modulo on the hot path.
+  std::uint64_t NextBounded(std::uint64_t bound) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  // Uniform value in [0, 100); convenient for percentage-mix workload decisions.
+  std::uint32_t NextPercent() { return static_cast<std::uint32_t>(NextBounded(100)); }
+
+  // Geometric level in [1, max_level]: level l is returned with probability 2^-l
+  // (except the tail mass collapses onto max_level). Matches the paper's skip list.
+  int NextSkipListLevel(int max_level) {
+    std::uint64_t r = Next();
+    int level = 1;
+    while ((r & 1) == 1 && level < max_level) {
+      ++level;
+      r >>= 1;
+    }
+    return level;
+  }
+
+  static std::uint64_t SplitMix64(std::uint64_t* state) {
+    std::uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t s0_;
+  std::uint64_t s1_;
+};
+
+}  // namespace spectm
+
+#endif  // SPECTM_COMMON_RNG_H_

@@ -1,0 +1,40 @@
+// Low-order tag-bit helpers for pointer-sized words.
+//
+// Three distinct low bits are in play across the system:
+//   bit 0 — the STM lock bit. In the `val` layout (Figure 3(c)) it is reserved in
+//           every data word; in orecs it distinguishes locked/versioned bodies.
+//   bit 1 — the "deleted" mark used by the linked-list and skip-list algorithms
+//           (§3: "a 'deleted' bit is reserved in all of a node's forward pointers").
+//           Keeping the mark out of bit 0 lets the same structure code run over the
+//           val layout, where bit 0 belongs to the STM.
+// Nodes are allocated with alignof >= 8, so pointers always have bits 0..2 clear.
+#ifndef SPECTM_COMMON_TAGGED_H_
+#define SPECTM_COMMON_TAGGED_H_
+
+#include <cstdint>
+
+namespace spectm {
+
+using Word = std::uint64_t;
+
+inline constexpr Word kLockBit = 1ULL << 0;
+inline constexpr Word kDeleteBit = 1ULL << 1;
+
+constexpr bool IsLocked(Word w) { return (w & kLockBit) != 0; }
+constexpr bool IsMarked(Word w) { return (w & kDeleteBit) != 0; }
+constexpr Word Mark(Word w) { return w | kDeleteBit; }
+constexpr Word Unmark(Word w) { return w & ~kDeleteBit; }
+
+template <typename T>
+T* WordToPtr(Word w) {
+  return reinterpret_cast<T*>(static_cast<std::uintptr_t>(w));
+}
+
+template <typename T>
+Word PtrToWord(T* p) {
+  return static_cast<Word>(reinterpret_cast<std::uintptr_t>(p));
+}
+
+}  // namespace spectm
+
+#endif  // SPECTM_COMMON_TAGGED_H_

@@ -1,0 +1,64 @@
+// Process-wide registry of small dense thread ids.
+//
+// Several runtime components need per-thread state indexed by a compact id:
+//   * the epoch-based reclaimer's per-thread epoch slots,
+//   * the distributed ("per-thread version numbers", §2.4) commit counters used by
+//     value-based validation in the general case,
+//   * per-thread statistics in the benchmark harness.
+// A thread claims the lowest free slot on first use and releases it at thread exit
+// (RAII in the thread_local handle); ids are reused, and iteration only scans up to
+// the historical high-water mark.
+#ifndef SPECTM_COMMON_THREAD_REGISTRY_H_
+#define SPECTM_COMMON_THREAD_REGISTRY_H_
+
+#include <atomic>
+#include <cassert>
+
+#include "src/common/cacheline.h"
+
+namespace spectm {
+
+class ThreadRegistry {
+ public:
+  static constexpr int kMaxThreads = 256;
+
+  // Dense id of the calling thread; claims a slot on first call.
+  static int CurrentId() {
+    thread_local Handle handle;
+    return handle.id;
+  }
+
+  // One past the largest id ever claimed; bound for per-thread-state scans.
+  static int IdBound() { return id_bound_.load(std::memory_order_acquire); }
+
+ private:
+  struct Handle {
+    int id;
+    Handle() : id(Claim()) {}
+    ~Handle() { Release(id); }
+  };
+
+  static int Claim() {
+    for (int i = 0; i < kMaxThreads; ++i) {
+      bool expected = false;
+      if (slots_[i]->compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
+        int bound = id_bound_.load(std::memory_order_relaxed);
+        while (bound < i + 1 && !id_bound_.compare_exchange_weak(
+                                    bound, i + 1, std::memory_order_acq_rel)) {
+        }
+        return i;
+      }
+    }
+    assert(false && "ThreadRegistry: more than kMaxThreads concurrent threads");
+    return kMaxThreads - 1;
+  }
+
+  static void Release(int id) { slots_[id]->store(false, std::memory_order_release); }
+
+  static inline CacheAligned<std::atomic<bool>> slots_[kMaxThreads]{};
+  static inline std::atomic<int> id_bound_{0};
+};
+
+}  // namespace spectm
+
+#endif  // SPECTM_COMMON_THREAD_REGISTRY_H_

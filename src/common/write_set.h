@@ -1,0 +1,121 @@
+// Hash-based transactional write set (Spear et al., PPoPP'09), used by the full
+// (BaseTM) engines for deferred updates: writes are buffered here during the
+// transaction and flushed to the heap only at commit (§2.1, §4.1).
+//
+// Requirements served:
+//   * O(1) upsert and lookup keyed by target address — every transactional read must
+//     first consult the write set ("read-after-write" checks, §2.2).
+//   * Iteration in insertion order — commit acquires orec locks in a deterministic
+//     order per transaction and flushes values in program order.
+//   * O(1) amortized Clear() — descriptors are reused across every transaction a
+//     thread ever runs (§4.1), so clearing must not touch the whole index. A
+//     generation counter invalidates all slots at once.
+#ifndef SPECTM_COMMON_WRITE_SET_H_
+#define SPECTM_COMMON_WRITE_SET_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace spectm {
+
+class WriteSet {
+ public:
+  struct Entry {
+    void* addr;
+    std::uint64_t value;
+  };
+
+  WriteSet() : slots_(kInitialSlots), mask_(kInitialSlots - 1) {}
+
+  // Inserts or overwrites the buffered value for addr.
+  void Put(void* addr, std::uint64_t value) {
+    std::size_t slot = FindSlot(addr);
+    if (slots_[slot].gen == gen_ && slots_[slot].addr == addr) {
+      entries_[slots_[slot].index].value = value;
+      return;
+    }
+    slots_[slot] = Slot{addr, static_cast<std::uint32_t>(entries_.size()), gen_};
+    entries_.push_back(Entry{addr, value});
+    if (entries_.size() * 2 > slots_.size()) {
+      Grow();
+    }
+  }
+
+  // Returns true and fills *value if addr has a buffered write.
+  bool Lookup(void* addr, std::uint64_t* value) const {
+    std::size_t slot = FindSlot(addr);
+    if (slots_[slot].gen == gen_ && slots_[slot].addr == addr) {
+      *value = entries_[slots_[slot].index].value;
+      return true;
+    }
+    return false;
+  }
+
+  void Clear() {
+    entries_.clear();
+    ++gen_;
+    if (gen_ == 0) {
+      // Generation wrapped (after 2^64 transactions); hard-reset to stay sound.
+      std::fill(slots_.begin(), slots_.end(), Slot{});
+      gen_ = 1;
+    }
+  }
+
+  bool Empty() const { return entries_.empty(); }
+  std::size_t Size() const { return entries_.size(); }
+
+  // Insertion-ordered view for the commit protocol.
+  const Entry* begin() const { return entries_.data(); }
+  const Entry* end() const { return entries_.data() + entries_.size(); }
+
+ private:
+  struct Slot {
+    void* addr = nullptr;
+    std::uint32_t index = 0;
+    std::uint64_t gen = 0;  // slot is live iff gen == WriteSet::gen_
+  };
+
+  static constexpr std::size_t kInitialSlots = 64;
+
+  static std::size_t HashAddr(const void* addr) {
+    auto x = reinterpret_cast<std::uintptr_t>(addr) >> 3;
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return static_cast<std::size_t>(x);
+  }
+
+  // Linear probing; returns the slot holding addr (current generation) or the first
+  // free-for-this-generation slot.
+  std::size_t FindSlot(void* addr) const {
+    std::size_t i = HashAddr(addr) & mask_;
+    while (slots_[i].gen == gen_ && slots_[i].addr != addr) {
+      i = (i + 1) & mask_;
+    }
+    return i;
+  }
+
+  void Grow() {
+    std::vector<Slot> bigger(slots_.size() * 2);
+    mask_ = bigger.size() - 1;
+    slots_.swap(bigger);
+    for (std::uint32_t k = 0; k < entries_.size(); ++k) {
+      std::size_t i = HashAddr(entries_[k].addr) & mask_;
+      while (slots_[i].gen == gen_) {
+        i = (i + 1) & mask_;
+      }
+      slots_[i] = Slot{entries_[k].addr, k, gen_};
+    }
+  }
+
+  std::vector<Entry> entries_;
+  mutable std::vector<Slot> slots_;
+  std::size_t mask_;
+  std::uint64_t gen_ = 1;
+};
+
+}  // namespace spectm
+
+#endif  // SPECTM_COMMON_WRITE_SET_H_

@@ -1,0 +1,267 @@
+#include "src/epoch/epoch.h"
+
+#include <cassert>
+#include <mutex>
+#include <unordered_map>
+
+namespace spectm {
+namespace {
+
+// Registry of live managers so that thread-exit cleanup never touches a destroyed
+// manager. All accesses are cold (manager construction/destruction, thread exit).
+struct LiveManagers {
+  std::mutex mu;
+  std::unordered_map<std::uint64_t, EpochManager*> by_id;
+};
+
+LiveManagers& Managers() {
+  static LiveManagers* m = new LiveManagers;  // leaked: must outlive all TLS dtors
+  return *m;
+}
+
+std::atomic<std::uint64_t> next_instance_id{1};
+
+}  // namespace
+
+struct EpochManager::Orphans {
+  std::mutex mu;
+  std::vector<LimboBag> bags;
+};
+
+// Per-thread cache mapping managers to their claimed ThreadState. Slots are released
+// (and limbo handed off) when the thread exits.
+struct EpochThreadCache {
+  struct Slot {
+    std::uint64_t instance_id = 0;
+    EpochManager* mgr = nullptr;
+    EpochManager::ThreadState* state = nullptr;
+  };
+  static constexpr int kSlots = 16;
+  Slot slots[kSlots];
+
+  ~EpochThreadCache() {
+    std::lock_guard<std::mutex> lock(Managers().mu);
+    for (Slot& s : slots) {
+      if (s.state == nullptr) {
+        continue;
+      }
+      auto it = Managers().by_id.find(s.instance_id);
+      if (it != Managers().by_id.end()) {
+        it->second->ReleaseThreadState(s.state);
+      }
+    }
+  }
+
+  EpochManager::ThreadState** Find(std::uint64_t id, EpochManager* mgr) {
+    for (Slot& s : slots) {
+      if (s.instance_id == id && s.mgr == mgr) {
+        return &s.state;
+      }
+    }
+    return nullptr;
+  }
+
+  void Insert(std::uint64_t id, EpochManager* mgr, EpochManager::ThreadState* st) {
+    for (Slot& s : slots) {
+      if (s.state == nullptr) {
+        s = Slot{id, mgr, st};
+        return;
+      }
+    }
+    assert(false && "EpochThreadCache: too many live EpochManager instances per thread");
+  }
+};
+
+namespace {
+EpochThreadCache& ThreadCache() {
+  thread_local EpochThreadCache cache;
+  return cache;
+}
+}  // namespace
+
+EpochManager::EpochManager()
+    : orphans_(new Orphans),
+      instance_id_(next_instance_id.fetch_add(1, std::memory_order_relaxed)) {
+  global_epoch_->store(2, std::memory_order_relaxed);  // start >1 so epoch-2 is valid
+  std::lock_guard<std::mutex> lock(Managers().mu);
+  Managers().by_id.emplace(instance_id_, this);
+}
+
+EpochManager::~EpochManager() {
+  {
+    std::lock_guard<std::mutex> lock(Managers().mu);
+    Managers().by_id.erase(instance_id_);
+  }
+  // At destruction no thread may be inside a Guard (standard quiescence contract).
+  // Free everything still in limbo: slot bags first, then orphans.
+  for (ThreadState& ts : threads_) {
+    for (LimboBag& bag : ts.bags) {
+      FreeBag(&bag, &freed_count_);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(orphans_->mu);
+    for (LimboBag& bag : orphans_->bags) {
+      FreeBag(&bag, &freed_count_);
+    }
+  }
+  delete orphans_;
+}
+
+EpochManager::ThreadState* EpochManager::StateForCurrentThread() {
+  EpochThreadCache& cache = ThreadCache();
+  if (ThreadState** found = cache.Find(instance_id_, this)) {
+    return *found;
+  }
+  for (ThreadState& ts : threads_) {
+    bool expected = false;
+    if (ts.used.compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
+      cache.Insert(instance_id_, this, &ts);
+      return &ts;
+    }
+  }
+  assert(false && "EpochManager: more than kMaxThreads concurrent threads");
+  return nullptr;
+}
+
+void EpochManager::ReleaseThreadState(ThreadState* ts) {
+  // Hand surviving limbo objects to the orphan list so a later advance frees them.
+  {
+    std::lock_guard<std::mutex> lock(orphans_->mu);
+    for (LimboBag& bag : ts->bags) {
+      if (!bag.objects.empty()) {
+        orphans_->bags.push_back(std::move(bag));
+        bag.objects.clear();
+      }
+    }
+  }
+  ts->word.store(0, std::memory_order_release);
+  ts->retires_since_scan = 0;
+  ts->used.store(false, std::memory_order_release);
+}
+
+void EpochManager::Enter() {
+  ThreadState* ts = StateForCurrentThread();
+  // Publish activity at the current global epoch; re-check so that an advance racing
+  // with us either sees our activity or we adopt the newer epoch.
+  std::uint64_t e = global_epoch_->load(std::memory_order_seq_cst);
+  while (true) {
+    ts->word.store((e << 1) | 1, std::memory_order_seq_cst);
+    const std::uint64_t now = global_epoch_->load(std::memory_order_seq_cst);
+    if (now == e) {
+      break;
+    }
+    e = now;
+  }
+}
+
+void EpochManager::Exit() {
+  ThreadState* ts = StateForCurrentThread();
+  ts->word.store(ts->word.load(std::memory_order_relaxed) & ~1ULL,
+                 std::memory_order_release);
+}
+
+void EpochManager::Retire(void* p, void (*deleter)(void*)) {
+  ThreadState* ts = StateForCurrentThread();
+  assert((ts->word.load(std::memory_order_relaxed) & 1) != 0 &&
+         "Retire requires an active Guard");
+  const std::uint64_t e = global_epoch_->load(std::memory_order_acquire);
+  LimboBag& bag = ts->bags[e % 3];
+  if (bag.epoch != e) {
+    // This residue-class bag holds objects from epoch e - 3, which is freeable now
+    // (global >= (e-3)+2 holds since global == e).
+    FreeBag(&bag, &freed_count_);
+    bag.epoch = e;
+  }
+  bag.objects.push_back(RetiredObject{p, deleter});
+  if (++ts->retires_since_scan >= kScanInterval) {
+    ts->retires_since_scan = 0;
+    TryAdvanceAndReclaim(ts);
+  }
+}
+
+void EpochManager::TryAdvanceAndReclaim(ThreadState* ts) {
+  const std::uint64_t e = global_epoch_->load(std::memory_order_seq_cst);
+  for (const ThreadState& other : threads_) {
+    if (!other.used.load(std::memory_order_acquire)) {
+      continue;
+    }
+    const std::uint64_t w = other.word.load(std::memory_order_seq_cst);
+    if ((w & 1) != 0 && (w >> 1) != e) {
+      return;  // a straggler is still in an older epoch
+    }
+  }
+  std::uint64_t expected = e;
+  global_epoch_->compare_exchange_strong(expected, e + 1, std::memory_order_seq_cst);
+  const std::uint64_t now = global_epoch_->load(std::memory_order_seq_cst);
+  FlushFreeableBags(ts, now);
+  AbsorbOrphans(now);
+}
+
+void EpochManager::FlushFreeableBags(ThreadState* ts, std::uint64_t global) {
+  for (LimboBag& bag : ts->bags) {
+    if (!bag.objects.empty() && bag.epoch + 2 <= global) {
+      FreeBag(&bag, &freed_count_);
+    }
+  }
+}
+
+void EpochManager::FreeBag(LimboBag* bag, std::atomic<std::uint64_t>* freed_counter) {
+  for (const RetiredObject& obj : bag->objects) {
+    obj.deleter(obj.ptr);
+  }
+  freed_counter->fetch_add(bag->objects.size(), std::memory_order_relaxed);
+  bag->objects.clear();
+}
+
+void EpochManager::AbsorbOrphans(std::uint64_t global) {
+  std::unique_lock<std::mutex> lock(orphans_->mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    return;
+  }
+  for (std::size_t i = 0; i < orphans_->bags.size();) {
+    if (orphans_->bags[i].epoch + 2 <= global) {
+      FreeBag(&orphans_->bags[i], &freed_count_);
+      orphans_->bags[i] = std::move(orphans_->bags.back());
+      orphans_->bags.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+std::size_t EpochManager::PendingCount() const {
+  std::size_t n = 0;
+  for (const ThreadState& ts : threads_) {
+    for (const LimboBag& bag : ts.bags) {
+      n += bag.objects.size();
+    }
+  }
+  std::lock_guard<std::mutex> lock(orphans_->mu);
+  for (const LimboBag& bag : orphans_->bags) {
+    n += bag.objects.size();
+  }
+  return n;
+}
+
+void EpochManager::ReclaimAllForTesting() {
+  ThreadState* ts = StateForCurrentThread();
+  for (int i = 0; i < 8; ++i) {
+    // Each Enter/advance/Exit round can move the epoch forward by one.
+    Enter();
+    TryAdvanceAndReclaim(ts);
+    Exit();
+  }
+  const std::uint64_t now = global_epoch_->load(std::memory_order_seq_cst);
+  for (ThreadState& other : threads_) {
+    FlushFreeableBags(&other, now);
+  }
+  AbsorbOrphans(now);
+}
+
+EpochManager& GlobalEpochManager() {
+  static EpochManager* mgr = new EpochManager;  // leaked: outlives TLS destructors
+  return *mgr;
+}
+
+}  // namespace spectm

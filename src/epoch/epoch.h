@@ -1,0 +1,130 @@
+// Epoch-based memory reclamation (Fraser, "Practical lock freedom", 2003).
+//
+// §4.1: "We use a conventional epoch-based system for memory management, based on that
+// described by Fraser. This mechanism ensures that a location is not deallocated by
+// one thread while it is being accessed transactionally by another thread."
+//
+// Scheme: a global epoch counter advances only when every thread currently inside a
+// critical region has observed the current epoch. An object retired in epoch e may be
+// freed once the global epoch reaches e + 2: at that point every thread that could
+// hold a reference (i.e. entered during epoch e or earlier) has exited its region.
+//
+// The reclaimer also underpins the `val` layout's value-based validation: node
+// pointers satisfy the paper's "non-re-use" property (§2.4, case 3) precisely because
+// a node's address cannot be recycled while any concurrent operation might still
+// compare against it.
+//
+// Managers are instantiable (tests create private ones); a process-wide instance is
+// available via GlobalEpochManager().
+#ifndef SPECTM_EPOCH_EPOCH_H_
+#define SPECTM_EPOCH_EPOCH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/cacheline.h"
+
+namespace spectm {
+
+class EpochManager {
+ public:
+  static constexpr int kMaxThreads = 256;
+
+  EpochManager();
+  ~EpochManager();
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  // RAII critical region. Operations that read or write shared nodes must hold a
+  // Guard for their whole duration; Retire may only be called under a Guard.
+  class Guard {
+   public:
+    explicit Guard(EpochManager& mgr) : mgr_(mgr) { mgr_.Enter(); }
+    ~Guard() { mgr_.Exit(); }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    EpochManager& mgr_;
+  };
+
+  // Defers destruction of p until no concurrent critical region can reference it.
+  void Retire(void* p, void (*deleter)(void*));
+
+  template <typename T>
+  void Retire(T* p) {
+    Retire(static_cast<void*>(p), [](void* q) { delete static_cast<T*>(q); });
+  }
+
+  // --- Introspection / test support -------------------------------------------------
+
+  std::uint64_t GlobalEpoch() const { return global_epoch_->load(std::memory_order_acquire); }
+
+  // Number of objects retired by all threads but not yet freed.
+  std::size_t PendingCount() const;
+
+  // Total objects freed so far.
+  std::uint64_t FreedCount() const { return freed_count_.load(std::memory_order_relaxed); }
+
+  // Attempts to advance epochs and reclaim everything possible. Only meaningful when
+  // callers know no guard is active (e.g. single-threaded test teardown); with active
+  // guards it simply reclaims as much as is safe.
+  void ReclaimAllForTesting();
+
+ private:
+  struct RetiredObject {
+    void* ptr;
+    void (*deleter)(void*);
+  };
+
+  // One limbo bag per epoch residue class (mod 3); a bag holds objects retired during
+  // `epoch` and becomes freeable when the global epoch reaches epoch + 2.
+  struct LimboBag {
+    std::uint64_t epoch = 0;
+    std::vector<RetiredObject> objects;
+  };
+
+  struct alignas(kCacheLineSize) ThreadState {
+    // (local_epoch << 1) | active. Written by the owner, scanned by advancers.
+    std::atomic<std::uint64_t> word{0};
+    std::atomic<bool> used{false};
+    LimboBag bags[3];
+    std::uint64_t retires_since_scan = 0;
+  };
+
+  void Enter();
+  void Exit();
+  ThreadState* StateForCurrentThread();
+  void TryAdvanceAndReclaim(ThreadState* ts);
+  void FlushFreeableBags(ThreadState* ts, std::uint64_t global);
+  static void FreeBag(LimboBag* bag, std::atomic<std::uint64_t>* freed_counter);
+  void AbsorbOrphans(std::uint64_t global);
+
+  // Called by the thread-local cache when a thread exits: moves its limbo objects to
+  // the orphan list and frees its slot.
+  void ReleaseThreadState(ThreadState* ts);
+
+  friend struct EpochThreadCache;
+
+  CacheAligned<std::atomic<std::uint64_t>> global_epoch_{};
+  std::atomic<std::uint64_t> freed_count_{0};
+  ThreadState threads_[kMaxThreads];
+
+  // Limbo objects from exited threads, protected by a mutex (cold path only).
+  struct Orphans;
+  Orphans* orphans_;
+
+  const std::uint64_t instance_id_;
+
+  static constexpr std::uint64_t kScanInterval = 64;  // retires between advance scans
+};
+
+// Process-wide manager used by the default data-structure instantiations.
+EpochManager& GlobalEpochManager();
+
+}  // namespace spectm
+
+#endif  // SPECTM_EPOCH_EPOCH_H_

@@ -1,0 +1,385 @@
+// Transactional B+-tree integer set — the paper's future-work structure (§6: "use
+// SpecTM to implement new, efficient, concurrent data structures—for instance,
+// looking at structures such as B-Trees which are more complex than those studied in
+// typical research on lock-free algorithms").
+//
+// Design:
+//   * B+-tree with fanout kFanout; every mutable cell (key slots, child pointers,
+//     counts, leaf links) is a transactional word of the chosen family, so the whole
+//     structure inherits the family's meta-data layout (Figure 3).
+//   * Each operation is ONE ordinary transaction. Inserts split full nodes
+//     preemptively on the way down, so a single downward pass suffices and the
+//     transaction's write set stays bounded by O(height * fanout). Split siblings
+//     stay private until the commit publishes them; the left halves are reused in
+//     place, so no node is ever freed while the tree is live (lazy deletion never
+//     unlinks), and reclamation reduces to the destructor.
+//   * Removals use lazy deletion (no merging/borrowing): practical in-memory B-trees
+//     commonly accept underfull nodes, and it keeps remove transactions small.
+//     Empty leaves remain linked until the tree is destroyed.
+//   * RangeCount scans the leaf chain transactionally — a deliberately read-set-heavy
+//     operation that stresses exactly the validation costs the paper's -l variants
+//     pay (§4.1), measurable in bench/abl_btree.
+//
+// Unlike the hash table and skip list there is no decomposed short-transaction
+// version: node updates move whole runs of keys, far beyond kMaxShortWrites — the
+// paper's point that short transactions target a specific niche, with ordinary
+// transactions as the general fall-back (§2.2).
+#ifndef SPECTM_STRUCTURES_BTREE_TM_H_
+#define SPECTM_STRUCTURES_BTREE_TM_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/tagged.h"
+#include "src/epoch/epoch.h"
+#include "src/tm/config.h"
+
+namespace spectm {
+
+template <typename Family, int kFanout = 16>
+class TmBTree {
+  static_assert(kFanout >= 4 && kFanout % 2 == 0, "fanout must be even and >= 4");
+
+ public:
+  using Slot = typename Family::Slot;
+
+  explicit TmBTree(EpochManager& epoch = GlobalEpochManager())
+      : epoch_(epoch) {
+    Node* root = NewNode(/*leaf=*/true);
+    Family::RawWrite(&root_, PtrToWord(root));
+  }
+
+  ~TmBTree() { DestroyRecursive(WordToPtr<Node>(Family::RawRead(&root_))); }
+
+  TmBTree(const TmBTree&) = delete;
+  TmBTree& operator=(const TmBTree&) = delete;
+
+  bool Contains(std::uint64_t key) {
+    EpochManager::Guard guard(epoch_);
+    typename Family::FullTx tx;
+    bool found = false;
+    do {
+      tx.Start();
+      found = false;
+      Node* leaf = DescendToLeaf(tx, key, /*split_full=*/false);
+      if (!tx.ok()) {
+        continue;
+      }
+      const int n = Count(tx, leaf);
+      for (int i = 0; i < n && tx.ok(); ++i) {
+        if (Key(tx, leaf, i) == key) {
+          found = true;
+          break;
+        }
+      }
+    } while (!tx.Commit());
+    return found;
+  }
+
+  bool Insert(std::uint64_t key) {
+    EpochManager::Guard guard(epoch_);
+    typename Family::FullTx tx;
+    // Nodes allocated for splits this attempt; published on commit, freed on retry
+    // (a commit-time abort must not leak the private siblings).
+    std::vector<Node*> fresh;
+    while (true) {
+      for (Node* n : fresh) {
+        delete n;
+      }
+      fresh.clear();
+      tx.Start();
+      bool inserted = false;
+      Node* leaf = DescendToLeaf(tx, key, /*split_full=*/true, &fresh);
+      if (tx.ok()) {
+        const int n = Count(tx, leaf);
+        int pos = 0;
+        bool present = false;
+        for (; pos < n && tx.ok(); ++pos) {
+          const std::uint64_t k = Key(tx, leaf, pos);
+          if (k == key) {
+            present = true;
+            break;
+          }
+          if (k > key) {
+            break;
+          }
+        }
+        if (tx.ok() && !present) {
+          // Preemptive splitting guarantees space.
+          for (int i = n; i > pos; --i) {
+            tx.Write(KeySlot(leaf, i), EncodeInt(Key(tx, leaf, i - 1)));
+          }
+          tx.Write(KeySlot(leaf, pos), EncodeInt(key));
+          tx.Write(CountSlot(leaf), EncodeInt(static_cast<std::uint64_t>(n) + 1));
+          inserted = true;
+        }
+      }
+      if (tx.Commit()) {
+        return inserted;
+      }
+    }
+  }
+
+  bool Remove(std::uint64_t key) {
+    EpochManager::Guard guard(epoch_);
+    typename Family::FullTx tx;
+    bool removed = false;
+    do {
+      tx.Start();
+      removed = false;
+      Node* leaf = DescendToLeaf(tx, key, /*split_full=*/false);
+      if (!tx.ok()) {
+        continue;
+      }
+      const int n = Count(tx, leaf);
+      if (!tx.ok()) {
+        continue;
+      }
+      int pos = -1;
+      for (int i = 0; i < n && tx.ok(); ++i) {
+        if (Key(tx, leaf, i) == key) {
+          pos = i;
+          break;
+        }
+      }
+      if (!tx.ok() || pos < 0) {
+        continue;  // absent: commit the read-only observation
+      }
+      for (int i = pos; i < n - 1; ++i) {
+        tx.Write(KeySlot(leaf, i), EncodeInt(Key(tx, leaf, i + 1)));
+      }
+      tx.Write(CountSlot(leaf), EncodeInt(static_cast<std::uint64_t>(n) - 1));
+      removed = true;  // lazy deletion: underflow tolerated
+    } while (!tx.Commit());
+    return removed;
+  }
+
+  // Number of keys in [lo, hi], via a transactional leaf-chain scan.
+  std::uint64_t RangeCount(std::uint64_t lo, std::uint64_t hi) {
+    EpochManager::Guard guard(epoch_);
+    typename Family::FullTx tx;
+    std::uint64_t count = 0;
+    do {
+      tx.Start();
+      count = 0;
+      Node* leaf = DescendToLeaf(tx, lo, /*split_full=*/false);
+      while (tx.ok() && leaf != nullptr) {
+        const int n = Count(tx, leaf);
+        bool past_hi = false;
+        for (int i = 0; i < n && tx.ok(); ++i) {
+          const std::uint64_t k = Key(tx, leaf, i);
+          if (k > hi) {
+            past_hi = true;
+            break;
+          }
+          if (k >= lo) {
+            ++count;
+          }
+        }
+        if (!tx.ok() || past_hi) {
+          break;
+        }
+        leaf = WordToPtr<Node>(tx.Read(NextSlot(leaf)));
+      }
+    } while (!tx.Commit());
+    return count;
+  }
+
+  // Tree height (root to leaf), for tests; runs transactionally.
+  int Height() {
+    EpochManager::Guard guard(epoch_);
+    typename Family::FullTx tx;
+    int height = 0;
+    do {
+      tx.Start();
+      height = 1;
+      Node* node = WordToPtr<Node>(tx.Read(&root_));
+      while (tx.ok() && node != nullptr && !node->leaf) {
+        node = WordToPtr<Node>(tx.Read(ChildSlot(node, 0)));
+        ++height;
+      }
+    } while (!tx.Commit());
+    return height;
+  }
+
+ private:
+  // Node layout: transactional slots for the count, keys, children (inner) or the
+  // next-leaf link (leaf). `leaf` is immutable after construction.
+  struct Node {
+    bool leaf;
+    Slot count;
+    Slot keys[kFanout];
+    Slot children[kFanout + 1];  // inner: child pointers; leaf: [0] = next link
+  };
+
+  static Slot* CountSlot(Node* n) { return &n->count; }
+  static Slot* KeySlot(Node* n, int i) { return &n->keys[i]; }
+  static Slot* ChildSlot(Node* n, int i) { return &n->children[i]; }
+  static Slot* NextSlot(Node* n) { return &n->children[0]; }
+
+  int Count(typename Family::FullTx& tx, Node* n) {
+    return static_cast<int>(DecodeInt(tx.Read(CountSlot(n))));
+  }
+  std::uint64_t Key(typename Family::FullTx& tx, Node* n, int i) {
+    return DecodeInt(tx.Read(KeySlot(n, i)));
+  }
+
+  Node* NewNode(bool leaf) {
+    Node* n = new Node;
+    n->leaf = leaf;
+    Family::RawWrite(&n->count, EncodeInt(0));
+    for (int i = 0; i < kFanout; ++i) {
+      Family::RawWrite(&n->keys[i], EncodeInt(0));
+    }
+    for (int i = 0; i <= kFanout; ++i) {
+      Family::RawWrite(&n->children[i], 0);
+    }
+    return n;
+  }
+
+  void DestroyRecursive(Node* n) {
+    if (n == nullptr) {
+      return;
+    }
+    if (!n->leaf) {
+      const int count = static_cast<int>(DecodeInt(Family::RawRead(CountSlot(n))));
+      for (int i = 0; i <= count; ++i) {
+        DestroyRecursive(WordToPtr<Node>(Family::RawRead(ChildSlot(n, i))));
+      }
+    }
+    delete n;
+  }
+
+  // Walks from the root to the leaf for `key`. With split_full, any full node on the
+  // path (including the root) is split before descending into it, so the leaf always
+  // has room. Nodes allocated by splits are appended to *fresh; the caller frees
+  // them if the transaction ultimately fails and lets them be published otherwise.
+  Node* DescendToLeaf(typename Family::FullTx& tx, std::uint64_t key, bool split_full,
+                      std::vector<Node*>* fresh = nullptr) {
+    Node* root = WordToPtr<Node>(tx.Read(&root_));
+    if (!tx.ok()) {
+      return nullptr;
+    }
+    if (split_full && Count(tx, root) == kFanout) {
+      if (!tx.ok()) {
+        return nullptr;
+      }
+      Node* new_root = NewNode(/*leaf=*/false);
+      fresh->push_back(new_root);
+      // new_root is private: initialize raw, then publish transactionally.
+      Family::RawWrite(ChildSlot(new_root, 0), PtrToWord(root));
+      SplitChild(tx, new_root, 0, root, fresh);
+      if (!tx.ok()) {
+        return nullptr;
+      }
+      tx.Write(&root_, PtrToWord(new_root));
+      root = new_root;
+    }
+    Node* node = root;
+    while (tx.ok() && !node->leaf) {
+      const int n = Count(tx, node);
+      int idx = 0;
+      while (idx < n && tx.ok() && Key(tx, node, idx) <= key) {
+        ++idx;
+      }
+      if (!tx.ok()) {
+        return nullptr;
+      }
+      Node* child = WordToPtr<Node>(tx.Read(ChildSlot(node, idx)));
+      if (!tx.ok()) {
+        return nullptr;
+      }
+      if (split_full && Count(tx, child) == kFanout) {
+        if (!tx.ok()) {
+          return nullptr;
+        }
+        SplitChild(tx, node, idx, child, fresh);
+        if (!tx.ok()) {
+          return nullptr;
+        }
+        // Re-decide which of the two halves to enter.
+        if (Key(tx, node, idx) <= key) {
+          ++idx;
+        }
+        if (!tx.ok()) {
+          return nullptr;
+        }
+        child = WordToPtr<Node>(tx.Read(ChildSlot(node, idx)));
+        if (!tx.ok()) {
+          return nullptr;
+        }
+      }
+      node = child;
+    }
+    return tx.ok() ? node : nullptr;
+  }
+
+  // Splits `child` (full, kFanout keys) under parent index `idx`. The right sibling
+  // is private until the parent's transactional writes publish it. For a leaf split
+  // the separator is COPIED up (B+-tree); for an inner split the middle key MOVES up.
+  // The sibling is appended to *fresh for failure cleanup by the caller.
+  void SplitChild(typename Family::FullTx& tx, Node* parent, int idx, Node* child,
+                  std::vector<Node*>* fresh) {
+    Node* right = NewNode(child->leaf);
+    fresh->push_back(right);
+    const int mid = kFanout / 2;
+    std::uint64_t separator;
+    if (child->leaf) {
+      const int moved = kFanout - mid;
+      for (int i = 0; i < moved && tx.ok(); ++i) {
+        Family::RawWrite(KeySlot(right, i), EncodeInt(Key(tx, child, mid + i)));
+      }
+      Family::RawWrite(CountSlot(right), EncodeInt(static_cast<std::uint64_t>(moved)));
+      if (!tx.ok()) {
+        return;
+      }
+      // Separator = first key of the right half, copied up (B+-tree).
+      separator = DecodeInt(Family::RawRead(KeySlot(right, 0)));
+      // Chain the leaves: right inherits child's next link.
+      const Word child_next = tx.Read(NextSlot(child));
+      if (!tx.ok()) {
+        return;
+      }
+      Family::RawWrite(NextSlot(right), child_next);
+      tx.Write(NextSlot(child), PtrToWord(right));
+      tx.Write(CountSlot(child), EncodeInt(static_cast<std::uint64_t>(mid)));
+    } else {
+      const int moved = kFanout - mid - 1;
+      for (int i = 0; i < moved && tx.ok(); ++i) {
+        Family::RawWrite(KeySlot(right, i), EncodeInt(Key(tx, child, mid + 1 + i)));
+      }
+      for (int i = 0; i <= moved && tx.ok(); ++i) {
+        Family::RawWrite(ChildSlot(right, i), tx.Read(ChildSlot(child, mid + 1 + i)));
+      }
+      Family::RawWrite(CountSlot(right), EncodeInt(static_cast<std::uint64_t>(moved)));
+      if (!tx.ok()) {
+        return;
+      }
+      separator = Key(tx, child, mid);  // middle key moves up
+      tx.Write(CountSlot(child), EncodeInt(static_cast<std::uint64_t>(mid)));
+    }
+    if (!tx.ok()) {
+      return;
+    }
+    // Shift the parent's keys/children right of idx and publish the new sibling.
+    const int pn = Count(tx, parent);
+    for (int i = pn; i > idx && tx.ok(); --i) {
+      tx.Write(KeySlot(parent, i), EncodeInt(Key(tx, parent, i - 1)));
+      tx.Write(ChildSlot(parent, i + 1), tx.Read(ChildSlot(parent, i)));
+    }
+    if (!tx.ok()) {
+      return;
+    }
+    tx.Write(KeySlot(parent, idx), EncodeInt(separator));
+    tx.Write(ChildSlot(parent, idx + 1), PtrToWord(right));
+    tx.Write(CountSlot(parent), EncodeInt(static_cast<std::uint64_t>(pn) + 1));
+  }
+
+  EpochManager& epoch_;
+  Slot root_;
+};
+
+}  // namespace spectm
+
+#endif  // SPECTM_STRUCTURES_BTREE_TM_H_

@@ -1,0 +1,188 @@
+// The paper's running example (§2): a bounded double-ended queue over a circular
+// array, with PushLeft/PopLeft/PushRight/PopRight.
+//
+// Representation (as in §2.1): items live at indexes [left, right) modulo the array
+// size; slots hold 0 (the paper's NULL) when empty, so values must be non-zero —
+// "Queue elements must be non-NULL, allowing NULL values to be used to indicate the
+// presence of empty slots (and to distinguish a completely empty queue from a
+// completely full queue)".
+//
+// TmDequeue  — every operation is one ordinary transaction (§2.1's PopLeft).
+// SpecDequeue — every operation is one 2-location short RW transaction (§2.2's
+//               PopLeft): read the index, read the slot it denotes, commit both or
+//               abort. The index read supplies the address of the second read — the
+//               dynamic access pattern that CASN-style primitives cannot express
+//               (§5: "Unlike CASN, SpecTM transactions are dynamic").
+#ifndef SPECTM_STRUCTURES_DEQUEUE_H_
+#define SPECTM_STRUCTURES_DEQUEUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/tagged.h"
+#include "src/tm/config.h"
+
+namespace spectm {
+
+template <typename Family>
+class TmDequeue {
+ public:
+  using Slot = typename Family::Slot;
+
+  explicit TmDequeue(std::size_t capacity = 1024)
+      : items_(capacity) {
+    Family::RawWrite(&left_, EncodeInt(0));
+    Family::RawWrite(&right_, EncodeInt(0));
+  }
+
+  // Values must be non-zero with bits 0–1 clear (use EncodeInt or aligned pointers).
+  bool PushLeft(Word value) { return Push(value, /*left_end=*/true); }
+  bool PushRight(Word value) { return Push(value, /*left_end=*/false); }
+  Word PopLeft() { return Pop(/*left_end=*/true); }
+  Word PopRight() { return Pop(/*left_end=*/false); }
+
+  std::size_t Capacity() const { return items_.size(); }
+
+ private:
+  bool Push(Word value, bool left_end) {
+    typename Family::FullTx tx;
+    bool pushed = false;
+    do {
+      tx.Start();
+      pushed = false;
+      const std::uint64_t n = items_.size();
+      Slot* index_slot = left_end ? &left_ : &right_;
+      const std::uint64_t idx = DecodeInt(tx.Read(index_slot));
+      if (!tx.ok()) {
+        continue;
+      }
+      const std::uint64_t target = left_end ? (idx + n - 1) % n : idx;
+      const Word occupant = tx.Read(&items_[target]);
+      if (!tx.ok()) {
+        continue;
+      }
+      if (occupant != 0) {
+        continue;  // full at this end: commit the read-only observation
+      }
+      tx.Write(&items_[target], value);
+      tx.Write(index_slot, EncodeInt(left_end ? target : (idx + 1) % n));
+      pushed = true;
+    } while (!tx.Commit());
+    return pushed;
+  }
+
+  // §2.1's PopLeft, generalized to both ends. Returns 0 when empty.
+  Word Pop(bool left_end) {
+    typename Family::FullTx tx;
+    Word result = 0;
+    do {
+      tx.Start();
+      result = 0;
+      const std::uint64_t n = items_.size();
+      Slot* index_slot = left_end ? &left_ : &right_;
+      const std::uint64_t idx = DecodeInt(tx.Read(index_slot));
+      if (!tx.ok()) {
+        continue;
+      }
+      const std::uint64_t target = left_end ? idx : (idx + n - 1) % n;
+      result = tx.Read(&items_[target]);
+      if (!tx.ok()) {
+        result = 0;
+        continue;
+      }
+      if (result != 0) {
+        tx.Write(&items_[target], 0);
+        tx.Write(index_slot, EncodeInt(left_end ? (idx + 1) % n : target));
+      }
+    } while (!tx.Commit());
+    return result;
+  }
+
+  std::vector<Slot> items_;
+  Slot left_;
+  Slot right_;
+};
+
+template <typename Family>
+class SpecDequeue {
+ public:
+  using Slot = typename Family::Slot;
+
+  explicit SpecDequeue(std::size_t capacity = 1024) : items_(capacity) {
+    Family::RawWrite(&left_, EncodeInt(0));
+    Family::RawWrite(&right_, EncodeInt(0));
+  }
+
+  bool PushLeft(Word value) { return Push(value, /*left_end=*/true); }
+  bool PushRight(Word value) { return Push(value, /*left_end=*/false); }
+  Word PopLeft() { return Pop(/*left_end=*/true); }
+  Word PopRight() { return Pop(/*left_end=*/false); }
+
+  std::size_t Capacity() const { return items_.size(); }
+
+ private:
+  bool Push(Word value, bool left_end) {
+    const std::uint64_t n = items_.size();
+    while (true) {
+      typename Family::ShortTx t;
+      Slot* index_slot = left_end ? &left_ : &right_;
+      const std::uint64_t idx = DecodeInt(t.ReadRw(index_slot));
+      if (!t.Valid()) {
+        t.Abort();
+        continue;
+      }
+      const std::uint64_t target = left_end ? (idx + n - 1) % n : idx;
+      const Word occupant = t.ReadRw(&items_[target]);
+      if (!t.Valid()) {
+        t.Abort();
+        continue;
+      }
+      if (occupant != 0) {
+        t.Abort();
+        return false;  // full at this end (locks made the observation stable)
+      }
+      if (t.CommitRw(
+              {EncodeInt(left_end ? target : (idx + 1) % n), value})) {
+        return true;
+      }
+    }
+  }
+
+  // §2.2's PopLeft, generalized: the second read's address depends on the first
+  // read's value; encounter-time locks make the pair stable without validation.
+  Word Pop(bool left_end) {
+    const std::uint64_t n = items_.size();
+    while (true) {
+      typename Family::ShortTx t;
+      Slot* index_slot = left_end ? &left_ : &right_;
+      const std::uint64_t idx = DecodeInt(t.ReadRw(index_slot));
+      if (!t.Valid()) {
+        t.Abort();
+        continue;
+      }
+      const std::uint64_t target = left_end ? idx : (idx + n - 1) % n;
+      const Word result = t.ReadRw(&items_[target]);
+      if (!t.Valid()) {
+        t.Abort();
+        continue;
+      }
+      if (result == 0) {
+        t.Abort();
+        return 0;  // empty
+      }
+      if (t.CommitRw(
+              {EncodeInt(left_end ? (idx + 1) % n : target), 0})) {
+        return result;
+      }
+    }
+  }
+
+  std::vector<Slot> items_;
+  Slot left_;
+  Slot right_;
+};
+
+}  // namespace spectm
+
+#endif  // SPECTM_STRUCTURES_DEQUEUE_H_

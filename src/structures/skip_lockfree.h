@@ -1,0 +1,268 @@
+// Lock-free skip-list integer set, based on Fraser's design (§2, §4.2 "lock-free...
+// based on the designs from Fraser's thesis").
+//
+// Properties mirrored from Fraser:
+//   * a node's "deleted" mark lives in each of its forward pointers (bit 1);
+//   * removal marks every level top-down, with the bottom-level mark as the
+//     linearization point, then physically unlinks via a full search;
+//   * searches help unlink marked nodes at every level they traverse;
+//   * insertion links bottom-up (the bottom-level CAS linearizes the insert).
+//
+// Deviation from pure Fraser, for reclamation soundness: a remover waits until the
+// victim's insertion has finished linking all levels (per-node fully_linked flag)
+// before marking. Without this, an in-flight inserter could add an upper-level link
+// to a node after the remover's unlinking search completed, leaving the node
+// reachable after it was retired — a use-after-free under epoch reclamation. The
+// wait is bounded by the inserter's remaining linking work and only triggers when a
+// key is removed microseconds after insertion. (This is precisely the category of
+// partially-inserted/partially-removed subtlety the paper cites as the cost of
+// CAS-based skip lists, §3.)
+#ifndef SPECTM_STRUCTURES_SKIP_LOCKFREE_H_
+#define SPECTM_STRUCTURES_SKIP_LOCKFREE_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "src/common/cacheline.h"
+#include "src/common/rng.h"
+#include "src/common/tagged.h"
+#include "src/epoch/epoch.h"
+
+namespace spectm {
+
+class LockFreeSkipList {
+ public:
+  static constexpr int kMaxLevel = 32;
+
+  explicit LockFreeSkipList(EpochManager& epoch = GlobalEpochManager())
+      : epoch_(epoch), head_(NewNode(0, kMaxLevel)) {
+    head_->fully_linked.store(true, std::memory_order_relaxed);
+  }
+
+  ~LockFreeSkipList() {
+    Node* curr = head_;
+    while (curr != nullptr) {
+      Node* next = WordToPtr<Node>(Unmark(curr->next[0].load(std::memory_order_relaxed)));
+      FreeNode(curr);
+      curr = next;
+    }
+  }
+
+  LockFreeSkipList(const LockFreeSkipList&) = delete;
+  LockFreeSkipList& operator=(const LockFreeSkipList&) = delete;
+
+  bool Contains(std::uint64_t key) {
+    EpochManager::Guard guard(epoch_);
+    Node* pred = head_;
+    Node* curr = nullptr;
+    for (int lvl = LevelHint() - 1; lvl >= 0; --lvl) {
+      curr = WordToPtr<Node>(Unmark(pred->next[lvl].load(std::memory_order_acquire)));
+      while (curr != nullptr) {
+        const Word succ = curr->next[lvl].load(std::memory_order_acquire);
+        if (IsMarked(succ)) {
+          curr = WordToPtr<Node>(Unmark(succ));  // deleted: skip it
+          continue;
+        }
+        if (curr->key < key) {
+          pred = curr;
+          curr = WordToPtr<Node>(succ);
+          continue;
+        }
+        break;
+      }
+    }
+    return curr != nullptr && curr->key == key;
+  }
+
+  bool Insert(std::uint64_t key) {
+    EpochManager::Guard guard(epoch_);
+    const int top = ThreadRng().NextSkipListLevel(kMaxLevel);
+    RaiseLevelHint(top);  // before any link, so searches cover every linked level
+    Node* preds[kMaxLevel];
+    Node* succs[kMaxLevel];
+    Node* node = nullptr;
+    while (true) {
+      if (Find(key, preds, succs)) {
+        FreeNode(node);  // never published
+        return false;
+      }
+      if (node == nullptr) {
+        node = NewNode(key, top);
+      }
+      for (int lvl = 0; lvl < top; ++lvl) {
+        node->next[lvl].store(PtrToWord(succs[lvl]), std::memory_order_relaxed);
+      }
+      // Bottom-level link is the linearization point of a successful insert.
+      Word expected = PtrToWord(succs[0]);
+      if (!preds[0]->next[0].compare_exchange_strong(expected, PtrToWord(node),
+                                                     std::memory_order_acq_rel,
+                                                     std::memory_order_relaxed)) {
+        continue;  // re-search and retry
+      }
+      // Link the upper levels. Removers of this node wait on fully_linked, so no
+      // level of `node` can be marked during this loop; CAS failures only mean the
+      // window moved.
+      for (int lvl = 1; lvl < top; ++lvl) {
+        while (true) {
+          expected = PtrToWord(succs[lvl]);
+          if (preds[lvl]->next[lvl].compare_exchange_strong(expected, PtrToWord(node),
+                                                            std::memory_order_acq_rel,
+                                                            std::memory_order_relaxed)) {
+            break;
+          }
+          const bool still_present = Find(key, preds, succs);
+          assert(still_present && "node removed while fully_linked was false");
+          (void)still_present;
+          node->next[lvl].store(PtrToWord(succs[lvl]), std::memory_order_relaxed);
+        }
+      }
+      node->fully_linked.store(true, std::memory_order_release);
+      return true;
+    }
+  }
+
+  bool Remove(std::uint64_t key) {
+    EpochManager::Guard guard(epoch_);
+    Node* preds[kMaxLevel];
+    Node* succs[kMaxLevel];
+    if (!Find(key, preds, succs)) {
+      return false;
+    }
+    Node* victim = succs[0];
+    // Reclamation handshake: let the inserter finish linking every level first.
+    while (!victim->fully_linked.load(std::memory_order_acquire)) {
+      CpuRelax();
+    }
+    // Mark from the top level down to 1; races with other removers are benign.
+    for (int lvl = victim->level - 1; lvl >= 1; --lvl) {
+      Word succ = victim->next[lvl].load(std::memory_order_acquire);
+      while (!IsMarked(succ)) {
+        victim->next[lvl].compare_exchange_weak(succ, Mark(succ),
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_relaxed);
+      }
+    }
+    // Bottom-level mark: the linearization point; exactly one remover wins.
+    Word succ = victim->next[0].load(std::memory_order_acquire);
+    while (true) {
+      if (IsMarked(succ)) {
+        return false;  // another remover won
+      }
+      if (victim->next[0].compare_exchange_weak(succ, Mark(succ),
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_relaxed)) {
+        // Physically unlink at every level, then reclaim. After this Find returns
+        // the node is unreachable: every level was either unlinked by the Find (or
+        // a helper), frozen predecessors cannot be re-pointed at it, and its own
+        // inserter finished before the marks went up.
+        Find(key, preds, succs);
+        epoch_.Retire(static_cast<void*>(victim),
+                      [](void* p) { FreeNode(static_cast<Node*>(p)); });
+        return true;
+      }
+    }
+  }
+
+ private:
+  struct Node {
+    std::uint64_t key;
+    int level;
+    std::atomic<bool> fully_linked{false};
+    std::atomic<Word> next[1];  // trailing array of `level` entries
+  };
+
+  static Node* NewNode(std::uint64_t key, int level) {
+    const std::size_t bytes =
+        offsetof(Node, next) + static_cast<std::size_t>(level) * sizeof(std::atomic<Word>);
+    void* mem = std::malloc(bytes);
+    Node* node = static_cast<Node*>(mem);
+    node->key = key;
+    node->level = level;
+    new (&node->fully_linked) std::atomic<bool>(false);
+    for (int i = 0; i < level; ++i) {
+      new (&node->next[i]) std::atomic<Word>(0);
+    }
+    return node;
+  }
+
+  static void FreeNode(Node* node) { std::free(node); }
+
+  static Xorshift128Plus& ThreadRng() {
+    thread_local Xorshift128Plus rng(0x5ca1eULL + ThreadSalt());
+    return rng;
+  }
+
+  static std::uint64_t ThreadSalt() {
+    static std::atomic<std::uint64_t> next{1};
+    thread_local std::uint64_t salt = next.fetch_add(1, std::memory_order_relaxed);
+    return salt;
+  }
+
+  // Fraser search with helping: on return, preds[l]/succs[l] bracket `key` at every
+  // level with succs unmarked, and every marked node encountered on the path has
+  // been physically unlinked at that level. Returns true iff an unmarked node with
+  // `key` sits at the bottom level.
+  bool Find(std::uint64_t key, Node** preds, Node** succs) {
+  retry:
+    Node* pred = head_;
+    const int from = LevelHint();
+    for (int lvl = kMaxLevel - 1; lvl >= from; --lvl) {
+      preds[lvl] = head_;
+      succs[lvl] = nullptr;
+    }
+    for (int lvl = from - 1; lvl >= 0; --lvl) {
+      Node* curr = WordToPtr<Node>(Unmark(pred->next[lvl].load(std::memory_order_acquire)));
+      while (true) {
+        if (curr == nullptr) {
+          break;
+        }
+        const Word succ = curr->next[lvl].load(std::memory_order_acquire);
+        if (IsMarked(succ)) {
+          // Help unlink curr at this level.
+          Word expected = PtrToWord(curr);
+          if (!pred->next[lvl].compare_exchange_strong(expected, Unmark(succ),
+                                                       std::memory_order_acq_rel,
+                                                       std::memory_order_relaxed)) {
+            goto retry;
+          }
+          curr = WordToPtr<Node>(Unmark(succ));
+          continue;
+        }
+        if (curr->key < key) {
+          pred = curr;
+          curr = WordToPtr<Node>(succ);
+          continue;
+        }
+        break;
+      }
+      preds[lvl] = pred;
+      succs[lvl] = curr;
+    }
+    return succs[0] != nullptr && succs[0]->key == key;
+  }
+
+  // Fraser-style list-level hint: searches start at the highest level in use. The
+  // hint is raised BEFORE a tall node links, so it always covers every linked level;
+  // it never decreases (a too-high hint only costs null checks).
+  int LevelHint() const { return level_hint_->load(std::memory_order_acquire); }
+
+  void RaiseLevelHint(int level) {
+    int cur = level_hint_->load(std::memory_order_relaxed);
+    while (cur < level && !level_hint_->compare_exchange_weak(
+                              cur, level, std::memory_order_acq_rel,
+                              std::memory_order_relaxed)) {
+    }
+  }
+
+  EpochManager& epoch_;
+  Node* head_;
+  CacheAligned<std::atomic<int>> level_hint_{1};
+};
+
+}  // namespace spectm
+
+#endif  // SPECTM_STRUCTURES_SKIP_LOCKFREE_H_

@@ -1,0 +1,52 @@
+// Variable-height skip-list tower shared by the transactional skip-list variants.
+// The forward-pointer array is allocated to the node's actual level (as in the
+// paper's Figure 4 Tower), so a level-1 node costs one slot, not kMaxLevel.
+#ifndef SPECTM_STRUCTURES_SKIP_NODE_H_
+#define SPECTM_STRUCTURES_SKIP_NODE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace spectm {
+
+inline constexpr int kSkipListMaxLevel = 32;
+
+template <typename Family>
+struct SkipNode {
+  using Slot = typename Family::Slot;
+
+  std::uint64_t key;
+  int level;
+  Slot next[1];  // trailing array of `level` slots
+
+  static SkipNode* New(std::uint64_t key, int level) {
+    const std::size_t bytes =
+        offsetof(SkipNode, next) + static_cast<std::size_t>(level) * sizeof(Slot);
+    void* mem = nullptr;
+    // TVar slots are 16-byte aligned; honor the slot's alignment requirement.
+    if (alignof(Slot) > alignof(std::max_align_t)) {
+      mem = std::aligned_alloc(alignof(Slot), (bytes + alignof(Slot) - 1) &
+                                                  ~(alignof(Slot) - 1));
+    } else {
+      mem = std::malloc(bytes);
+    }
+    auto* node = static_cast<SkipNode*>(mem);
+    node->key = key;
+    node->level = level;
+    for (int i = 0; i < level; ++i) {
+      new (&node->next[i]) Slot{};
+    }
+    return node;
+  }
+
+  static void Free(SkipNode* node) { std::free(node); }
+
+  // Deleter signature for EpochManager::Retire.
+  static void FreeVoid(void* p) { Free(static_cast<SkipNode*>(p)); }
+};
+
+}  // namespace spectm
+
+#endif  // SPECTM_STRUCTURES_SKIP_NODE_H_

@@ -1,0 +1,116 @@
+// Sequential skip-list integer set (the "sequential" reference of §4.2).
+#ifndef SPECTM_STRUCTURES_SKIP_SEQ_H_
+#define SPECTM_STRUCTURES_SKIP_SEQ_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+
+namespace spectm {
+
+class SeqSkipList {
+ public:
+  static constexpr int kMaxLevel = 32;
+
+  explicit SeqSkipList(std::uint64_t seed = 0x5317)
+      : rng_(seed), head_(new Node(0, kMaxLevel)) {}
+
+  ~SeqSkipList() {
+    Node* curr = head_;
+    while (curr != nullptr) {
+      Node* next = curr->next[0];
+      delete curr;
+      curr = next;
+    }
+  }
+
+  SeqSkipList(const SeqSkipList&) = delete;
+  SeqSkipList& operator=(const SeqSkipList&) = delete;
+
+  bool Contains(std::uint64_t key) const {
+    const Node* prev = head_;
+    for (int lvl = level_ - 1; lvl >= 0; --lvl) {
+      while (prev->next[lvl] != nullptr && prev->next[lvl]->key < key) {
+        prev = prev->next[lvl];
+      }
+    }
+    const Node* curr = prev->next[0];
+    return curr != nullptr && curr->key == key;
+  }
+
+  bool Insert(std::uint64_t key) {
+    Node* preds[kMaxLevel];
+    Node* prev = head_;
+    for (int lvl = level_ - 1; lvl >= 0; --lvl) {
+      while (prev->next[lvl] != nullptr && prev->next[lvl]->key < key) {
+        prev = prev->next[lvl];
+      }
+      preds[lvl] = prev;
+    }
+    Node* curr = prev->next[0];
+    if (curr != nullptr && curr->key == key) {
+      return false;
+    }
+    const int node_level = rng_.NextSkipListLevel(kMaxLevel);
+    for (int lvl = level_; lvl < node_level; ++lvl) {
+      preds[lvl] = head_;
+    }
+    if (node_level > level_) {
+      level_ = node_level;
+    }
+    Node* node = new Node(key, node_level);
+    for (int lvl = 0; lvl < node_level; ++lvl) {
+      node->next[lvl] = preds[lvl]->next[lvl];
+      preds[lvl]->next[lvl] = node;
+    }
+    ++size_;
+    return true;
+  }
+
+  bool Remove(std::uint64_t key) {
+    Node* preds[kMaxLevel];
+    Node* prev = head_;
+    for (int lvl = level_ - 1; lvl >= 0; --lvl) {
+      while (prev->next[lvl] != nullptr && prev->next[lvl]->key < key) {
+        prev = prev->next[lvl];
+      }
+      preds[lvl] = prev;
+    }
+    Node* victim = prev->next[0];
+    if (victim == nullptr || victim->key != key) {
+      return false;
+    }
+    for (int lvl = 0; lvl < victim->level; ++lvl) {
+      if (preds[lvl]->next[lvl] == victim) {
+        preds[lvl]->next[lvl] = victim->next[lvl];
+      }
+    }
+    delete victim;
+    --size_;
+    return true;
+  }
+
+  std::size_t Size() const { return size_; }
+
+ private:
+  struct Node {
+    std::uint64_t key;
+    int level;
+    Node* next[kMaxLevel];
+
+    Node(std::uint64_t k, int lvl) : key(k), level(lvl) {
+      for (int i = 0; i < kMaxLevel; ++i) {
+        next[i] = nullptr;
+      }
+    }
+  };
+
+  Xorshift128Plus rng_;
+  Node* head_;
+  int level_ = 1;
+  std::size_t size_ = 0;
+};
+
+}  // namespace spectm
+
+#endif  // SPECTM_STRUCTURES_SKIP_SEQ_H_

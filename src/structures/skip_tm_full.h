@@ -1,0 +1,184 @@
+// Skip-list integer set over the traditional whole-operation transactional API
+// (§2.1): the "*-full-*" skip-list variants of Figures 6 and 8.
+//
+// Each operation is ONE ordinary transaction: search, window checks, and multi-level
+// pointer surgery all inside it. The code is the simplest of the three concurrent
+// skip lists — the paper's argument for what traditional TM buys you — and needs no
+// deleted marks: conflict detection serializes everything.
+#ifndef SPECTM_STRUCTURES_SKIP_TM_FULL_H_
+#define SPECTM_STRUCTURES_SKIP_TM_FULL_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/common/tagged.h"
+#include "src/epoch/epoch.h"
+#include "src/structures/skip_node.h"
+#include "src/tm/config.h"
+
+namespace spectm {
+
+template <typename Family>
+class TmSkipList {
+ public:
+  using Slot = typename Family::Slot;
+  using Node = SkipNode<Family>;
+  static constexpr int kMaxLevel = kSkipListMaxLevel;
+
+  explicit TmSkipList(EpochManager& epoch = GlobalEpochManager())
+      : epoch_(epoch), head_(Node::New(0, kMaxLevel)) {
+    Family::RawWrite(&head_level_, EncodeInt(1));
+  }
+
+  ~TmSkipList() {
+    Node* curr = head_;
+    while (curr != nullptr) {
+      Node* next = WordToPtr<Node>(Family::RawRead(&curr->next[0]));
+      Node::Free(curr);
+      curr = next;
+    }
+  }
+
+  TmSkipList(const TmSkipList&) = delete;
+  TmSkipList& operator=(const TmSkipList&) = delete;
+
+  bool Contains(std::uint64_t key) {
+    EpochManager::Guard guard(epoch_);
+    typename Family::FullTx tx;
+    bool found = false;
+    do {
+      tx.Start();
+      found = false;
+      const int hl = static_cast<int>(DecodeInt(tx.Read(&head_level_)));
+      if (!tx.ok()) {
+        continue;
+      }
+      Node* prev = head_;
+      Node* curr = nullptr;
+      for (int lvl = hl - 1; lvl >= 0 && tx.ok(); --lvl) {
+        curr = WordToPtr<Node>(tx.Read(&prev->next[lvl]));
+        while (tx.ok() && curr != nullptr && curr->key < key) {
+          prev = curr;
+          curr = WordToPtr<Node>(tx.Read(&prev->next[lvl]));
+        }
+      }
+      found = tx.ok() && curr != nullptr && curr->key == key;
+    } while (!tx.Commit());
+    return found;
+  }
+
+  bool Insert(std::uint64_t key) {
+    EpochManager::Guard guard(epoch_);
+    const int node_level = ThreadRng().NextSkipListLevel(kMaxLevel);
+    Node* node = Node::New(key, node_level);
+    typename Family::FullTx tx;
+    bool inserted = false;
+    do {
+      tx.Start();
+      inserted = false;
+      int hl = static_cast<int>(DecodeInt(tx.Read(&head_level_)));
+      if (!tx.ok()) {
+        continue;
+      }
+      Node* preds[kMaxLevel];
+      Node* succs[kMaxLevel];
+      Node* curr = TraverseRecording(tx, key, hl, preds, succs);
+      if (!tx.ok()) {
+        continue;
+      }
+      if (curr != nullptr && curr->key == key) {
+        continue;  // present: commit the read-only observation
+      }
+      if (node_level > hl) {
+        tx.Write(&head_level_, EncodeInt(static_cast<std::uint64_t>(node_level)));
+        for (int lvl = hl; lvl < node_level; ++lvl) {
+          preds[lvl] = head_;
+          succs[lvl] = nullptr;
+        }
+      }
+      for (int lvl = 0; lvl < node_level; ++lvl) {
+        Family::RawWrite(&node->next[lvl], PtrToWord(succs[lvl]));  // node is private
+        tx.Write(&preds[lvl]->next[lvl], PtrToWord(node));
+      }
+      inserted = true;
+    } while (!tx.Commit());
+    if (!inserted) {
+      Node::Free(node);  // never published
+    }
+    return inserted;
+  }
+
+  bool Remove(std::uint64_t key) {
+    EpochManager::Guard guard(epoch_);
+    typename Family::FullTx tx;
+    Node* victim = nullptr;
+    do {
+      tx.Start();
+      victim = nullptr;
+      const int hl = static_cast<int>(DecodeInt(tx.Read(&head_level_)));
+      if (!tx.ok()) {
+        continue;
+      }
+      Node* preds[kMaxLevel];
+      Node* succs[kMaxLevel];
+      Node* curr = TraverseRecording(tx, key, hl, preds, succs);
+      if (!tx.ok()) {
+        continue;
+      }
+      if (curr == nullptr || curr->key != key) {
+        continue;  // absent: commit the read-only observation
+      }
+      bool ok = true;
+      for (int lvl = 0; lvl < curr->level && ok; ++lvl) {
+        const Word succ = tx.Read(&curr->next[lvl]);
+        ok = tx.ok();
+        if (ok) {
+          tx.Write(&preds[lvl]->next[lvl], succ);
+        }
+      }
+      if (!ok) {
+        continue;
+      }
+      victim = curr;
+    } while (!tx.Commit());
+    if (victim == nullptr) {
+      return false;
+    }
+    epoch_.Retire(static_cast<void*>(victim), &Node::FreeVoid);
+    return true;
+  }
+
+ private:
+  // Transactional search recording the insertion/removal window. In a consistent
+  // snapshot every linked level of a matching node is bracketed by preds/succs.
+  Node* TraverseRecording(typename Family::FullTx& tx, std::uint64_t key, int hl,
+                          Node** preds, Node** succs) {
+    Node* prev = head_;
+    Node* curr = nullptr;
+    for (int lvl = hl - 1; lvl >= 0 && tx.ok(); --lvl) {
+      curr = WordToPtr<Node>(tx.Read(&prev->next[lvl]));
+      while (tx.ok() && curr != nullptr && curr->key < key) {
+        prev = curr;
+        curr = WordToPtr<Node>(tx.Read(&prev->next[lvl]));
+      }
+      preds[lvl] = prev;
+      succs[lvl] = curr;
+    }
+    return curr;
+  }
+
+  static Xorshift128Plus& ThreadRng() {
+    static std::atomic<std::uint64_t> salt{1};
+    thread_local Xorshift128Plus rng(0x7f00ULL +
+                                     salt.fetch_add(1, std::memory_order_relaxed));
+    return rng;
+  }
+
+  EpochManager& epoch_;
+  Node* head_;
+  Slot head_level_;
+};
+
+}  // namespace spectm
+
+#endif  // SPECTM_STRUCTURES_SKIP_TM_FULL_H_

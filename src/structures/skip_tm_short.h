@@ -1,0 +1,322 @@
+// The paper's case study (§3, Figure 4): a skip list built from SpecTM short
+// transactions for the common cases, with ordinary transactions as the fall-back —
+// the "*-short-*" skip-list variants, including val-short.
+//
+// Decomposition (§3):
+//   * Search     — Tx_Single_Read per link, Unmark()-ing to traverse through deleted
+//                  nodes (Figure 4 lines 15–29);
+//   * Insert     — level-1 towers via one Tx_Single_CAS (AddLevelOne, lines 47–51);
+//                  level-2 towers via one 2-location short RW transaction; taller
+//                  towers via an ordinary transaction (AddLevelN, lines 52–75),
+//                  which also raises the head level when needed. With p = 1/2 level
+//                  assignment this "leaves only 25% of insert and remove operations
+//                  to be executed using ordinary transactions".
+//   * Remove     — a single transaction that atomically marks the node at all
+//                  levels AND unlinks it from all of them: short RW (2 or 4
+//                  locations) for levels 1–2, ordinary transaction above.
+//
+// Because insertion and removal touch all levels atomically, towers are never
+// partially linked — the invariant whose absence makes the CAS-based skip list hard
+// (§3 "Fraser's CAS-based skip list must handle nodes which are partially-removed
+// and partially-inserted").
+//
+// Plugging FineGrainedFamily<F> in as the Family reproduces the "orec-full-g (fine)"
+// line of Figure 6(a): same decomposition, ordinary transactions underneath.
+#ifndef SPECTM_STRUCTURES_SKIP_TM_SHORT_H_
+#define SPECTM_STRUCTURES_SKIP_TM_SHORT_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/common/tagged.h"
+#include "src/epoch/epoch.h"
+#include "src/structures/skip_node.h"
+#include "src/tm/config.h"
+
+namespace spectm {
+
+template <typename Family>
+class SpecSkipList {
+ public:
+  using Slot = typename Family::Slot;
+  using Node = SkipNode<Family>;
+  static constexpr int kMaxLevel = kSkipListMaxLevel;
+
+  explicit SpecSkipList(EpochManager& epoch = GlobalEpochManager())
+      : epoch_(epoch), head_(Node::New(0, kMaxLevel)) {
+    Family::RawWrite(&head_level_, EncodeInt(1));
+  }
+
+  ~SpecSkipList() {
+    Node* curr = head_;
+    while (curr != nullptr) {
+      Node* next = WordToPtr<Node>(Unmark(Family::RawRead(&curr->next[0])));
+      Node::Free(curr);
+      curr = next;
+    }
+  }
+
+  SpecSkipList(const SpecSkipList&) = delete;
+  SpecSkipList& operator=(const SpecSkipList&) = delete;
+
+  bool Contains(std::uint64_t key) {
+    EpochManager::Guard guard(epoch_);
+    Iterator it;
+    const int hl = HeadLevel();
+    Node* curr = Search(key, &it, hl);
+    if (curr == nullptr || curr->key != key) {
+      return false;
+    }
+    // The deleted-mark read linearizes the lookup.
+    return !IsMarked(Family::SingleRead(&curr->next[0]));
+  }
+
+  bool Insert(std::uint64_t key) {
+    EpochManager::Guard guard(epoch_);
+    const int node_level = ThreadRng().NextSkipListLevel(kMaxLevel);
+    Node* node = nullptr;
+    while (true) {
+      const int hl = HeadLevel();
+      Iterator it;
+      Node* curr = Search(key, &it, hl);
+      if (curr != nullptr && curr->key == key) {
+        if (!IsMarked(Family::SingleRead(&curr->next[0]))) {
+          if (node != nullptr) {
+            Node::Free(node);  // never published
+          }
+          return false;
+        }
+        continue;  // a deleted node with our key was on a stale path; re-search
+      }
+      if (node == nullptr) {
+        node = Node::New(key, node_level);
+      }
+      bool ok = false;
+      if (node_level == 1) {
+        ok = AddLevelOne(node, it);
+      } else if (node_level == 2 && hl >= 2) {
+        ok = AddLevelTwo(node, it);
+      } else {
+        // Levels the search did not visit (the head may rise concurrently) default
+        // to an empty window at head; AddLevelN validates every window in any case.
+        for (int lvl = hl; lvl < node_level; ++lvl) {
+          it.prev[lvl] = head_;
+          it.next[lvl] = nullptr;
+        }
+        ok = AddLevelN(node, it);
+      }
+      if (ok) {
+        return true;
+      }
+    }
+  }
+
+  bool Remove(std::uint64_t key) {
+    EpochManager::Guard guard(epoch_);
+    while (true) {
+      const int hl = HeadLevel();
+      Iterator it;
+      Node* curr = Search(key, &it, hl);
+      if (curr == nullptr || curr->key != key) {
+        return false;
+      }
+      if (curr->level > hl) {
+        continue;  // head rose after our level read; re-search for full windows
+      }
+      if (IsMarked(Family::SingleRead(&curr->next[0]))) {
+        continue;  // being removed by someone else; re-search decides the answer
+      }
+      bool ok = false;
+      if (curr->level <= 2) {
+        ok = RemoveShort(curr, it);
+      } else {
+        ok = RemoveFull(curr, it);
+      }
+      if (ok) {
+        epoch_.Retire(static_cast<void*>(curr), &Node::FreeVoid);
+        return true;
+      }
+    }
+  }
+
+ private:
+  struct Iterator {
+    Node* prev[kMaxLevel];
+    Node* next[kMaxLevel];
+  };
+
+  int HeadLevel() {
+    return static_cast<int>(DecodeInt(Family::SingleRead(&head_level_)));
+  }
+
+  // Figure 4 lines 15–29: single-read traversal, ignoring deleted nodes.
+  Node* Search(std::uint64_t key, Iterator* it, int from_level) {
+    Node* prev = head_;
+    Node* curr = nullptr;
+    for (int lvl = from_level - 1; lvl >= 0; --lvl) {
+      while (true) {
+        curr = WordToPtr<Node>(Unmark(Family::SingleRead(&prev->next[lvl])));
+        if (curr == nullptr || curr->key >= key) {
+          break;
+        }
+        prev = curr;
+      }
+      it->prev[lvl] = prev;
+      it->next[lvl] = curr;
+    }
+    return curr;
+  }
+
+  // Figure 4 lines 47–51: a level-1 tower needs only a single-CAS transaction.
+  bool AddLevelOne(Node* node, const Iterator& it) {
+    Family::RawWrite(&node->next[0], PtrToWord(it.next[0]));
+    return Family::SingleCas(&it.prev[0]->next[0], PtrToWord(it.next[0]),
+                             PtrToWord(node)) == PtrToWord(it.next[0]);
+  }
+
+  // Level-2 towers: one short RW transaction over both predecessor links. The reads
+  // both fetch and lock; value checks against the search window detect interference.
+  bool AddLevelTwo(Node* node, const Iterator& it) {
+    typename Family::ShortTx t;
+    const Word w0 = t.ReadRw(&it.prev[0]->next[0]);
+    const Word w1 = t.ReadRw(&it.prev[1]->next[1]);
+    if (!t.Valid()) {
+      t.Abort();
+      return false;
+    }
+    if (w0 != PtrToWord(it.next[0]) || w1 != PtrToWord(it.next[1])) {
+      t.Abort();
+      return false;
+    }
+    Family::RawWrite(&node->next[0], w0);
+    Family::RawWrite(&node->next[1], w1);
+    return t.CommitRw({PtrToWord(node), PtrToWord(node)});
+  }
+
+  // Figure 4 lines 52–75: taller towers via an ordinary transaction, which may also
+  // raise the head level. Returns false (whole-operation restart) when the search
+  // window has moved. Every window — including the caller's defaults for levels the
+  // search never visited — is validated inside the transaction.
+  bool AddLevelN(Node* node, Iterator& it) {
+    typename Family::FullTx tx;
+    while (true) {
+      tx.Start();
+      const int hl = static_cast<int>(DecodeInt(tx.Read(&head_level_)));
+      if (tx.ok()) {
+        if (node->level > hl) {
+          tx.Write(&head_level_, EncodeInt(static_cast<std::uint64_t>(node->level)));
+        }
+        bool window_ok = true;
+        for (int lvl = 0; lvl < node->level && tx.ok(); ++lvl) {
+          const Word nxt = tx.Read(&it.prev[lvl]->next[lvl]);
+          if (!tx.ok()) {
+            break;
+          }
+          if (nxt != PtrToWord(it.next[lvl])) {
+            window_ok = false;
+            break;
+          }
+          Family::RawWrite(&node->next[lvl], nxt);  // node is still private
+          tx.Write(&it.prev[lvl]->next[lvl], PtrToWord(node));
+        }
+        if (tx.ok() && !window_ok) {
+          tx.AbortTx();
+          tx.Commit();
+          return false;  // caller restarts with a fresh search
+        }
+      }
+      if (tx.Commit()) {
+        return true;
+      }
+    }
+  }
+
+  // Removal of a level-1/2 tower: 2 or 4 locations in one short RW transaction that
+  // unlinks the node from every predecessor and freezes all its forward pointers
+  // (§2.4 case 1: the transaction updates every location it reads).
+  bool RemoveShort(Node* curr, const Iterator& it) {
+    const int level = curr->level;
+    typename Family::ShortTx t;
+    Word prev_vals[2];
+    Word curr_vals[2];
+    for (int lvl = 0; lvl < level; ++lvl) {
+      prev_vals[lvl] = t.ReadRw(&it.prev[lvl]->next[lvl]);
+    }
+    for (int lvl = 0; lvl < level; ++lvl) {
+      curr_vals[lvl] = t.ReadRw(&curr->next[lvl]);
+    }
+    if (!t.Valid()) {
+      t.Abort();
+      return false;
+    }
+    for (int lvl = 0; lvl < level; ++lvl) {
+      if (prev_vals[lvl] != PtrToWord(curr) || IsMarked(curr_vals[lvl])) {
+        t.Abort();
+        return false;
+      }
+    }
+    if (level == 1) {
+      return t.CommitRw({curr_vals[0], Mark(curr_vals[0])});
+    }
+    return t.CommitRw(
+        {curr_vals[0], curr_vals[1], Mark(curr_vals[0]), Mark(curr_vals[1])});
+  }
+
+  // Removal of taller towers via an ordinary transaction (it writes the same marks,
+  // so single-read traversals keep working).
+  bool RemoveFull(Node* curr, const Iterator& it) {
+    typename Family::FullTx tx;
+    while (true) {
+      tx.Start();
+      bool window_ok = true;
+      for (int lvl = 0; lvl < curr->level && tx.ok(); ++lvl) {
+        const Word nxt = tx.Read(&it.prev[lvl]->next[lvl]);
+        if (!tx.ok()) {
+          break;
+        }
+        if (nxt != PtrToWord(curr)) {
+          window_ok = false;
+          break;
+        }
+      }
+      if (tx.ok() && window_ok) {
+        for (int lvl = 0; lvl < curr->level && tx.ok(); ++lvl) {
+          const Word succ = tx.Read(&curr->next[lvl]);
+          if (!tx.ok()) {
+            break;
+          }
+          if (IsMarked(succ)) {
+            window_ok = false;
+            break;
+          }
+          tx.Write(&it.prev[lvl]->next[lvl], succ);
+          tx.Write(&curr->next[lvl], Mark(succ));
+        }
+      }
+      if (tx.ok() && !window_ok) {
+        tx.AbortTx();
+        tx.Commit();
+        return false;  // caller restarts with a fresh search
+      }
+      if (tx.Commit()) {
+        return true;
+      }
+    }
+  }
+
+  static Xorshift128Plus& ThreadRng() {
+    static std::atomic<std::uint64_t> salt{1};
+    thread_local Xorshift128Plus rng(0x51caULL +
+                                     salt.fetch_add(1, std::memory_order_relaxed));
+    return rng;
+  }
+
+  EpochManager& epoch_;
+  Node* head_;
+  Slot head_level_;
+};
+
+}  // namespace spectm
+
+#endif  // SPECTM_STRUCTURES_SKIP_TM_SHORT_H_

@@ -1,0 +1,218 @@
+// Runtime contract checking for the short-transaction API.
+//
+// §2.2: "Using short SpecTM transactions... can easily result in mistakes by
+// programmers (e.g. using a wrong function name or a wrong index). Incorrect uses of
+// the SpecTM interface can typically be detected at runtime. For performance, we do
+// not implement such checks in non-debug modes." §6 adds that "software checking
+// tools could be used to ensure that programmers correctly follow the requirements."
+//
+// CheckedShortTx<Family> is that tool: a drop-in wrapper over Family::ShortTx that
+// enforces the Figure 2 contract —
+//   * at most kMaxShortReads RO and kMaxShortWrites RW locations,
+//   * every access names a distinct location,
+//   * the RO and RW sets stay disjoint,
+//   * no accesses after the record finished (commit/abort),
+//   * commit arity matches the RW access count,
+//   * upgrades name a live RO index that was not already upgraded,
+//   * commits are not attempted on an invalidated record.
+//
+// A violating call is SUPPRESSED (the underlying engine never sees it) and recorded;
+// the wrapper invalidates itself so subsequent control flow takes the restart path.
+// Tests and debug builds read the violation log; production code simply instantiates
+// the raw ShortTx instead — zero overhead, as the paper prescribes.
+#ifndef SPECTM_TM_CHECKED_TX_H_
+#define SPECTM_TM_CHECKED_TX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "src/common/tagged.h"
+#include "src/tm/config.h"
+
+namespace spectm {
+
+enum class TxViolation {
+  kTooManyReads,
+  kTooManyWrites,
+  kDuplicateLocation,
+  kRoRwOverlap,
+  kUseAfterFinish,
+  kCommitArityMismatch,
+  kUpgradeBadIndex,
+  kUpgradeRepeated,
+  kCommitWhileInvalid,
+};
+
+inline const char* TxViolationName(TxViolation v) {
+  switch (v) {
+    case TxViolation::kTooManyReads:
+      return "too many read-only locations";
+    case TxViolation::kTooManyWrites:
+      return "too many read-write locations";
+    case TxViolation::kDuplicateLocation:
+      return "duplicate location in access set";
+    case TxViolation::kRoRwOverlap:
+      return "location in both RO and RW sets";
+    case TxViolation::kUseAfterFinish:
+      return "access after commit/abort";
+    case TxViolation::kCommitArityMismatch:
+      return "commit arity does not match RW access count";
+    case TxViolation::kUpgradeBadIndex:
+      return "upgrade names an invalid RO index";
+    case TxViolation::kUpgradeRepeated:
+      return "upgrade of an already-upgraded RO entry";
+    case TxViolation::kCommitWhileInvalid:
+      return "commit attempted on an invalid record";
+  }
+  return "?";
+}
+
+template <typename Family>
+class CheckedShortTx {
+ public:
+  using Slot = typename Family::Slot;
+
+  CheckedShortTx() = default;
+
+  Word ReadRw(Slot* s) {
+    if (!PreAccess(s, /*is_rw=*/true)) {
+      return 0;
+    }
+    rw_slots_.push_back(s);
+    return tx_.ReadRw(s);
+  }
+
+  Word ReadRo(Slot* s) {
+    if (!PreAccess(s, /*is_rw=*/false)) {
+      return 0;
+    }
+    ro_slots_.push_back(s);
+    ro_upgraded_.push_back(false);
+    return tx_.ReadRo(s);
+  }
+
+  bool Valid() const { return violations_.empty() && tx_.Valid(); }
+
+  bool ValidateRo() const { return violations_.empty() && tx_.ValidateRo(); }
+
+  bool UpgradeRoToRw(int ro_index) {
+    if (finished_) {
+      return Fail(TxViolation::kUseAfterFinish);
+    }
+    if (ro_index < 0 || static_cast<std::size_t>(ro_index) >= ro_slots_.size()) {
+      return Fail(TxViolation::kUpgradeBadIndex);
+    }
+    if (ro_upgraded_[static_cast<std::size_t>(ro_index)]) {
+      return Fail(TxViolation::kUpgradeRepeated);
+    }
+    if (rw_slots_.size() >= static_cast<std::size_t>(kMaxShortWrites)) {
+      return Fail(TxViolation::kTooManyWrites);
+    }
+    ro_upgraded_[static_cast<std::size_t>(ro_index)] = true;
+    rw_slots_.push_back(ro_slots_[static_cast<std::size_t>(ro_index)]);
+    return tx_.UpgradeRoToRw(ro_index);
+  }
+
+  bool CommitRw(std::initializer_list<Word> values) {
+    if (!PreCommit(values.size())) {
+      return false;
+    }
+    finished_ = true;
+    return tx_.CommitRw(values);
+  }
+
+  bool CommitMixed(std::initializer_list<Word> values) {
+    if (!PreCommit(values.size())) {
+      return false;
+    }
+    finished_ = true;
+    return tx_.CommitMixed(values);
+  }
+
+  void Abort() {
+    finished_ = true;
+    tx_.Abort();
+  }
+
+  void Reset() {
+    tx_.Reset();
+    rw_slots_.clear();
+    ro_slots_.clear();
+    ro_upgraded_.clear();
+    finished_ = false;
+    // Violations persist across Reset: they describe programmer errors, not state.
+  }
+
+  std::size_t RwCount() const { return rw_slots_.size(); }
+  std::size_t RoCount() const { return ro_slots_.size(); }
+
+  const std::vector<TxViolation>& Violations() const { return violations_; }
+
+  std::string ViolationReport() const {
+    std::string report;
+    for (TxViolation v : violations_) {
+      report += TxViolationName(v);
+      report += "; ";
+    }
+    return report;
+  }
+
+ private:
+  bool PreAccess(Slot* s, bool is_rw) {
+    if (finished_) {
+      return Fail(TxViolation::kUseAfterFinish);
+    }
+    if (is_rw && rw_slots_.size() >= static_cast<std::size_t>(kMaxShortWrites)) {
+      return Fail(TxViolation::kTooManyWrites);
+    }
+    if (!is_rw && ro_slots_.size() >= static_cast<std::size_t>(kMaxShortReads)) {
+      return Fail(TxViolation::kTooManyReads);
+    }
+    for (Slot* seen : is_rw ? rw_slots_ : ro_slots_) {
+      if (seen == s) {
+        return Fail(TxViolation::kDuplicateLocation);
+      }
+    }
+    for (Slot* seen : is_rw ? ro_slots_ : rw_slots_) {
+      if (seen == s) {
+        return Fail(TxViolation::kRoRwOverlap);
+      }
+    }
+    return true;
+  }
+
+  bool PreCommit(std::size_t arity) {
+    if (finished_) {
+      return Fail(TxViolation::kUseAfterFinish);
+    }
+    if (!violations_.empty() || !tx_.Valid()) {
+      Fail(TxViolation::kCommitWhileInvalid);
+      Abort();
+      return false;
+    }
+    if (arity != rw_slots_.size()) {
+      Fail(TxViolation::kCommitArityMismatch);
+      Abort();
+      return false;
+    }
+    return true;
+  }
+
+  bool Fail(TxViolation v) {
+    violations_.push_back(v);
+    return false;
+  }
+
+  typename Family::ShortTx tx_;
+  std::vector<Slot*> rw_slots_;
+  std::vector<Slot*> ro_slots_;
+  std::vector<bool> ro_upgraded_;
+  std::vector<TxViolation> violations_;
+  bool finished_ = false;
+};
+
+}  // namespace spectm
+
+#endif  // SPECTM_TM_CHECKED_TX_H_

@@ -1,0 +1,62 @@
+// Version-management policies (§4.1 "BaseTM can use two version management
+// strategies").
+//
+//   GlobalClockPolicy — one shared 64-bit counter per TM domain, TL2-style. Readers
+//   sample it ("rv"); writers draw commit timestamps from it. Cheap validation, but
+//   the shared counter becomes a scalability bottleneck under high update rates
+//   (visible in Figures 7–9 as the *-g variants flattening out).
+//
+//   LocalClockPolicy — per-orec version numbers with no shared counter. Commits bump
+//   each orec independently; full-transaction reads must re-validate their whole read
+//   set after every read to preserve opacity (the "-l" cost discussed in §4.1/§4.4).
+//
+// 64-bit counters make overflow a non-issue (§4.1: "we ignore the possibility of
+// version number overflow" on 64-bit systems).
+#ifndef SPECTM_TM_CLOCK_H_
+#define SPECTM_TM_CLOCK_H_
+
+#include <atomic>
+
+#include "src/common/cacheline.h"
+#include "src/common/tagged.h"
+#include "src/tm/orec.h"
+
+namespace spectm {
+
+template <typename DomainTag>
+struct GlobalClockPolicy {
+  static constexpr bool kHasGlobalClock = true;
+
+  static std::atomic<Word>& Clock() {
+    static CacheAligned<std::atomic<Word>> clock;
+    return *clock;
+  }
+
+  // Read snapshot ("rv" in TL2).
+  static Word Sample() { return Clock().load(std::memory_order_seq_cst); }
+
+  // Commit timestamp ("wv" in TL2): unique, greater than every previously drawn one.
+  static Word NextCommitVersion() {
+    return Clock().fetch_add(1, std::memory_order_seq_cst) + 1;
+  }
+
+  // Version released into an orec after a commit at timestamp wv.
+  static Word ReleaseVersion(Word wv, Word /*old_orec_word*/) { return wv; }
+};
+
+template <typename DomainTag>
+struct LocalClockPolicy {
+  static constexpr bool kHasGlobalClock = false;
+
+  static Word Sample() { return 0; }
+  static Word NextCommitVersion() { return 0; }
+
+  // Each orec advances independently.
+  static Word ReleaseVersion(Word /*wv*/, Word old_orec_word) {
+    return OrecVersionOf(old_orec_word) + 1;
+  }
+};
+
+}  // namespace spectm
+
+#endif  // SPECTM_TM_CLOCK_H_

@@ -1,0 +1,227 @@
+// Paper-faithful C-style facade (Figure 2).
+//
+// The C++ engines expose short transactions through the ShortTx record, where access
+// sequence numbers are implicit in call order but statically bounded. This header
+// reproduces the paper's exact API surface — explicitly numbered functions such as
+// Tx_RW_R1 / Tx_RW_R2 / Tx_RW_2_Commit — for the examples transcribed from the paper
+// (the double-ended queue of §2, DCSS of §2.2) and for users porting SpecTM code.
+//
+// The numbered names are generated over a family chosen by template parameter; the
+// default `Val` family gives the paper's preferred val-short behaviour. Sequence
+// numbers are validated against the record's actual access count in debug builds
+// ("Incorrect uses of the SpecTM interface can typically be detected at runtime. For
+// performance, we do not implement such checks in non-debug modes." §2.2).
+#ifndef SPECTM_TM_COMPAT_H_
+#define SPECTM_TM_COMPAT_H_
+
+#include <cassert>
+
+#include "src/common/tagged.h"
+#include "src/tm/variants.h"
+
+namespace spectm {
+namespace compat {
+
+using Ptr = void*;
+
+inline Ptr ToPtr(Word w) { return reinterpret_cast<Ptr>(static_cast<std::uintptr_t>(w)); }
+inline Word ToWord(Ptr p) { return static_cast<Word>(reinterpret_cast<std::uintptr_t>(p)); }
+
+// The TX_RECORD of Figure 2: fixed-size, stack-allocatable, reusable across restarts.
+template <typename Family = Val>
+struct TX_RECORD {
+  typename Family::ShortTx tx;
+
+  void Restart() { tx.Reset(); }
+};
+
+// --- Single read/write/CAS transactions ----------------------------------------------
+
+template <typename Family = Val>
+Ptr Tx_Single_Read(typename Family::Slot* addr) {
+  return ToPtr(Family::SingleRead(addr));
+}
+
+template <typename Family = Val>
+void Tx_Single_Write(typename Family::Slot* addr, Ptr new_val) {
+  Family::SingleWrite(addr, ToWord(new_val));
+}
+
+template <typename Family = Val>
+Ptr Tx_Single_CAS(typename Family::Slot* addr, Ptr old_val, Ptr new_val) {
+  return ToPtr(Family::SingleCas(addr, ToWord(old_val), ToWord(new_val)));
+}
+
+// --- Read-write short transactions ----------------------------------------------------
+//
+// Tx_RW_R1 implicitly starts the transaction (§2.2 change (i)); it therefore resets a
+// record left over from a previous attempt, matching the paper's `goto restart` use.
+
+template <typename Family = Val>
+Ptr Tx_RW_R1(TX_RECORD<Family>* t, typename Family::Slot* addr) {
+  t->tx.Reset();
+  return ToPtr(t->tx.ReadRw(addr));
+}
+
+template <typename Family = Val>
+Ptr Tx_RW_R2(TX_RECORD<Family>* t, typename Family::Slot* addr) {
+  assert(t->tx.RwCount() == 1 && "Tx_RW_R2 must be the second RW access");
+  return ToPtr(t->tx.ReadRw(addr));
+}
+
+template <typename Family = Val>
+Ptr Tx_RW_R3(TX_RECORD<Family>* t, typename Family::Slot* addr) {
+  assert(t->tx.RwCount() == 2 && "Tx_RW_R3 must be the third RW access");
+  return ToPtr(t->tx.ReadRw(addr));
+}
+
+template <typename Family = Val>
+Ptr Tx_RW_R4(TX_RECORD<Family>* t, typename Family::Slot* addr) {
+  assert(t->tx.RwCount() == 3 && "Tx_RW_R4 must be the fourth RW access");
+  return ToPtr(t->tx.ReadRw(addr));
+}
+
+template <typename Family = Val>
+bool Tx_RW_1_Is_Valid(TX_RECORD<Family>* t) {
+  return t->tx.Valid();
+}
+template <typename Family = Val>
+bool Tx_RW_2_Is_Valid(TX_RECORD<Family>* t) {
+  return t->tx.Valid();
+}
+template <typename Family = Val>
+bool Tx_RW_3_Is_Valid(TX_RECORD<Family>* t) {
+  return t->tx.Valid();
+}
+template <typename Family = Val>
+bool Tx_RW_4_Is_Valid(TX_RECORD<Family>* t) {
+  return t->tx.Valid();
+}
+
+template <typename Family = Val>
+void Tx_RW_1_Commit(TX_RECORD<Family>* t, Ptr v1) {
+  t->tx.CommitRw({ToWord(v1)});
+}
+template <typename Family = Val>
+void Tx_RW_2_Commit(TX_RECORD<Family>* t, Ptr v1, Ptr v2) {
+  t->tx.CommitRw({ToWord(v1), ToWord(v2)});
+}
+template <typename Family = Val>
+void Tx_RW_3_Commit(TX_RECORD<Family>* t, Ptr v1, Ptr v2, Ptr v3) {
+  t->tx.CommitRw({ToWord(v1), ToWord(v2), ToWord(v3)});
+}
+template <typename Family = Val>
+void Tx_RW_4_Commit(TX_RECORD<Family>* t, Ptr v1, Ptr v2, Ptr v3, Ptr v4) {
+  t->tx.CommitRw({ToWord(v1), ToWord(v2), ToWord(v3), ToWord(v4)});
+}
+
+template <typename Family = Val>
+void Tx_RW_1_Abort(TX_RECORD<Family>* t) {
+  t->tx.Abort();
+}
+template <typename Family = Val>
+void Tx_RW_2_Abort(TX_RECORD<Family>* t) {
+  t->tx.Abort();
+}
+template <typename Family = Val>
+void Tx_RW_3_Abort(TX_RECORD<Family>* t) {
+  t->tx.Abort();
+}
+template <typename Family = Val>
+void Tx_RW_4_Abort(TX_RECORD<Family>* t) {
+  t->tx.Abort();
+}
+
+// --- Read-only short transactions ------------------------------------------------------
+
+template <typename Family = Val>
+Ptr Tx_RO_R1(TX_RECORD<Family>* t, typename Family::Slot* addr) {
+  t->tx.Reset();
+  return ToPtr(t->tx.ReadRo(addr));
+}
+
+template <typename Family = Val>
+Ptr Tx_RO_R2(TX_RECORD<Family>* t, typename Family::Slot* addr) {
+  assert(t->tx.RoCount() == 1 && "Tx_RO_R2 must be the second RO access");
+  return ToPtr(t->tx.ReadRo(addr));
+}
+
+template <typename Family = Val>
+Ptr Tx_RO_R3(TX_RECORD<Family>* t, typename Family::Slot* addr) {
+  assert(t->tx.RoCount() == 2 && "Tx_RO_R3 must be the third RO access");
+  return ToPtr(t->tx.ReadRo(addr));
+}
+
+template <typename Family = Val>
+Ptr Tx_RO_R4(TX_RECORD<Family>* t, typename Family::Slot* addr) {
+  assert(t->tx.RoCount() == 3 && "Tx_RO_R4 must be the fourth RO access");
+  return ToPtr(t->tx.ReadRo(addr));
+}
+
+template <typename Family = Val>
+bool Tx_RO_1_Is_Valid(TX_RECORD<Family>* t) {
+  return t->tx.Valid() && t->tx.ValidateRo();
+}
+template <typename Family = Val>
+bool Tx_RO_2_Is_Valid(TX_RECORD<Family>* t) {
+  return t->tx.Valid() && t->tx.ValidateRo();
+}
+template <typename Family = Val>
+bool Tx_RO_3_Is_Valid(TX_RECORD<Family>* t) {
+  return t->tx.Valid() && t->tx.ValidateRo();
+}
+template <typename Family = Val>
+bool Tx_RO_4_Is_Valid(TX_RECORD<Family>* t) {
+  return t->tx.Valid() && t->tx.ValidateRo();
+}
+
+// --- Commit combined read-only & read-write transactions -------------------------------
+
+template <typename Family = Val>
+bool Tx_RO_1_RW_1_Commit(TX_RECORD<Family>* t, Ptr v1) {
+  return t->tx.CommitMixed({ToWord(v1)});
+}
+template <typename Family = Val>
+bool Tx_RO_1_RW_2_Commit(TX_RECORD<Family>* t, Ptr v1, Ptr v2) {
+  return t->tx.CommitMixed({ToWord(v1), ToWord(v2)});
+}
+template <typename Family = Val>
+bool Tx_RO_2_RW_1_Commit(TX_RECORD<Family>* t, Ptr v1) {
+  return t->tx.CommitMixed({ToWord(v1)});
+}
+template <typename Family = Val>
+bool Tx_RO_2_RW_2_Commit(TX_RECORD<Family>* t, Ptr v1, Ptr v2) {
+  return t->tx.CommitMixed({ToWord(v1), ToWord(v2)});
+}
+
+// --- Upgrade a location from RO to RW ---------------------------------------------------
+//
+// Tx_Upgrade_RO_x_To_RW_y: index x among the reads becomes write index y. The write
+// index must be the next free one (§2.2), which the record tracks itself; the name
+// carries it only for fidelity with Figure 2.
+
+template <typename Family = Val>
+bool Tx_Upgrade_RO_1_To_RW_1(TX_RECORD<Family>* t) {
+  assert(t->tx.RwCount() == 0);
+  return t->tx.UpgradeRoToRw(0);
+}
+template <typename Family = Val>
+bool Tx_Upgrade_RO_2_To_RW_1(TX_RECORD<Family>* t) {
+  assert(t->tx.RwCount() == 0);
+  return t->tx.UpgradeRoToRw(1);
+}
+template <typename Family = Val>
+bool Tx_Upgrade_RO_1_To_RW_2(TX_RECORD<Family>* t) {
+  assert(t->tx.RwCount() == 1);
+  return t->tx.UpgradeRoToRw(0);
+}
+template <typename Family = Val>
+bool Tx_Upgrade_RO_2_To_RW_2(TX_RECORD<Family>* t) {
+  assert(t->tx.RwCount() == 1);
+  return t->tx.UpgradeRoToRw(1);
+}
+
+}  // namespace compat
+}  // namespace spectm
+
+#endif  // SPECTM_TM_COMPAT_H_

@@ -1,0 +1,288 @@
+// BaseTM: the general-purpose word-based STM (§2.1, §4.1).
+//
+// Algorithm: TL2 (Dice, Shalev, Shavit) with
+//   * timebase extension (Riegel, Fetzer, Felber) — a read that observes a version
+//     newer than the transaction's snapshot revalidates the read set against a fresh
+//     clock sample instead of aborting;
+//   * the hash-based write set of Spear et al. for O(1) read-after-write checks;
+//   * commit-time locking, invisible reads, deferred updates;
+//   * opacity: with a global clock via rv-sampling + extension, with local per-orec
+//     clocks via full read-set revalidation after every read (§4.1);
+//   * contention management: self-abort plus randomized linear backoff (SwissTM's
+//     first phase), driven by the caller's retry loop.
+//
+// Usage pattern (mirrors the paper's §2.1 example):
+//
+//   typename Tm::Tx tx;
+//   do {
+//     tx.Start();
+//     Word v = tx.Read(&slot);
+//     if (!tx.ok()) continue;            // conflict: Read returned 0, tx will retry
+//     tx.Write(&slot, v + EncodeInt(1));
+//   } while (!tx.Commit());
+//
+// Read() returns 0 and poisons the transaction on conflict; callers must check ok()
+// before acting on values in ways that could fault (e.g. dereferencing). Commit()
+// returns false on conflict or user abort and performs the backoff, so the retry loop
+// needs no extra contention handling.
+#ifndef SPECTM_TM_FULL_TM_H_
+#define SPECTM_TM_FULL_TM_H_
+
+#include <atomic>
+#include <cassert>
+
+#include "src/common/cacheline.h"
+#include "src/common/tagged.h"
+#include "src/tm/clock.h"
+#include "src/tm/layout.h"
+#include "src/tm/orec.h"
+#include "src/tm/txdesc.h"
+
+namespace spectm {
+
+template <typename LayoutT, typename ClockT, typename DomainTag>
+class FullTm {
+ public:
+  using Layout = LayoutT;
+  using Clock = ClockT;
+  using Slot = typename Layout::Slot;
+
+  class Tx {
+   public:
+    Tx() = default;
+    Tx(const Tx&) = delete;
+    Tx& operator=(const Tx&) = delete;
+
+    void Start() {
+      desc_ = &DescOf<DomainTag>();
+      desc_->read_log.clear();
+      desc_->wset.Clear();
+      desc_->lock_log.clear();
+      active_ = true;
+      user_abort_ = false;
+      if constexpr (Clock::kHasGlobalClock) {
+        rv_ = Clock::Sample();
+      }
+    }
+
+    // Transactional read. Returns the buffered value for locations this transaction
+    // has already written. On conflict returns 0 with ok() == false.
+    Word Read(Slot* s) {
+      if (!active_) {
+        return 0;
+      }
+      Word buffered;
+      if (!desc_->wset.Empty() && desc_->wset.Lookup(s, &buffered)) {
+        return buffered;
+      }
+      std::atomic<Word>& orec = Layout::OrecOf(*s);
+      int spins = 0;
+      while (true) {
+        const Word o1 = orec.load(std::memory_order_acquire);
+        if (OrecIsLocked(o1)) {
+          // Commit-time locking: the owner is mid-commit; wait briefly, then concede.
+          if (++spins <= kReadLockSpin) {
+            CpuRelax();
+            continue;
+          }
+          return Fail();
+        }
+        const Word value = Layout::Data(*s).load(std::memory_order_acquire);
+        const Word o2 = orec.load(std::memory_order_acquire);
+        if (o1 != o2) {
+          continue;  // raced with a commit; re-sandwich
+        }
+        if constexpr (Clock::kHasGlobalClock) {
+          if (OrecVersionOf(o1) > rv_) {
+            // Timebase extension: advance the snapshot if the read set still holds.
+            if (!Extend()) {
+              return Fail();
+            }
+            continue;
+          }
+          desc_->read_log.push_back(ReadLogEntry{&orec, OrecVersionOf(o1)});
+          return value;
+        } else {
+          desc_->read_log.push_back(ReadLogEntry{&orec, OrecVersionOf(o1)});
+          // No snapshot number to compare against: preserve opacity by revalidating
+          // the whole read set after every read (§4.1, the "-l" cost).
+          if (!ValidateReadLog()) {
+            return Fail();
+          }
+          return value;
+        }
+      }
+    }
+
+    // Deferred update: buffered in the write set, flushed on commit.
+    void Write(Slot* s, Word value) {
+      if (!active_) {
+        return;
+      }
+      desc_->wset.Put(s, value);
+    }
+
+    // Programmatic abort (e.g. the skip list's "window changed" bail-out, Fig. 4).
+    // The transaction still terminates through Commit(), which will return false
+    // without publishing anything; no backoff is applied for user aborts.
+    void AbortTx() { user_abort_ = true; }
+
+    bool ok() const { return active_; }
+
+    // Attempts to commit. On success returns true. On conflict (or if the transaction
+    // was already poisoned) applies contention-manager backoff and returns false; on
+    // user abort returns false immediately.
+    bool Commit() {
+      if (!active_) {
+        OnAbort();
+        return false;
+      }
+      active_ = false;
+      if (user_abort_) {
+        desc_->stats.aborts.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      if (desc_->wset.Empty()) {
+        // Read-only: reads were kept consistent throughout (rv/extension or
+        // incremental validation), so there is nothing left to check.
+        OnCommit();
+        return true;
+      }
+      if (!LockWriteSet()) {
+        ReleaseLocks();
+        OnAbort();
+        return false;
+      }
+      Word wv = 0;
+      if constexpr (Clock::kHasGlobalClock) {
+        wv = Clock::NextCommitVersion();
+      }
+      // TL2 optimization: if no other transaction committed since our snapshot, the
+      // read set cannot have changed.
+      const bool skip_validation = Clock::kHasGlobalClock && wv == rv_ + 1;
+      if (!skip_validation && !ValidateReadLog()) {
+        ReleaseLocks();
+        OnAbort();
+        return false;
+      }
+      for (const WriteSet::Entry& e : desc_->wset) {
+        Layout::Data(*static_cast<Slot*>(e.addr)).store(e.value, std::memory_order_release);
+      }
+      for (const LockLogEntry& l : desc_->lock_log) {
+        l.orec->store(MakeOrecVersion(Clock::ReleaseVersion(wv, l.old_word)),
+                      std::memory_order_release);
+      }
+      OnCommit();
+      return true;
+    }
+
+   private:
+    Word Fail() {
+      active_ = false;
+      conflicted_ = true;
+      return 0;
+    }
+
+    // Validates that every read-log entry still carries the version observed at read
+    // time; entries locked by this transaction's own commit are pinned and valid.
+    bool ValidateReadLog() const {
+      for (const ReadLogEntry& e : desc_->read_log) {
+        const Word w = e.orec->load(std::memory_order_acquire);
+        if (w == MakeOrecVersion(e.version)) {
+          continue;
+        }
+        if (OrecIsLocked(w) && OrecOwnerOf(w) == desc_) {
+          // Locked by us at commit time; check the displaced version instead.
+          if (FindLockedOldWord(e.orec) == MakeOrecVersion(e.version)) {
+            continue;
+          }
+        }
+        return false;
+      }
+      return true;
+    }
+
+    Word FindLockedOldWord(const std::atomic<Word>* orec) const {
+      for (const LockLogEntry& l : desc_->lock_log) {
+        if (l.orec == orec) {
+          return l.old_word;
+        }
+      }
+      assert(false && "self-locked orec missing from lock log");
+      return 0;
+    }
+
+    // Timebase extension (global clock only): sample a fresh timestamp, prove the
+    // read set is still intact, and adopt the new snapshot.
+    bool Extend() {
+      const Word t = Clock::Sample();
+      if (!ValidateReadLog()) {
+        return false;
+      }
+      rv_ = t;
+      return true;
+    }
+
+    bool LockWriteSet() {
+      for (const WriteSet::Entry& e : desc_->wset) {
+        std::atomic<Word>& orec = Layout::OrecOf(*static_cast<Slot*>(e.addr));
+        Word w = orec.load(std::memory_order_relaxed);
+        while (true) {
+          if (OrecIsLocked(w)) {
+            if (OrecOwnerOf(w) == desc_) {
+              break;  // two slots hashed to one orec; already ours
+            }
+            return false;  // deadlock avoidance: never wait while holding locks
+          }
+          if (orec.compare_exchange_weak(w, MakeOrecLocked(desc_),
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed)) {
+            desc_->lock_log.push_back(LockLogEntry{&orec, w});
+            break;
+          }
+        }
+      }
+      return true;
+    }
+
+    void ReleaseLocks() {
+      for (const LockLogEntry& l : desc_->lock_log) {
+        l.orec->store(l.old_word, std::memory_order_release);
+      }
+      desc_->lock_log.clear();
+    }
+
+    void OnCommit() {
+      desc_->stats.commits.fetch_add(1, std::memory_order_relaxed);
+      desc_->backoff.OnCommit();
+    }
+
+    void OnAbort() {
+      desc_->stats.aborts.fetch_add(1, std::memory_order_relaxed);
+      desc_->backoff.OnAbort();
+    }
+
+    TxDesc* desc_ = nullptr;
+    Word rv_ = 0;
+    bool active_ = false;
+    bool conflicted_ = false;
+    bool user_abort_ = false;
+  };
+
+  // Convenience retry wrapper: runs `body(tx)` until it commits. The body must
+  // tolerate re-execution and check tx.ok() before dereferencing read results.
+  template <typename Body>
+  static void Atomically(Body&& body) {
+    Tx tx;
+    do {
+      tx.Start();
+      body(tx);
+    } while (!tx.Commit());
+  }
+
+  static TxStats& StatsForCurrentThread() { return DescOf<DomainTag>().stats; }
+};
+
+}  // namespace spectm
+
+#endif  // SPECTM_TM_FULL_TM_H_

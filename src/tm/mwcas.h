@@ -1,0 +1,93 @@
+// Multi-word atomic primitives built over short transactions.
+//
+// §5: "it is easy to implement CASN over short transactions, but it is difficult to
+// implement short transactions over CASN". This header demonstrates the easy
+// direction: DCSS (the paper's §2.2 worked example, transcribed from its pseudo-code)
+// and a general CASN for up to kMaxShortWrites locations.
+//
+// Unlike classic CASN implementations (Harris et al.; Israeli & Rappoport), these
+// primitives interoperate with every other transaction of their family — short,
+// full, and single-op — because they speak the same meta-data protocol.
+#ifndef SPECTM_TM_MWCAS_H_
+#define SPECTM_TM_MWCAS_H_
+
+#include <cassert>
+#include <cstddef>
+
+#include "src/common/tagged.h"
+#include "src/tm/config.h"
+
+namespace spectm {
+
+// Double-compare-single-swap: iff *a1 == o1 && *a2 == o2, store n1 to a1.
+// Returns true on success, false if either comparison failed. Mirrors the paper's
+// DCSS: two RO reads, an upgrade of the first to RW, and a mixed commit; the second
+// location is only validated, never locked.
+template <typename Family>
+bool Dcss(typename Family::Slot* a1, typename Family::Slot* a2, Word o1, Word o2,
+          Word n1) {
+  while (true) {
+    typename Family::ShortTx t;
+    const Word v1 = t.ReadRo(a1);
+    const Word v2 = t.ReadRo(a2);
+    if (t.Valid() && v1 == o1 && v2 == o2) {
+      if (t.UpgradeRoToRw(0) && t.CommitMixed({n1})) {
+        return true;
+      }
+      // Upgrade or validation lost a race: restart.
+      t.Reset();
+      continue;
+    }
+    if (t.Valid() && t.ValidateRo()) {
+      return false;  // consistent snapshot disagreed with the expectations
+    }
+    t.Reset();  // inconsistent read; try again
+  }
+}
+
+// N-location compare-and-swap (N <= kMaxShortWrites): iff addrs[i] == expected[i] for
+// all i, store desired[i] to each. The encounter-time RW read both fetches and locks;
+// a value mismatch aborts without publishing.
+template <typename Family>
+bool Casn(typename Family::Slot* const* addrs, const Word* expected,
+          const Word* desired, std::size_t n) {
+  assert(n >= 1 && n <= static_cast<std::size_t>(kMaxShortWrites));
+  while (true) {
+    typename Family::ShortTx t;
+    bool mismatch = false;
+    for (std::size_t i = 0; i < n && !mismatch; ++i) {
+      const Word v = t.ReadRw(addrs[i]);
+      if (!t.Valid()) {
+        break;  // conflict: locked by someone else
+      }
+      mismatch = v != expected[i];
+    }
+    if (!t.Valid()) {
+      t.Abort();
+      continue;  // contention: retry
+    }
+    if (mismatch) {
+      t.Abort();
+      return false;  // all reads up to the mismatch were stable under our locks
+    }
+    switch (n) {
+      case 1:
+        t.CommitRw({desired[0]});
+        break;
+      case 2:
+        t.CommitRw({desired[0], desired[1]});
+        break;
+      case 3:
+        t.CommitRw({desired[0], desired[1], desired[2]});
+        break;
+      default:
+        t.CommitRw({desired[0], desired[1], desired[2], desired[3]});
+        break;
+    }
+    return true;
+  }
+}
+
+}  // namespace spectm
+
+#endif  // SPECTM_TM_MWCAS_H_

@@ -1,0 +1,488 @@
+// Pointer-embedded-version layout ("pver") — the paper's §6 proposal: "it might be
+// beneficial to explore pointer-only STM designs which use additional spare bits in
+// the pointers as orecs (typically, in 64 bit systems, the processor or OS does not
+// support virtual address spaces that exploit the entire 64-bit space)".
+//
+// One 64-bit word per location:
+//
+//     unlocked:  [ version:15 | payload:48 | 0 ]
+//     locked:    [ TxDesc*                 | 1 ]
+//
+// The payload occupies bits 1..48 — enough for any user-space pointer (48-bit
+// virtual addresses with at least 2-byte alignment) or a 47-bit shifted integer; bit
+// 1 of the payload remains the data structures' "deleted" mark. The 15 spare high
+// bits hold a per-word version, incremented by every committed update.
+//
+// Compared with the `val` layout (Figure 3(c)):
+//   + read-only validation is VERSION-based, so it needs neither the three §2.4
+//     special cases nor commit counters — general-purpose code is safe by default;
+//   + commit remains a single atomic store (version, payload, and lock released in
+//     one write);
+//   - the version is only 15 bits: validation can be fooled if exactly 2^15 = 32768
+//     commits hit one word within a single read-validate window while its payload
+//     also returns to the original value. The window for a short transaction is
+//     sub-microsecond; we follow the paper's §4.1 position on narrow counters and
+//     accept the bound (documented here, measured in bench/abl_pver).
+//
+// Families over this layout expose the same Slot/payload semantics as every other
+// family — Raw/Single/Short/Full all speak payloads — so the data structures run on
+// it unchanged.
+#ifndef SPECTM_TM_PVER_H_
+#define SPECTM_TM_PVER_H_
+
+#include <atomic>
+#include <cassert>
+#include <initializer_list>
+
+#include "src/common/cacheline.h"
+#include "src/common/inline_vec.h"
+#include "src/common/tagged.h"
+#include "src/tm/config.h"
+#include "src/tm/txdesc.h"
+
+namespace spectm {
+
+struct PverSlot {
+  std::atomic<Word> word{0};
+};
+
+inline constexpr int kPverPayloadBits = 48;
+inline constexpr Word kPverPayloadMask = ((Word{1} << kPverPayloadBits) - 1) << 1;
+inline constexpr int kPverVersionShift = kPverPayloadBits + 1;  // bits 49..63
+
+constexpr bool PverIsLocked(Word w) { return (w & kLockBit) != 0; }
+constexpr Word PverPayloadOf(Word w) { return w & kPverPayloadMask; }
+constexpr Word PverVersionOf(Word w) { return w >> kPverVersionShift; }
+
+constexpr Word MakePverWord(Word version, Word payload) {
+  return ((version & ((Word{1} << (64 - kPverVersionShift)) - 1)) << kPverVersionShift) |
+         (payload & kPverPayloadMask);
+}
+
+// The committed successor of an unlocked word: version + 1 (mod 2^15), new payload.
+constexpr Word PverBump(Word old_word, Word new_payload) {
+  return MakePverWord(PverVersionOf(old_word) + 1, new_payload);
+}
+
+inline TxDesc* PverOwnerOf(Word w) {
+  return reinterpret_cast<TxDesc*>(static_cast<std::uintptr_t>(w & ~kLockBit));
+}
+
+inline Word MakePverLocked(TxDesc* owner) {
+  return static_cast<Word>(reinterpret_cast<std::uintptr_t>(owner)) | kLockBit;
+}
+
+struct PverDomainTag {};
+
+class PverShortTm {
+ public:
+  using Slot = PverSlot;
+
+  class ShortTx {
+   public:
+    ShortTx() : desc_(&DescOf<PverDomainTag>()) {}
+    ~ShortTx() {
+      if (!finished_) {
+        Abort();
+      }
+    }
+    ShortTx(const ShortTx&) = delete;
+    ShortTx& operator=(const ShortTx&) = delete;
+
+    // Encounter-time lock; returns the payload.
+    Word ReadRw(Slot* s) {
+      assert(!finished_);
+      if (!valid_) {
+        return 0;
+      }
+      assert(!rw_.Full() && "short transaction exceeds kMaxShortWrites locations");
+      Word w = s->word.load(std::memory_order_relaxed);
+      while (true) {
+        if (PverIsLocked(w)) {
+          assert(PverOwnerOf(w) != desc_ && "accesses must name distinct locations");
+          valid_ = false;
+          return 0;
+        }
+        if (s->word.compare_exchange_weak(w, MakePverLocked(desc_),
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed)) {
+          rw_.PushBack(RwEntry{s, w});
+          return PverPayloadOf(w);
+        }
+      }
+    }
+
+    // Invisible read validated by the embedded version.
+    Word ReadRo(Slot* s) {
+      assert(!finished_);
+      if (!valid_) {
+        return 0;
+      }
+      assert(!ro_.Full() && "short transaction exceeds kMaxShortReads locations");
+      const Word w = s->word.load(std::memory_order_acquire);
+      if (PverIsLocked(w)) {
+        assert(PverOwnerOf(w) != desc_ && "RO and RW sets must be disjoint");
+        valid_ = false;
+        return 0;
+      }
+      ro_.PushBack(RoEntry{s, w, /*upgraded=*/false});
+      if (!ValidateRo()) {
+        valid_ = false;
+        return 0;
+      }
+      return PverPayloadOf(w);
+    }
+
+    bool Valid() const { return valid_; }
+
+    // Version+payload equality; a locked word (bit 0) can never match.
+    bool ValidateRo() const {
+      for (const RoEntry& e : ro_) {
+        if (!e.upgraded && e.slot->word.load(std::memory_order_acquire) != e.word) {
+          return false;
+        }
+      }
+      return true;
+    }
+
+    bool UpgradeRoToRw(int ro_index) {
+      assert(!finished_);
+      if (!valid_) {
+        return false;
+      }
+      assert(ro_index >= 0 && static_cast<std::size_t>(ro_index) < ro_.Size());
+      assert(!rw_.Full());
+      RoEntry& e = ro_[static_cast<std::size_t>(ro_index)];
+      Word expected = e.word;
+      if (!e.slot->word.compare_exchange_strong(expected, MakePverLocked(desc_),
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_relaxed)) {
+        valid_ = false;
+        return false;
+      }
+      e.upgraded = true;
+      rw_.PushBack(RwEntry{e.slot, e.word});
+      return true;
+    }
+
+    // One release store per location: version bump + payload + unlock in one write.
+    bool CommitRw(std::initializer_list<Word> payloads) {
+      assert(valid_ && !finished_);
+      assert(payloads.size() == rw_.Size());
+      const Word* v = payloads.begin();
+      for (std::size_t i = 0; i < rw_.Size(); ++i) {
+        assert((v[i] & ~kPverPayloadMask) == 0 && "payload exceeds 48-bit field");
+        rw_[i].slot->word.store(PverBump(rw_[i].old_word, v[i]),
+                                std::memory_order_release);
+      }
+      Finish(/*committed=*/true);
+      return true;
+    }
+
+    bool CommitMixed(std::initializer_list<Word> payloads) {
+      assert(valid_ && !finished_);
+      assert(payloads.size() == rw_.Size());
+      if (!ValidateRo()) {
+        Abort();
+        return false;
+      }
+      const Word* v = payloads.begin();
+      for (std::size_t i = 0; i < rw_.Size(); ++i) {
+        assert((v[i] & ~kPverPayloadMask) == 0 && "payload exceeds 48-bit field");
+        rw_[i].slot->word.store(PverBump(rw_[i].old_word, v[i]),
+                                std::memory_order_release);
+      }
+      Finish(/*committed=*/true);
+      return true;
+    }
+
+    void Abort() {
+      for (const RwEntry& e : rw_) {
+        e.slot->word.store(e.old_word, std::memory_order_release);  // version intact
+      }
+      const bool untouched = rw_.Empty() && ro_.Empty() && valid_;
+      finished_ = true;
+      valid_ = false;
+      if (!untouched) {
+        desc_->stats.aborts.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+
+    void Reset() {
+      if (!finished_) {
+        Abort();
+      }
+      rw_.Clear();
+      ro_.Clear();
+      valid_ = true;
+      finished_ = false;
+    }
+
+    std::size_t RwCount() const { return rw_.Size(); }
+    std::size_t RoCount() const { return ro_.Size(); }
+
+   private:
+    struct RwEntry {
+      Slot* slot;
+      Word old_word;  // full word: version + payload
+    };
+    struct RoEntry {
+      Slot* slot;
+      Word word;
+      bool upgraded;
+    };
+
+    void Finish(bool committed) {
+      finished_ = true;
+      valid_ = false;
+      if (committed) {
+        desc_->stats.commits.fetch_add(1, std::memory_order_relaxed);
+        desc_->backoff.OnCommit();
+      }
+    }
+
+    TxDesc* desc_;
+    InlineVec<RwEntry, kMaxShortWrites> rw_;
+    InlineVec<RoEntry, kMaxShortReads> ro_;
+    bool valid_ = true;
+    bool finished_ = false;
+  };
+
+  static Word SingleRead(Slot* s) {
+    while (true) {
+      const Word w = s->word.load(std::memory_order_acquire);
+      if (!PverIsLocked(w)) {
+        return PverPayloadOf(w);
+      }
+      CpuRelax();
+    }
+  }
+
+  static void SingleWrite(Slot* s, Word payload) {
+    assert((payload & ~kPverPayloadMask) == 0 && "payload exceeds 48-bit field");
+    Word w = s->word.load(std::memory_order_relaxed);
+    while (true) {
+      if (PverIsLocked(w)) {
+        CpuRelax();
+        w = s->word.load(std::memory_order_relaxed);
+        continue;
+      }
+      if (s->word.compare_exchange_weak(w, PverBump(w, payload),
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+
+  // Payload-compare-and-swap in one hardware CAS (version rides along).
+  static Word SingleCas(Slot* s, Word expected_payload, Word desired_payload) {
+    assert((desired_payload & ~kPverPayloadMask) == 0);
+    while (true) {
+      Word w = s->word.load(std::memory_order_acquire);
+      if (PverIsLocked(w)) {
+        CpuRelax();
+        continue;
+      }
+      if (PverPayloadOf(w) != expected_payload) {
+        return PverPayloadOf(w);
+      }
+      if (s->word.compare_exchange_weak(w, PverBump(w, desired_payload),
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+        return expected_payload;
+      }
+    }
+  }
+
+  static TxStats& StatsForCurrentThread() { return DescOf<PverDomainTag>().stats; }
+};
+
+// General-purpose transactions over pver words: word-based (version-validated) read
+// log, hash write set, commit-time locking. Structurally val_full.h with versions in
+// place of value-based validation — no commit counters needed.
+class PverFullTm {
+ public:
+  using Slot = PverSlot;
+
+  class Tx {
+   public:
+    Tx() = default;
+    Tx(const Tx&) = delete;
+    Tx& operator=(const Tx&) = delete;
+
+    void Start() {
+      desc_ = &DescOf<PverDomainTag>();
+      desc_->val_read_log.clear();
+      desc_->wset.Clear();
+      desc_->val_lock_log.clear();
+      active_ = true;
+      user_abort_ = false;
+    }
+
+    Word Read(Slot* s) {
+      if (!active_) {
+        return 0;
+      }
+      Word buffered;
+      if (!desc_->wset.Empty() && desc_->wset.Lookup(s, &buffered)) {
+        return buffered;  // wset stores payloads
+      }
+      int spins = 0;
+      Word w;
+      while (true) {
+        w = s->word.load(std::memory_order_acquire);
+        if (!PverIsLocked(w)) {
+          break;
+        }
+        if (++spins > kReadLockSpin) {
+          return Fail();
+        }
+        CpuRelax();
+      }
+      desc_->val_read_log.push_back(ValReadLogEntry{&s->word, w});
+      if (!ValidateReads()) {
+        return Fail();
+      }
+      return PverPayloadOf(w);
+    }
+
+    void Write(Slot* s, Word payload) {
+      if (!active_) {
+        return;
+      }
+      assert((payload & ~kPverPayloadMask) == 0 && "payload exceeds 48-bit field");
+      desc_->wset.Put(s, payload);
+    }
+
+    void AbortTx() { user_abort_ = true; }
+    bool ok() const { return active_; }
+
+    bool Commit() {
+      if (!active_) {
+        OnAbort();
+        return false;
+      }
+      active_ = false;
+      if (user_abort_) {
+        desc_->stats.aborts.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      if (desc_->wset.Empty()) {
+        OnCommit();
+        return true;
+      }
+      for (const WriteSet::Entry& e : desc_->wset) {
+        auto* word = &static_cast<Slot*>(e.addr)->word;
+        Word w = word->load(std::memory_order_relaxed);
+        while (true) {
+          if (PverIsLocked(w)) {
+            ReleaseLocks();
+            OnAbort();
+            return false;
+          }
+          if (word->compare_exchange_weak(w, MakePverLocked(desc_),
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed)) {
+            desc_->val_lock_log.push_back(ValLockLogEntry{word, w});
+            break;
+          }
+        }
+      }
+      if (!ValidateReads()) {
+        ReleaseLocks();
+        OnAbort();
+        return false;
+      }
+      for (const WriteSet::Entry& e : desc_->wset) {
+        auto* word = &static_cast<Slot*>(e.addr)->word;
+        // The displaced word (with its version) lives in the lock log.
+        const Word old_word = FindDisplaced(word);
+        word->store(PverBump(old_word, e.value), std::memory_order_release);
+      }
+      OnCommit();
+      return true;
+    }
+
+   private:
+    Word Fail() {
+      active_ = false;
+      return 0;
+    }
+
+    bool ValidateReads() const {
+      for (const ValReadLogEntry& e : desc_->val_read_log) {
+        const Word v = e.word->load(std::memory_order_acquire);
+        if (v == e.value) {
+          continue;
+        }
+        if (PverIsLocked(v) && PverOwnerOf(v) == desc_ &&
+            FindDisplaced(e.word) == e.value) {
+          continue;
+        }
+        return false;
+      }
+      return true;
+    }
+
+    Word FindDisplaced(const std::atomic<Word>* word) const {
+      for (const ValLockLogEntry& l : desc_->val_lock_log) {
+        if (l.word == word) {
+          return l.old_value;
+        }
+      }
+      assert(false && "self-locked word missing from lock log");
+      return ~Word{0};
+    }
+
+    void ReleaseLocks() {
+      for (const ValLockLogEntry& l : desc_->val_lock_log) {
+        l.word->store(l.old_value, std::memory_order_release);
+      }
+      desc_->val_lock_log.clear();
+    }
+
+    void OnCommit() {
+      desc_->stats.commits.fetch_add(1, std::memory_order_relaxed);
+      desc_->backoff.OnCommit();
+    }
+    void OnAbort() {
+      desc_->stats.aborts.fetch_add(1, std::memory_order_relaxed);
+      desc_->backoff.OnAbort();
+    }
+
+    TxDesc* desc_ = nullptr;
+    bool active_ = false;
+    bool user_abort_ = false;
+  };
+
+  static TxStats& StatsForCurrentThread() { return DescOf<PverDomainTag>().stats; }
+};
+
+// The pver family: plugs into every structure template like the other families.
+struct Pver {
+  using Slot = PverSlot;
+  using Full = PverFullTm;
+  using Short = PverShortTm;
+  using FullTx = PverFullTm::Tx;
+  using ShortTx = PverShortTm::ShortTx;
+
+  static Word SingleRead(Slot* s) { return PverShortTm::SingleRead(s); }
+  static void SingleWrite(Slot* s, Word v) { PverShortTm::SingleWrite(s, v); }
+  static Word SingleCas(Slot* s, Word expected, Word desired) {
+    return PverShortTm::SingleCas(s, expected, desired);
+  }
+
+  static void RawWrite(Slot* s, Word payload) {
+    assert((payload & ~kPverPayloadMask) == 0 && "payload exceeds 48-bit field");
+    const Word w = s->word.load(std::memory_order_relaxed);
+    s->word.store(MakePverWord(PverVersionOf(w), payload), std::memory_order_relaxed);
+  }
+  static Word RawRead(Slot* s) {
+    return PverPayloadOf(s->word.load(std::memory_order_relaxed));
+  }
+};
+
+}  // namespace spectm
+
+#endif  // SPECTM_TM_PVER_H_

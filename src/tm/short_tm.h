@@ -1,0 +1,365 @@
+// SpecTM specialized short transactions over orec-based layouts (§2.2).
+//
+// The programmer contract (checked with assertions in debug builds, free in release,
+// exactly as §2.2 "Code complexity" prescribes):
+//   * at most kMaxShortReads RO and kMaxShortWrites RW locations per transaction;
+//   * every access names a distinct memory location;
+//   * the RO and RW sets are disjoint (upgrades move a location from RO to RW);
+//   * all writes are deferred to commit, whose argument list supplies the new values
+//     in RW-read order;
+//   * no write-to-read dependencies (a location written is never subsequently read).
+//
+// What the restrictions buy (§2.2):
+//   * no update log and no read-after-write checks — values arrive at commit;
+//   * RW reads lock eagerly (encounter-time locking), so a read-write transaction
+//     needs no commit-time validation at all: every location it read is pinned;
+//   * all book-keeping lives in fixed-size arrays inside the stack-allocated
+//     ShortTx record — no dynamic logs, no dynamic operation indices.
+//
+// Conflicts never block: any locked orec invalidates the transaction (deadlock is
+// avoided conservatively, §2.4), the caller releases its locks via Abort() and
+// restarts, mirroring the paper's `goto restart` idiom.
+//
+// Single-operation transactions (Tx_Single_* in Figure 2) are provided as statics;
+// they are linearizable and synchronize with both short and full transactions of the
+// same domain because all of them agree on the orec protocol.
+#ifndef SPECTM_TM_SHORT_TM_H_
+#define SPECTM_TM_SHORT_TM_H_
+
+#include <atomic>
+#include <cassert>
+#include <initializer_list>
+
+#include "src/common/cacheline.h"
+#include "src/common/inline_vec.h"
+#include "src/common/tagged.h"
+#include "src/tm/clock.h"
+#include "src/tm/layout.h"
+#include "src/tm/orec.h"
+#include "src/tm/txdesc.h"
+
+namespace spectm {
+
+template <typename LayoutT, typename ClockT, typename DomainTag>
+class ShortTm {
+ public:
+  using Layout = LayoutT;
+  using Clock = ClockT;
+  using Slot = typename Layout::Slot;
+
+  // The TX_RECORD of Figure 2: stack-allocated, fixed-size, reusable after Abort().
+  class ShortTx {
+   public:
+    ShortTx() : desc_(&DescOf<DomainTag>()) {}
+    ~ShortTx() {
+      // Defensive RAII: a record abandoned mid-transaction must not leak locks.
+      if (!finished_) {
+        Abort();
+      }
+    }
+    ShortTx(const ShortTx&) = delete;
+    ShortTx& operator=(const ShortTx&) = delete;
+
+    // --- Read-write accesses (Tx_RW_R1, Tx_RW_R2, ...) -------------------------------
+    //
+    // Encounter-time locking: the orec is acquired at read time; the returned value
+    // cannot change until this transaction commits or aborts. On conflict the
+    // transaction is invalidated and 0 is returned; the caller must Abort() and
+    // restart (checking Valid() first, as with ..._Is_Valid in the paper).
+    Word ReadRw(Slot* s) {
+      assert(!finished_);
+      if (!valid_) {
+        return 0;
+      }
+      assert(!rw_.Full() && "short transaction exceeds kMaxShortWrites locations");
+      std::atomic<Word>& orec = Layout::OrecOf(*s);
+      Word w = orec.load(std::memory_order_relaxed);
+      while (true) {
+        if (OrecIsLocked(w)) {
+          if (OrecOwnerOf(w) == desc_) {
+            // Two distinct slots collided on one shared-table orec; it is already
+            // pinned by us, so just record the access without re-locking.
+            rw_.PushBack(RwEntry{s, &orec, kAlreadyOwned});
+            return Layout::Data(*s).load(std::memory_order_acquire);
+          }
+          valid_ = false;  // conservative: never wait while holding locks
+          return 0;
+        }
+        if (orec.compare_exchange_weak(w, MakeOrecLocked(desc_),
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_relaxed)) {
+          rw_.PushBack(RwEntry{s, &orec, w});
+          return Layout::Data(*s).load(std::memory_order_acquire);
+        }
+      }
+    }
+
+    // --- Read-only accesses (Tx_RO_R1, Tx_RO_R2, ...) --------------------------------
+    //
+    // Invisible reads: record (orec, version) and revalidate the earlier entries so
+    // the caller always observes a consistent prefix (bounded by kMaxShortReads, so
+    // the incremental cost is a handful of cached loads).
+    Word ReadRo(Slot* s) {
+      assert(!finished_);
+      if (!valid_) {
+        return 0;
+      }
+      assert(!ro_.Full() && "short transaction exceeds kMaxShortReads locations");
+      std::atomic<Word>& orec = Layout::OrecOf(*s);
+      while (true) {
+        const Word o1 = orec.load(std::memory_order_acquire);
+        if (OrecIsLocked(o1)) {
+          assert(OrecOwnerOf(o1) != desc_ && "RO and RW sets must be disjoint");
+          valid_ = false;
+          return 0;
+        }
+        const Word value = Layout::Data(*s).load(std::memory_order_acquire);
+        const Word o2 = orec.load(std::memory_order_acquire);
+        if (o1 != o2) {
+          continue;
+        }
+        ro_.PushBack(RoEntry{s, &orec, OrecVersionOf(o1)});
+        if (!ValidateRo()) {
+          valid_ = false;
+          return 0;
+        }
+        return value;
+      }
+    }
+
+    // Current validity (Tx_RW_k_Is_Valid). For pure-RW transactions this is the only
+    // check needed: locks pin every location read.
+    bool Valid() const { return valid_; }
+
+    // Revalidates the RO set (Tx_RO_k_Is_Valid). For a read-only transaction a final
+    // successful call serves in place of commit (§2.2: "Successful validation serves
+    // in the place of commit").
+    bool ValidateRo() const {
+      for (const RoEntry& e : ro_) {
+        const Word w = e.orec->load(std::memory_order_acquire);
+        if (w == MakeOrecVersion(e.version)) {
+          continue;
+        }
+        if (OrecIsLocked(w) && OrecOwnerOf(w) == desc_) {
+          continue;  // upgraded by us; the lock pins it
+        }
+        return false;
+      }
+      return true;
+    }
+
+    // Tx_Upgrade_RO_x_To_RW_y: promote the ro_index-th read into the write set by
+    // locking its orec at exactly the version observed. Returns false (transaction
+    // invalidated) if the location changed or is locked.
+    bool UpgradeRoToRw(int ro_index) {
+      assert(!finished_);
+      if (!valid_) {
+        return false;
+      }
+      assert(ro_index >= 0 && static_cast<std::size_t>(ro_index) < ro_.Size());
+      assert(!rw_.Full());
+      RoEntry& e = ro_[static_cast<std::size_t>(ro_index)];
+      Word expected = MakeOrecVersion(e.version);
+      if (!e.orec->compare_exchange_strong(expected, MakeOrecLocked(desc_),
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_relaxed)) {
+        if (OrecIsLocked(expected) && OrecOwnerOf(expected) == desc_) {
+          // Shared-table collision: another of our RW entries owns this orec.
+          rw_.PushBack(RwEntry{e.slot, e.orec, kAlreadyOwned});
+          return true;
+        }
+        valid_ = false;
+        return false;
+      }
+      rw_.PushBack(RwEntry{e.slot, e.orec, MakeOrecVersion(e.version)});
+      return true;
+    }
+
+    // Tx_RW_k_Commit: stores values[i] to the i-th RW location (RW-read order) and
+    // releases the locks. Pure-RW transactions need no validation (§2.2 point iii), so
+    // this always succeeds; the bool return exists only so fine-grained full-tx
+    // adapters can share the interface.
+    bool CommitRw(std::initializer_list<Word> values) {
+      assert(valid_ && !finished_);
+      assert(values.size() == rw_.Size() && "commit arity must match RW access count");
+      const Word* v = values.begin();
+      for (std::size_t i = 0; i < rw_.Size(); ++i) {
+        Layout::Data(*rw_[i].slot).store(v[i], std::memory_order_release);
+      }
+      ReleaseLocksCommitted();
+      Finish(/*committed=*/true);
+      return true;
+    }
+
+    // Tx_RO_x_RW_y_Commit: validates the remaining RO entries, then commits the RW
+    // set. Returns false — with all locks released and values untouched — if
+    // validation fails; the caller restarts.
+    bool CommitMixed(std::initializer_list<Word> values) {
+      assert(valid_ && !finished_);
+      assert(values.size() == rw_.Size());
+      if (!ValidateRo()) {
+        Abort();
+        return false;
+      }
+      const Word* v = values.begin();
+      for (std::size_t i = 0; i < rw_.Size(); ++i) {
+        Layout::Data(*rw_[i].slot).store(v[i], std::memory_order_release);
+      }
+      ReleaseLocksCommitted();
+      Finish(/*committed=*/true);
+      return true;
+    }
+
+    // Tx_RW_k_Abort: releases locks restoring the pre-transaction versions. Also the
+    // required cleanup path after any access invalidated the transaction.
+    void Abort() {
+      for (const RwEntry& e : rw_) {
+        if (e.old_word != kAlreadyOwned) {
+          e.orec->store(e.old_word, std::memory_order_release);
+        }
+      }
+      const bool untouched = rw_.Empty() && ro_.Empty() && valid_;
+      finished_ = true;
+      valid_ = false;
+      if (!untouched) {
+        desc_->stats.aborts.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+
+    // Re-arms the record for the caller's `goto restart` loop, releasing any locks
+    // still held.
+    void Reset() {
+      if (!finished_) {
+        Abort();
+      }
+      rw_.Clear();
+      ro_.Clear();
+      valid_ = true;
+      finished_ = false;
+    }
+
+    std::size_t RwCount() const { return rw_.Size(); }
+    std::size_t RoCount() const { return ro_.Size(); }
+
+   private:
+    struct RwEntry {
+      Slot* slot;
+      std::atomic<Word>* orec;
+      Word old_word;  // pre-lock orec body; kAlreadyOwned for hash-collision repeats
+    };
+    struct RoEntry {
+      Slot* slot;
+      std::atomic<Word>* orec;
+      Word version;
+    };
+
+    // Odd (locked-looking) and never a valid owner pointer: cannot collide with a
+    // genuine displaced orec word, which is always an even version.
+    static constexpr Word kAlreadyOwned = ~Word{0};
+
+    void ReleaseLocksCommitted() {
+      Word wv = 0;
+      if constexpr (Clock::kHasGlobalClock) {
+        wv = Clock::NextCommitVersion();
+      }
+      for (const RwEntry& e : rw_) {
+        if (e.old_word != kAlreadyOwned) {
+          e.orec->store(MakeOrecVersion(Clock::ReleaseVersion(wv, e.old_word)),
+                        std::memory_order_release);
+        }
+      }
+    }
+
+    void Finish(bool committed) {
+      finished_ = true;
+      valid_ = false;
+      if (committed) {
+        desc_->stats.commits.fetch_add(1, std::memory_order_relaxed);
+        desc_->backoff.OnCommit();
+      } else {
+        desc_->stats.aborts.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+
+    TxDesc* desc_;
+    InlineVec<RwEntry, kMaxShortWrites> rw_;
+    InlineVec<RoEntry, kMaxShortReads> ro_;
+    bool valid_ = true;
+    bool finished_ = false;
+  };
+
+  // --- Single-operation transactions (Tx_Single_*, Figure 2) -------------------------
+
+  // Linearizable single-word transactional read: orec–data–orec sandwich.
+  static Word SingleRead(Slot* s) {
+    std::atomic<Word>& orec = Layout::OrecOf(*s);
+    while (true) {
+      const Word o1 = orec.load(std::memory_order_acquire);
+      if (OrecIsLocked(o1)) {
+        CpuRelax();
+        continue;
+      }
+      const Word value = Layout::Data(*s).load(std::memory_order_acquire);
+      const Word o2 = orec.load(std::memory_order_acquire);
+      if (o1 == o2) {
+        return value;
+      }
+    }
+  }
+
+  // Linearizable single-word transactional write.
+  static void SingleWrite(Slot* s, Word value) {
+    std::atomic<Word>& orec = Layout::OrecOf(*s);
+    TxDesc* self = &DescOf<DomainTag>();
+    const Word old_word = AcquireOrec(&orec, self);
+    Layout::Data(*s).store(value, std::memory_order_release);
+    Word wv = 0;
+    if constexpr (Clock::kHasGlobalClock) {
+      wv = Clock::NextCommitVersion();
+    }
+    orec.store(MakeOrecVersion(Clock::ReleaseVersion(wv, old_word)),
+               std::memory_order_release);
+  }
+
+  // Linearizable single-word transactional compare-and-swap. Returns the observed
+  // value; the CAS succeeded iff the return value equals `expected`.
+  static Word SingleCas(Slot* s, Word expected, Word desired) {
+    std::atomic<Word>& orec = Layout::OrecOf(*s);
+    TxDesc* self = &DescOf<DomainTag>();
+    const Word old_word = AcquireOrec(&orec, self);
+    const Word observed = Layout::Data(*s).load(std::memory_order_acquire);
+    if (observed != expected) {
+      orec.store(old_word, std::memory_order_release);  // no update: version unchanged
+      return observed;
+    }
+    Layout::Data(*s).store(desired, std::memory_order_release);
+    Word wv = 0;
+    if constexpr (Clock::kHasGlobalClock) {
+      wv = Clock::NextCommitVersion();
+    }
+    orec.store(MakeOrecVersion(Clock::ReleaseVersion(wv, old_word)),
+               std::memory_order_release);
+    return observed;
+  }
+
+  static TxStats& StatsForCurrentThread() { return DescOf<DomainTag>().stats; }
+
+ private:
+  // Spin-acquires an orec. Safe only for single-op transactions, which hold no other
+  // locks (no deadlock) — multi-location transactions must fail fast instead.
+  static Word AcquireOrec(std::atomic<Word>* orec, TxDesc* self) {
+    while (true) {
+      Word w = orec->load(std::memory_order_relaxed);
+      if (!OrecIsLocked(w) &&
+          orec->compare_exchange_weak(w, MakeOrecLocked(self), std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+        return w;
+      }
+      CpuRelax();
+    }
+  }
+};
+
+}  // namespace spectm
+
+#endif  // SPECTM_TM_SHORT_TM_H_

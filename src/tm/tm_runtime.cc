@@ -1,0 +1,57 @@
+#include "src/tm/txdesc.h"
+
+#include <mutex>
+#include <vector>
+
+namespace spectm {
+namespace {
+
+struct RegistryState {
+  std::mutex mu;
+  std::vector<TxStats*> live;
+  // Counts carried over from descriptors whose threads have exited.
+  std::uint64_t retained_commits = 0;
+  std::uint64_t retained_aborts = 0;
+};
+
+RegistryState& State() {
+  static RegistryState* s = new RegistryState;  // leaked: outlives TLS destructors
+  return *s;
+}
+
+}  // namespace
+
+void TxStatsRegistry::Register(TxStats* stats) {
+  RegistryState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.live.push_back(stats);
+}
+
+void TxStatsRegistry::Unregister(TxStats* stats) {
+  RegistryState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  for (std::size_t i = 0; i < s.live.size(); ++i) {
+    if (s.live[i] == stats) {
+      s.retained_commits += stats->commits.load(std::memory_order_relaxed);
+      s.retained_aborts += stats->aborts.load(std::memory_order_relaxed);
+      s.live[i] = s.live.back();
+      s.live.pop_back();
+      return;
+    }
+  }
+}
+
+TxStatsRegistry::Totals TxStatsRegistry::Snapshot() {
+  RegistryState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  Totals t;
+  t.commits = s.retained_commits;
+  t.aborts = s.retained_aborts;
+  for (const TxStats* stats : s.live) {
+    t.commits += stats->commits.load(std::memory_order_relaxed);
+    t.aborts += stats->aborts.load(std::memory_order_relaxed);
+  }
+  return t;
+}
+
+}  // namespace spectm

@@ -1,0 +1,109 @@
+// Per-thread transaction descriptor.
+//
+// §4.1: "all transactions executed by the same thread use the same per-thread
+// transaction descriptor that is allocated and initialized at thread start-up".
+// The descriptor owns the full-transaction logs (read log, hash write set, commit
+// lock log) so they are allocated once and reused; short transactions keep their
+// fixed-size location arrays on the stack (§2.2) and use the descriptor only as the
+// lock-owner identity and for statistics.
+//
+// Each TM domain (meta-data layout x clock policy) has its own descriptor per thread,
+// obtained via DescOf<DomainTag>(). Descriptors are never nested: SpecTM transactions
+// do not compose (§2.2 "Code complexity"), so a thread runs at most one transaction
+// per domain at a time.
+#ifndef SPECTM_TM_TXDESC_H_
+#define SPECTM_TM_TXDESC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/backoff.h"
+#include "src/common/cacheline.h"
+#include "src/common/tagged.h"
+#include "src/common/thread_registry.h"
+#include "src/common/write_set.h"
+
+namespace spectm {
+
+// Aggregate commit/abort counters, readable cross-thread (relaxed; statistics only).
+struct TxStats {
+  std::atomic<std::uint64_t> commits{0};
+  std::atomic<std::uint64_t> aborts{0};
+};
+
+// Process-wide roll-up of every live descriptor's statistics, for tests and the
+// benchmark harness (abort-rate reporting). Registration is cold-path only.
+class TxStatsRegistry {
+ public:
+  static void Register(TxStats* stats);
+  static void Unregister(TxStats* stats);
+
+  struct Totals {
+    std::uint64_t commits = 0;
+    std::uint64_t aborts = 0;
+  };
+  // Sum over live descriptors plus the retained counts of exited threads.
+  static Totals Snapshot();
+};
+
+struct ReadLogEntry {
+  std::atomic<Word>* orec;
+  Word version;
+};
+
+struct LockLogEntry {
+  std::atomic<Word>* orec;
+  Word old_word;  // pre-lock orec body, restored on abort
+};
+
+// Value-based logs for the `val` layout (no orecs; the word is its own meta-data).
+struct ValReadLogEntry {
+  std::atomic<Word>* word;
+  Word value;
+};
+
+struct ValLockLogEntry {
+  std::atomic<Word>* word;
+  Word old_value;  // displaced application value, restored on abort
+};
+
+struct alignas(kCacheLineSize) TxDesc {
+  TxDesc()
+      : thread_slot(ThreadRegistry::CurrentId()),
+        backoff(0xb0ffULL + static_cast<std::uint64_t>(thread_slot) * 0x9e3779b9ULL) {
+    read_log.reserve(256);
+    lock_log.reserve(64);
+    val_read_log.reserve(256);
+    val_lock_log.reserve(64);
+    TxStatsRegistry::Register(&stats);
+  }
+
+  ~TxDesc() { TxStatsRegistry::Unregister(&stats); }
+
+  int thread_slot;
+  Backoff backoff;
+  TxStats stats;
+
+  // Full-transaction logs (orec/tvar layouts).
+  std::vector<ReadLogEntry> read_log;
+  WriteSet wset;
+  std::vector<LockLogEntry> lock_log;
+
+  // Full-transaction logs (val layout).
+  std::vector<ValReadLogEntry> val_read_log;
+  std::vector<ValLockLogEntry> val_lock_log;
+};
+
+// One descriptor per (thread, TM domain). The descriptor address doubles as the lock
+// owner identity stored in locked orecs, so it must remain stable for the thread's
+// lifetime — guaranteed by thread_local storage duration.
+template <typename DomainTag>
+TxDesc& DescOf() {
+  thread_local TxDesc desc;
+  return desc;
+}
+
+}  // namespace spectm
+
+#endif  // SPECTM_TM_TXDESC_H_

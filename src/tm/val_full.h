@@ -1,0 +1,215 @@
+// General-purpose transactions over the `val` layout ("val-full").
+//
+// Needed for two reasons: (1) the paper's Figure 5 measures it (its per-read read-set
+// revalidation "dominates execution time"), and (2) the val-short data structures use
+// it as the fall-back for operations that exceed short-transaction limits — e.g.
+// skip-list towers above level 2 (§3) — so it must share the 1-bit-lock protocol with
+// ValShortTm.
+//
+// Design: value-based read log (there are no versions to record), hash write set,
+// deferred updates, commit-time locking. Opacity is preserved by revalidating the
+// whole value log after every read under the ValidationPolicy's commit-counter
+// stability rule (NOrec-style); with NonReuseValidation the counter check vanishes
+// and soundness rests on the paper's special cases, exactly as in Figure 5's setup
+// ("The val-full RO transactions assume the non-re-use property from Section 2.4").
+#ifndef SPECTM_TM_VAL_FULL_H_
+#define SPECTM_TM_VAL_FULL_H_
+
+#include <atomic>
+#include <cassert>
+
+#include "src/common/cacheline.h"
+#include "src/common/tagged.h"
+#include "src/tm/config.h"
+#include "src/tm/txdesc.h"
+#include "src/tm/val_short.h"
+#include "src/tm/val_word.h"
+
+namespace spectm {
+
+template <typename ValidationT>
+class ValFullTm {
+ public:
+  using Validation = ValidationT;
+  using Slot = ValSlot;
+
+  class Tx {
+   public:
+    Tx() = default;
+    Tx(const Tx&) = delete;
+    Tx& operator=(const Tx&) = delete;
+
+    void Start() {
+      desc_ = &DescOf<ValDomainTag>();
+      desc_->val_read_log.clear();
+      desc_->wset.Clear();
+      desc_->val_lock_log.clear();
+      active_ = true;
+      user_abort_ = false;
+      sample_ = Validation::Sample();
+    }
+
+    Word Read(Slot* s) {
+      if (!active_) {
+        return 0;
+      }
+      Word buffered;
+      if (!desc_->wset.Empty() && desc_->wset.Lookup(s, &buffered)) {
+        return buffered;
+      }
+      int spins = 0;
+      Word w;
+      while (true) {
+        w = s->word.load(std::memory_order_acquire);
+        if (!ValIsLocked(w)) {
+          break;
+        }
+        // Commit-time locking: owner is mid-commit; wait briefly, then concede.
+        if (++spins > kReadLockSpin) {
+          return Fail();
+        }
+        CpuRelax();
+      }
+      desc_->val_read_log.push_back(ValReadLogEntry{&s->word, w});
+      // Per-read full revalidation — the val-full cost highlighted in Figure 5.
+      if (!ValidateReads()) {
+        return Fail();
+      }
+      return w;
+    }
+
+    void Write(Slot* s, Word value) {
+      if (!active_) {
+        return;
+      }
+      assert((value & kLockBit) == 0 && "val layout reserves bit 0 (use EncodeInt)");
+      desc_->wset.Put(s, value);
+    }
+
+    void AbortTx() { user_abort_ = true; }
+
+    bool ok() const { return active_; }
+
+    bool Commit() {
+      if (!active_) {
+        OnAbort();
+        return false;
+      }
+      active_ = false;
+      if (user_abort_) {
+        desc_->stats.aborts.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      if (desc_->wset.Empty()) {
+        OnCommit();
+        return true;  // reads were kept consistent incrementally
+      }
+      for (const WriteSet::Entry& e : desc_->wset) {
+        auto* word = &static_cast<Slot*>(e.addr)->word;
+        Word w = word->load(std::memory_order_relaxed);
+        while (true) {
+          if (ValIsLocked(w)) {
+            // Never wait while holding locks (conservative deadlock avoidance).
+            ReleaseLocks();
+            OnAbort();
+            return false;
+          }
+          if (word->compare_exchange_weak(w, MakeValLocked(desc_),
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed)) {
+            desc_->val_lock_log.push_back(ValLockLogEntry{word, w});
+            break;
+          }
+        }
+      }
+      if (!ValidateReads()) {
+        ReleaseLocks();
+        OnAbort();
+        return false;
+      }
+      Validation::OnWriterCommit(desc_);  // before the stores, while locks are held
+      for (const WriteSet::Entry& e : desc_->wset) {
+        // The value store is also the lock release: one atomic write (§2.4).
+        static_cast<Slot*>(e.addr)->word.store(e.value, std::memory_order_release);
+      }
+      OnCommit();
+      return true;
+    }
+
+   private:
+    Word Fail() {
+      active_ = false;
+      return 0;
+    }
+
+    // Value-based read-log validation under commit-counter stability. Entries locked
+    // by our own commit are compared against the displaced value they held.
+    bool ValidateReads() {
+      while (true) {
+        for (const ValReadLogEntry& e : desc_->val_read_log) {
+          const Word v = e.word->load(std::memory_order_acquire);
+          if (v == e.value) {
+            continue;
+          }
+          if (ValIsLocked(v) && ValOwnerOf(v) == desc_) {
+            if (FindDisplacedValue(e.word) == e.value) {
+              continue;
+            }
+          }
+          return false;
+        }
+        if (Validation::Stable(sample_)) {
+          return true;
+        }
+        sample_ = Validation::Sample();
+      }
+    }
+
+    Word FindDisplacedValue(const std::atomic<Word>* word) const {
+      for (const ValLockLogEntry& l : desc_->val_lock_log) {
+        if (l.word == word) {
+          return l.old_value;
+        }
+      }
+      assert(false && "self-locked word missing from lock log");
+      return ~Word{0};
+    }
+
+    void ReleaseLocks() {
+      for (const ValLockLogEntry& l : desc_->val_lock_log) {
+        l.word->store(l.old_value, std::memory_order_release);
+      }
+      desc_->val_lock_log.clear();
+    }
+
+    void OnCommit() {
+      desc_->stats.commits.fetch_add(1, std::memory_order_relaxed);
+      desc_->backoff.OnCommit();
+    }
+
+    void OnAbort() {
+      desc_->stats.aborts.fetch_add(1, std::memory_order_relaxed);
+      desc_->backoff.OnAbort();
+    }
+
+    TxDesc* desc_ = nullptr;
+    Word sample_ = 0;
+    bool active_ = false;
+    bool user_abort_ = false;
+  };
+
+  template <typename Body>
+  static void Atomically(Body&& body) {
+    Tx tx;
+    do {
+      tx.Start();
+      body(tx);
+    } while (!tx.Commit());
+  }
+
+  static TxStats& StatsForCurrentThread() { return DescOf<ValDomainTag>().stats; }
+};
+
+}  // namespace spectm
+
+#endif  // SPECTM_TM_VAL_FULL_H_

@@ -1,0 +1,286 @@
+// SpecTM short transactions over the `val` layout (§2.4) — the paper's fastest
+// variant ("val-short"), matching lock-free CAS-based code within a few percent.
+//
+// Mechanics relative to short_tm.h:
+//   * an RW read is a single CAS (value -> owner|1); the displaced value both *is*
+//     the read result and the abort-restore record;
+//   * commit is a plain release store per location — data and meta-data update in one
+//     atomic write, no version to publish, no clock to increment;
+//   * RO validation compares values; a locked word can never equal a recorded value
+//     (bit 0), so lock detection is free;
+//   * the general-case safety net is the ValidationPolicy commit counter (see
+//     val_word.h); the default NonReuseValidation makes it a no-op.
+//
+// Single-operation transactions collapse to bare atomic instructions: SingleRead is
+// one load, SingleCas one compare-and-swap — this is precisely how val-short "closes
+// the gap with the performance of the CAS-based implementation" (§2.4).
+#ifndef SPECTM_TM_VAL_SHORT_H_
+#define SPECTM_TM_VAL_SHORT_H_
+
+#include <atomic>
+#include <cassert>
+#include <initializer_list>
+
+#include "src/common/cacheline.h"
+#include "src/common/inline_vec.h"
+#include "src/common/tagged.h"
+#include "src/tm/config.h"
+#include "src/tm/txdesc.h"
+#include "src/tm/val_word.h"
+
+namespace spectm {
+
+struct ValDomainTag {};
+
+template <typename ValidationT>
+class ValShortTm {
+ public:
+  using Validation = ValidationT;
+  using Slot = ValSlot;
+
+  class ShortTx {
+   public:
+    ShortTx() : desc_(&DescOf<ValDomainTag>()) {}
+    ~ShortTx() {
+      if (!finished_) {
+        Abort();
+      }
+    }
+    ShortTx(const ShortTx&) = delete;
+    ShortTx& operator=(const ShortTx&) = delete;
+
+    // Encounter-time locking in one CAS; the displaced word is the value read.
+    Word ReadRw(Slot* s) {
+      assert(!finished_);
+      if (!valid_) {
+        return 0;
+      }
+      assert(!rw_.Full() && "short transaction exceeds kMaxShortWrites locations");
+      Word w = s->word.load(std::memory_order_relaxed);
+      while (true) {
+        if (ValIsLocked(w)) {
+          assert(ValOwnerOf(w) != desc_ && "accesses must name distinct locations");
+          valid_ = false;  // conservative deadlock avoidance (§2.4)
+          return 0;
+        }
+        if (s->word.compare_exchange_weak(w, MakeValLocked(desc_),
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed)) {
+          rw_.PushBack(RwEntry{s, w});
+          return w;
+        }
+      }
+    }
+
+    // Invisible read; value recorded for later validation. Earlier entries are
+    // revalidated so the caller always sees a consistent prefix.
+    Word ReadRo(Slot* s) {
+      assert(!finished_);
+      if (!valid_) {
+        return 0;
+      }
+      assert(!ro_.Full() && "short transaction exceeds kMaxShortReads locations");
+      const Word w = s->word.load(std::memory_order_acquire);
+      if (ValIsLocked(w)) {
+        assert(ValOwnerOf(w) != desc_ && "RO and RW sets must be disjoint");
+        valid_ = false;
+        return 0;
+      }
+      ro_.PushBack(RoEntry{s, w, /*upgraded=*/false});
+      if (!ValidateRo()) {
+        valid_ = false;
+        return 0;
+      }
+      return w;
+    }
+
+    bool Valid() const { return valid_; }
+
+    // Value-based validation of the RO set (Tx_RO_k_Is_Valid). Under a counter-based
+    // ValidationPolicy this loops until the commit counter is stable across a full
+    // value re-check (NOrec-style); under NonReuseValidation it is one pass.
+    bool ValidateRo() const {
+      Word sample = Validation::Sample();
+      while (true) {
+        for (const RoEntry& e : ro_) {
+          if (e.upgraded) {
+            continue;  // pinned by our own lock
+          }
+          if (e.slot->word.load(std::memory_order_acquire) != e.value) {
+            return false;  // changed — or locked, which can never equal a value
+          }
+        }
+        if (Validation::Stable(sample)) {
+          return true;
+        }
+        sample = Validation::Sample();
+      }
+    }
+
+    // Tx_Upgrade_RO_x_To_RW_y: lock the location at exactly the value observed.
+    bool UpgradeRoToRw(int ro_index) {
+      assert(!finished_);
+      if (!valid_) {
+        return false;
+      }
+      assert(ro_index >= 0 && static_cast<std::size_t>(ro_index) < ro_.Size());
+      assert(!rw_.Full());
+      RoEntry& e = ro_[static_cast<std::size_t>(ro_index)];
+      Word expected = e.value;
+      if (!e.slot->word.compare_exchange_strong(expected, MakeValLocked(desc_),
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_relaxed)) {
+        valid_ = false;
+        return false;
+      }
+      e.upgraded = true;
+      rw_.PushBack(RwEntry{e.slot, e.value});
+      return true;
+    }
+
+    // Tx_RW_k_Commit: one release store per location — store value == release lock.
+    // Always succeeds (encounter-time locks pin the read set); bool for interface
+    // parity with fine-grained adapters.
+    bool CommitRw(std::initializer_list<Word> values) {
+      assert(valid_ && !finished_);
+      assert(values.size() == rw_.Size() && "commit arity must match RW access count");
+      Validation::OnWriterCommit(desc_);  // before the stores, while locks are held
+      const Word* v = values.begin();
+      for (std::size_t i = 0; i < rw_.Size(); ++i) {
+        assert((v[i] & kLockBit) == 0 && "val layout reserves bit 0 (use EncodeInt)");
+        rw_[i].slot->word.store(v[i], std::memory_order_release);
+      }
+      Finish(/*committed=*/true);
+      return true;
+    }
+
+    // Tx_RO_x_RW_y_Commit: validate the remaining RO entries, then commit.
+    bool CommitMixed(std::initializer_list<Word> values) {
+      assert(valid_ && !finished_);
+      assert(values.size() == rw_.Size());
+      if (!ValidateRo()) {
+        Abort();
+        return false;
+      }
+      Validation::OnWriterCommit(desc_);
+      const Word* v = values.begin();
+      for (std::size_t i = 0; i < rw_.Size(); ++i) {
+        assert((v[i] & kLockBit) == 0 && "val layout reserves bit 0 (use EncodeInt)");
+        rw_[i].slot->word.store(v[i], std::memory_order_release);
+      }
+      Finish(/*committed=*/true);
+      return true;
+    }
+
+    // Tx_RW_k_Abort: put the displaced values back.
+    void Abort() {
+      for (const RwEntry& e : rw_) {
+        e.slot->word.store(e.old_value, std::memory_order_release);
+      }
+      const bool untouched = rw_.Empty() && ro_.Empty() && valid_;
+      finished_ = true;
+      valid_ = false;
+      if (!untouched) {
+        desc_->stats.aborts.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+
+    void Reset() {
+      if (!finished_) {
+        Abort();
+      }
+      rw_.Clear();
+      ro_.Clear();
+      valid_ = true;
+      finished_ = false;
+    }
+
+    std::size_t RwCount() const { return rw_.Size(); }
+    std::size_t RoCount() const { return ro_.Size(); }
+
+   private:
+    struct RwEntry {
+      Slot* slot;
+      Word old_value;
+    };
+    struct RoEntry {
+      Slot* slot;
+      Word value;
+      bool upgraded;
+    };
+
+    void Finish(bool committed) {
+      finished_ = true;
+      valid_ = false;
+      if (committed) {
+        desc_->stats.commits.fetch_add(1, std::memory_order_relaxed);
+        desc_->backoff.OnCommit();
+      }
+    }
+
+    TxDesc* desc_;
+    InlineVec<RwEntry, kMaxShortWrites> rw_;
+    InlineVec<RoEntry, kMaxShortReads> ro_;
+    bool valid_ = true;
+    bool finished_ = false;
+  };
+
+  // --- Single-operation transactions --------------------------------------------------
+
+  // One atomic load (spinning past transient locks).
+  static Word SingleRead(Slot* s) {
+    while (true) {
+      const Word w = s->word.load(std::memory_order_acquire);
+      if (!ValIsLocked(w)) {
+        return w;
+      }
+      CpuRelax();
+    }
+  }
+
+  // One atomic CAS from the observed unlocked value to the new value: never clobbers
+  // a concurrent owner's lock word.
+  static void SingleWrite(Slot* s, Word value) {
+    assert((value & kLockBit) == 0 && "val layout reserves bit 0 (use EncodeInt)");
+    Validation::OnWriterCommit(&DescOf<ValDomainTag>());
+    Word w = s->word.load(std::memory_order_relaxed);
+    while (true) {
+      if (ValIsLocked(w)) {
+        CpuRelax();
+        w = s->word.load(std::memory_order_relaxed);
+        continue;
+      }
+      if (s->word.compare_exchange_weak(w, value, std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+
+  // One atomic CAS — identical cost to raw hardware CAS (§2.4). Returns the observed
+  // value; success iff it equals `expected`.
+  static Word SingleCas(Slot* s, Word expected, Word desired) {
+    assert((desired & kLockBit) == 0 && "val layout reserves bit 0 (use EncodeInt)");
+    Validation::OnWriterCommit(&DescOf<ValDomainTag>());
+    while (true) {
+      Word w = s->word.load(std::memory_order_acquire);
+      if (ValIsLocked(w)) {
+        CpuRelax();
+        continue;
+      }
+      if (w != expected) {
+        return w;
+      }
+      if (s->word.compare_exchange_weak(w, desired, std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+        return expected;
+      }
+    }
+  }
+
+  static TxStats& StatsForCurrentThread() { return DescOf<ValDomainTag>().stats; }
+};
+
+}  // namespace spectm
+
+#endif  // SPECTM_TM_VAL_SHORT_H_

@@ -1,0 +1,115 @@
+// The `val` meta-data layout (Figure 3(c)): a transactional location is ONE word in
+// which bit 0 is reserved as the STM lock bit.
+//
+//   unlocked: the 63-bit application value (bit 0 clear — aligned pointer or
+//             EncodeInt()-shifted integer, §2.4)
+//   locked:   (TxDesc* | 1) — the displaced value is saved in the owner's record
+//
+// "Traditional STMs need to perform a sequence of three reads (orec, data word and
+// then orec again) to get a correct snapshot... When data and meta-data are held in
+// the same word, this sequence becomes a single atomic read. Similarly, at
+// commit-time, the entire TVar can be updated by an atomic write." (§2.4)
+//
+// With no version numbers, read-only validation is value-based. The paper identifies
+// three cases where that is safe without extra machinery (§2.4): (1) transactions
+// that update everything they read (locks pin all of it), (2) "mostly-read-write"
+// transactions with a single read-only location (the read is the linearization
+// point), (3) locations with the non-re-use property (here: node pointers protected
+// by epoch-based reclamation). For the general case, Dalessandro et al.'s global
+// commit counter — or the distributed per-thread variant — makes value-based
+// validation safe; both are provided as ValidationPolicy implementations and their
+// cost is measured in bench/abl_val_validation.
+#ifndef SPECTM_TM_VAL_WORD_H_
+#define SPECTM_TM_VAL_WORD_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/common/cacheline.h"
+#include "src/common/tagged.h"
+#include "src/common/thread_registry.h"
+#include "src/tm/txdesc.h"
+
+namespace spectm {
+
+struct ValSlot {
+  std::atomic<Word> word{0};
+};
+
+constexpr bool ValIsLocked(Word w) { return (w & kLockBit) != 0; }
+
+inline TxDesc* ValOwnerOf(Word w) {
+  return reinterpret_cast<TxDesc*>(static_cast<std::uintptr_t>(w & ~kLockBit));
+}
+
+inline Word MakeValLocked(TxDesc* owner) {
+  return static_cast<Word>(reinterpret_cast<std::uintptr_t>(owner)) | kLockBit;
+}
+
+// --- Validation policies -------------------------------------------------------------
+//
+// Protocol shared by all writers (short RW commits, full commits, single writes):
+// while holding the lock(s), call OnWriterCommit() BEFORE the value stores that
+// release them. A validator whose Sample() is stable across a value re-check then
+// knows that any commit it could have missed was still holding its locks during the
+// re-check — and a held lock always fails the value comparison, because a locked word
+// has bit 0 set and recorded values never do.
+
+// Case-3 reliance: no tracking at all. Sound when values satisfy non-re-use (or one
+// of the other two special cases); this is the paper's default for val-short.
+struct NonReuseValidation {
+  static constexpr const char* kName = "non-reuse";
+  static Word Sample() { return 0; }
+  static bool Stable(Word /*sample*/) { return true; }
+  static void OnWriterCommit(TxDesc* /*self*/) {}
+};
+
+// One shared commit counter (Dalessandro et al.): cheap to read, but every writer
+// commit contends on one cache line.
+struct GlobalCounterValidation {
+  static constexpr const char* kName = "global-counter";
+
+  static std::atomic<Word>& Counter() {
+    static CacheAligned<std::atomic<Word>> counter;
+    return *counter;
+  }
+
+  static Word Sample() { return Counter().load(std::memory_order_seq_cst); }
+  static bool Stable(Word sample) { return Sample() == sample; }
+  static void OnWriterCommit(TxDesc* /*self*/) {
+    Counter().fetch_add(1, std::memory_order_seq_cst);
+  }
+};
+
+// Distributed counters (§2.4 last paragraph): each thread bumps its own padded
+// counter on commit — "fast to (logically) increment the shared counter, at the cost
+// of reading all of the threads' counters" when validating. Counters only increase,
+// so an unchanged sum implies every individual counter is unchanged.
+struct PerThreadCounterValidation {
+  static constexpr const char* kName = "per-thread-counters";
+
+  static Word Sample() {
+    const int bound = ThreadRegistry::IdBound();
+    Word sum = 0;
+    for (int i = 0; i < bound; ++i) {
+      sum += Counters()[i]->load(std::memory_order_seq_cst);
+    }
+    return sum;
+  }
+
+  static bool Stable(Word sample) { return Sample() == sample; }
+
+  static void OnWriterCommit(TxDesc* self) {
+    Counters()[self->thread_slot]->fetch_add(1, std::memory_order_seq_cst);
+  }
+
+ private:
+  static CacheAligned<std::atomic<Word>>* Counters() {
+    static CacheAligned<std::atomic<Word>> counters[ThreadRegistry::kMaxThreads];
+    return counters;
+  }
+};
+
+}  // namespace spectm
+
+#endif  // SPECTM_TM_VAL_WORD_H_

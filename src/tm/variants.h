@@ -1,0 +1,108 @@
+// Named TM domains ("families") binding a meta-data layout, a clock policy, and the
+// engines that share them. A family is what data-structure templates are instantiated
+// over; the structure decides which API it uses:
+//
+//   TmHashSet<OrecG>    -> "orec-full-g"   (whole-operation transactions, §2.1)
+//   SpecHashSet<OrecG>  -> "orec-short-g"  (decomposed short transactions, §2.2)
+//   SpecHashSet<TvarG>  -> "tvar-short-g"  (short + co-located meta-data, §2.3)
+//   SpecHashSet<Val>    -> "val-short"     (short + 1-bit meta-data, §2.4)
+//   ...
+//
+// Short and full transactions within one family interoperate: they agree on the orec
+// (or lock-bit) protocol and on version numbering, which is what lets a data
+// structure run its common cases as short transactions and fall back to full
+// transactions elsewhere (§2.2, §3).
+#ifndef SPECTM_TM_VARIANTS_H_
+#define SPECTM_TM_VARIANTS_H_
+
+#include <cassert>
+
+#include "src/common/tagged.h"
+#include "src/tm/clock.h"
+#include "src/tm/full_tm.h"
+#include "src/tm/layout.h"
+#include "src/tm/short_tm.h"
+#include "src/tm/val_full.h"
+#include "src/tm/val_short.h"
+#include "src/tm/val_word.h"
+
+namespace spectm {
+
+namespace internal {
+
+template <typename Tag, template <typename> class LayoutTmpl,
+          template <typename> class ClockTmpl>
+struct OrecBasedFamily {
+  using DomainTag = Tag;
+  using Layout = LayoutTmpl<Tag>;
+  using Clock = ClockTmpl<Tag>;
+  using Full = FullTm<Layout, Clock, Tag>;
+  using Short = ShortTm<Layout, Clock, Tag>;
+  using Slot = typename Layout::Slot;
+  using FullTx = typename Full::Tx;
+  using ShortTx = typename Short::ShortTx;
+
+  static Word SingleRead(Slot* s) { return Short::SingleRead(s); }
+  static void SingleWrite(Slot* s, Word v) { Short::SingleWrite(s, v); }
+  static Word SingleCas(Slot* s, Word expected, Word desired) {
+    return Short::SingleCas(s, expected, desired);
+  }
+
+  // Non-transactional accessors for thread-private data (e.g. initializing a node's
+  // links before it is published into a shared structure).
+  static void RawWrite(Slot* s, Word v) {
+    Layout::Data(*s).store(v, std::memory_order_relaxed);
+  }
+  static Word RawRead(Slot* s) {
+    return Layout::Data(*s).load(std::memory_order_relaxed);
+  }
+};
+
+template <typename ValidationT>
+struct ValFamilyT {
+  using Validation = ValidationT;
+  using Full = ValFullTm<ValidationT>;
+  using Short = ValShortTm<ValidationT>;
+  using Slot = ValSlot;
+  using FullTx = typename Full::Tx;
+  using ShortTx = typename Short::ShortTx;
+
+  static Word SingleRead(Slot* s) { return Short::SingleRead(s); }
+  static void SingleWrite(Slot* s, Word v) { Short::SingleWrite(s, v); }
+  static Word SingleCas(Slot* s, Word expected, Word desired) {
+    return Short::SingleCas(s, expected, desired);
+  }
+
+  static void RawWrite(Slot* s, Word v) {
+    assert((v & kLockBit) == 0 && "val layout reserves bit 0 (use EncodeInt)");
+    s->word.store(v, std::memory_order_relaxed);
+  }
+  static Word RawRead(Slot* s) { return s->word.load(std::memory_order_relaxed); }
+};
+
+}  // namespace internal
+
+struct OrecGTag {};
+struct OrecLTag {};
+struct TvarGTag {};
+struct TvarLTag {};
+
+// Shared orec table + global version clock (Figure 3(a), TL2-style).
+using OrecG = internal::OrecBasedFamily<OrecGTag, OrecLayout, GlobalClockPolicy>;
+// Shared orec table + per-orec version numbers.
+using OrecL = internal::OrecBasedFamily<OrecLTag, OrecLayout, LocalClockPolicy>;
+// Co-located TVar meta-data + global clock (Figure 3(b)).
+using TvarG = internal::OrecBasedFamily<TvarGTag, TvarLayout, GlobalClockPolicy>;
+// Co-located TVar meta-data + per-orec versions.
+using TvarL = internal::OrecBasedFamily<TvarLTag, TvarLayout, LocalClockPolicy>;
+
+// 1-bit meta-data with value-based validation (Figure 3(c)); version-free by default
+// (relies on the paper's three special cases, §2.4), with counter-backed general
+// modes for code outside those cases.
+using Val = internal::ValFamilyT<NonReuseValidation>;
+using ValGlobalCounter = internal::ValFamilyT<GlobalCounterValidation>;
+using ValPerThreadCounter = internal::ValFamilyT<PerThreadCounterValidation>;
+
+}  // namespace spectm
+
+#endif  // SPECTM_TM_VARIANTS_H_

@@ -1,0 +1,100 @@
+// Tests for the benchmark harness itself: the paper's aggregation statistic, the
+// throughput runner, workload prefill, and the table printer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+
+#include "src/benchsupport/runner.h"
+#include "src/benchsupport/table.h"
+#include "src/benchsupport/workload.h"
+
+namespace spectm {
+namespace {
+
+TEST(AggregateRuns, EmptyIsZero) { EXPECT_EQ(AggregateRuns({}), 0.0); }
+
+TEST(AggregateRuns, FewerThanThreeIsPlainMean) {
+  EXPECT_DOUBLE_EQ(AggregateRuns({4.0}), 4.0);
+  EXPECT_DOUBLE_EQ(AggregateRuns({2.0, 6.0}), 4.0);
+}
+
+TEST(AggregateRuns, DropsMinAndMax) {
+  // Paper: "the mean of 6 runs with the lowest and the highest discarded".
+  EXPECT_DOUBLE_EQ(AggregateRuns({100.0, 1.0, 5.0, 5.0, 5.0, 5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(AggregateRuns({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(AggregateRuns, OutliersDoNotSkew) {
+  const double clean = AggregateRuns({10.0, 10.0, 10.0, 10.0, 10.0, 10.0});
+  const double outlier = AggregateRuns({10.0, 10.0, 10.0, 10.0, 10.0, 10000.0});
+  EXPECT_DOUBLE_EQ(clean, outlier);
+}
+
+TEST(RunThroughput, CountsAllThreadOps) {
+  const ThroughputResult r = RunThroughput(
+      4, 50, [](int, const std::atomic<bool>& stop) {
+        std::uint64_t ops = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          ++ops;
+        }
+        return ops;
+      });
+  EXPECT_GT(r.total_ops, 0u);
+  EXPECT_GT(r.duration_s, 0.04);
+  EXPECT_NEAR(r.ops_per_sec, static_cast<double>(r.total_ops) / r.duration_s, 1.0);
+}
+
+TEST(RunThroughput, DistinctThreadIndices) {
+  std::atomic<std::uint64_t> mask{0};
+  RunThroughput(8, 10, [&](int tid, const std::atomic<bool>& stop) {
+    mask.fetch_or(1ULL << tid);
+    while (!stop.load(std::memory_order_relaxed)) {
+    }
+    return std::uint64_t{1};
+  });
+  EXPECT_EQ(mask.load(), 0xffULL);
+}
+
+TEST(Workload, PrefillIsDeterministicAndRoughlyHalf) {
+  struct CountingSet {
+    std::set<std::uint64_t> keys;
+    bool Insert(std::uint64_t k) { return keys.insert(k).second; }
+  };
+  WorkloadConfig cfg;
+  cfg.key_range = 65536;
+  CountingSet a, b;
+  PrefillHalf(a, cfg);
+  PrefillHalf(b, cfg);
+  EXPECT_EQ(a.keys, b.keys) << "prefill must be deterministic for a fixed seed";
+  EXPECT_NEAR(static_cast<double>(a.keys.size()), 32768.0, 800.0);
+}
+
+TEST(TextTable, AlignsAndSeparates) {
+  TextTable t({"name", "value"});
+  t.AddRow({"a", "1.00"});
+  t.AddRow({"longer-name", "12.34"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+  // Right-aligned numeric column: "12.34" and " 1.00" end at the same offset.
+  const auto line1_end = s.find('\n', s.find("a "));
+  ASSERT_NE(line1_end, std::string::npos);
+}
+
+TEST(TextTable, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::Num(2.0, 0), "2");
+  EXPECT_EQ(TextTable::Num(1234.5678, 3), "1234.568");
+}
+
+TEST(BenchKnobs, DefaultsRespectEnvironment) {
+  // No env set in tests: defaults come back.
+  EXPECT_GE(BenchRuns(3), 1);
+  EXPECT_GE(BenchDurationMs(300), 1);
+}
+
+}  // namespace
+}  // namespace spectm

@@ -1,0 +1,75 @@
+#include "src/common/inline_vec.h"
+
+#include <gtest/gtest.h>
+
+namespace spectm {
+namespace {
+
+TEST(InlineVec, StartsEmpty) {
+  InlineVec<int, 4> v;
+  EXPECT_TRUE(v.Empty());
+  EXPECT_EQ(v.Size(), 0u);
+  EXPECT_FALSE(v.Full());
+  EXPECT_EQ(v.Capacity(), 4u);
+}
+
+TEST(InlineVec, PushAndIndex) {
+  InlineVec<int, 4> v;
+  v.PushBack(10);
+  v.PushBack(20);
+  EXPECT_EQ(v.Size(), 2u);
+  EXPECT_EQ(v[0], 10);
+  EXPECT_EQ(v[1], 20);
+}
+
+TEST(InlineVec, FullAtCapacity) {
+  InlineVec<int, 2> v;
+  v.PushBack(1);
+  EXPECT_FALSE(v.Full());
+  v.PushBack(2);
+  EXPECT_TRUE(v.Full());
+}
+
+TEST(InlineVec, ClearResets) {
+  InlineVec<int, 4> v;
+  v.PushBack(1);
+  v.PushBack(2);
+  v.Clear();
+  EXPECT_TRUE(v.Empty());
+  v.PushBack(3);
+  EXPECT_EQ(v[0], 3);
+}
+
+TEST(InlineVec, RangeForIteratesInOrder) {
+  InlineVec<int, 8> v;
+  for (int i = 0; i < 5; ++i) {
+    v.PushBack(i * i);
+  }
+  int expected = 0;
+  for (int x : v) {
+    EXPECT_EQ(x, expected * expected);
+    ++expected;
+  }
+  EXPECT_EQ(expected, 5);
+}
+
+TEST(InlineVec, EmplaceAggregates) {
+  struct Pair {
+    int a;
+    int b;
+  };
+  InlineVec<Pair, 2> v;
+  v.EmplaceBack(1, 2);
+  EXPECT_EQ(v[0].a, 1);
+  EXPECT_EQ(v[0].b, 2);
+}
+
+TEST(InlineVec, MutationThroughIndex) {
+  InlineVec<int, 2> v;
+  v.PushBack(5);
+  v[0] = 9;
+  EXPECT_EQ(v[0], 9);
+}
+
+}  // namespace
+}  // namespace spectm

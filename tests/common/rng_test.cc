@@ -1,0 +1,93 @@
+#include "src/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace spectm {
+namespace {
+
+TEST(Xorshift128Plus, DeterministicForSeed) {
+  Xorshift128Plus a(42);
+  Xorshift128Plus b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Xorshift128Plus, DifferentSeedsDiverge) {
+  Xorshift128Plus a(1);
+  Xorshift128Plus b(2);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Xorshift128Plus, ZeroSeedIsUsable) {
+  Xorshift128Plus r(0);
+  bool any_nonzero = false;
+  for (int i = 0; i < 100; ++i) {
+    if (r.Next() != 0) {
+      any_nonzero = true;
+    }
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(Xorshift128Plus, BoundedStaysInRange) {
+  Xorshift128Plus r(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 65536ULL}) {
+    for (int i = 0; i < 2000; ++i) {
+      EXPECT_LT(r.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(Xorshift128Plus, BoundedCoversRange) {
+  Xorshift128Plus r(3);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    ++hits[r.NextBounded(10)];
+  }
+  for (int h : hits) {
+    EXPECT_GT(h, 500) << "bucket starved; distribution badly skewed";
+  }
+}
+
+TEST(Xorshift128Plus, PercentStaysInRange) {
+  Xorshift128Plus r(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.NextPercent(), 100u);
+  }
+}
+
+TEST(Xorshift128Plus, SkipListLevelsGeometric) {
+  Xorshift128Plus r(11);
+  constexpr int kSamples = 200000;
+  std::vector<int> counts(33, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    const int level = r.NextSkipListLevel(32);
+    ASSERT_GE(level, 1);
+    ASSERT_LE(level, 32);
+    ++counts[level];
+  }
+  // P(level = 1) = 1/2, P(level = 2) = 1/4: check within loose tolerance.
+  EXPECT_NEAR(static_cast<double>(counts[1]) / kSamples, 0.5, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / kSamples, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[3]) / kSamples, 0.125, 0.02);
+}
+
+TEST(Xorshift128Plus, SkipListLevelRespectsMax) {
+  Xorshift128Plus r(13);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LE(r.NextSkipListLevel(4), 4);
+  }
+}
+
+}  // namespace
+}  // namespace spectm

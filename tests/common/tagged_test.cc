@@ -1,0 +1,41 @@
+#include "src/common/tagged.h"
+
+#include <gtest/gtest.h>
+
+#include "src/tm/config.h"
+
+namespace spectm {
+namespace {
+
+TEST(Tagged, MarkRoundTrip) {
+  int dummy;
+  const Word p = PtrToWord(&dummy);
+  EXPECT_FALSE(IsMarked(p)) << "aligned pointers must start unmarked";
+  const Word m = Mark(p);
+  EXPECT_TRUE(IsMarked(m));
+  EXPECT_EQ(Unmark(m), p);
+  EXPECT_EQ(WordToPtr<int>(Unmark(m)), &dummy);
+}
+
+TEST(Tagged, MarkDoesNotDisturbLockBit) {
+  const Word w = 0;
+  EXPECT_FALSE(IsLocked(Mark(w)));
+  EXPECT_TRUE(IsMarked(Mark(w)));
+}
+
+TEST(Tagged, PtrRoundTrip) {
+  double dummy;
+  EXPECT_EQ(WordToPtr<double>(PtrToWord(&dummy)), &dummy);
+}
+
+TEST(Tagged, EncodeIntKeepsReservedBitsClear) {
+  for (std::uint64_t v : {0ULL, 1ULL, 2ULL, 65535ULL, (1ULL << 60) - 1}) {
+    const Word w = EncodeInt(v);
+    EXPECT_FALSE(IsLocked(w));
+    EXPECT_FALSE(IsMarked(w));
+    EXPECT_EQ(DecodeInt(w), v);
+  }
+}
+
+}  // namespace
+}  // namespace spectm

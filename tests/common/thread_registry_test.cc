@@ -1,0 +1,67 @@
+#include "src/common/thread_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace spectm {
+namespace {
+
+TEST(ThreadRegistry, StableIdWithinThread) {
+  const int id1 = ThreadRegistry::CurrentId();
+  const int id2 = ThreadRegistry::CurrentId();
+  EXPECT_EQ(id1, id2);
+  EXPECT_GE(id1, 0);
+  EXPECT_LT(id1, ThreadRegistry::kMaxThreads);
+}
+
+TEST(ThreadRegistry, DistinctIdsAcrossLiveThreads) {
+  constexpr int kThreads = 16;
+  std::vector<int> ids(kThreads, -1);
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      ids[i] = ThreadRegistry::CurrentId();
+      ready.fetch_add(1);
+      while (!go.load()) {
+        // Hold the slot until all threads have claimed one.
+      }
+    });
+  }
+  while (ready.load() != kThreads) {
+  }
+  go.store(true);
+  for (auto& t : threads) {
+    t.join();
+  }
+  std::set<int> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), static_cast<std::size_t>(kThreads));
+}
+
+TEST(ThreadRegistry, IdBoundCoversClaimedIds) {
+  const int id = ThreadRegistry::CurrentId();
+  EXPECT_GT(ThreadRegistry::IdBound(), id);
+}
+
+TEST(ThreadRegistry, SlotsAreReusedAfterExit) {
+  int first = -1;
+  std::thread a([&] { first = ThreadRegistry::CurrentId(); });
+  a.join();
+  // The slot is free again; a new thread should be able to claim an id no larger
+  // than the high-water mark left behind.
+  int second = -1;
+  std::thread b([&] { second = ThreadRegistry::CurrentId(); });
+  b.join();
+  EXPECT_GE(first, 0);
+  EXPECT_GE(second, 0);
+  EXPECT_LE(second, ThreadRegistry::IdBound());
+}
+
+}  // namespace
+}  // namespace spectm

@@ -1,0 +1,120 @@
+#include "src/common/write_set.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace spectm {
+namespace {
+
+TEST(WriteSet, EmptyLookupMisses) {
+  WriteSet ws;
+  int x;
+  std::uint64_t v;
+  EXPECT_TRUE(ws.Empty());
+  EXPECT_FALSE(ws.Lookup(&x, &v));
+}
+
+TEST(WriteSet, PutThenLookup) {
+  WriteSet ws;
+  int x, y;
+  ws.Put(&x, 11);
+  ws.Put(&y, 22);
+  std::uint64_t v = 0;
+  EXPECT_TRUE(ws.Lookup(&x, &v));
+  EXPECT_EQ(v, 11u);
+  EXPECT_TRUE(ws.Lookup(&y, &v));
+  EXPECT_EQ(v, 22u);
+  EXPECT_EQ(ws.Size(), 2u);
+}
+
+TEST(WriteSet, PutOverwritesInPlace) {
+  WriteSet ws;
+  int x;
+  ws.Put(&x, 1);
+  ws.Put(&x, 2);
+  EXPECT_EQ(ws.Size(), 1u);
+  std::uint64_t v = 0;
+  EXPECT_TRUE(ws.Lookup(&x, &v));
+  EXPECT_EQ(v, 2u);
+}
+
+TEST(WriteSet, IterationPreservesInsertionOrder) {
+  WriteSet ws;
+  std::vector<int> targets(10);
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    ws.Put(&targets[i], i);
+  }
+  std::size_t idx = 0;
+  for (const WriteSet::Entry& e : ws) {
+    EXPECT_EQ(e.addr, &targets[idx]);
+    EXPECT_EQ(e.value, idx);
+    ++idx;
+  }
+  EXPECT_EQ(idx, targets.size());
+}
+
+TEST(WriteSet, ClearIsCheapAndComplete) {
+  WriteSet ws;
+  int x;
+  ws.Put(&x, 5);
+  ws.Clear();
+  EXPECT_TRUE(ws.Empty());
+  std::uint64_t v;
+  EXPECT_FALSE(ws.Lookup(&x, &v));
+  // Reuse after clear must behave like a fresh set.
+  ws.Put(&x, 6);
+  EXPECT_TRUE(ws.Lookup(&x, &v));
+  EXPECT_EQ(v, 6u);
+}
+
+TEST(WriteSet, GrowthBeyondInitialCapacity) {
+  WriteSet ws;
+  std::vector<std::uint64_t> targets(1000);
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    ws.Put(&targets[i], i * 3);
+  }
+  EXPECT_EQ(ws.Size(), targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    std::uint64_t v = 0;
+    ASSERT_TRUE(ws.Lookup(&targets[i], &v));
+    EXPECT_EQ(v, i * 3);
+  }
+}
+
+// Property-style fuzz against std::map as the reference model, across many
+// clear/reuse generations (the descriptor-reuse pattern of §4.1).
+TEST(WriteSet, FuzzAgainstReferenceModel) {
+  WriteSet ws;
+  Xorshift128Plus rng(12345);
+  std::vector<std::uint64_t> arena(256);
+  for (int gen = 0; gen < 50; ++gen) {
+    std::map<void*, std::uint64_t> model;
+    const int ops = 200;
+    for (int i = 0; i < ops; ++i) {
+      void* addr = &arena[rng.NextBounded(arena.size())];
+      if (rng.NextBounded(100) < 70) {
+        const std::uint64_t value = rng.Next();
+        ws.Put(addr, value);
+        model[addr] = value;
+      } else {
+        std::uint64_t got = 0;
+        const bool hit = ws.Lookup(addr, &got);
+        const auto it = model.find(addr);
+        ASSERT_EQ(hit, it != model.end());
+        if (hit) {
+          ASSERT_EQ(got, it->second);
+        }
+      }
+    }
+    ASSERT_EQ(ws.Size(), model.size());
+    ws.Clear();
+  }
+}
+
+}  // namespace
+}  // namespace spectm

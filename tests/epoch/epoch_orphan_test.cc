@@ -1,0 +1,116 @@
+// Thread-exit handling in the epoch reclaimer: a thread that retires objects and
+// then exits must hand its limbo objects to the orphan list, where a later advance
+// by any surviving thread frees them (no leak, no premature free).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/epoch/epoch.h"
+
+namespace spectm {
+namespace {
+
+struct Canary {
+  static std::atomic<int> live;
+  std::uint64_t payload = 0xfeedULL;
+  Canary() { live.fetch_add(1); }
+  ~Canary() {
+    payload = 0xdeadULL;
+    live.fetch_sub(1);
+  }
+};
+std::atomic<int> Canary::live{0};
+
+TEST(EpochOrphans, ExitedThreadsObjectsAreEventuallyFreed) {
+  Canary::live.store(0);
+  EpochManager mgr;
+  {
+    std::thread worker([&] {
+      EpochManager::Guard g(mgr);
+      for (int i = 0; i < 100; ++i) {
+        mgr.Retire(new Canary);
+      }
+    });
+    worker.join();  // thread exit hands the limbo bags to the orphan list
+  }
+  EXPECT_EQ(mgr.PendingCount(), 100u) << "orphans must survive the thread";
+  mgr.ReclaimAllForTesting();  // a surviving thread's advance frees them
+  EXPECT_EQ(mgr.PendingCount(), 0u);
+  EXPECT_EQ(Canary::live.load(), 0);
+}
+
+TEST(EpochOrphans, OrphansRespectActiveGuards) {
+  Canary::live.store(0);
+  EpochManager mgr;
+  std::atomic<bool> guard_held{false};
+  std::atomic<bool> release{false};
+  Canary* observed = nullptr;
+
+  std::thread reader([&] {
+    EpochManager::Guard g(mgr);
+    guard_held.store(true);
+    while (!release.load()) {
+      CpuRelax();
+    }
+  });
+  while (!guard_held.load()) {
+    CpuRelax();
+  }
+
+  std::thread writer([&] {
+    EpochManager::Guard g(mgr);
+    observed = new Canary;
+    mgr.Retire(observed);
+  });
+  writer.join();
+
+  mgr.ReclaimAllForTesting();
+  EXPECT_EQ(observed->payload, 0xfeedULL)
+      << "orphaned object freed while a pre-existing guard is active";
+
+  release.store(true);
+  reader.join();
+  mgr.ReclaimAllForTesting();
+  EXPECT_EQ(Canary::live.load(), 0);
+}
+
+TEST(EpochOrphans, ManyShortLivedThreads) {
+  Canary::live.store(0);
+  EpochManager mgr;
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::thread> workers;
+    for (int t = 0; t < 4; ++t) {
+      workers.emplace_back([&] {
+        for (int i = 0; i < 50; ++i) {
+          EpochManager::Guard g(mgr);
+          mgr.Retire(new Canary);
+        }
+      });
+    }
+    for (auto& w : workers) {
+      w.join();
+    }
+  }
+  mgr.ReclaimAllForTesting();
+  EXPECT_EQ(mgr.PendingCount(), 0u);
+  EXPECT_EQ(Canary::live.load(), 0);
+}
+
+TEST(EpochOrphans, DestructorDrainsOrphans) {
+  Canary::live.store(0);
+  {
+    EpochManager mgr;
+    std::thread worker([&] {
+      EpochManager::Guard g(mgr);
+      mgr.Retire(new Canary);
+    });
+    worker.join();
+    // No reclaim call: the manager destructor must free the orphan.
+  }
+  EXPECT_EQ(Canary::live.load(), 0);
+}
+
+}  // namespace
+}  // namespace spectm

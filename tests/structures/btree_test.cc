@@ -1,0 +1,155 @@
+// Tests for the transactional B+-tree (the paper's §6 future-work structure),
+// including structural invariants (splits, height growth), ordered range scans, and
+// the shared concurrent set battery.
+#include "src/structures/btree_tm.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+
+#include "src/tm/pver.h"
+#include "src/tm/variants.h"
+#include "tests/structures/set_battery.h"
+
+namespace spectm {
+namespace {
+
+using testbattery::ConcurrentDisjointInserts;
+using testbattery::ConcurrentPartitionedFuzz;
+using testbattery::ConcurrentSharedKeyAccounting;
+using testbattery::FuzzAgainstReference;
+using testbattery::ReadersDuringChurn;
+
+template <typename Tree>
+class BTreeSuite : public ::testing::Test {
+ protected:
+  Tree tree_{};
+};
+
+using BTreeVariants = ::testing::Types<TmBTree<OrecG>, TmBTree<OrecL>, TmBTree<TvarG>,
+                                       TmBTree<TvarL>, TmBTree<Val>, TmBTree<Pver>>;
+TYPED_TEST_SUITE(BTreeSuite, BTreeVariants);
+
+TYPED_TEST(BTreeSuite, BasicSemantics) {
+  auto& t = this->tree_;
+  EXPECT_FALSE(t.Contains(5));
+  EXPECT_TRUE(t.Insert(5));
+  EXPECT_TRUE(t.Contains(5));
+  EXPECT_FALSE(t.Insert(5));
+  EXPECT_TRUE(t.Remove(5));
+  EXPECT_FALSE(t.Contains(5));
+  EXPECT_FALSE(t.Remove(5));
+}
+
+TYPED_TEST(BTreeSuite, SplitsGrowHeight) {
+  auto& t = this->tree_;
+  EXPECT_EQ(t.Height(), 1);
+  // Enough ascending keys to force several levels of splits (fanout 16).
+  for (std::uint64_t k = 0; k < 2000; ++k) {
+    ASSERT_TRUE(t.Insert(k));
+  }
+  EXPECT_GE(t.Height(), 3);
+  for (std::uint64_t k = 0; k < 2000; ++k) {
+    ASSERT_TRUE(t.Contains(k)) << k;
+  }
+}
+
+TYPED_TEST(BTreeSuite, DescendingAndInterleavedInserts) {
+  auto& t = this->tree_;
+  for (std::uint64_t k = 1000; k > 0; --k) {
+    ASSERT_TRUE(t.Insert(k * 2));
+  }
+  for (std::uint64_t k = 1; k <= 1000; ++k) {
+    ASSERT_TRUE(t.Insert(k * 2 - 1));  // interleave odds
+  }
+  for (std::uint64_t k = 1; k <= 2000; ++k) {
+    ASSERT_TRUE(t.Contains(k)) << k;
+  }
+}
+
+TYPED_TEST(BTreeSuite, RangeCountMatchesReference) {
+  auto& t = this->tree_;
+  std::set<std::uint64_t> model;
+  Xorshift128Plus rng(99);
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint64_t k = rng.NextBounded(10000);
+    t.Insert(k);
+    model.insert(k);
+  }
+  for (auto [lo, hi] : {std::pair<std::uint64_t, std::uint64_t>{0, 9999},
+                        {100, 200},
+                        {5000, 5000},
+                        {9000, 9999},
+                        {42, 4242}}) {
+    std::uint64_t expected = 0;
+    for (auto it = model.lower_bound(lo); it != model.end() && *it <= hi; ++it) {
+      ++expected;
+    }
+    EXPECT_EQ(t.RangeCount(lo, hi), expected) << "[" << lo << "," << hi << "]";
+  }
+}
+
+TYPED_TEST(BTreeSuite, RemoveThenReinsertAcrossSplitBoundaries) {
+  auto& t = this->tree_;
+  for (std::uint64_t k = 0; k < 500; ++k) {
+    ASSERT_TRUE(t.Insert(k));
+  }
+  for (std::uint64_t k = 0; k < 500; k += 2) {
+    ASSERT_TRUE(t.Remove(k));
+  }
+  for (std::uint64_t k = 0; k < 500; ++k) {
+    ASSERT_EQ(t.Contains(k), k % 2 == 1) << k;
+  }
+  for (std::uint64_t k = 0; k < 500; k += 2) {
+    ASSERT_TRUE(t.Insert(k));
+  }
+  EXPECT_EQ(t.RangeCount(0, 499), 500u);
+}
+
+TYPED_TEST(BTreeSuite, FuzzAgainstReference) {
+  FuzzAgainstReference(this->tree_, 15000, 512, 2025);
+}
+
+TYPED_TEST(BTreeSuite, ConcurrentDisjointInserts) {
+  ConcurrentDisjointInserts(this->tree_, 8, 1000);
+}
+
+TYPED_TEST(BTreeSuite, ConcurrentPartitionedFuzz) {
+  ConcurrentPartitionedFuzz(this->tree_, 8, 5000, 128);
+}
+
+TYPED_TEST(BTreeSuite, ConcurrentSharedKeyAccounting) {
+  ConcurrentSharedKeyAccounting(this->tree_, 8, 5000, 64);
+}
+
+TYPED_TEST(BTreeSuite, ReadersDuringChurn) {
+  ReadersDuringChurn(this->tree_, 3, 3, 10000, 256);
+}
+
+// Range scans concurrent with inserts must see internally consistent snapshots:
+// count(0, N) can only grow as an insert-only workload proceeds.
+TYPED_TEST(BTreeSuite, RangeCountMonotoneUnderInserts) {
+  auto& t = this->tree_;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> violations{0};
+  std::thread scanner([&] {
+    std::uint64_t last = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::uint64_t now = t.RangeCount(0, 1u << 20);
+      if (now < last) {
+        violations.fetch_add(1);
+      }
+      last = now;
+    }
+  });
+  for (std::uint64_t k = 0; k < 5000; ++k) {
+    t.Insert(k * 7 % (1u << 16));
+  }
+  stop.store(true, std::memory_order_release);
+  scanner.join();
+  EXPECT_EQ(violations.load(), 0u);
+}
+
+}  // namespace
+}  // namespace spectm

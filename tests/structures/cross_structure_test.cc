@@ -1,0 +1,145 @@
+// Cross-structure interference: multiple data structures instantiated over the SAME
+// TM family share that family's meta-data infrastructure — for orec layouts, one
+// global ownership-record table and one version clock. Distinct structures can
+// therefore false-conflict through orec hash collisions (§2.3), and every engine
+// must remain correct (just slower) when that happens. These tests run a hash set, a
+// skip list, a B-tree, and a hash map of one family concurrently and verify each
+// structure's invariants independently.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/structures/btree_tm.h"
+#include "src/structures/hash_map_tm.h"
+#include "src/structures/hash_tm_short.h"
+#include "src/structures/skip_tm_short.h"
+#include "src/tm/pver.h"
+#include "src/tm/variants.h"
+
+namespace spectm {
+namespace {
+
+template <typename Family>
+class CrossStructure : public ::testing::Test {};
+
+using Families = ::testing::Types<OrecG, OrecL, TvarG, TvarL, Val, Pver>;
+TYPED_TEST_SUITE(CrossStructure, Families);
+
+TYPED_TEST(CrossStructure, FourStructuresOneFamilyConcurrently) {
+  using F = TypeParam;
+  SpecHashSet<F> hash_set(512);
+  SpecSkipList<F> skip_list;
+  TmBTree<F> btree;
+  SpecHashMap<F> map(512);
+
+  constexpr int kThreadsPerStructure = 2;
+  constexpr int kOps = 4000;
+  constexpr std::uint64_t kRange = 512;
+
+  std::vector<std::thread> threads;
+
+  // Hash set workers: partitioned accounting.
+  std::vector<std::atomic<std::int64_t>> hash_net(kRange);
+  for (auto& n : hash_net) {
+    n.store(0);
+  }
+  for (int t = 0; t < kThreadsPerStructure; ++t) {
+    threads.emplace_back([&, t] {
+      Xorshift128Plus rng(static_cast<std::uint64_t>(t) + 11);
+      for (int i = 0; i < kOps; ++i) {
+        const std::uint64_t k = rng.NextBounded(kRange);
+        if (rng.NextBounded(2) == 0) {
+          if (hash_set.Insert(k)) {
+            hash_net[k].fetch_add(1);
+          }
+        } else {
+          if (hash_set.Remove(k)) {
+            hash_net[k].fetch_sub(1);
+          }
+        }
+      }
+    });
+  }
+
+  // Skip list workers: same protocol on a disjoint logical keyspace.
+  std::vector<std::atomic<std::int64_t>> skip_net(kRange);
+  for (auto& n : skip_net) {
+    n.store(0);
+  }
+  for (int t = 0; t < kThreadsPerStructure; ++t) {
+    threads.emplace_back([&, t] {
+      Xorshift128Plus rng(static_cast<std::uint64_t>(t) + 22);
+      for (int i = 0; i < kOps; ++i) {
+        const std::uint64_t k = rng.NextBounded(kRange);
+        if (rng.NextBounded(2) == 0) {
+          if (skip_list.Insert(k)) {
+            skip_net[k].fetch_add(1);
+          }
+        } else {
+          if (skip_list.Remove(k)) {
+            skip_net[k].fetch_sub(1);
+          }
+        }
+      }
+    });
+  }
+
+  // B-tree workers: insert-only, distinct per-thread ranges.
+  for (int t = 0; t < kThreadsPerStructure; ++t) {
+    threads.emplace_back([&, t] {
+      const std::uint64_t base = 10000 + static_cast<std::uint64_t>(t) * kOps;
+      for (std::uint64_t i = 0; i < kOps; ++i) {
+        ASSERT_TRUE(btree.Insert(base + i));
+      }
+    });
+  }
+
+  // Map workers: per-key atomic increments.
+  for (std::uint64_t k = 0; k < 8; ++k) {
+    map.Put(k, 0);
+  }
+  for (int t = 0; t < kThreadsPerStructure; ++t) {
+    threads.emplace_back([&, t] {
+      Xorshift128Plus rng(static_cast<std::uint64_t>(t) + 33);
+      for (int i = 0; i < kOps; ++i) {
+        ASSERT_TRUE(map.Update(rng.NextBounded(8),
+                               [](std::uint64_t x) { return x + 1; }));
+      }
+    });
+  }
+
+  for (auto& th : threads) {
+    th.join();
+  }
+
+  // Each structure's invariant holds despite shared meta-data.
+  for (std::uint64_t k = 0; k < kRange; ++k) {
+    const std::int64_t hn = hash_net[k].load();
+    ASSERT_TRUE(hn == 0 || hn == 1);
+    ASSERT_EQ(hash_set.Contains(k), hn == 1) << "hash key " << k;
+    const std::int64_t sn = skip_net[k].load();
+    ASSERT_TRUE(sn == 0 || sn == 1);
+    ASSERT_EQ(skip_list.Contains(k), sn == 1) << "skip key " << k;
+  }
+  for (int t = 0; t < kThreadsPerStructure; ++t) {
+    const std::uint64_t base = 10000 + static_cast<std::uint64_t>(t) * kOps;
+    ASSERT_TRUE(btree.Contains(base));
+    ASSERT_TRUE(btree.Contains(base + kOps - 1));
+  }
+  EXPECT_EQ(btree.RangeCount(10000, 10000 + 2 * kOps - 1),
+            static_cast<std::uint64_t>(kThreadsPerStructure) * kOps);
+  std::uint64_t map_total = 0;
+  for (std::uint64_t k = 0; k < 8; ++k) {
+    std::uint64_t v = 0;
+    ASSERT_TRUE(map.Get(k, &v));
+    map_total += v;
+  }
+  EXPECT_EQ(map_total, static_cast<std::uint64_t>(kThreadsPerStructure) * kOps);
+}
+
+}  // namespace
+}  // namespace spectm

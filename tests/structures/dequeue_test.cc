@@ -1,0 +1,150 @@
+// Tests for the paper's §2 running example: the bounded double-ended queue, in both
+// its traditional-STM (§2.1) and SpecTM short-transaction (§2.2) forms.
+#include "src/structures/dequeue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/tm/config.h"
+#include "src/tm/pver.h"
+#include "src/tm/val_eager.h"
+#include "src/tm/variants.h"
+
+namespace spectm {
+namespace {
+
+template <typename Q>
+class DequeueSuite : public ::testing::Test {
+ protected:
+  Q q_{64};
+};
+
+using DequeueVariants =
+    ::testing::Types<TmDequeue<OrecG>, TmDequeue<TvarG>, TmDequeue<Val>,
+                     TmDequeue<ValEager>, SpecDequeue<OrecG>, SpecDequeue<OrecL>,
+                     SpecDequeue<TvarG>, SpecDequeue<TvarL>, SpecDequeue<Val>,
+                     SpecDequeue<Pver>>;
+TYPED_TEST_SUITE(DequeueSuite, DequeueVariants);
+
+TYPED_TEST(DequeueSuite, EmptyPopsReturnZero) {
+  EXPECT_EQ(this->q_.PopLeft(), 0u);
+  EXPECT_EQ(this->q_.PopRight(), 0u);
+}
+
+TYPED_TEST(DequeueSuite, FifoAcrossEnds) {
+  auto& q = this->q_;
+  EXPECT_TRUE(q.PushRight(EncodeInt(1)));
+  EXPECT_TRUE(q.PushRight(EncodeInt(2)));
+  EXPECT_TRUE(q.PushRight(EncodeInt(3)));
+  EXPECT_EQ(DecodeInt(q.PopLeft()), 1u);
+  EXPECT_EQ(DecodeInt(q.PopLeft()), 2u);
+  EXPECT_EQ(DecodeInt(q.PopLeft()), 3u);
+  EXPECT_EQ(q.PopLeft(), 0u);
+}
+
+TYPED_TEST(DequeueSuite, LifoAtOneEnd) {
+  auto& q = this->q_;
+  EXPECT_TRUE(q.PushLeft(EncodeInt(1)));
+  EXPECT_TRUE(q.PushLeft(EncodeInt(2)));
+  EXPECT_EQ(DecodeInt(q.PopLeft()), 2u);
+  EXPECT_EQ(DecodeInt(q.PopLeft()), 1u);
+}
+
+TYPED_TEST(DequeueSuite, MixedEndsBehaveAsDeque) {
+  auto& q = this->q_;
+  q.PushLeft(EncodeInt(10));   // [10]
+  q.PushRight(EncodeInt(20));  // [10 20]
+  q.PushLeft(EncodeInt(5));    // [5 10 20]
+  EXPECT_EQ(DecodeInt(q.PopRight()), 20u);
+  EXPECT_EQ(DecodeInt(q.PopRight()), 10u);
+  EXPECT_EQ(DecodeInt(q.PopRight()), 5u);
+}
+
+TYPED_TEST(DequeueSuite, FillToCapacityThenOverflow) {
+  auto& q = this->q_;
+  const std::size_t cap = q.Capacity();
+  // The NULL-slot representation distinguishes a full queue from an empty one even
+  // when left == right (§2.1), so all `capacity` slots are usable.
+  std::size_t pushed = 0;
+  while (q.PushRight(EncodeInt(pushed + 1))) {
+    ++pushed;
+  }
+  EXPECT_EQ(pushed, cap);
+  EXPECT_FALSE(q.PushLeft(EncodeInt(999))) << "full queue must reject both ends";
+  EXPECT_EQ(DecodeInt(q.PopLeft()), 1u);
+  EXPECT_TRUE(q.PushRight(EncodeInt(1000)));
+}
+
+TYPED_TEST(DequeueSuite, WrapAroundManyTimes) {
+  auto& q = this->q_;
+  for (std::uint64_t round = 1; round <= 500; ++round) {
+    ASSERT_TRUE(q.PushRight(EncodeInt(round)));
+    ASSERT_EQ(DecodeInt(q.PopLeft()), round);
+  }
+}
+
+// Conservation under concurrency: total sum pushed == total sum popped, and the
+// number of residual items equals pushes minus pops.
+TYPED_TEST(DequeueSuite, ConcurrentConservation) {
+  auto& q = this->q_;
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 20000;
+  std::atomic<std::uint64_t> pushed_sum{0};
+  std::atomic<std::uint64_t> popped_sum{0};
+  std::atomic<std::int64_t> net_count{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Xorshift128Plus rng(static_cast<std::uint64_t>(t) + 9);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::uint64_t v = 1 + rng.NextBounded(1000);
+        switch (rng.NextBounded(4)) {
+          case 0:
+            if (q.PushLeft(EncodeInt(v))) {
+              pushed_sum.fetch_add(v);
+              net_count.fetch_add(1);
+            }
+            break;
+          case 1:
+            if (q.PushRight(EncodeInt(v))) {
+              pushed_sum.fetch_add(v);
+              net_count.fetch_add(1);
+            }
+            break;
+          case 2:
+            if (const Word w = q.PopLeft(); w != 0) {
+              popped_sum.fetch_add(DecodeInt(w));
+              net_count.fetch_sub(1);
+            }
+            break;
+          default:
+            if (const Word w = q.PopRight(); w != 0) {
+              popped_sum.fetch_add(DecodeInt(w));
+              net_count.fetch_sub(1);
+            }
+            break;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  // Drain the residue.
+  std::uint64_t residue_sum = 0;
+  std::int64_t residue_count = 0;
+  while (const Word w = q.PopLeft()) {
+    residue_sum += DecodeInt(w);
+    ++residue_count;
+  }
+  EXPECT_EQ(residue_count, net_count.load());
+  EXPECT_EQ(pushed_sum.load(), popped_sum.load() + residue_sum);
+}
+
+}  // namespace
+}  // namespace spectm

@@ -1,0 +1,104 @@
+// Correctness battery for every hash-table integer-set variant: lock-free (Harris/
+// Fraser), whole-operation transactional (hash_tm_full) and SpecTM short-transaction
+// (hash_tm_short) over all meta-data layouts.
+#include <gtest/gtest.h>
+
+#include "src/structures/hash_lockfree.h"
+#include "src/structures/hash_seq.h"
+#include "src/structures/hash_tm_full.h"
+#include "src/structures/hash_tm_short.h"
+#include "src/tm/pver.h"
+#include "src/tm/val_eager.h"
+#include "src/tm/variants.h"
+#include "tests/structures/set_battery.h"
+
+namespace spectm {
+namespace {
+
+using testbattery::ConcurrentDisjointInserts;
+using testbattery::ConcurrentPartitionedFuzz;
+using testbattery::ConcurrentSharedKeyAccounting;
+using testbattery::FuzzAgainstReference;
+using testbattery::ReadersDuringChurn;
+
+TEST(SeqHashSet, FuzzAgainstReference) {
+  SeqHashSet set(256);
+  FuzzAgainstReference(set, 20000, 512, 42);
+}
+
+TEST(SeqHashSet, SizeTracksMembership) {
+  SeqHashSet set(16);
+  EXPECT_EQ(set.Size(), 0u);
+  EXPECT_TRUE(set.Insert(1));
+  EXPECT_TRUE(set.Insert(2));
+  EXPECT_FALSE(set.Insert(1));
+  EXPECT_EQ(set.Size(), 2u);
+  EXPECT_TRUE(set.Remove(1));
+  EXPECT_FALSE(set.Remove(1));
+  EXPECT_EQ(set.Size(), 1u);
+}
+
+template <typename Set>
+class HashSetSuite : public ::testing::Test {
+ protected:
+  Set set_{1024};
+};
+
+using HashVariants =
+    ::testing::Types<LockFreeHashSet, TmHashSet<OrecG>, TmHashSet<OrecL>,
+                     TmHashSet<TvarG>, TmHashSet<TvarL>, TmHashSet<Val>,
+                     TmHashSet<ValEager>, SpecHashSet<OrecG>, SpecHashSet<OrecL>,
+                     SpecHashSet<TvarG>, SpecHashSet<TvarL>, SpecHashSet<Val>,
+                     SpecHashSet<Pver>>;
+TYPED_TEST_SUITE(HashSetSuite, HashVariants);
+
+TYPED_TEST(HashSetSuite, BasicSemantics) {
+  auto& set = this->set_;
+  EXPECT_FALSE(set.Contains(10));
+  EXPECT_TRUE(set.Insert(10));
+  EXPECT_TRUE(set.Contains(10));
+  EXPECT_FALSE(set.Insert(10)) << "duplicate insert must fail";
+  EXPECT_TRUE(set.Remove(10));
+  EXPECT_FALSE(set.Contains(10));
+  EXPECT_FALSE(set.Remove(10)) << "double remove must fail";
+}
+
+TYPED_TEST(HashSetSuite, ChainOrderIndependence) {
+  auto& set = this->set_;
+  // Keys chosen to collide heavily in a 1024-bucket table.
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    EXPECT_TRUE(set.Insert(k * 1024));
+  }
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    EXPECT_TRUE(set.Contains(k * 1024));
+  }
+  for (std::uint64_t k = 0; k < 64; k += 2) {
+    EXPECT_TRUE(set.Remove(k * 1024));
+  }
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    EXPECT_EQ(set.Contains(k * 1024), k % 2 == 1);
+  }
+}
+
+TYPED_TEST(HashSetSuite, FuzzAgainstReference) {
+  FuzzAgainstReference(this->set_, 20000, 512, 1234);
+}
+
+TYPED_TEST(HashSetSuite, ConcurrentDisjointInserts) {
+  ConcurrentDisjointInserts(this->set_, 8, 2000);
+}
+
+TYPED_TEST(HashSetSuite, ConcurrentPartitionedFuzz) {
+  ConcurrentPartitionedFuzz(this->set_, 8, 10000, 128);
+}
+
+TYPED_TEST(HashSetSuite, ConcurrentSharedKeyAccounting) {
+  ConcurrentSharedKeyAccounting(this->set_, 8, 10000, 64);
+}
+
+TYPED_TEST(HashSetSuite, ReadersDuringChurn) {
+  ReadersDuringChurn(this->set_, 3, 3, 20000, 256);
+}
+
+}  // namespace
+}  // namespace spectm

@@ -1,0 +1,189 @@
+// Shared correctness battery for integer-set implementations: sequential semantics
+// against a reference model, and concurrent invariants under contention. Used by the
+// typed suites for every hash-table and skip-list variant.
+#ifndef SPECTM_TESTS_STRUCTURES_SET_BATTERY_H_
+#define SPECTM_TESTS_STRUCTURES_SET_BATTERY_H_
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace spectm::testbattery {
+
+// Single-threaded semantics: random op stream checked against std::set.
+template <typename Set>
+void FuzzAgainstReference(Set& set, int ops, std::uint64_t key_range,
+                          std::uint64_t seed) {
+  std::set<std::uint64_t> model;
+  Xorshift128Plus rng(seed);
+  for (int i = 0; i < ops; ++i) {
+    const std::uint64_t key = rng.NextBounded(key_range);
+    switch (rng.NextBounded(3)) {
+      case 0:
+        ASSERT_EQ(set.Insert(key), model.insert(key).second) << "key " << key;
+        break;
+      case 1:
+        ASSERT_EQ(set.Remove(key), model.erase(key) == 1) << "key " << key;
+        break;
+      default:
+        ASSERT_EQ(set.Contains(key), model.count(key) == 1) << "key " << key;
+        break;
+    }
+  }
+  // Full sweep at the end.
+  for (std::uint64_t k = 0; k < key_range; ++k) {
+    ASSERT_EQ(set.Contains(k), model.count(k) == 1) << "final sweep, key " << k;
+  }
+}
+
+// Concurrent: disjoint key ranges per thread; everything inserted must be present,
+// everything outside must be absent.
+template <typename Set>
+void ConcurrentDisjointInserts(Set& set, int threads, std::uint64_t keys_per_thread) {
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      const std::uint64_t base = static_cast<std::uint64_t>(t) * keys_per_thread;
+      for (std::uint64_t k = 0; k < keys_per_thread; ++k) {
+        ASSERT_TRUE(set.Insert(base + k));
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  for (std::uint64_t k = 0; k < static_cast<std::uint64_t>(threads) * keys_per_thread;
+       ++k) {
+    ASSERT_TRUE(set.Contains(k)) << "key " << k;
+  }
+  ASSERT_FALSE(set.Contains(static_cast<std::uint64_t>(threads) * keys_per_thread));
+}
+
+// Concurrent: each thread owns a key partition and fuzzes it against a private
+// model; cross-thread interference must never corrupt another partition.
+template <typename Set>
+void ConcurrentPartitionedFuzz(Set& set, int threads, int ops_per_thread,
+                               std::uint64_t keys_per_thread) {
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      const std::uint64_t base = static_cast<std::uint64_t>(t) * keys_per_thread;
+      std::set<std::uint64_t> model;
+      Xorshift128Plus rng(static_cast<std::uint64_t>(t) * 1337 + 7);
+      for (int i = 0; i < ops_per_thread; ++i) {
+        const std::uint64_t key = base + rng.NextBounded(keys_per_thread);
+        switch (rng.NextBounded(3)) {
+          case 0:
+            ASSERT_EQ(set.Insert(key), model.insert(key).second);
+            break;
+          case 1:
+            ASSERT_EQ(set.Remove(key), model.erase(key) == 1);
+            break;
+          default:
+            ASSERT_EQ(set.Contains(key), model.count(key) == 1);
+            break;
+        }
+      }
+      for (std::uint64_t k = base; k < base + keys_per_thread; ++k) {
+        ASSERT_EQ(set.Contains(k), model.count(k) == 1);
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+}
+
+// Concurrent: all threads hammer one small shared key range. Per-key success
+// accounting must balance: (successful inserts) - (successful removes) is 0 or 1 and
+// matches final membership — any violation means an operation's return value lied.
+template <typename Set>
+void ConcurrentSharedKeyAccounting(Set& set, int threads, int ops_per_thread,
+                                   std::uint64_t key_range) {
+  std::vector<std::atomic<std::int64_t>> net(key_range);
+  for (auto& n : net) {
+    n.store(0);
+  }
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      Xorshift128Plus rng(static_cast<std::uint64_t>(t) * 271 + 31);
+      for (int i = 0; i < ops_per_thread; ++i) {
+        const std::uint64_t key = rng.NextBounded(key_range);
+        if (rng.NextBounded(2) == 0) {
+          if (set.Insert(key)) {
+            net[key].fetch_add(1, std::memory_order_relaxed);
+          }
+        } else {
+          if (set.Remove(key)) {
+            net[key].fetch_sub(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  for (std::uint64_t k = 0; k < key_range; ++k) {
+    const std::int64_t n = net[k].load();
+    ASSERT_TRUE(n == 0 || n == 1) << "key " << k << " net " << n;
+    ASSERT_EQ(set.Contains(k), n == 1) << "key " << k;
+  }
+}
+
+// Readers must never crash or misbehave while writers churn the same keys
+// (exercises traversal-through-deleted-nodes and epoch protection).
+template <typename Set>
+void ReadersDuringChurn(Set& set, int reader_threads, int writer_threads,
+                        int churn_ops, std::uint64_t key_range) {
+  for (std::uint64_t k = 0; k < key_range; k += 2) {
+    set.Insert(k);
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> lookups{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < reader_threads; ++r) {
+    readers.emplace_back([&, r] {
+      Xorshift128Plus rng(static_cast<std::uint64_t>(r) + 1000);
+      std::uint64_t count = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        set.Contains(rng.NextBounded(key_range));
+        ++count;
+      }
+      lookups.fetch_add(count);
+    });
+  }
+  std::vector<std::thread> writers;
+  for (int w = 0; w < writer_threads; ++w) {
+    writers.emplace_back([&, w] {
+      Xorshift128Plus rng(static_cast<std::uint64_t>(w) + 2000);
+      for (int i = 0; i < churn_ops; ++i) {
+        const std::uint64_t key = rng.NextBounded(key_range);
+        if (rng.NextBounded(2) == 0) {
+          set.Insert(key);
+        } else {
+          set.Remove(key);
+        }
+      }
+    });
+  }
+  for (auto& t : writers) {
+    t.join();
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) {
+    t.join();
+  }
+  EXPECT_GT(lookups.load(), 0u);
+}
+
+}  // namespace spectm::testbattery
+
+#endif  // SPECTM_TESTS_STRUCTURES_SET_BATTERY_H_

@@ -1,0 +1,107 @@
+// Correctness battery for every skip-list integer-set variant: lock-free (Fraser),
+// whole-operation transactional, SpecTM short-transaction (the §3 case study), and
+// the fine-grained full-transaction configuration of Figure 6(a).
+#include <gtest/gtest.h>
+
+#include "src/structures/skip_lockfree.h"
+#include "src/structures/skip_seq.h"
+#include "src/structures/skip_tm_full.h"
+#include "src/structures/skip_tm_short.h"
+#include "src/tm/fine_grained.h"
+#include "src/tm/pver.h"
+#include "src/tm/variants.h"
+#include "tests/structures/set_battery.h"
+
+namespace spectm {
+namespace {
+
+using testbattery::ConcurrentDisjointInserts;
+using testbattery::ConcurrentPartitionedFuzz;
+using testbattery::ConcurrentSharedKeyAccounting;
+using testbattery::FuzzAgainstReference;
+using testbattery::ReadersDuringChurn;
+
+TEST(SeqSkipList, FuzzAgainstReference) {
+  SeqSkipList set;
+  FuzzAgainstReference(set, 20000, 512, 77);
+}
+
+TEST(SeqSkipList, OrderedSemantics) {
+  SeqSkipList set;
+  for (std::uint64_t k = 100; k > 0; --k) {
+    EXPECT_TRUE(set.Insert(k));
+  }
+  EXPECT_EQ(set.Size(), 100u);
+  for (std::uint64_t k = 1; k <= 100; ++k) {
+    EXPECT_TRUE(set.Contains(k));
+    EXPECT_TRUE(set.Remove(k));
+  }
+  EXPECT_EQ(set.Size(), 0u);
+}
+
+template <typename Set>
+class SkipListSuite : public ::testing::Test {
+ protected:
+  Set set_{};
+};
+
+using SkipVariants =
+    ::testing::Types<LockFreeSkipList, TmSkipList<OrecG>, TmSkipList<OrecL>,
+                     TmSkipList<TvarG>, TmSkipList<TvarL>, TmSkipList<Val>,
+                     SpecSkipList<OrecG>, SpecSkipList<OrecL>, SpecSkipList<TvarG>,
+                     SpecSkipList<TvarL>, SpecSkipList<Val>, SpecSkipList<Pver>,
+                     SpecSkipList<FineGrainedFamily<OrecG>>>;
+TYPED_TEST_SUITE(SkipListSuite, SkipVariants);
+
+TYPED_TEST(SkipListSuite, BasicSemantics) {
+  auto& set = this->set_;
+  EXPECT_FALSE(set.Contains(10));
+  EXPECT_TRUE(set.Insert(10));
+  EXPECT_TRUE(set.Contains(10));
+  EXPECT_FALSE(set.Insert(10)) << "duplicate insert must fail";
+  EXPECT_TRUE(set.Remove(10));
+  EXPECT_FALSE(set.Contains(10));
+  EXPECT_FALSE(set.Remove(10)) << "double remove must fail";
+}
+
+TYPED_TEST(SkipListSuite, TallTowersInsertAndRemove) {
+  auto& set = this->set_;
+  // Enough inserts to generate towers above level 2 with overwhelming probability,
+  // exercising the ordinary-transaction fall-back paths (§3).
+  constexpr std::uint64_t kKeys = 4096;
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    ASSERT_TRUE(set.Insert(k));
+  }
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    ASSERT_TRUE(set.Contains(k));
+  }
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    ASSERT_TRUE(set.Remove(k));
+  }
+  for (std::uint64_t k = 0; k < kKeys; k += 64) {
+    ASSERT_FALSE(set.Contains(k));
+  }
+}
+
+TYPED_TEST(SkipListSuite, FuzzAgainstReference) {
+  FuzzAgainstReference(this->set_, 20000, 512, 4321);
+}
+
+TYPED_TEST(SkipListSuite, ConcurrentDisjointInserts) {
+  ConcurrentDisjointInserts(this->set_, 8, 2000);
+}
+
+TYPED_TEST(SkipListSuite, ConcurrentPartitionedFuzz) {
+  ConcurrentPartitionedFuzz(this->set_, 8, 10000, 128);
+}
+
+TYPED_TEST(SkipListSuite, ConcurrentSharedKeyAccounting) {
+  ConcurrentSharedKeyAccounting(this->set_, 8, 10000, 64);
+}
+
+TYPED_TEST(SkipListSuite, ReadersDuringChurn) {
+  ReadersDuringChurn(this->set_, 3, 3, 20000, 256);
+}
+
+}  // namespace
+}  // namespace spectm

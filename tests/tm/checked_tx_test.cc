@@ -1,0 +1,181 @@
+// Tests for the short-transaction contract checker (§2.2 / §6): every Figure 2
+// usage rule must be detected, and correct programs must pass through unperturbed.
+#include "src/tm/checked_tx.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/tm/config.h"
+#include "src/tm/variants.h"
+
+namespace spectm {
+namespace {
+
+template <typename Family>
+class CheckedTxSuite : public ::testing::Test {};
+
+using Families = ::testing::Types<OrecG, TvarG, Val>;
+TYPED_TEST_SUITE(CheckedTxSuite, Families);
+
+TYPED_TEST(CheckedTxSuite, CleanTransactionHasNoViolations) {
+  using F = TypeParam;
+  typename F::Slot a, b;
+  F::SingleWrite(&a, EncodeInt(1));
+  F::SingleWrite(&b, EncodeInt(2));
+  CheckedShortTx<F> t;
+  const Word va = t.ReadRw(&a);
+  const Word vb = t.ReadRw(&b);
+  ASSERT_TRUE(t.Valid());
+  EXPECT_TRUE(t.CommitRw({vb, va}));
+  EXPECT_TRUE(t.Violations().empty()) << t.ViolationReport();
+  EXPECT_EQ(DecodeInt(F::SingleRead(&a)), 2u);
+}
+
+TYPED_TEST(CheckedTxSuite, DetectsTooManyWrites) {
+  using F = TypeParam;
+  std::vector<typename F::Slot> slots(kMaxShortWrites + 1);
+  CheckedShortTx<F> t;
+  for (int i = 0; i < kMaxShortWrites; ++i) {
+    t.ReadRw(&slots[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_TRUE(t.Violations().empty());
+  t.ReadRw(&slots[static_cast<std::size_t>(kMaxShortWrites)]);
+  ASSERT_EQ(t.Violations().size(), 1u);
+  EXPECT_EQ(t.Violations()[0], TxViolation::kTooManyWrites);
+  t.Abort();
+}
+
+TYPED_TEST(CheckedTxSuite, DetectsTooManyReads) {
+  using F = TypeParam;
+  std::vector<typename F::Slot> slots(kMaxShortReads + 1);
+  CheckedShortTx<F> t;
+  for (int i = 0; i < kMaxShortReads; ++i) {
+    t.ReadRo(&slots[static_cast<std::size_t>(i)]);
+  }
+  t.ReadRo(&slots[static_cast<std::size_t>(kMaxShortReads)]);
+  ASSERT_FALSE(t.Violations().empty());
+  EXPECT_EQ(t.Violations().back(), TxViolation::kTooManyReads);
+}
+
+TYPED_TEST(CheckedTxSuite, DetectsDuplicateLocation) {
+  using F = TypeParam;
+  typename F::Slot a;
+  CheckedShortTx<F> t;
+  t.ReadRw(&a);
+  t.ReadRw(&a);
+  ASSERT_FALSE(t.Violations().empty());
+  EXPECT_EQ(t.Violations().back(), TxViolation::kDuplicateLocation);
+  t.Abort();
+}
+
+TYPED_TEST(CheckedTxSuite, DetectsRoRwOverlap) {
+  using F = TypeParam;
+  typename F::Slot a;
+  CheckedShortTx<F> t;
+  t.ReadRw(&a);
+  t.ReadRo(&a);  // "The two sets of locations must be disjoint" (§2.2)
+  ASSERT_FALSE(t.Violations().empty());
+  EXPECT_EQ(t.Violations().back(), TxViolation::kRoRwOverlap);
+  t.Abort();
+}
+
+TYPED_TEST(CheckedTxSuite, DetectsUseAfterFinish) {
+  using F = TypeParam;
+  typename F::Slot a, b;
+  CheckedShortTx<F> t;
+  t.ReadRw(&a);
+  EXPECT_TRUE(t.CommitRw({EncodeInt(1)}));
+  t.ReadRw(&b);
+  ASSERT_FALSE(t.Violations().empty());
+  EXPECT_EQ(t.Violations().back(), TxViolation::kUseAfterFinish);
+}
+
+TYPED_TEST(CheckedTxSuite, DetectsCommitArityMismatch) {
+  using F = TypeParam;
+  typename F::Slot a, b;
+  CheckedShortTx<F> t;
+  t.ReadRw(&a);
+  t.ReadRw(&b);
+  EXPECT_FALSE(t.CommitRw({EncodeInt(1)}));  // two RW accesses, one value
+  ASSERT_FALSE(t.Violations().empty());
+  EXPECT_EQ(t.Violations().back(), TxViolation::kCommitArityMismatch);
+  // The wrapper must have aborted cleanly: the slots are unlocked for other txs.
+  typename F::ShortTx t2;
+  t2.ReadRw(&a);
+  EXPECT_TRUE(t2.Valid());
+  t2.Abort();
+}
+
+TYPED_TEST(CheckedTxSuite, DetectsBadUpgradeIndex) {
+  using F = TypeParam;
+  typename F::Slot a;
+  CheckedShortTx<F> t;
+  t.ReadRo(&a);
+  EXPECT_FALSE(t.UpgradeRoToRw(3));
+  ASSERT_FALSE(t.Violations().empty());
+  EXPECT_EQ(t.Violations().back(), TxViolation::kUpgradeBadIndex);
+}
+
+TYPED_TEST(CheckedTxSuite, DetectsRepeatedUpgrade) {
+  using F = TypeParam;
+  typename F::Slot a;
+  F::SingleWrite(&a, EncodeInt(4));
+  CheckedShortTx<F> t;
+  t.ReadRo(&a);
+  EXPECT_TRUE(t.UpgradeRoToRw(0));
+  EXPECT_FALSE(t.UpgradeRoToRw(0));
+  ASSERT_FALSE(t.Violations().empty());
+  EXPECT_EQ(t.Violations().back(), TxViolation::kUpgradeRepeated);
+  t.Abort();
+}
+
+TYPED_TEST(CheckedTxSuite, DetectsCommitWhileInvalid) {
+  using F = TypeParam;
+  typename F::Slot a;
+  F::SingleWrite(&a, EncodeInt(1));
+  // Invalidate by having ANOTHER THREAD hold the location's lock: a short
+  // transaction may only conflict with other threads' records (one live record per
+  // thread per domain is the engine contract).
+  std::atomic<bool> locked{false};
+  std::atomic<bool> release{false};
+  std::thread blocker_thread([&] {
+    typename F::ShortTx blocker;
+    blocker.ReadRw(&a);
+    ASSERT_TRUE(blocker.Valid());
+    locked.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) {
+    }
+    blocker.Abort();
+  });
+  while (!locked.load(std::memory_order_acquire)) {
+  }
+
+  CheckedShortTx<F> t;
+  t.ReadRw(&a);  // conflicts: underlying tx invalid
+  EXPECT_FALSE(t.Valid());
+  EXPECT_FALSE(t.CommitRw({EncodeInt(9)}));
+  ASSERT_FALSE(t.Violations().empty());
+  EXPECT_EQ(t.Violations().back(), TxViolation::kCommitWhileInvalid);
+
+  release.store(true, std::memory_order_release);
+  blocker_thread.join();
+}
+
+TYPED_TEST(CheckedTxSuite, ViolationsPersistAcrossReset) {
+  using F = TypeParam;
+  typename F::Slot a;
+  CheckedShortTx<F> t;
+  t.ReadRw(&a);
+  t.ReadRw(&a);  // duplicate
+  ASSERT_FALSE(t.Violations().empty());
+  t.Reset();
+  EXPECT_FALSE(t.Violations().empty()) << "programmer errors must survive Reset";
+  // But the record itself is usable again.
+  EXPECT_EQ(t.RwCount(), 0u);
+}
+
+}  // namespace
+}  // namespace spectm

@@ -1,0 +1,86 @@
+// Version-management policy units: clock monotonicity, per-domain isolation, and
+// the local policy's per-orec version arithmetic.
+#include "src/tm/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/tm/orec.h"
+#include "src/tm/variants.h"
+
+namespace spectm {
+namespace {
+
+TEST(GlobalClock, CommitVersionsAreUniqueAndMonotone) {
+  using Clock = GlobalClockPolicy<struct ClockTestTagA>;
+  const Word first = Clock::NextCommitVersion();
+  const Word second = Clock::NextCommitVersion();
+  EXPECT_EQ(second, first + 1);
+  EXPECT_GE(Clock::Sample(), second);
+}
+
+TEST(GlobalClock, DomainsAreIsolated) {
+  using ClockA = GlobalClockPolicy<struct ClockTestTagB>;
+  using ClockB = GlobalClockPolicy<struct ClockTestTagC>;
+  const Word a0 = ClockA::Sample();
+  ClockB::NextCommitVersion();
+  ClockB::NextCommitVersion();
+  EXPECT_EQ(ClockA::Sample(), a0) << "clock domains must not share state";
+}
+
+TEST(GlobalClock, ConcurrentDrawsNeverCollide) {
+  using Clock = GlobalClockPolicy<struct ClockTestTagD>;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::vector<Word>> drawn(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      drawn[static_cast<std::size_t>(t)].reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) {
+        drawn[static_cast<std::size_t>(t)].push_back(Clock::NextCommitVersion());
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  // Uniqueness: total distinct values == total draws (they form a permutation of a
+  // contiguous range, so max - min + 1 == count suffices with per-thread sorting).
+  Word min_v = ~Word{0}, max_v = 0;
+  std::size_t count = 0;
+  for (const auto& v : drawn) {
+    for (Word w : v) {
+      min_v = std::min(min_v, w);
+      max_v = std::max(max_v, w);
+      ++count;
+    }
+    // Per-thread draws must be strictly increasing.
+    for (std::size_t i = 1; i < v.size(); ++i) {
+      ASSERT_LT(v[i - 1], v[i]);
+    }
+  }
+  EXPECT_EQ(max_v - min_v + 1, count);
+}
+
+TEST(LocalClock, ReleaseAdvancesPerOrec) {
+  using Clock = LocalClockPolicy<struct ClockTestTagE>;
+  EXPECT_FALSE(Clock::kHasGlobalClock);
+  // version 7 released -> version 8, independent of any shared state.
+  EXPECT_EQ(Clock::ReleaseVersion(0, MakeOrecVersion(7)), 8u);
+  EXPECT_EQ(Clock::ReleaseVersion(12345, MakeOrecVersion(0)), 1u);
+}
+
+TEST(GlobalClockRelease, UsesCommitTimestamp) {
+  using Clock = GlobalClockPolicy<struct ClockTestTagF>;
+  EXPECT_TRUE(Clock::kHasGlobalClock);
+  EXPECT_EQ(Clock::ReleaseVersion(42, MakeOrecVersion(7)), 42u)
+      << "global-clock releases ignore the old per-orec version";
+}
+
+}  // namespace
+}  // namespace spectm

@@ -1,0 +1,190 @@
+// Exhaustive arity coverage for the Figure 2 facade: every numbered function
+// (R1..R4, 1..4_Is_Valid, 1..4_Commit, 1..4_Abort, the RO_x_RW_y commit matrix, and
+// all four upgrade combinations) executes against live data at least once.
+#include <gtest/gtest.h>
+
+#include "src/tm/compat.h"
+#include "src/tm/config.h"
+#include "src/tm/variants.h"
+
+namespace spectm {
+namespace {
+
+using compat::Ptr;
+using compat::ToPtr;
+using compat::ToWord;
+using compat::TX_RECORD;
+
+class CompatArity : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 4; ++i) {
+      compat::Tx_Single_Write(&slots_[i], ToPtr(EncodeInt(static_cast<std::uint64_t>(i) + 1)));
+    }
+  }
+
+  std::uint64_t Value(int i) {
+    return DecodeInt(ToWord(compat::Tx_Single_Read(&slots_[i])));
+  }
+
+  Val::Slot slots_[4];
+};
+
+TEST_F(CompatArity, Rw1Through4CommitPaths) {
+  {
+    TX_RECORD<> t;
+    const Ptr v1 = compat::Tx_RW_R1(&t, &slots_[0]);
+    ASSERT_TRUE(compat::Tx_RW_1_Is_Valid(&t));
+    compat::Tx_RW_1_Commit(&t, ToPtr(ToWord(v1) + EncodeInt(10)));
+    EXPECT_EQ(Value(0), 11u);
+  }
+  {
+    TX_RECORD<> t;
+    compat::Tx_RW_R1(&t, &slots_[0]);
+    compat::Tx_RW_R2(&t, &slots_[1]);
+    ASSERT_TRUE(compat::Tx_RW_2_Is_Valid(&t));
+    compat::Tx_RW_2_Commit(&t, ToPtr(EncodeInt(21)), ToPtr(EncodeInt(22)));
+    EXPECT_EQ(Value(0), 21u);
+    EXPECT_EQ(Value(1), 22u);
+  }
+  {
+    TX_RECORD<> t;
+    compat::Tx_RW_R1(&t, &slots_[0]);
+    compat::Tx_RW_R2(&t, &slots_[1]);
+    compat::Tx_RW_R3(&t, &slots_[2]);
+    ASSERT_TRUE(compat::Tx_RW_3_Is_Valid(&t));
+    compat::Tx_RW_3_Commit(&t, ToPtr(EncodeInt(31)), ToPtr(EncodeInt(32)),
+                           ToPtr(EncodeInt(33)));
+    EXPECT_EQ(Value(2), 33u);
+  }
+  {
+    TX_RECORD<> t;
+    compat::Tx_RW_R1(&t, &slots_[0]);
+    compat::Tx_RW_R2(&t, &slots_[1]);
+    compat::Tx_RW_R3(&t, &slots_[2]);
+    compat::Tx_RW_R4(&t, &slots_[3]);
+    ASSERT_TRUE(compat::Tx_RW_4_Is_Valid(&t));
+    compat::Tx_RW_4_Commit(&t, ToPtr(EncodeInt(41)), ToPtr(EncodeInt(42)),
+                           ToPtr(EncodeInt(43)), ToPtr(EncodeInt(44)));
+    EXPECT_EQ(Value(0), 41u);
+    EXPECT_EQ(Value(3), 44u);
+  }
+}
+
+TEST_F(CompatArity, Rw1Through4AbortPaths) {
+  {
+    TX_RECORD<> t;
+    compat::Tx_RW_R1(&t, &slots_[0]);
+    compat::Tx_RW_1_Abort(&t);
+    EXPECT_EQ(Value(0), 1u);
+  }
+  {
+    TX_RECORD<> t;
+    compat::Tx_RW_R1(&t, &slots_[0]);
+    compat::Tx_RW_R2(&t, &slots_[1]);
+    compat::Tx_RW_2_Abort(&t);
+    EXPECT_EQ(Value(1), 2u);
+  }
+  {
+    TX_RECORD<> t;
+    compat::Tx_RW_R1(&t, &slots_[0]);
+    compat::Tx_RW_R2(&t, &slots_[1]);
+    compat::Tx_RW_R3(&t, &slots_[2]);
+    compat::Tx_RW_3_Abort(&t);
+    EXPECT_EQ(Value(2), 3u);
+  }
+  {
+    TX_RECORD<> t;
+    compat::Tx_RW_R1(&t, &slots_[0]);
+    compat::Tx_RW_R2(&t, &slots_[1]);
+    compat::Tx_RW_R3(&t, &slots_[2]);
+    compat::Tx_RW_R4(&t, &slots_[3]);
+    compat::Tx_RW_4_Abort(&t);
+    EXPECT_EQ(Value(3), 4u);
+  }
+  // After every abort the slots must be acquirable again.
+  TX_RECORD<> t;
+  compat::Tx_RW_R1(&t, &slots_[0]);
+  compat::Tx_RW_R2(&t, &slots_[1]);
+  compat::Tx_RW_R3(&t, &slots_[2]);
+  compat::Tx_RW_R4(&t, &slots_[3]);
+  EXPECT_TRUE(compat::Tx_RW_4_Is_Valid(&t));
+  compat::Tx_RW_4_Abort(&t);
+}
+
+TEST_F(CompatArity, Ro1Through4Validation) {
+  TX_RECORD<> t;
+  EXPECT_EQ(DecodeInt(ToWord(compat::Tx_RO_R1(&t, &slots_[0]))), 1u);
+  EXPECT_TRUE(compat::Tx_RO_1_Is_Valid(&t));
+  EXPECT_EQ(DecodeInt(ToWord(compat::Tx_RO_R2(&t, &slots_[1]))), 2u);
+  EXPECT_TRUE(compat::Tx_RO_2_Is_Valid(&t));
+  EXPECT_EQ(DecodeInt(ToWord(compat::Tx_RO_R3(&t, &slots_[2]))), 3u);
+  EXPECT_TRUE(compat::Tx_RO_3_Is_Valid(&t));
+  EXPECT_EQ(DecodeInt(ToWord(compat::Tx_RO_R4(&t, &slots_[3]))), 4u);
+  EXPECT_TRUE(compat::Tx_RO_4_Is_Valid(&t));
+
+  compat::Tx_Single_Write(&slots_[2], ToPtr(EncodeInt(99)));
+  EXPECT_FALSE(compat::Tx_RO_4_Is_Valid(&t)) << "stale RO set must fail validation";
+}
+
+TEST_F(CompatArity, MixedCommitMatrix) {
+  // RO_1 + RW_1 via upgrade of the single read.
+  {
+    TX_RECORD<> t;
+    compat::Tx_RO_R1(&t, &slots_[0]);
+    ASSERT_TRUE(compat::Tx_Upgrade_RO_1_To_RW_1(&t));
+    EXPECT_TRUE(compat::Tx_RO_1_RW_1_Commit(&t, ToPtr(EncodeInt(10))));
+    EXPECT_EQ(Value(0), 10u);
+  }
+  // RO_2 + RW_1: upgrade the second read (Tx_Upgrade_RO_2_To_RW_1).
+  {
+    TX_RECORD<> t;
+    compat::Tx_RO_R1(&t, &slots_[1]);
+    compat::Tx_RO_R2(&t, &slots_[2]);
+    ASSERT_TRUE(compat::Tx_Upgrade_RO_2_To_RW_1(&t));
+    EXPECT_TRUE(compat::Tx_RO_2_RW_1_Commit(&t, ToPtr(EncodeInt(20))));
+    EXPECT_EQ(Value(2), 20u);
+    EXPECT_EQ(Value(1), 2u) << "RO-only location must be untouched";
+  }
+  // RO_1 + RW_2: both reads upgraded in order (RO_1 -> RW_1, RO_2 -> RW_2).
+  {
+    TX_RECORD<> t;
+    compat::Tx_RO_R1(&t, &slots_[0]);
+    compat::Tx_RO_R2(&t, &slots_[3]);
+    ASSERT_TRUE(compat::Tx_Upgrade_RO_1_To_RW_1(&t));
+    ASSERT_TRUE(compat::Tx_Upgrade_RO_2_To_RW_2(&t));
+    EXPECT_TRUE(compat::Tx_RO_1_RW_2_Commit(&t, ToPtr(EncodeInt(30)),
+                                            ToPtr(EncodeInt(31))));
+    EXPECT_EQ(Value(0), 30u);
+    EXPECT_EQ(Value(3), 31u);
+  }
+  // RO_2 + RW_2: two pure reads, one RW read, one upgrade (Tx_Upgrade_RO_1_To_RW_2).
+  {
+    TX_RECORD<> t;
+    compat::Tx_RO_R1(&t, &slots_[1]);
+    compat::Tx_RO_R2(&t, &slots_[2]);
+    TX_RECORD<>* rec = &t;
+    // First RW access comes from a fresh RW read on another slot...
+    const Ptr v = compat::Tx_RW_R1(rec, &slots_[0]);
+    (void)v;
+    ASSERT_TRUE(compat::Tx_RW_1_Is_Valid(rec));
+    // ...then upgrade RO index 1 into RW index 2.
+    ASSERT_TRUE(compat::Tx_Upgrade_RO_1_To_RW_2(rec));
+    EXPECT_TRUE(compat::Tx_RO_2_RW_2_Commit(rec, ToPtr(EncodeInt(40)),
+                                            ToPtr(EncodeInt(41))));
+    EXPECT_EQ(Value(0), 40u);
+    EXPECT_EQ(Value(1), 41u);
+    EXPECT_EQ(Value(2), 20u) << "the remaining RO location keeps its prior value";
+  }
+}
+
+TEST_F(CompatArity, FailedUpgradeInvalidates) {
+  TX_RECORD<> t;
+  compat::Tx_RO_R1(&t, &slots_[0]);
+  compat::Tx_Single_Write(&slots_[0], ToPtr(EncodeInt(77)));
+  EXPECT_FALSE(compat::Tx_Upgrade_RO_1_To_RW_1(&t))
+      << "upgrade of a changed location must fail";
+}
+
+}  // namespace
+}  // namespace spectm

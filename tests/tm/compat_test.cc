@@ -1,0 +1,127 @@
+// Exercises the paper-faithful Figure 2 facade, including a transcription of the
+// paper's PopLeft (§2.2) and DCSS (§2.2) examples.
+#include "src/tm/compat.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "src/tm/config.h"
+#include "src/tm/variants.h"
+
+namespace spectm {
+namespace {
+
+using compat::Ptr;
+using compat::ToPtr;
+using compat::ToWord;
+using compat::TX_RECORD;
+
+TEST(Compat, SingleOps) {
+  Val::Slot s;
+  EXPECT_EQ(compat::Tx_Single_Read(&s), nullptr);
+  int dummy;
+  compat::Tx_Single_Write(&s, &dummy);
+  EXPECT_EQ(compat::Tx_Single_Read(&s), &dummy);
+  int other;
+  EXPECT_EQ(compat::Tx_Single_CAS(&s, &dummy, &other), static_cast<Ptr>(&dummy));
+  EXPECT_EQ(compat::Tx_Single_Read(&s), &other);
+}
+
+TEST(Compat, RwShortTransaction) {
+  Val::Slot a, b;
+  compat::Tx_Single_Write(&a, ToPtr(EncodeInt(1)));
+  compat::Tx_Single_Write(&b, ToPtr(EncodeInt(2)));
+
+  TX_RECORD<> t;
+  const Ptr va = compat::Tx_RW_R1(&t, &a);
+  const Ptr vb = compat::Tx_RW_R2(&t, &b);
+  ASSERT_TRUE(compat::Tx_RW_2_Is_Valid(&t));
+  compat::Tx_RW_2_Commit(&t, vb, va);  // swap
+  EXPECT_EQ(DecodeInt(ToWord(compat::Tx_Single_Read(&a))), 2u);
+  EXPECT_EQ(DecodeInt(ToWord(compat::Tx_Single_Read(&b))), 1u);
+}
+
+TEST(Compat, RoShortTransaction) {
+  Val::Slot a, b;
+  compat::Tx_Single_Write(&a, ToPtr(EncodeInt(7)));
+  compat::Tx_Single_Write(&b, ToPtr(EncodeInt(8)));
+  TX_RECORD<> t;
+  EXPECT_EQ(DecodeInt(ToWord(compat::Tx_RO_R1(&t, &a))), 7u);
+  EXPECT_EQ(DecodeInt(ToWord(compat::Tx_RO_R2(&t, &b))), 8u);
+  EXPECT_TRUE(compat::Tx_RO_2_Is_Valid(&t));
+}
+
+// The paper's DCSS function, transcribed nearly verbatim from §2.2.
+bool PaperDcss(Val::Slot* a1, Val::Slot* a2, Ptr o1, Ptr o2, Ptr n1) {
+  TX_RECORD<> t;
+restart:
+  t.Restart();
+  if (compat::Tx_RO_R1(&t, a1) == o1 && compat::Tx_RO_R2(&t, a2) == o2 &&
+      compat::Tx_Upgrade_RO_1_To_RW_1(&t)) {
+    if (compat::Tx_RO_2_RW_1_Commit(&t, n1)) {
+      return true;
+    }
+  } else if (compat::Tx_RO_2_Is_Valid(&t)) {
+    return false;
+  }
+  goto restart;
+}
+
+TEST(Compat, PaperDcssSemantics) {
+  Val::Slot a1, a2;
+  compat::Tx_Single_Write(&a1, ToPtr(EncodeInt(1)));
+  compat::Tx_Single_Write(&a2, ToPtr(EncodeInt(2)));
+
+  EXPECT_TRUE(PaperDcss(&a1, &a2, ToPtr(EncodeInt(1)), ToPtr(EncodeInt(2)),
+                        ToPtr(EncodeInt(42))));
+  EXPECT_EQ(DecodeInt(ToWord(compat::Tx_Single_Read(&a1))), 42u);
+
+  EXPECT_FALSE(PaperDcss(&a1, &a2, ToPtr(EncodeInt(1)), ToPtr(EncodeInt(2)),
+                         ToPtr(EncodeInt(13))));
+  EXPECT_EQ(DecodeInt(ToWord(compat::Tx_Single_Read(&a1))), 42u);
+}
+
+// The facade over an orec-based family behaves identically.
+TEST(Compat, WorksOverOrecFamily) {
+  OrecG::Slot a;
+  compat::Tx_Single_Write<OrecG>(&a, ToPtr(EncodeInt(3)));
+  TX_RECORD<OrecG> t;
+  const Ptr v = compat::Tx_RW_R1<OrecG>(&t, &a);
+  ASSERT_TRUE(compat::Tx_RW_1_Is_Valid<OrecG>(&t));
+  compat::Tx_RW_1_Commit<OrecG>(&t, ToPtr(ToWord(v) + EncodeInt(1)));
+  EXPECT_EQ(DecodeInt(ToWord(compat::Tx_Single_Read<OrecG>(&a))), 4u);
+}
+
+TEST(Compat, ConcurrentCompatIncrements) {
+  Val::Slot counter;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      TX_RECORD<> rec;
+      for (int i = 0; i < kPerThread; ++i) {
+        while (true) {
+          const Ptr v = compat::Tx_RW_R1(&rec, &counter);
+          if (!compat::Tx_RW_1_Is_Valid(&rec)) {
+            compat::Tx_RW_1_Abort(&rec);
+            continue;
+          }
+          compat::Tx_RW_1_Commit(&rec, ToPtr(ToWord(v) + EncodeInt(1)));
+          break;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(DecodeInt(ToWord(compat::Tx_Single_Read(&counter))),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace spectm

@@ -1,0 +1,127 @@
+#include "src/tm/mwcas.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "src/tm/config.h"
+#include "src/tm/variants.h"
+
+namespace spectm {
+namespace {
+
+template <typename Family>
+class MwcasTest : public ::testing::Test {};
+
+using AllFamilies = ::testing::Types<OrecG, OrecL, TvarG, TvarL, Val, ValGlobalCounter,
+                                     ValPerThreadCounter>;
+TYPED_TEST_SUITE(MwcasTest, AllFamilies);
+
+TYPED_TEST(MwcasTest, DcssSucceedsWhenBothMatch) {
+  using F = TypeParam;
+  typename F::Slot a1, a2;
+  F::SingleWrite(&a1, EncodeInt(1));
+  F::SingleWrite(&a2, EncodeInt(2));
+  EXPECT_TRUE((Dcss<F>(&a1, &a2, EncodeInt(1), EncodeInt(2), EncodeInt(10))));
+  EXPECT_EQ(DecodeInt(F::SingleRead(&a1)), 10u);
+  EXPECT_EQ(DecodeInt(F::SingleRead(&a2)), 2u) << "DCSS must not modify a2";
+}
+
+TYPED_TEST(MwcasTest, DcssFailsOnFirstMismatch) {
+  using F = TypeParam;
+  typename F::Slot a1, a2;
+  F::SingleWrite(&a1, EncodeInt(5));
+  F::SingleWrite(&a2, EncodeInt(2));
+  EXPECT_FALSE((Dcss<F>(&a1, &a2, EncodeInt(1), EncodeInt(2), EncodeInt(10))));
+  EXPECT_EQ(DecodeInt(F::SingleRead(&a1)), 5u);
+}
+
+TYPED_TEST(MwcasTest, DcssFailsOnSecondMismatch) {
+  using F = TypeParam;
+  typename F::Slot a1, a2;
+  F::SingleWrite(&a1, EncodeInt(1));
+  F::SingleWrite(&a2, EncodeInt(9));
+  EXPECT_FALSE((Dcss<F>(&a1, &a2, EncodeInt(1), EncodeInt(2), EncodeInt(10))));
+  EXPECT_EQ(DecodeInt(F::SingleRead(&a1)), 1u);
+}
+
+TYPED_TEST(MwcasTest, CasnAllWidths) {
+  using F = TypeParam;
+  for (std::size_t n = 1; n <= 4; ++n) {
+    std::vector<typename F::Slot> slots(4);
+    typename F::Slot* addrs[4];
+    Word expected[4];
+    Word desired[4];
+    for (std::size_t i = 0; i < n; ++i) {
+      F::SingleWrite(&slots[i], EncodeInt(i + 1));
+      addrs[i] = &slots[i];
+      expected[i] = EncodeInt(i + 1);
+      desired[i] = EncodeInt(100 + i);
+    }
+    EXPECT_TRUE((Casn<F>(addrs, expected, desired, n))) << "width " << n;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(F::SingleRead(&slots[i]), desired[i]);
+    }
+  }
+}
+
+TYPED_TEST(MwcasTest, CasnFailsAtomically) {
+  using F = TypeParam;
+  std::vector<typename F::Slot> slots(3);
+  typename F::Slot* addrs[3];
+  Word expected[3];
+  Word desired[3];
+  for (std::size_t i = 0; i < 3; ++i) {
+    F::SingleWrite(&slots[i], EncodeInt(i));
+    addrs[i] = &slots[i];
+    expected[i] = EncodeInt(i);
+    desired[i] = EncodeInt(50 + i);
+  }
+  expected[2] = EncodeInt(999);  // mismatch on the last location
+  EXPECT_FALSE((Casn<F>(addrs, expected, desired, 3)));
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(DecodeInt(F::SingleRead(&slots[i])), i) << "partial CASN visible";
+  }
+}
+
+// Concurrent CASN-based increments on disjoint pairs must be atomic: both words of a
+// pair always carry the same count.
+TYPED_TEST(MwcasTest, ConcurrentCasnKeepsPairsInSync) {
+  using F = TypeParam;
+  typename F::Slot a, b;
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 3000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      typename F::Slot* addrs[2] = {&a, &b};
+      for (int i = 0; i < kPerThread; ++i) {
+        while (true) {
+          const Word va = F::SingleRead(&a);
+          const Word vb = F::SingleRead(&b);
+          if (va != vb) {
+            continue;  // raced between the two single reads; resample
+          }
+          const Word expected[2] = {va, vb};
+          const Word next = EncodeInt(DecodeInt(va) + 1);
+          const Word desired[2] = {next, next};
+          if (Casn<F>(addrs, expected, desired, 2)) {
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(DecodeInt(F::SingleRead(&a)),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(F::SingleRead(&a), F::SingleRead(&b));
+}
+
+}  // namespace
+}  // namespace spectm

@@ -1,0 +1,148 @@
+// Semantics specific to the pointer-embedded-version layout (pver, §6): word
+// encoding, version advancement on every commit path, version-based RO validation
+// that tolerates value recycling, and payload-width enforcement.
+#include "src/tm/pver.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/tm/config.h"
+
+namespace spectm {
+namespace {
+
+TEST(PverEncoding, RoundTrip) {
+  for (Word ver : {0ULL, 1ULL, 32767ULL}) {
+    for (Word payload : {Word{0}, EncodeInt(1), EncodeInt((1ULL << 45) - 1)}) {
+      const Word w = MakePverWord(ver, payload);
+      EXPECT_FALSE(PverIsLocked(w));
+      EXPECT_EQ(PverVersionOf(w), ver & 0x7fff);
+      EXPECT_EQ(PverPayloadOf(w), payload);
+    }
+  }
+}
+
+TEST(PverEncoding, BumpIncrementsVersionAndSwapsPayload) {
+  const Word w = MakePverWord(5, EncodeInt(10));
+  const Word b = PverBump(w, EncodeInt(20));
+  EXPECT_EQ(PverVersionOf(b), 6u);
+  EXPECT_EQ(DecodeInt(PverPayloadOf(b)), 20u);
+}
+
+TEST(PverEncoding, VersionWrapsAt15Bits) {
+  const Word w = MakePverWord(32767, EncodeInt(1));
+  const Word b = PverBump(w, EncodeInt(1));
+  EXPECT_EQ(PverVersionOf(b), 0u) << "15-bit version must wrap, not corrupt payload";
+  EXPECT_EQ(DecodeInt(PverPayloadOf(b)), 1u);
+}
+
+TEST(Pver, EveryCommitPathBumpsTheVersion) {
+  PverSlot s;
+  const auto version = [&] { return PverVersionOf(s.word.load()); };
+  const Word v0 = version();
+
+  Pver::SingleWrite(&s, EncodeInt(1));
+  EXPECT_EQ(version(), v0 + 1);
+
+  Pver::SingleCas(&s, EncodeInt(1), EncodeInt(2));
+  EXPECT_EQ(version(), v0 + 2);
+
+  {
+    Pver::ShortTx t;
+    t.ReadRw(&s);
+    ASSERT_TRUE(t.Valid());
+    t.CommitRw({EncodeInt(3)});
+  }
+  EXPECT_EQ(version(), v0 + 3);
+
+  {
+    Pver::FullTx tx;
+    do {
+      tx.Start();
+      tx.Write(&s, EncodeInt(4));
+    } while (!tx.Commit());
+  }
+  EXPECT_EQ(version(), v0 + 4);
+
+  // Aborts must NOT bump.
+  {
+    Pver::ShortTx t;
+    t.ReadRw(&s);
+    t.Abort();
+  }
+  EXPECT_EQ(version(), v0 + 4);
+
+  // Failed SingleCas must NOT bump.
+  Pver::SingleCas(&s, EncodeInt(999), EncodeInt(5));
+  EXPECT_EQ(version(), v0 + 4);
+}
+
+// The whole point of the embedded version: RO validation detects value RECYCLING
+// (A -> B -> A), which value-based validation without counters cannot.
+TEST(Pver, RoValidationDetectsValueRecycling) {
+  PverSlot s;
+  Pver::SingleWrite(&s, EncodeInt(7));
+
+  Pver::ShortTx t;
+  EXPECT_EQ(DecodeInt(t.ReadRo(&s)), 7u);
+  ASSERT_TRUE(t.Valid());
+
+  // Recycle the value: 7 -> 8 -> 7. The payload is back, the version is not.
+  Pver::SingleWrite(&s, EncodeInt(8));
+  Pver::SingleWrite(&s, EncodeInt(7));
+
+  EXPECT_FALSE(t.ValidateRo())
+      << "embedded versions must catch ABA that value comparison would miss";
+}
+
+TEST(Pver, RawWritePreservesVersion) {
+  PverSlot s;
+  Pver::SingleWrite(&s, EncodeInt(1));  // version 1
+  const Word before = PverVersionOf(s.word.load());
+  Pver::RawWrite(&s, EncodeInt(2));
+  EXPECT_EQ(PverVersionOf(s.word.load()), before);
+  EXPECT_EQ(DecodeInt(Pver::RawRead(&s)), 2u);
+}
+
+TEST(Pver, ConcurrentMixedApiCounter) {
+  PverSlot s;
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (t % 2 == 0) {
+          while (true) {
+            Pver::ShortTx tx;
+            const Word v = tx.ReadRw(&s);
+            if (!tx.Valid()) {
+              tx.Abort();
+              continue;
+            }
+            tx.CommitRw({EncodeInt(DecodeInt(v) + 1)});
+            break;
+          }
+        } else {
+          while (true) {
+            const Word v = Pver::SingleRead(&s);
+            if (Pver::SingleCas(&s, v, EncodeInt(DecodeInt(v) + 1)) == v) {
+              break;
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(DecodeInt(Pver::SingleRead(&s)),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace spectm

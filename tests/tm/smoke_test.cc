@@ -1,0 +1,213 @@
+// Cross-variant smoke tests: every TM family must support the same basic single-
+// thread semantics. Deeper per-engine and concurrency tests live in the dedicated
+// test files; this suite is the canary that all ten engine instantiations compile
+// and agree on fundamentals.
+#include <gtest/gtest.h>
+
+#include "src/tm/config.h"
+#include "src/tm/pver.h"
+#include "src/tm/val_eager.h"
+#include "src/tm/variants.h"
+
+namespace spectm {
+namespace {
+
+template <typename Family>
+class TmFamilySmoke : public ::testing::Test {};
+
+using AllFamilies = ::testing::Types<OrecG, OrecL, TvarG, TvarL, Val, ValGlobalCounter,
+                                     ValPerThreadCounter, Pver, ValEager>;
+TYPED_TEST_SUITE(TmFamilySmoke, AllFamilies);
+
+TYPED_TEST(TmFamilySmoke, SingleOpsRoundTrip) {
+  using F = TypeParam;
+  typename F::Slot s;
+  EXPECT_EQ(F::SingleRead(&s), 0u);
+  F::SingleWrite(&s, EncodeInt(123));
+  EXPECT_EQ(DecodeInt(F::SingleRead(&s)), 123u);
+}
+
+TYPED_TEST(TmFamilySmoke, SingleCasSemantics) {
+  using F = TypeParam;
+  typename F::Slot s;
+  F::SingleWrite(&s, EncodeInt(1));
+  // Matching expectation: swaps and returns the expected value.
+  EXPECT_EQ(F::SingleCas(&s, EncodeInt(1), EncodeInt(2)), EncodeInt(1));
+  EXPECT_EQ(DecodeInt(F::SingleRead(&s)), 2u);
+  // Mismatch: no change, returns observed value.
+  EXPECT_EQ(F::SingleCas(&s, EncodeInt(7), EncodeInt(9)), EncodeInt(2));
+  EXPECT_EQ(DecodeInt(F::SingleRead(&s)), 2u);
+}
+
+TYPED_TEST(TmFamilySmoke, FullTxReadWriteCommit) {
+  using F = TypeParam;
+  typename F::Slot a, b;
+  F::SingleWrite(&a, EncodeInt(10));
+  F::SingleWrite(&b, EncodeInt(20));
+
+  typename F::FullTx tx;
+  do {
+    tx.Start();
+    const Word va = tx.Read(&a);
+    const Word vb = tx.Read(&b);
+    if (!tx.ok()) {
+      continue;
+    }
+    tx.Write(&a, EncodeInt(DecodeInt(va) + 1));
+    tx.Write(&b, EncodeInt(DecodeInt(vb) + 1));
+  } while (!tx.Commit());
+
+  EXPECT_EQ(DecodeInt(F::SingleRead(&a)), 11u);
+  EXPECT_EQ(DecodeInt(F::SingleRead(&b)), 21u);
+}
+
+TYPED_TEST(TmFamilySmoke, FullTxReadsOwnWrites) {
+  using F = TypeParam;
+  typename F::Slot a;
+  typename F::FullTx tx;
+  do {
+    tx.Start();
+    tx.Write(&a, EncodeInt(5));
+    EXPECT_EQ(DecodeInt(tx.Read(&a)), 5u);
+    tx.Write(&a, EncodeInt(6));
+    EXPECT_EQ(DecodeInt(tx.Read(&a)), 6u);
+  } while (!tx.Commit());
+  EXPECT_EQ(DecodeInt(F::SingleRead(&a)), 6u);
+}
+
+TYPED_TEST(TmFamilySmoke, FullTxUserAbortDiscardsWrites) {
+  using F = TypeParam;
+  typename F::Slot a;
+  F::SingleWrite(&a, EncodeInt(1));
+  typename F::FullTx tx;
+  tx.Start();
+  tx.Write(&a, EncodeInt(99));
+  tx.AbortTx();
+  EXPECT_FALSE(tx.Commit());
+  EXPECT_EQ(DecodeInt(F::SingleRead(&a)), 1u);
+}
+
+TYPED_TEST(TmFamilySmoke, ShortRwTxCommit) {
+  using F = TypeParam;
+  typename F::Slot a, b;
+  F::SingleWrite(&a, EncodeInt(3));
+  F::SingleWrite(&b, EncodeInt(4));
+
+  typename F::ShortTx t;
+  const Word va = t.ReadRw(&a);
+  const Word vb = t.ReadRw(&b);
+  ASSERT_TRUE(t.Valid());
+  t.CommitRw({EncodeInt(DecodeInt(vb)), EncodeInt(DecodeInt(va))});  // swap
+
+  EXPECT_EQ(DecodeInt(F::SingleRead(&a)), 4u);
+  EXPECT_EQ(DecodeInt(F::SingleRead(&b)), 3u);
+}
+
+TYPED_TEST(TmFamilySmoke, ShortRwTxAbortRestores) {
+  using F = TypeParam;
+  typename F::Slot a;
+  F::SingleWrite(&a, EncodeInt(8));
+  {
+    typename F::ShortTx t;
+    EXPECT_EQ(DecodeInt(t.ReadRw(&a)), 8u);
+    ASSERT_TRUE(t.Valid());
+    t.Abort();
+  }
+  EXPECT_EQ(DecodeInt(F::SingleRead(&a)), 8u);
+  // The location must be unlocked again: a fresh transaction can acquire it.
+  typename F::ShortTx t2;
+  EXPECT_EQ(DecodeInt(t2.ReadRw(&a)), 8u);
+  EXPECT_TRUE(t2.Valid());
+  t2.CommitRw({EncodeInt(9)});
+  EXPECT_EQ(DecodeInt(F::SingleRead(&a)), 9u);
+}
+
+TYPED_TEST(TmFamilySmoke, ShortRoTxValidates) {
+  using F = TypeParam;
+  typename F::Slot a, b;
+  F::SingleWrite(&a, EncodeInt(1));
+  F::SingleWrite(&b, EncodeInt(2));
+  typename F::ShortTx t;
+  EXPECT_EQ(DecodeInt(t.ReadRo(&a)), 1u);
+  EXPECT_EQ(DecodeInt(t.ReadRo(&b)), 2u);
+  ASSERT_TRUE(t.Valid());
+  EXPECT_TRUE(t.ValidateRo());
+}
+
+TYPED_TEST(TmFamilySmoke, ShortRoDetectsInterveningWrite) {
+  using F = TypeParam;
+  typename F::Slot a;
+  F::SingleWrite(&a, EncodeInt(1));
+  typename F::ShortTx t;
+  EXPECT_EQ(DecodeInt(t.ReadRo(&a)), 1u);
+  F::SingleWrite(&a, EncodeInt(2));
+  EXPECT_FALSE(t.ValidateRo());
+}
+
+TYPED_TEST(TmFamilySmoke, UpgradeAndMixedCommit) {
+  using F = TypeParam;
+  typename F::Slot guard_slot, target;
+  F::SingleWrite(&guard_slot, EncodeInt(7));
+  F::SingleWrite(&target, EncodeInt(0));
+
+  // Mostly-read-write pattern (§2.4 case 2): one RO location, one upgraded RW.
+  typename F::ShortTx t;
+  const Word g = t.ReadRo(&guard_slot);
+  const Word tv = t.ReadRo(&target);
+  ASSERT_TRUE(t.Valid());
+  ASSERT_EQ(DecodeInt(g), 7u);
+  ASSERT_EQ(DecodeInt(tv), 0u);
+  ASSERT_TRUE(t.UpgradeRoToRw(1));  // target becomes RW index 0
+  ASSERT_TRUE(t.CommitMixed({EncodeInt(1)}));
+  EXPECT_EQ(DecodeInt(F::SingleRead(&target)), 1u);
+  EXPECT_EQ(DecodeInt(F::SingleRead(&guard_slot)), 7u);
+}
+
+TYPED_TEST(TmFamilySmoke, MixedCommitFailsOnRoConflict) {
+  using F = TypeParam;
+  typename F::Slot ro_slot, rw_slot;
+  F::SingleWrite(&ro_slot, EncodeInt(5));
+  F::SingleWrite(&rw_slot, EncodeInt(0));
+
+  typename F::ShortTx t;
+  EXPECT_EQ(DecodeInt(t.ReadRo(&ro_slot)), 5u);
+  EXPECT_EQ(DecodeInt(t.ReadRw(&rw_slot)), 0u);
+  ASSERT_TRUE(t.Valid());
+  F::SingleWrite(&ro_slot, EncodeInt(6));  // invalidate the RO entry
+  EXPECT_FALSE(t.CommitMixed({EncodeInt(1)}));
+  EXPECT_EQ(DecodeInt(F::SingleRead(&rw_slot)), 0u) << "failed commit must not publish";
+}
+
+TYPED_TEST(TmFamilySmoke, ShortAndFullInteroperate) {
+  using F = TypeParam;
+  typename F::Slot a;
+  F::SingleWrite(&a, EncodeInt(1));
+
+  // Full tx writes; short tx must observe the committed value.
+  typename F::FullTx tx;
+  do {
+    tx.Start();
+    const Word v = tx.Read(&a);
+    if (!tx.ok()) {
+      continue;
+    }
+    tx.Write(&a, EncodeInt(DecodeInt(v) + 10));
+  } while (!tx.Commit());
+
+  typename F::ShortTx t;
+  EXPECT_EQ(DecodeInt(t.ReadRw(&a)), 11u);
+  ASSERT_TRUE(t.Valid());
+  t.CommitRw({EncodeInt(12)});
+
+  // And the full tx sees the short tx's commit.
+  typename F::FullTx tx2;
+  Word seen = 0;
+  do {
+    tx2.Start();
+    seen = tx2.Read(&a);
+  } while (!tx2.Commit());
+  EXPECT_EQ(DecodeInt(seen), 12u);
+}
+
+}  // namespace
+}  // namespace spectm

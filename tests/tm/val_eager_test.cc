@@ -1,0 +1,145 @@
+// Semantics specific to the eager-locking value STM (val-eager, §6): read-locking,
+// read-read conflicts, idempotent re-acquisition, and interoperation with val-short
+// transactions on the same words.
+#include "src/tm/val_eager.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/tm/config.h"
+#include "src/tm/variants.h"
+
+namespace spectm {
+namespace {
+
+TEST(ValEager, ReadLocksTheWord) {
+  ValEager::Slot a;
+  ValEager::SingleWrite(&a, EncodeInt(1));
+
+  ValEager::FullTx tx;
+  tx.Start();
+  EXPECT_EQ(DecodeInt(tx.Read(&a)), 1u);
+  ASSERT_TRUE(tx.ok());
+
+  // Another thread's transaction must conflict on the same word even read-only.
+  std::atomic<bool> other_failed{false};
+  std::thread other([&] {
+    ValEager::FullTx tx2;
+    tx2.Start();
+    tx2.Read(&a);
+    other_failed.store(!tx2.ok());
+    tx2.Commit();
+  });
+  other.join();
+  EXPECT_TRUE(other_failed.load()) << "eager reads must lock (read-read conflict)";
+  EXPECT_TRUE(tx.Commit());
+}
+
+TEST(ValEager, RepeatAccessIsIdempotent) {
+  ValEager::Slot a;
+  ValEager::SingleWrite(&a, EncodeInt(3));
+  ValEager::FullTx tx;
+  do {
+    tx.Start();
+    EXPECT_EQ(DecodeInt(tx.Read(&a)), 3u);
+    EXPECT_EQ(DecodeInt(tx.Read(&a)), 3u);  // same entry, no self-deadlock
+    tx.Write(&a, EncodeInt(4));
+    EXPECT_EQ(DecodeInt(tx.Read(&a)), 4u);  // read-after-write
+    tx.Write(&a, EncodeInt(5));
+  } while (!tx.Commit());
+  EXPECT_EQ(DecodeInt(ValEager::SingleRead(&a)), 5u);
+}
+
+TEST(ValEager, CommitReleasesReadOnlyWordsUnchanged) {
+  ValEager::Slot a;
+  ValEager::SingleWrite(&a, EncodeInt(9));
+  ValEager::FullTx tx;
+  do {
+    tx.Start();
+    tx.Read(&a);
+  } while (!tx.Commit());
+  EXPECT_EQ(DecodeInt(ValEager::SingleRead(&a)), 9u);
+  // The word must be unlocked again: a val-short transaction can acquire it.
+  ValEager::ShortTx t;
+  EXPECT_EQ(DecodeInt(t.ReadRw(&a)), 9u);
+  EXPECT_TRUE(t.Valid());
+  t.Abort();
+}
+
+TEST(ValEager, UserAbortRestoresEverything) {
+  ValEager::Slot a, b;
+  ValEager::SingleWrite(&a, EncodeInt(1));
+  ValEager::SingleWrite(&b, EncodeInt(2));
+  ValEager::FullTx tx;
+  tx.Start();
+  tx.Read(&a);
+  tx.Write(&b, EncodeInt(99));
+  tx.AbortTx();
+  EXPECT_FALSE(tx.Commit());
+  EXPECT_EQ(DecodeInt(ValEager::SingleRead(&a)), 1u);
+  EXPECT_EQ(DecodeInt(ValEager::SingleRead(&b)), 2u);
+}
+
+TEST(ValEager, InteropWithValShortOnSameWords) {
+  ValEager::Slot a;
+  ValEager::SingleWrite(&a, EncodeInt(0));
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 4000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (t % 2 == 0) {
+          // Eager full-transaction increment.
+          ValEager::FullTx tx;
+          do {
+            tx.Start();
+            const Word v = tx.Read(&a);
+            if (!tx.ok()) {
+              continue;
+            }
+            tx.Write(&a, EncodeInt(DecodeInt(v) + 1));
+          } while (!tx.Commit());
+        } else {
+          // val-short increment against the same word.
+          while (true) {
+            ValEager::ShortTx tx;
+            const Word v = tx.ReadRw(&a);
+            if (!tx.Valid()) {
+              tx.Abort();
+              continue;
+            }
+            tx.CommitRw({EncodeInt(DecodeInt(v) + 1)});
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(DecodeInt(ValEager::SingleRead(&a)),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ValEager, NoValidationMeansNoAbortOnceAcquired) {
+  // Once every word is acquired, nothing can invalidate the transaction: commit is
+  // guaranteed. (This is the "simplified programming model" — contrast with the
+  // failed-validation paths every other engine's tests need.)
+  ValEager::Slot a, b, c;
+  ValEager::FullTx tx;
+  tx.Start();
+  tx.Read(&a);
+  tx.Read(&b);
+  tx.Write(&c, EncodeInt(7));
+  ASSERT_TRUE(tx.ok());
+  EXPECT_TRUE(tx.Commit()) << "acquired transactions must always commit";
+  EXPECT_EQ(DecodeInt(ValEager::SingleRead(&c)), 7u);
+}
+
+}  // namespace
+}  // namespace spectm
