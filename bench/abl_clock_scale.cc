@@ -1,0 +1,108 @@
+// Clock-policy scalability ablation: GV4 pass-on-failure (+ thread-local sample
+// cache) vs the naive fetch_add global clock vs per-orec local versions, swept over
+// thread counts on the hash-table workload.
+//
+// The paper's §4.1 and Figures 7–9 identify the shared commit clock as the
+// scalability limiter of the *-g variants; TL2's GV4 scheme removes the CAS-retry
+// convoy (a failed clock advance adopts the racing timestamp) and the sample cache
+// removes the shared-line load from the transaction-start path of threads that just
+// committed. This bench quantifies both against the naive baseline, on a write-heavy
+// mix (where the clock is hottest) and a read-heavy mix (where Sample() dominates).
+//
+// Output: the usual text table, plus a machine-readable JSON report (default
+// BENCH_clock_scale.json, override with --json <path> or SPECTM_BENCH_JSON) —
+// the first entry of this repo's BENCH_*.json perf trajectory.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/set_bench.h"
+#include "src/structures/hash_tm_full.h"
+#include "src/structures/hash_tm_short.h"
+#include "src/tm/variants.h"
+
+namespace spectm {
+namespace {
+
+constexpr std::size_t kBuckets = 16384;
+
+struct Cell {
+  std::string variant;
+  std::string clock;
+  bench::CellResult result;
+};
+
+template <typename MakeSet>
+Cell Measure(const char* variant, const char* clock, const MakeSet& make_set,
+             const WorkloadConfig& cfg, int threads) {
+  return Cell{variant, clock, bench::MeasureCellDetailed(make_set, cfg, threads)};
+}
+
+bool Run(const std::string& json_path) {
+  const std::vector<int> threads = bench::ThreadSweep();
+  JsonReport report("clock_scale");
+
+  for (const int lookup_pct : {10, 90}) {
+    WorkloadConfig cfg;
+    cfg.key_range = 65536;
+    cfg.lookup_pct = lookup_pct;
+
+    std::printf("\nClock-policy scaling (hash table, %d%% lookups)\n", lookup_pct);
+    TextTable table({"threads", "short-gv4", "short-naive", "full-gv4", "full-naive",
+                     "full-local", "abort% (full-gv4)"});
+
+    for (const int t : threads) {
+      std::vector<Cell> cells;
+      cells.push_back(Measure("orec-short", OrecG::Clock::kName,
+                              [] { return std::make_unique<SpecHashSet<OrecG>>(kBuckets); },
+                              cfg, t));
+      cells.push_back(Measure("orec-short", OrecGNaive::Clock::kName,
+                              [] { return std::make_unique<SpecHashSet<OrecGNaive>>(kBuckets); },
+                              cfg, t));
+      cells.push_back(Measure("orec-full", OrecG::Clock::kName,
+                              [] { return std::make_unique<TmHashSet<OrecG>>(kBuckets); },
+                              cfg, t));
+      cells.push_back(Measure("orec-full", OrecGNaive::Clock::kName,
+                              [] { return std::make_unique<TmHashSet<OrecGNaive>>(kBuckets); },
+                              cfg, t));
+      cells.push_back(Measure("orec-full", OrecL::Clock::kName,
+                              [] { return std::make_unique<TmHashSet<OrecL>>(kBuckets); },
+                              cfg, t));
+
+      for (const Cell& c : cells) {
+        BenchRecord r;
+        r.variant = c.variant;
+        r.clock = c.clock;
+        r.threads = t;
+        r.lookup_pct = lookup_pct;
+        r.ops_per_sec = c.result.ops_per_sec;
+        r.abort_rate = c.result.abort_rate;
+        r.commits = c.result.commits;
+        r.aborts = c.result.aborts;
+        r.duration_s = c.result.duration_s;
+        report.Add(r);
+      }
+
+      table.AddRow({std::to_string(t),
+                    TextTable::Num(cells[0].result.ops_per_sec / 1e6, 3),
+                    TextTable::Num(cells[1].result.ops_per_sec / 1e6, 3),
+                    TextTable::Num(cells[2].result.ops_per_sec / 1e6, 3),
+                    TextTable::Num(cells[3].result.ops_per_sec / 1e6, 3),
+                    TextTable::Num(cells[4].result.ops_per_sec / 1e6, 3),
+                    TextTable::Num(cells[2].result.abort_rate * 100.0, 2)});
+    }
+    std::printf("(Mops/s)\n%s", table.ToString().c_str());
+  }
+
+  return json_path.empty() || report.WriteFile(json_path);
+}
+
+}  // namespace
+}  // namespace spectm
+
+int main(int argc, char** argv) {
+  const std::string json_path =
+      spectm::JsonPathFromArgs(argc, argv, "BENCH_clock_scale.json");
+  return spectm::Run(json_path) ? 0 : 1;
+}

@@ -22,6 +22,7 @@
 #include "src/benchsupport/table.h"
 #include "src/benchsupport/workload.h"
 #include "src/common/rng.h"
+#include "src/tm/txdesc.h"
 
 namespace spectm::bench {
 
@@ -41,16 +42,32 @@ inline std::vector<int> ThreadSweep() {
 }
 
 // One measurement cell: fresh set, prefill to half the key range, timed mixed
-// workload, repeated and aggregated. Returns ops/second.
+// workload, repeated and aggregated — plus transaction-level statistics for the
+// JSON report: abort rate and raw commit/abort counts, taken as TxStatsRegistry
+// deltas around the timed region (prefill transactions are excluded by snapshotting
+// after prefill; the two snapshots sit outside the timed region and cost nothing).
+// Requires that only one variant runs at a time — true for every bench in this
+// tree, which measure cells strictly sequentially.
+struct CellResult {
+  double ops_per_sec = 0.0;
+  double abort_rate = 0.0;
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+  double duration_s = 0.0;
+};
+
 template <typename MakeSet>
-double MeasureCell(const MakeSet& make_set, const WorkloadConfig& cfg, int threads) {
+CellResult MeasureCellDetailed(const MakeSet& make_set, const WorkloadConfig& cfg,
+                               int threads) {
   const int runs = BenchRuns(3);
   const int duration_ms = BenchDurationMs(300);
+  CellResult cell;
   std::vector<double> samples;
   samples.reserve(static_cast<std::size_t>(runs));
   for (int run = 0; run < runs; ++run) {
     auto set = make_set();
     PrefillHalf(*set, cfg);
+    const TxStatsRegistry::Totals before = TxStatsRegistry::Snapshot();
     const ThroughputResult r = RunThroughput(
         threads, duration_ms, [&](int tid, const std::atomic<bool>& stop) {
           Xorshift128Plus rng(cfg.seed + static_cast<std::uint64_t>(tid) * 7919 + 13 +
@@ -73,9 +90,23 @@ double MeasureCell(const MakeSet& make_set, const WorkloadConfig& cfg, int threa
           }
           return ops;
         });
+    const TxStatsRegistry::Totals after = TxStatsRegistry::Snapshot();
     samples.push_back(r.ops_per_sec);
+    cell.commits += after.commits - before.commits;
+    cell.aborts += after.aborts - before.aborts;
+    cell.duration_s += r.duration_s;
   }
-  return AggregateRuns(samples);
+  cell.ops_per_sec = AggregateRuns(samples);
+  const std::uint64_t attempts = cell.commits + cell.aborts;
+  cell.abort_rate =
+      attempts == 0 ? 0.0 : static_cast<double>(cell.aborts) / static_cast<double>(attempts);
+  return cell;
+}
+
+// Throughput-only convenience used by the figure benches.
+template <typename MakeSet>
+double MeasureCell(const MakeSet& make_set, const WorkloadConfig& cfg, int threads) {
+  return MeasureCellDetailed(make_set, cfg, threads).ops_per_sec;
 }
 
 // Single-threaded sequential baseline for normalization (Figure 1's "1.0 =

@@ -95,4 +95,21 @@ int EnvInt(const char* name, int fallback) {
 int BenchRuns(int default_runs) { return EnvInt("SPECTM_BENCH_RUNS", default_runs); }
 int BenchDurationMs(int default_ms) { return EnvInt("SPECTM_BENCH_MS", default_ms); }
 
+std::string JsonPathFromArgs(int argc, char** argv, const std::string& default_path) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      return argv[i + 1];
+    }
+    constexpr const char kPrefix[] = "--json=";
+    if (arg.rfind(kPrefix, 0) == 0) {
+      return arg.substr(sizeof(kPrefix) - 1);
+    }
+  }
+  if (const char* env = std::getenv("SPECTM_BENCH_JSON"); env != nullptr && *env != '\0') {
+    return env;
+  }
+  return default_path;
+}
+
 }  // namespace spectm

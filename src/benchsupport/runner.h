@@ -10,6 +10,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 namespace spectm {
@@ -34,6 +35,12 @@ double AggregateRuns(std::vector<double> samples);
 // SPECTM_BENCH_MS for quick CI passes versus full paper-style runs.
 int BenchRuns(int default_runs = 6);
 int BenchDurationMs(int default_ms = 400);
+
+// Parses the benchmark CLI for the JSON output path: `--json <path>`, `--json=path`,
+// or the SPECTM_BENCH_JSON environment variable (flag wins). Returns `default_path`
+// (possibly empty = "don't write JSON") when none is given. Unrelated arguments are
+// ignored so benches can grow flags independently.
+std::string JsonPathFromArgs(int argc, char** argv, const std::string& default_path = "");
 
 }  // namespace spectm
 

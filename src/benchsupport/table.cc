@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 namespace spectm {
@@ -53,6 +54,92 @@ std::string TextTable::ToString() const {
     emit_row(row);
   }
   return out.str();
+}
+
+JsonReport::JsonReport(std::string bench_name) : bench_name_(std::move(bench_name)) {}
+
+void JsonReport::Add(BenchRecord record) { records_.push_back(std::move(record)); }
+
+std::string JsonReport::Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Shortest round-trippable double formatting (%.17g is exact but noisy; %.12g is
+// plenty for throughput numbers and keeps the files diffable).
+std::string JsonNum(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string JsonReport::ToJson() const {
+  std::ostringstream out;
+  out << "{\n  \"schema_version\": 1,\n  \"bench\": \"" << Escape(bench_name_)
+      << "\",\n  \"results\": [";
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const BenchRecord& r = records_[i];
+    out << (i == 0 ? "" : ",") << "\n    {"
+        << "\"variant\": \"" << Escape(r.variant) << "\", "
+        << "\"clock\": \"" << Escape(r.clock) << "\", "
+        << "\"threads\": " << r.threads << ", "
+        << "\"lookup_pct\": " << r.lookup_pct << ", "
+        << "\"ops_per_sec\": " << JsonNum(r.ops_per_sec) << ", "
+        << "\"abort_rate\": " << JsonNum(r.abort_rate) << ", "
+        << "\"commits\": " << r.commits << ", "
+        << "\"aborts\": " << r.aborts << ", "
+        << "\"duration_s\": " << JsonNum(r.duration_s) << "}";
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+bool JsonReport::WriteFile(const std::string& path) const {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) {
+    std::fprintf(stderr, "JsonReport: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  f << ToJson();
+  f.flush();
+  if (!f) {
+    std::fprintf(stderr, "JsonReport: write to %s failed\n", path.c_str());
+    return false;
+  }
+  std::fprintf(stdout, "wrote %s (%zu records)\n", path.c_str(), records_.size());
+  return true;
 }
 
 }  // namespace spectm

@@ -1,8 +1,10 @@
-// Aligned text-table printer for the benchmark binaries: each figure bench prints the
-// same series the paper plots, as rows of a labeled table.
+// Result reporting for the benchmark binaries: an aligned text-table printer (each
+// figure bench prints the same series the paper plots) and a machine-readable JSON
+// emitter so runs are comparable across commits (BENCH_*.json trajectory files).
 #ifndef SPECTM_BENCHSUPPORT_TABLE_H_
 #define SPECTM_BENCHSUPPORT_TABLE_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -23,6 +25,46 @@ class TextTable {
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;
+};
+
+// One measurement cell of a benchmark, as written to the JSON report. See
+// bench/README.md for the on-disk schema.
+struct BenchRecord {
+  std::string variant;        // TM family under test, e.g. "orec-short"
+  std::string clock;          // clock policy, e.g. "gv4" / "naive" / "local"
+  int threads = 0;            // worker thread count
+  int lookup_pct = -1;        // workload mix; -1 when not applicable
+  double ops_per_sec = 0.0;   // aggregated throughput (paper statistic)
+  double abort_rate = 0.0;    // aborts / (commits + aborts) over the whole cell
+  std::uint64_t commits = 0;  // total committed transactions over the cell's runs
+  std::uint64_t aborts = 0;   // total aborted transactions over the cell's runs
+  double duration_s = 0.0;    // total measured wall time across the cell's runs
+};
+
+// Collects BenchRecords and renders them as a JSON document:
+//   {"schema_version":1, "bench":"<name>", "results":[{...}, ...]}
+// Writing is atomic enough for CI artifact collection (temp file + rename is
+// overkill for single-writer benches; a plain truncate-write suffices).
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name);
+
+  void Add(BenchRecord record);
+
+  bool Empty() const { return records_.empty(); }
+  const std::string& bench_name() const { return bench_name_; }
+
+  std::string ToJson() const;
+
+  // Writes ToJson() to `path`; returns false (and prints to stderr) on I/O failure.
+  bool WriteFile(const std::string& path) const;
+
+  // JSON string escaping (quotes, backslashes, control characters).
+  static std::string Escape(const std::string& s);
+
+ private:
+  std::string bench_name_;
+  std::vector<BenchRecord> records_;
 };
 
 }  // namespace spectm

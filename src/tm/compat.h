@@ -57,9 +57,19 @@ Ptr Tx_Single_CAS(typename Family::Slot* addr, Ptr old_val, Ptr new_val) {
 // Tx_RW_R1 implicitly starts the transaction (§2.2 change (i)); it therefore resets a
 // record left over from a previous attempt, matching the paper's `goto restart` use.
 
+// Tx_RW_R1 re-arms a finished/invalid record (the paper's `goto restart`) but NOT a
+// live attempt that already performed RO reads: the RO_x_RW_y mixed forms reach
+// their first RW access through Tx_RW_R1, and resetting then would discard the RO
+// set — later upgrades would index cleared entries (caught by assert in debug
+// builds, silent stale reads in release). The one sequence this cannot disambiguate
+// is reusing a record for an RW transaction right after a VALIDATED RO-only
+// transaction (validation-as-commit leaves the record live with its RO set):
+// begin the new attempt with Restart() or Tx_RO_R1, as the examples do.
 template <typename Family = Val>
 Ptr Tx_RW_R1(TX_RECORD<Family>* t, typename Family::Slot* addr) {
-  t->tx.Reset();
+  if (!t->tx.Valid() || t->tx.RoCount() == 0) {
+    t->tx.Reset();
+  }
   return ToPtr(t->tx.ReadRw(addr));
 }
 
@@ -136,6 +146,9 @@ void Tx_RW_4_Abort(TX_RECORD<Family>* t) {
 
 template <typename Family = Val>
 Ptr Tx_RO_R1(TX_RECORD<Family>* t, typename Family::Slot* addr) {
+  // Always an attempt start: no facade form places the FIRST RO read mid-attempt,
+  // so an unconditional reset correctly re-arms records left live by a previous
+  // validated RO-only transaction (validation serves in place of commit, §2.2).
   t->tx.Reset();
   return ToPtr(t->tx.ReadRo(addr));
 }

@@ -105,8 +105,16 @@ class FullTm {
         } else {
           desc_->read_log.push_back(ReadLogEntry{&orec, OrecVersionOf(o1)});
           // No snapshot number to compare against: preserve opacity by revalidating
-          // the whole read set after every read (§4.1, the "-l" cost).
-          if (!ValidateReadLog()) {
+          // the read set after every read (§4.1, the "-l" cost). Fast path: the
+          // entry just appended was read through an orec-data-orec sandwich, so it
+          // is consistent as of its own read instant; only the EARLIER entries need
+          // re-checking. Orec versions advance monotonically on every committed
+          // update, so an earlier entry whose version matches both at its original
+          // read and now was unchanged for the whole interval in between — including
+          // the new entry's read instant, which therefore serves as the single
+          // consistency point for the full set. A first read validates nothing.
+          if (desc_->read_log.size() > 1 &&
+              !ValidateReadLogPrefix(desc_->read_log.size() - 1)) {
             return Fail();
           }
           return value;
@@ -154,12 +162,16 @@ class FullTm {
         return false;
       }
       Word wv = 0;
+      bool skip_validation = false;
       if constexpr (Clock::kHasGlobalClock) {
-        wv = Clock::NextCommitVersion();
+        const CommitStamp stamp = Clock::NextCommitStamp();
+        wv = stamp.wv;
+        // TL2 optimization: if no other transaction committed since our snapshot,
+        // the read set cannot have changed. Requires a UNIQUE stamp — a GV4-adopted
+        // timestamp is shared with a racing committer whose writes may overlap our
+        // read set, so adopters always validate.
+        skip_validation = stamp.unique && wv == rv_ + 1;
       }
-      // TL2 optimization: if no other transaction committed since our snapshot, the
-      // read set cannot have changed.
-      const bool skip_validation = Clock::kHasGlobalClock && wv == rv_ + 1;
       if (!skip_validation && !ValidateReadLog()) {
         ReleaseLocks();
         OnAbort();
@@ -186,7 +198,14 @@ class FullTm {
     // Validates that every read-log entry still carries the version observed at read
     // time; entries locked by this transaction's own commit are pinned and valid.
     bool ValidateReadLog() const {
-      for (const ReadLogEntry& e : desc_->read_log) {
+      return ValidateReadLogPrefix(desc_->read_log.size());
+    }
+
+    // Validates the first `count` read-log entries (the per-read fast path excludes
+    // the freshly sandwiched tail entry).
+    bool ValidateReadLogPrefix(std::size_t count) const {
+      for (std::size_t i = 0; i < count; ++i) {
+        const ReadLogEntry& e = desc_->read_log[i];
         const Word w = e.orec->load(std::memory_order_acquire);
         if (w == MakeOrecVersion(e.version)) {
           continue;

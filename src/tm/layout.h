@@ -36,6 +36,15 @@ struct OrecLayout {
 
   static std::atomic<Word>& Data(Slot& s) { return s.value; }
 
+  // Striping audit: the table packs eight 8-byte orecs per cache line, so two
+  // *adjacent table indices* share a line. That is deliberate — padding 2^20 orecs
+  // to a line each would inflate the table from 8 MB to 64 MB and evict the data it
+  // protects. What keeps dense packing from becoming systematic false sharing is the
+  // Fibonacci hash in OrecTable::ForAddr: slots that are adjacent in memory (the
+  // common same-structure access pattern) scatter to table indices ~2^61 apart, so
+  // concurrently touched orecs land on one line only with the 8/2^20 base collision
+  // probability. The global clock and per-thread descriptors are padded instead
+  // (clock.h, txdesc.h) because they are single hot words, not a footprint trade.
   static std::atomic<Word>& OrecOf(Slot& s) { return Table().ForAddr(&s); }
 
   static OrecTable& Table() {

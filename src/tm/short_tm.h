@@ -71,7 +71,14 @@ class ShortTm {
       if (!valid_) {
         return 0;
       }
-      assert(!rw_.Full() && "short transaction exceeds kMaxShortWrites locations");
+      // Exceeding the fixed-size location arrays is a contract violation (§2.2), but
+      // it must not become memory corruption in release builds: invalidate the
+      // transaction instead of pushing past the InlineVec bound. The caller's normal
+      // Valid()/Abort()/restart path then surfaces the bug safely.
+      if (rw_.Full()) {
+        valid_ = false;
+        return 0;
+      }
       std::atomic<Word>& orec = Layout::OrecOf(*s);
       Word w = orec.load(std::memory_order_relaxed);
       while (true) {
@@ -104,7 +111,10 @@ class ShortTm {
       if (!valid_) {
         return 0;
       }
-      assert(!ro_.Full() && "short transaction exceeds kMaxShortReads locations");
+      if (ro_.Full()) {  // overflow invalidates instead of corrupting (see ReadRw)
+        valid_ = false;
+        return 0;
+      }
       std::atomic<Word>& orec = Layout::OrecOf(*s);
       while (true) {
         const Word o1 = orec.load(std::memory_order_acquire);
@@ -118,8 +128,14 @@ class ShortTm {
         if (o1 != o2) {
           continue;
         }
+        // Fast path: the entry just sandwiched is consistent at its own read
+        // instant; only EARLIER entries need re-checking (orec versions are
+        // monotone, so matching then-and-now means unchanged in between — including
+        // at this read's instant, the common consistency point). The first RO read
+        // validates nothing.
+        const bool prefix_ok = ro_.Empty() || ValidateRoPrefix(ro_.Size());
         ro_.PushBack(RoEntry{s, &orec, OrecVersionOf(o1)});
-        if (!ValidateRo()) {
+        if (!prefix_ok) {
           valid_ = false;
           return 0;
         }
@@ -134,19 +150,7 @@ class ShortTm {
     // Revalidates the RO set (Tx_RO_k_Is_Valid). For a read-only transaction a final
     // successful call serves in place of commit (§2.2: "Successful validation serves
     // in the place of commit").
-    bool ValidateRo() const {
-      for (const RoEntry& e : ro_) {
-        const Word w = e.orec->load(std::memory_order_acquire);
-        if (w == MakeOrecVersion(e.version)) {
-          continue;
-        }
-        if (OrecIsLocked(w) && OrecOwnerOf(w) == desc_) {
-          continue;  // upgraded by us; the lock pins it
-        }
-        return false;
-      }
-      return true;
-    }
+    bool ValidateRo() const { return ValidateRoPrefix(ro_.Size()); }
 
     // Tx_Upgrade_RO_x_To_RW_y: promote the ro_index-th read into the write set by
     // locking its orec at exactly the version observed. Returns false (transaction
@@ -157,7 +161,10 @@ class ShortTm {
         return false;
       }
       assert(ro_index >= 0 && static_cast<std::size_t>(ro_index) < ro_.Size());
-      assert(!rw_.Full());
+      if (rw_.Full()) {  // overflow invalidates instead of corrupting (see ReadRw)
+        valid_ = false;
+        return false;
+      }
       RoEntry& e = ro_[static_cast<std::size_t>(ro_index)];
       Word expected = MakeOrecVersion(e.version);
       if (!e.orec->compare_exchange_strong(expected, MakeOrecLocked(desc_),
@@ -257,7 +264,27 @@ class ShortTm {
     // genuine displaced orec word, which is always an even version.
     static constexpr Word kAlreadyOwned = ~Word{0};
 
+    // Validates the first `count` RO entries (the per-read fast path excludes the
+    // freshly sandwiched tail entry).
+    bool ValidateRoPrefix(std::size_t count) const {
+      for (std::size_t i = 0; i < count; ++i) {
+        const RoEntry& e = ro_[i];
+        const Word w = e.orec->load(std::memory_order_acquire);
+        if (w == MakeOrecVersion(e.version)) {
+          continue;
+        }
+        if (OrecIsLocked(w) && OrecOwnerOf(w) == desc_) {
+          continue;  // upgraded by us; the lock pins it
+        }
+        return false;
+      }
+      return true;
+    }
+
     void ReleaseLocksCommitted() {
+      if (rw_.Empty()) {
+        return;  // nothing locked: no orecs to release, no timestamp to draw
+      }
       Word wv = 0;
       if constexpr (Clock::kHasGlobalClock) {
         wv = Clock::NextCommitVersion();

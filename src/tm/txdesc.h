@@ -68,6 +68,16 @@ struct ValLockLogEntry {
   Word old_value;  // displaced application value, restored on abort
 };
 
+// Field layout is deliberate (hot-path false-sharing audit):
+//   * The descriptor address doubles as the lock-owner identity in orecs, and the
+//     whole struct is cache-line aligned so two threads' descriptors never share a
+//     line.
+//   * `stats` lives on its own cache line: it is the only cross-thread-readable
+//     state (TxStatsRegistry::Snapshot polls it from the harness thread), and every
+//     commit/abort writes it — keeping it apart stops Snapshot polls from stealing
+//     the line that holds the owner's log headers mid-transaction.
+//   * Everything else is owner-private: thread_slot/backoff and the log headers sit
+//     together on the leading lines, touched on every transaction.
 struct alignas(kCacheLineSize) TxDesc {
   TxDesc()
       : thread_slot(ThreadRegistry::CurrentId()),
@@ -81,18 +91,21 @@ struct alignas(kCacheLineSize) TxDesc {
 
   ~TxDesc() { TxStatsRegistry::Unregister(&stats); }
 
+  // Owner-private hot fields.
   int thread_slot;
   Backoff backoff;
-  TxStats stats;
 
-  // Full-transaction logs (orec/tvar layouts).
+  // Full-transaction logs (orec/tvar layouts); owner-private.
   std::vector<ReadLogEntry> read_log;
   WriteSet wset;
   std::vector<LockLogEntry> lock_log;
 
-  // Full-transaction logs (val layout).
+  // Full-transaction logs (val layout); owner-private.
   std::vector<ValReadLogEntry> val_read_log;
   std::vector<ValLockLogEntry> val_lock_log;
+
+  // Cross-thread-readable counters, isolated on their own cache line.
+  alignas(kCacheLineSize) TxStats stats;
 };
 
 // One descriptor per (thread, TM domain). The descriptor address doubles as the lock

@@ -71,9 +71,23 @@ class ValFullTm {
         CpuRelax();
       }
       desc_->val_read_log.push_back(ValReadLogEntry{&s->word, w});
-      // Per-read full revalidation — the val-full cost highlighted in Figure 5.
-      if (!ValidateReads()) {
-        return Fail();
+      // Per-read revalidation — the val-full cost highlighted in Figure 5 — with two
+      // fast paths:
+      //   * a one-entry log is trivially consistent (a single location);
+      //   * under a precise commit counter (val_word.h), an unchanged counter since
+      //     the log was last fully valid proves no writer released a value in
+      //     between (NOrec's observation), so the O(read-set) re-check is skipped.
+      //     sample_ always names a counter value at which the whole log was valid,
+      //     so the entry just appended joins a still-valid snapshot.
+      if (desc_->val_read_log.size() > 1) {
+        if constexpr (Validation::kPrecise) {
+          if (Validation::Stable(sample_)) {
+            return w;
+          }
+        }
+        if (!ValidateReads()) {
+          return Fail();
+        }
       }
       return w;
     }
@@ -122,7 +136,11 @@ class ValFullTm {
           }
         }
       }
-      if (!ValidateReads()) {
+      // Commit-time validation, with the same precise-counter fast path as Read():
+      // counter unchanged since the log was last fully valid ⇒ no writer released a
+      // value since ⇒ the log still holds (our own commit locks pin the rest).
+      const bool counter_stable = Validation::kPrecise && Validation::Stable(sample_);
+      if (!counter_stable && !ValidateReads()) {
         ReleaseLocks();
         OnAbort();
         return false;

@@ -55,7 +55,12 @@ class ValShortTm {
       if (!valid_) {
         return 0;
       }
-      assert(!rw_.Full() && "short transaction exceeds kMaxShortWrites locations");
+      // Contract violation (§2.2) must not become memory corruption in release
+      // builds: invalidate instead of pushing past the InlineVec bound.
+      if (rw_.Full()) {
+        valid_ = false;
+        return 0;
+      }
       Word w = s->word.load(std::memory_order_relaxed);
       while (true) {
         if (ValIsLocked(w)) {
@@ -79,15 +84,21 @@ class ValShortTm {
       if (!valid_) {
         return 0;
       }
-      assert(!ro_.Full() && "short transaction exceeds kMaxShortReads locations");
+      if (ro_.Full()) {  // overflow invalidates instead of corrupting (see ReadRw)
+        valid_ = false;
+        return 0;
+      }
       const Word w = s->word.load(std::memory_order_acquire);
       if (ValIsLocked(w)) {
         assert(ValOwnerOf(w) != desc_ && "RO and RW sets must be disjoint");
         valid_ = false;
         return 0;
       }
+      // Fast path: the first RO entry is trivially consistent on its own (RW entries
+      // are pinned by our locks), so only subsequent reads pay the revalidation.
+      const bool first_ro = ro_.Empty();
       ro_.PushBack(RoEntry{s, w, /*upgraded=*/false});
-      if (!ValidateRo()) {
+      if (!first_ro && !ValidateRo()) {
         valid_ = false;
         return 0;
       }
@@ -124,7 +135,10 @@ class ValShortTm {
         return false;
       }
       assert(ro_index >= 0 && static_cast<std::size_t>(ro_index) < ro_.Size());
-      assert(!rw_.Full());
+      if (rw_.Full()) {  // overflow invalidates instead of corrupting (see ReadRw)
+        valid_ = false;
+        return false;
+      }
       RoEntry& e = ro_[static_cast<std::size_t>(ro_index)];
       Word expected = e.value;
       if (!e.slot->word.compare_exchange_strong(expected, MakeValLocked(desc_),

@@ -55,10 +55,20 @@ inline Word MakeValLocked(TxDesc* owner) {
 // re-check — and a held lock always fails the value comparison, because a locked word
 // has bit 0 set and recorded values never do.
 
+// `kPrecise` marks policies whose counter genuinely tracks writer commits: for those,
+// "counter unchanged since the log was last fully validated" proves no writer
+// released any value in between (writers bump while holding their locks, before the
+// releasing stores, and lock acquisition precedes the bump — so a writer whose bump
+// is not yet visible was still holding its locks during the last value re-check,
+// where a held lock always fails the comparison). Engines use it to skip redundant
+// per-read revalidation. NonReuseValidation's trivially-stable pseudo-counter proves
+// nothing, so it must not enable that fast path.
+
 // Case-3 reliance: no tracking at all. Sound when values satisfy non-re-use (or one
 // of the other two special cases); this is the paper's default for val-short.
 struct NonReuseValidation {
   static constexpr const char* kName = "non-reuse";
+  static constexpr bool kPrecise = false;
   static Word Sample() { return 0; }
   static bool Stable(Word /*sample*/) { return true; }
   static void OnWriterCommit(TxDesc* /*self*/) {}
@@ -68,6 +78,7 @@ struct NonReuseValidation {
 // commit contends on one cache line.
 struct GlobalCounterValidation {
   static constexpr const char* kName = "global-counter";
+  static constexpr bool kPrecise = true;
 
   static std::atomic<Word>& Counter() {
     static CacheAligned<std::atomic<Word>> counter;
@@ -87,6 +98,7 @@ struct GlobalCounterValidation {
 // so an unchanged sum implies every individual counter is unchanged.
 struct PerThreadCounterValidation {
   static constexpr const char* kName = "per-thread-counters";
+  static constexpr bool kPrecise = true;
 
   static Word Sample() {
     const int bound = ThreadRegistry::IdBound();

@@ -86,8 +86,11 @@ struct OrecGTag {};
 struct OrecLTag {};
 struct TvarGTag {};
 struct TvarLTag {};
+struct OrecGNaiveTag {};
+struct TvarGNaiveTag {};
 
-// Shared orec table + global version clock (Figure 3(a), TL2-style).
+// Shared orec table + global version clock (Figure 3(a)). The global clock is the
+// GV4 pass-on-failure policy with a thread-local sample cache (clock.h).
 using OrecG = internal::OrecBasedFamily<OrecGTag, OrecLayout, GlobalClockPolicy>;
 // Shared orec table + per-orec version numbers.
 using OrecL = internal::OrecBasedFamily<OrecLTag, OrecLayout, LocalClockPolicy>;
@@ -95,6 +98,13 @@ using OrecL = internal::OrecBasedFamily<OrecLTag, OrecLayout, LocalClockPolicy>;
 using TvarG = internal::OrecBasedFamily<TvarGTag, TvarLayout, GlobalClockPolicy>;
 // Co-located TVar meta-data + per-orec versions.
 using TvarL = internal::OrecBasedFamily<TvarLTag, TvarLayout, LocalClockPolicy>;
+
+// Ablation baselines: the TL2/GV1-style fetch_add clock (every writer commit bumps
+// one shared cache line). Distinct domain tags keep their clocks and orec tables
+// fully isolated from the GV4 families; bench/abl_clock_scale sweeps them against
+// the defaults.
+using OrecGNaive = internal::OrecBasedFamily<OrecGNaiveTag, OrecLayout, GlobalClockNaive>;
+using TvarGNaive = internal::OrecBasedFamily<TvarGNaiveTag, TvarLayout, GlobalClockNaive>;
 
 // 1-bit meta-data with value-based validation (Figure 3(c)); version-free by default
 // (relies on the paper's three special cases, §2.4), with counter-backed general

@@ -1,0 +1,135 @@
+// Tests for the machine-readable benchmark report: JSON escaping/structure, file
+// round-trip, and --json CLI parsing.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/benchsupport/runner.h"
+#include "src/benchsupport/table.h"
+
+namespace spectm {
+namespace {
+
+BenchRecord SampleRecord() {
+  BenchRecord r;
+  r.variant = "orec-short";
+  r.clock = "gv4";
+  r.threads = 4;
+  r.lookup_pct = 10;
+  r.ops_per_sec = 1234567.5;
+  r.abort_rate = 0.03125;
+  r.commits = 1000;
+  r.aborts = 32;
+  r.duration_s = 0.9;
+  return r;
+}
+
+TEST(JsonReport, EscapesSpecialCharacters) {
+  EXPECT_EQ(JsonReport::Escape("plain"), "plain");
+  EXPECT_EQ(JsonReport::Escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonReport::Escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonReport::Escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonReport::Escape(std::string("a\x01z")), "a\\u0001z");
+}
+
+TEST(JsonReport, EmitsSchemaAndAllFields) {
+  JsonReport report("clock_scale");
+  EXPECT_TRUE(report.Empty());
+  report.Add(SampleRecord());
+  EXPECT_FALSE(report.Empty());
+
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"bench\": \"clock_scale\""), std::string::npos);
+  EXPECT_NE(json.find("\"variant\": \"orec-short\""), std::string::npos);
+  EXPECT_NE(json.find("\"clock\": \"gv4\""), std::string::npos);
+  EXPECT_NE(json.find("\"threads\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"lookup_pct\": 10"), std::string::npos);
+  EXPECT_NE(json.find("\"ops_per_sec\": 1234567.5"), std::string::npos);
+  EXPECT_NE(json.find("\"abort_rate\": 0.03125"), std::string::npos);
+  EXPECT_NE(json.find("\"commits\": 1000"), std::string::npos);
+  EXPECT_NE(json.find("\"aborts\": 32"), std::string::npos);
+  EXPECT_NE(json.find("\"duration_s\": 0.9"), std::string::npos);
+}
+
+TEST(JsonReport, MultipleRecordsFormAnArray) {
+  JsonReport report("b");
+  report.Add(SampleRecord());
+  BenchRecord second = SampleRecord();
+  second.threads = 8;
+  report.Add(second);
+  const std::string json = report.ToJson();
+  // Two objects, comma-separated, inside one array.
+  EXPECT_NE(json.find("\"threads\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"threads\": 8"), std::string::npos);
+  EXPECT_NE(json.find("},\n"), std::string::npos);
+  EXPECT_NE(json.find("\"results\": ["), std::string::npos);
+  // Balanced braces/brackets (cheap structural sanity without a parser).
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) {
+      in_string = !in_string;
+    }
+    if (in_string) {
+      continue;
+    }
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(JsonReport, WritesFile) {
+  const std::string path = testing::TempDir() + "/spectm_json_test.json";
+  JsonReport report("roundtrip");
+  report.Add(SampleRecord());
+  ASSERT_TRUE(report.WriteFile(path));
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::stringstream buf;
+  buf << f.rdbuf();
+  EXPECT_EQ(buf.str(), report.ToJson());
+  std::remove(path.c_str());
+}
+
+TEST(JsonPathFromArgs, ParsesSeparateAndInlineForms) {
+  {
+    const char* argv[] = {"bench", "--json", "out.json"};
+    EXPECT_EQ(JsonPathFromArgs(3, const_cast<char**>(argv)), "out.json");
+  }
+  {
+    const char* argv[] = {"bench", "--json=inline.json"};
+    EXPECT_EQ(JsonPathFromArgs(2, const_cast<char**>(argv)), "inline.json");
+  }
+  {
+    const char* argv[] = {"bench", "--threads", "4"};
+    EXPECT_EQ(JsonPathFromArgs(3, const_cast<char**>(argv)), "");
+    EXPECT_EQ(JsonPathFromArgs(3, const_cast<char**>(argv), "default.json"),
+              "default.json");
+  }
+  {
+    // Flag wins over the default even when other args surround it.
+    const char* argv[] = {"bench", "-v", "--json", "x.json", "--runs", "3"};
+    EXPECT_EQ(JsonPathFromArgs(6, const_cast<char**>(argv), "default.json"), "x.json");
+  }
+}
+
+TEST(JsonPathFromArgs, EnvironmentFallback) {
+  setenv("SPECTM_BENCH_JSON", "env.json", /*overwrite=*/1);
+  const char* argv[] = {"bench"};
+  EXPECT_EQ(JsonPathFromArgs(1, const_cast<char**>(argv), "default.json"), "env.json");
+  const char* argv2[] = {"bench", "--json=flag.json"};
+  EXPECT_EQ(JsonPathFromArgs(2, const_cast<char**>(argv2)), "flag.json")
+      << "an explicit flag overrides the environment";
+  unsetenv("SPECTM_BENCH_JSON");
+  EXPECT_EQ(JsonPathFromArgs(1, const_cast<char**>(argv)), "");
+}
+
+}  // namespace
+}  // namespace spectm

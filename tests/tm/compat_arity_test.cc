@@ -186,5 +186,38 @@ TEST_F(CompatArity, FailedUpgradeInvalidates) {
       << "upgrade of a changed location must fail";
 }
 
+TEST_F(CompatArity, R1RestartSemantics) {
+  // Tx_RO_R1 always starts a fresh attempt — including after a VALIDATED RO-only
+  // transaction, which leaves the record live (validation serves in place of
+  // commit) with its RO set populated.
+  {
+    TX_RECORD<> t;
+    compat::Tx_RO_R1(&t, &slots_[0]);
+    compat::Tx_RO_R2(&t, &slots_[1]);
+    ASSERT_TRUE(compat::Tx_RO_2_Is_Valid(&t));  // RO-only "commit"
+    compat::Tx_RO_R1(&t, &slots_[2]);           // reuse: must re-arm, not append
+    EXPECT_EQ(t.tx.RoCount(), 1u);
+    EXPECT_TRUE(compat::Tx_RO_1_Is_Valid(&t));
+  }
+  // Tx_RW_R1 re-arms a finished record but preserves a live attempt's RO set (the
+  // mixed RO_x_RW_y forms route their first RW access through it).
+  {
+    TX_RECORD<> t;
+    compat::Tx_RW_R1(&t, &slots_[0]);
+    compat::Tx_RW_1_Commit(&t, ToPtr(EncodeInt(50)));
+    compat::Tx_RW_R1(&t, &slots_[1]);  // after commit: fresh attempt
+    EXPECT_EQ(t.tx.RwCount(), 1u);
+    EXPECT_EQ(t.tx.RoCount(), 0u);
+    compat::Tx_RW_1_Abort(&t);
+
+    compat::Tx_RO_R1(&t, &slots_[2]);
+    compat::Tx_RW_R1(&t, &slots_[3]);  // mid-attempt: RO set must survive
+    EXPECT_EQ(t.tx.RoCount(), 1u);
+    EXPECT_EQ(t.tx.RwCount(), 1u);
+    EXPECT_TRUE(compat::Tx_RO_1_RW_1_Commit(&t, ToPtr(EncodeInt(60))));
+    EXPECT_EQ(Value(3), 60u);
+  }
+}
+
 }  // namespace
 }  // namespace spectm

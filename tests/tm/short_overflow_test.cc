@@ -1,0 +1,144 @@
+// Regression tests for short-transaction capacity overflow: exceeding
+// kMaxShortReads/kMaxShortWrites is a §2.2 contract violation, but it must
+// invalidate the transaction (normal Valid()/Abort()/restart path), never push past
+// the fixed-size InlineVec bounds — which in release builds used to be undefined
+// behavior (out-of-bounds write into the stack-allocated ShortTx record).
+#include <gtest/gtest.h>
+
+#include "src/tm/config.h"
+#include "src/tm/variants.h"
+
+namespace spectm {
+namespace {
+
+// ---- Orec-based short transactions --------------------------------------------------
+
+TEST(ShortTxOverflow, RwOverflowInvalidatesInsteadOfCorrupting) {
+  static OrecG::Slot slots[kMaxShortWrites + 1];
+  OrecG::ShortTx tx;
+  for (int i = 0; i < kMaxShortWrites; ++i) {
+    tx.ReadRw(&slots[i]);
+    ASSERT_TRUE(tx.Valid());
+  }
+  EXPECT_EQ(tx.RwCount(), static_cast<std::size_t>(kMaxShortWrites));
+  EXPECT_EQ(tx.ReadRw(&slots[kMaxShortWrites]), 0u);
+  EXPECT_FALSE(tx.Valid());
+  EXPECT_EQ(tx.RwCount(), static_cast<std::size_t>(kMaxShortWrites))
+      << "the overflowing access must not be recorded";
+  tx.Abort();
+
+  // The abort must have released every lock: single-op writes (which spin on locked
+  // orecs) and a fresh short transaction must both proceed.
+  for (auto& s : slots) {
+    OrecG::SingleWrite(&s, EncodeInt(5));
+    EXPECT_EQ(DecodeInt(OrecG::SingleRead(&s)), 5u);
+  }
+  OrecG::ShortTx retry;
+  EXPECT_EQ(DecodeInt(retry.ReadRw(&slots[0])), 5u);
+  EXPECT_TRUE(retry.Valid());
+  EXPECT_TRUE(retry.CommitRw({EncodeInt(6)}));
+  EXPECT_EQ(DecodeInt(OrecG::SingleRead(&slots[0])), 6u);
+}
+
+TEST(ShortTxOverflow, RoOverflowInvalidatesInsteadOfCorrupting) {
+  static OrecG::Slot slots[kMaxShortReads + 1];
+  OrecG::ShortTx tx;
+  for (int i = 0; i < kMaxShortReads; ++i) {
+    tx.ReadRo(&slots[i]);
+    ASSERT_TRUE(tx.Valid());
+  }
+  EXPECT_EQ(tx.RoCount(), static_cast<std::size_t>(kMaxShortReads));
+  EXPECT_EQ(tx.ReadRo(&slots[kMaxShortReads]), 0u);
+  EXPECT_FALSE(tx.Valid());
+  EXPECT_EQ(tx.RoCount(), static_cast<std::size_t>(kMaxShortReads));
+  tx.Abort();
+}
+
+TEST(ShortTxOverflow, UpgradeIntoFullRwSetInvalidates) {
+  static OrecG::Slot rw_slots[kMaxShortWrites];
+  static OrecG::Slot ro_slot;
+  OrecG::ShortTx tx;
+  for (auto& s : rw_slots) {
+    tx.ReadRw(&s);
+    ASSERT_TRUE(tx.Valid());
+  }
+  tx.ReadRo(&ro_slot);
+  ASSERT_TRUE(tx.Valid());
+  EXPECT_FALSE(tx.UpgradeRoToRw(0));
+  EXPECT_FALSE(tx.Valid());
+  tx.Abort();
+
+  // Locks released; the RO slot was never locked.
+  for (auto& s : rw_slots) {
+    OrecG::SingleWrite(&s, EncodeInt(1));
+  }
+  OrecG::SingleWrite(&ro_slot, EncodeInt(1));
+}
+
+TEST(ShortTxOverflow, ResetAfterOverflowIsReusable) {
+  static OrecG::Slot slots[kMaxShortWrites + 1];
+  OrecG::ShortTx tx;
+  for (auto& s : slots) {
+    tx.ReadRw(&s);  // last access overflows and invalidates
+  }
+  EXPECT_FALSE(tx.Valid());
+  tx.Reset();
+  EXPECT_TRUE(tx.Valid());
+  EXPECT_EQ(tx.RwCount(), 0u);
+  tx.ReadRw(&slots[0]);
+  EXPECT_TRUE(tx.Valid());
+  EXPECT_TRUE(tx.CommitRw({EncodeInt(3)}));
+  EXPECT_EQ(DecodeInt(OrecG::SingleRead(&slots[0])), 3u);
+}
+
+// ---- Value-based short transactions --------------------------------------------------
+
+TEST(ValShortTxOverflow, RwOverflowInvalidatesInsteadOfCorrupting) {
+  static Val::Slot slots[kMaxShortWrites + 1];
+  Val::ShortTx tx;
+  for (int i = 0; i < kMaxShortWrites; ++i) {
+    tx.ReadRw(&slots[i]);
+    ASSERT_TRUE(tx.Valid());
+  }
+  EXPECT_EQ(tx.ReadRw(&slots[kMaxShortWrites]), 0u);
+  EXPECT_FALSE(tx.Valid());
+  tx.Abort();
+
+  // Displaced values restored, words unlocked.
+  for (auto& s : slots) {
+    Val::SingleWrite(&s, EncodeInt(9));
+    EXPECT_EQ(DecodeInt(Val::SingleRead(&s)), 9u);
+  }
+}
+
+TEST(ValShortTxOverflow, RoOverflowInvalidatesInsteadOfCorrupting) {
+  static Val::Slot slots[kMaxShortReads + 1];
+  Val::ShortTx tx;
+  for (int i = 0; i < kMaxShortReads; ++i) {
+    tx.ReadRo(&slots[i]);
+    ASSERT_TRUE(tx.Valid());
+  }
+  EXPECT_EQ(tx.ReadRo(&slots[kMaxShortReads]), 0u);
+  EXPECT_FALSE(tx.Valid());
+  tx.Abort();
+}
+
+TEST(ValShortTxOverflow, UpgradeIntoFullRwSetInvalidates) {
+  static Val::Slot rw_slots[kMaxShortWrites];
+  static Val::Slot ro_slot;
+  Val::ShortTx tx;
+  for (auto& s : rw_slots) {
+    tx.ReadRw(&s);
+    ASSERT_TRUE(tx.Valid());
+  }
+  tx.ReadRo(&ro_slot);
+  ASSERT_TRUE(tx.Valid());
+  EXPECT_FALSE(tx.UpgradeRoToRw(0));
+  EXPECT_FALSE(tx.Valid());
+  tx.Abort();
+  Val::SingleWrite(&ro_slot, EncodeInt(2));
+  EXPECT_EQ(DecodeInt(Val::SingleRead(&ro_slot)), 2u);
+}
+
+}  // namespace
+}  // namespace spectm
