@@ -1,0 +1,288 @@
+// Adaptive validation engine ablation (valstrategy.h): fixed strategies
+// (incremental / counter-skip / bloom) vs the EWMA-adaptive engine, on the two
+// layouts whose full transactions pay per-read O(read-set) revalidation — the
+// local-clock orec family (§4.1's "-l" cost) and the counter-validated val layout
+// (Figure 5's dominant cost).
+//
+// Three workloads over a hash table with deliberately long chains (1024 buckets,
+// 16k keys => ~8-node chains, so full-transaction read sets are large enough for
+// validation strategy to matter):
+//   read-heavy   90% lookups — counter-skip country; also the "no regression vs
+//                always-incremental" acceptance sweep
+//   write-heavy  10% lookups — constant counter movement; bloom country
+//   phase-shift  alternating 25 ms RO bursts (95% lookups) and RW bursts (5%) —
+//                the workload the EWMA switch exists for
+//
+// Besides the multi-threaded throughput cells, each (family, strategy) row runs
+// a deterministic single-threaded probe pass (see MeasureProbes) whose ValProbe
+// deltas are emitted as evidence columns: counter_skips / bloom_skips /
+// validation_walks prove the row's mechanism actually fires, and the adaptive
+// rows additionally prove the EWMA switch transitions (strategy_switches > 0).
+//
+// Output: text tables plus BENCH_adaptive_val.json (override with --json <path>
+// or SPECTM_BENCH_JSON) through the standard JSON pipeline (bench/README.md).
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/set_bench.h"
+#include "src/structures/hash_tm_full.h"
+#include "src/tm/valstrategy.h"
+#include "src/tm/variants.h"
+
+namespace spectm {
+namespace {
+
+constexpr std::size_t kBuckets = 1024;
+constexpr std::uint64_t kKeyRange = 16384;
+constexpr int kPhaseMs = 25;
+constexpr int kRoPhaseLookupPct = 95;
+constexpr int kRwPhaseLookupPct = 5;
+
+struct WorkloadSpec {
+  const char* name;
+  int lookup_pct;  // -1 => phase-shifting mix
+};
+
+constexpr WorkloadSpec kWorkloads[] = {
+    {"read-heavy", 90},
+    {"write-heavy", 10},
+    {"phase-shift", -1},
+};
+
+int PhaseLookupPct(std::chrono::steady_clock::time_point start) {
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  return (elapsed / kPhaseMs) % 2 == 0 ? kRoPhaseLookupPct : kRwPhaseLookupPct;
+}
+
+// One timed cell for the phase-shifting workload: every worker flips between the
+// RO and RW mixes on a shared wall-clock schedule (re-checked every 32 ops), so
+// all threads burst together and the abort-rate EWMA actually sees phases. The
+// cell machinery itself is the shared MeasureCellWithMix.
+template <typename MakeSet>
+bench::CellResult MeasurePhaseCell(const MakeSet& make_set, const WorkloadConfig& cfg,
+                                   int threads) {
+  const auto phase_start = std::chrono::steady_clock::now();
+  thread_local int lookup_pct = kRoPhaseLookupPct;
+  return bench::MeasureCellWithMix(make_set, cfg, threads,
+                                   [&](std::uint64_t ops) {
+                                     if (ops % 32 == 0) {
+                                       lookup_pct = PhaseLookupPct(phase_start);
+                                     }
+                                     return lookup_pct;
+                                   });
+}
+
+struct ProbeDeltas {
+  std::uint64_t counter_skips = 0;
+  std::uint64_t bloom_skips = 0;
+  std::uint64_t validation_walks = 0;
+  std::uint64_t strategy_switches = 0;
+};
+
+// Bloom signature of a family slot: the metadata word the engines hash — the
+// (shared-table) orec for orec layouts, the value word itself for the val layout.
+template <typename Family, typename = void>
+struct SlotBloom {
+  static std::uint32_t Of(typename Family::Slot* s) {
+    return AddrBloom32(&s->word);
+  }
+};
+template <typename Family>
+struct SlotBloom<Family, std::void_t<typename Family::Layout>> {
+  static std::uint32_t Of(typename Family::Slot* s) {
+    return AddrBloom32(&Family::Layout::OrecOf(*s));
+  }
+};
+
+// Deterministic probe pass (ValProbe counters are thread-local, so the timed
+// cells' worker counts are unreachable — and on a 1-core container, scheduler-
+// driven interleaving makes probabilistic evidence flaky). Each step exercises
+// one mechanism the columns claim, exactly like the unit tests do:
+//   1. a quiet multi-read transaction  -> counter_skips (stable-counter skip)
+//   2. a bloom-disjoint single-op write between two reads -> bloom_skips under
+//      the bloom strategy (other strategies walk: validation_walks)
+//   3. (adaptive rows) an abort burst then a quiet run -> the EWMA crosses its
+//      bands and strategy_switches records the transitions
+template <typename Family>
+ProbeDeltas MeasureProbes(bool adaptive_transitions) {
+  using Probe = typename Family::Full::Probe;
+  using FullTx = typename Family::FullTx;
+  std::vector<typename Family::Slot> pool(66);
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    Family::RawWrite(&pool[i], EncodeInt(i + 1));
+  }
+  typename Family::Slot* a = &pool[64];
+  typename Family::Slot* b = &pool[65];
+  // A write target whose bloom misses {a, b}, so the bloom pre-filter can prove
+  // disjointness (64 candidates make a miss essentially impossible; if every one
+  // collides the step degrades to a walk and the column honestly reads 0).
+  const std::uint32_t read_bloom =
+      SlotBloom<Family>::Of(a) | SlotBloom<Family>::Of(b);
+  typename Family::Slot* disjoint = &pool[0];
+  for (std::size_t i = 0; i < 64; ++i) {
+    if ((SlotBloom<Family>::Of(&pool[i]) & read_bloom) == 0) {
+      disjoint = &pool[i];
+      break;
+    }
+  }
+
+  const typename Probe::Counters start_counters = Probe::Get();
+  // (1) stable counter: second read and commit skip the walk.
+  {
+    FullTx tx;
+    do {
+      tx.Start();
+      tx.Read(a);
+      tx.Read(b);
+    } while (!tx.Commit());
+  }
+  // (2) moved-but-disjoint counter: the single-op write bumps the domain counter
+  // between the two reads; the bloom strategy pre-filters it, others walk.
+  {
+    FullTx tx;
+    do {
+      tx.Start();
+      tx.Read(a);
+      Family::SingleWrite(disjoint, EncodeInt(7));
+      tx.Read(b);
+    } while (!tx.Commit());
+  }
+  // (3) EWMA band crossings: user aborts are genuine abort-EWMA events, so a
+  // burst of them walks the adaptive engine into the incremental band and a
+  // quiet commit run decays it back to counter-skip — each band edge crossed at
+  // a Start() records a strategy switch.
+  if (adaptive_transitions) {
+    for (int i = 0; i < 64; ++i) {
+      FullTx tx;
+      tx.Start();
+      tx.Read(a);
+      tx.AbortTx();
+      tx.Commit();
+    }
+    for (int i = 0; i < 256; ++i) {
+      FullTx tx;
+      do {
+        tx.Start();
+        tx.Read(a);
+      } while (!tx.Commit());
+    }
+  }
+  const typename Probe::Counters end_counters = Probe::Get();
+
+  ProbeDeltas d;
+  d.counter_skips = end_counters.counter_skips - start_counters.counter_skips;
+  d.bloom_skips = end_counters.bloom_skips - start_counters.bloom_skips;
+  d.validation_walks = end_counters.validation_walks - start_counters.validation_walks;
+  d.strategy_switches =
+      end_counters.strategy_switches - start_counters.strategy_switches;
+  return d;
+}
+
+struct Row {
+  std::string strategy;
+  bench::CellResult result;
+  ProbeDeltas probes;
+  bool has_probes = true;
+};
+
+template <typename Family>
+Row MeasureFamily(const char* strategy, const WorkloadSpec& wl, int threads) {
+  auto make_set = [] { return std::make_unique<TmHashSet<Family>>(kBuckets); };
+  WorkloadConfig cfg;
+  cfg.key_range = kKeyRange;
+  cfg.lookup_pct = wl.lookup_pct < 0 ? kRoPhaseLookupPct : wl.lookup_pct;
+
+  Row row;
+  row.strategy = strategy;
+  row.result = wl.lookup_pct < 0 ? MeasurePhaseCell(make_set, cfg, threads)
+                                 : bench::MeasureCellDetailed(make_set, cfg, threads);
+  // The passive baseline (OrecL) deliberately carries zero instrumentation, so
+  // emitting all-zero probe columns for it would read as "never validates";
+  // mark its probes absent instead.
+  row.has_probes = Family::kValMode != ValMode::kPassive;
+  if (row.has_probes) {
+    row.probes = MeasureProbes<Family>(std::string(strategy) == "adaptive");
+  }
+  return row;
+}
+
+void EmitGroup(JsonReport& report, const char* variant, const char* clock,
+               const WorkloadSpec& wl, int threads, const std::vector<Row>& rows) {
+  std::printf("\n%s — %s (hash table, %zu buckets, %llu keys, %d threads)\n", variant,
+              wl.name, kBuckets, static_cast<unsigned long long>(kKeyRange), threads);
+  TextTable table({"strategy", "Mops/s", "abort%", "ctr-skips", "bloom-skips",
+                   "walks", "strat-switches"});
+  for (const Row& row : rows) {
+    BenchRecord r;
+    r.variant = variant;
+    r.clock = clock;
+    r.workload = wl.name;
+    r.strategy = row.strategy;
+    r.threads = threads;
+    r.lookup_pct = wl.lookup_pct;
+    r.ops_per_sec = row.result.ops_per_sec;
+    r.abort_rate = row.result.abort_rate;
+    r.commits = row.result.commits;
+    r.aborts = row.result.aborts;
+    r.duration_s = row.result.duration_s;
+    r.has_probes = row.has_probes;
+    r.counter_skips = row.probes.counter_skips;
+    r.bloom_skips = row.probes.bloom_skips;
+    r.validation_walks = row.probes.validation_walks;
+    r.strategy_switches = row.probes.strategy_switches;
+    report.Add(r);
+
+    auto probe_cell = [&](std::uint64_t v) {
+      return row.has_probes ? std::to_string(v) : std::string("-");
+    };
+    table.AddRow({row.strategy, TextTable::Num(row.result.ops_per_sec / 1e6, 3),
+                  TextTable::Num(row.result.abort_rate * 100.0, 2),
+                  probe_cell(row.probes.counter_skips),
+                  probe_cell(row.probes.bloom_skips),
+                  probe_cell(row.probes.validation_walks),
+                  probe_cell(row.probes.strategy_switches)});
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+}
+
+bool Run(const std::string& json_path) {
+  const std::vector<int> threads = bench::ThreadSweep();
+  const int max_threads = threads.back();
+  JsonReport report("adaptive_val");
+
+  for (const WorkloadSpec& wl : kWorkloads) {
+    // Local-clock orec family: OrecL (kPassive — no writer summary at all) is the
+    // always-incremental baseline the acceptance sweep compares against.
+    std::vector<Row> orec_rows;
+    orec_rows.push_back(MeasureFamily<OrecL>("incremental", wl, max_threads));
+    orec_rows.push_back(
+        MeasureFamily<OrecLCounterSkip>("counter-skip", wl, max_threads));
+    orec_rows.push_back(MeasureFamily<OrecLBloom>("bloom", wl, max_threads));
+    orec_rows.push_back(MeasureFamily<OrecLAdaptive>("adaptive", wl, max_threads));
+    EmitGroup(report, "orec-full-l", "local", wl, max_threads, orec_rows);
+
+    // Counter-validated val layout: same strategy sweep over one protocol.
+    std::vector<Row> val_rows;
+    val_rows.push_back(MeasureFamily<ValIncremental>("incremental", wl, max_threads));
+    val_rows.push_back(MeasureFamily<ValCounterSkip>("counter-skip", wl, max_threads));
+    val_rows.push_back(MeasureFamily<ValBloom>("bloom", wl, max_threads));
+    val_rows.push_back(MeasureFamily<ValAdaptive>("adaptive", wl, max_threads));
+    EmitGroup(report, "val-full", "none", wl, max_threads, val_rows);
+  }
+
+  return json_path.empty() || report.WriteFile(json_path);
+}
+
+}  // namespace
+}  // namespace spectm
+
+int main(int argc, char** argv) {
+  const std::string json_path =
+      spectm::JsonPathFromArgs(argc, argv, "BENCH_adaptive_val.json");
+  return spectm::Run(json_path) ? 0 : 1;
+}

@@ -56,9 +56,12 @@ struct CellResult {
   double duration_s = 0.0;
 };
 
-template <typename MakeSet>
-CellResult MeasureCellDetailed(const MakeSet& make_set, const WorkloadConfig& cfg,
-                               int threads) {
+// Generalized cell: `mix(ops_done)` yields the lookup percentage for the next
+// operation, so phase-shifting workloads (bench/abl_adaptive_val) share this
+// prefill/snapshot/aggregate machinery with the fixed-mix cells.
+template <typename MakeSet, typename MixFn>
+CellResult MeasureCellWithMix(const MakeSet& make_set, const WorkloadConfig& cfg,
+                              int threads, const MixFn& mix) {
   const int runs = BenchRuns(3);
   const int duration_ms = BenchDurationMs(300);
   CellResult cell;
@@ -75,7 +78,7 @@ CellResult MeasureCellDetailed(const MakeSet& make_set, const WorkloadConfig& cf
           std::uint64_t ops = 0;
           while (!stop.load(std::memory_order_relaxed)) {
             const std::uint64_t key = PickKey(rng, cfg.key_range);
-            switch (PickOp(rng, cfg.lookup_pct)) {
+            switch (PickOp(rng, mix(ops))) {
               case SetOp::kLookup:
                 set->Contains(key);
                 break;
@@ -101,6 +104,13 @@ CellResult MeasureCellDetailed(const MakeSet& make_set, const WorkloadConfig& cf
   cell.abort_rate =
       attempts == 0 ? 0.0 : static_cast<double>(cell.aborts) / static_cast<double>(attempts);
   return cell;
+}
+
+template <typename MakeSet>
+CellResult MeasureCellDetailed(const MakeSet& make_set, const WorkloadConfig& cfg,
+                               int threads) {
+  return MeasureCellWithMix(make_set, cfg, threads,
+                            [&](std::uint64_t /*ops*/) { return cfg.lookup_pct; });
 }
 
 // Throughput-only convenience used by the figure benches.

@@ -113,14 +113,27 @@ std::string JsonReport::ToJson() const {
     const BenchRecord& r = records_[i];
     out << (i == 0 ? "" : ",") << "\n    {"
         << "\"variant\": \"" << Escape(r.variant) << "\", "
-        << "\"clock\": \"" << Escape(r.clock) << "\", "
-        << "\"threads\": " << r.threads << ", "
+        << "\"clock\": \"" << Escape(r.clock) << "\", ";
+    if (!r.workload.empty()) {
+      out << "\"workload\": \"" << Escape(r.workload) << "\", ";
+    }
+    if (!r.strategy.empty()) {
+      out << "\"strategy\": \"" << Escape(r.strategy) << "\", ";
+    }
+    out << "\"threads\": " << r.threads << ", "
         << "\"lookup_pct\": " << r.lookup_pct << ", "
         << "\"ops_per_sec\": " << JsonNum(r.ops_per_sec) << ", "
         << "\"abort_rate\": " << JsonNum(r.abort_rate) << ", "
         << "\"commits\": " << r.commits << ", "
         << "\"aborts\": " << r.aborts << ", "
-        << "\"duration_s\": " << JsonNum(r.duration_s) << "}";
+        << "\"duration_s\": " << JsonNum(r.duration_s);
+    if (r.has_probes) {
+      out << ", \"counter_skips\": " << r.counter_skips
+          << ", \"bloom_skips\": " << r.bloom_skips
+          << ", \"validation_walks\": " << r.validation_walks
+          << ", \"strategy_switches\": " << r.strategy_switches;
+    }
+    out << "}";
   }
   out << "\n  ]\n}\n";
   return out.str();

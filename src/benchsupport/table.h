@@ -28,7 +28,9 @@ class TextTable {
 };
 
 // One measurement cell of a benchmark, as written to the JSON report. See
-// bench/README.md for the on-disk schema.
+// bench/README.md for the on-disk schema. The strategy/workload/probe fields are
+// optional extensions (bench/abl_adaptive_val); they are omitted from the JSON
+// when unset so earlier benches' files are byte-stable.
 struct BenchRecord {
   std::string variant;        // TM family under test, e.g. "orec-short"
   std::string clock;          // clock policy, e.g. "gv4" / "naive" / "local"
@@ -39,6 +41,14 @@ struct BenchRecord {
   std::uint64_t commits = 0;  // total committed transactions over the cell's runs
   std::uint64_t aborts = 0;   // total aborted transactions over the cell's runs
   double duration_s = 0.0;    // total measured wall time across the cell's runs
+
+  std::string workload;   // e.g. "read-heavy" / "write-heavy" / "phase-shift"
+  std::string strategy;   // validation strategy: fixed name or "adaptive"
+  bool has_probes = false;              // when true, the probe fields are emitted
+  std::uint64_t counter_skips = 0;      // ValProbe: walks avoided by stable counter
+  std::uint64_t bloom_skips = 0;        // ValProbe: walks avoided by ring blooms
+  std::uint64_t validation_walks = 0;   // ValProbe: full read-set walks
+  std::uint64_t strategy_switches = 0;  // ValProbe: strategy transitions observed
 };
 
 // Collects BenchRecords and renders them as a JSON document:

@@ -37,15 +37,29 @@
 #include "src/tm/layout.h"
 #include "src/tm/orec.h"
 #include "src/tm/txdesc.h"
+#include "src/tm/valstrategy.h"
 
 namespace spectm {
 
-template <typename LayoutT, typename ClockT, typename DomainTag>
+// kMode (valstrategy.h) opts the family into the adaptive validation engine:
+// writers then bump the domain's WriterSummary (commit counter + write-bloom ring)
+// while holding their commit locks, and local-clock readers use it to skip the
+// otherwise per-read O(read-set) revalidation (§4.1's "-l" cost). kPassive is the
+// zero-overhead default: no summary, the seed's exact behavior.
+template <typename LayoutT, typename ClockT, typename DomainTag,
+          ValMode kMode = ValMode::kPassive>
 class FullTm {
  public:
   using Layout = LayoutT;
   using Clock = ClockT;
   using Slot = typename Layout::Slot;
+  using Summary = WriterSummary<DomainTag>;
+  using Probe = ValProbe<DomainTag>;
+  static constexpr ValMode kValMode = kMode;
+  // Reader-side strategy only pays off where per-read revalidation exists: the
+  // local-clock families. Global-clock readers keep rv-sampling + extension.
+  static constexpr bool kStrategicReads =
+      kMode != ValMode::kPassive && !Clock::kHasGlobalClock;
 
   class Tx {
    public:
@@ -62,6 +76,25 @@ class FullTm {
       user_abort_ = false;
       if constexpr (Clock::kHasGlobalClock) {
         rv_ = Clock::Sample();
+      }
+      if constexpr (kStrategicReads) {
+        strat_ = ChooseStrategy(kMode, /*has_bloom_ring=*/true,
+                                AbortEwmaQ16(desc_->stats),
+                                SkipEwmaQ16(desc_->stats));
+        if constexpr (kMode == ValMode::kAdaptive) {
+          // Periodically probe a skip strategy even when efficacy looks poor, so
+          // the engine notices when the workload turns quiet again.
+          if (strat_ == ValStrategy::kIncremental &&
+              ++Probe::Get().attempt_tick % kSkipProbePeriod == 0) {
+            strat_ = ValStrategy::kCounterSkip;
+          }
+        }
+        Probe::OnStrategyChosen(strat_);
+        read_bloom_ = 0;
+        // Anchored before the first read: the skip argument needs every entry to
+        // have been admitted no earlier than the sample it is judged against.
+        sample_ = Summary::Sample();
+        sample_valid_ = true;
       }
     }
 
@@ -94,6 +127,9 @@ class FullTm {
         }
         if constexpr (Clock::kHasGlobalClock) {
           if (OrecVersionOf(o1) > rv_) {
+            // GV5-style clocks can lag published versions; give the policy a chance
+            // to drag the clock up so the extension below can succeed.
+            Clock::OnStaleRead(OrecVersionOf(o1));
             // Timebase extension: advance the snapshot if the read set still holds.
             if (!Extend()) {
               return Fail();
@@ -104,6 +140,11 @@ class FullTm {
           return value;
         } else {
           desc_->read_log.push_back(ReadLogEntry{&orec, OrecVersionOf(o1)});
+          if constexpr (kStrategicReads) {
+            if (strat_ == ValStrategy::kBloom) {
+              read_bloom_ |= AddrBloom32(&orec);
+            }
+          }
           // No snapshot number to compare against: preserve opacity by revalidating
           // the read set after every read (§4.1, the "-l" cost). Fast path: the
           // entry just appended was read through an orec-data-orec sandwich, so it
@@ -113,9 +154,39 @@ class FullTm {
           // read and now was unchanged for the whole interval in between — including
           // the new entry's read instant, which therefore serves as the single
           // consistency point for the full set. A first read validates nothing.
-          if (desc_->read_log.size() > 1 &&
-              !ValidateReadLogPrefix(desc_->read_log.size() - 1)) {
-            return Fail();
+          //
+          // Strategy fast paths (valstrategy.h): a stable domain commit counter —
+          // or all-disjoint intervening write blooms — proves the earlier entries
+          // unchanged without walking them.
+          if (desc_->read_log.size() > 1) {
+            bool ok;
+            if constexpr (kStrategicReads) {
+              const bool skippable =
+                  strat_ != ValStrategy::kIncremental && sample_valid_;
+              if (skippable && Summary::Stable(sample_)) {
+                ++Probe::Get().counter_skips;
+                UpdateSkipEwma(desc_->stats, /*skipped=*/true);
+                ok = true;
+              } else if (skippable && strat_ == ValStrategy::kBloom &&
+                         Summary::BloomAdvance(&sample_, read_bloom_)) {
+                ++Probe::Get().bloom_skips;
+                UpdateSkipEwma(desc_->stats, /*skipped=*/true);
+                ok = true;
+              } else {
+                // Tracked walk must cover the FULL log, tail included: it
+                // re-anchors sample_, and "valid at the anchor" has to hold for
+                // the entry just read too (valstrategy.h tail rule).
+                if (strat_ != ValStrategy::kIncremental) {
+                  UpdateSkipEwma(desc_->stats, /*skipped=*/false);
+                }
+                ok = ValidatePrefixTracked(desc_->read_log.size());
+              }
+            } else {
+              ok = ValidateReadLogPrefix(desc_->read_log.size() - 1);
+            }
+            if (!ok) {
+              return Fail();
+            }
           }
           return value;
         }
@@ -148,6 +219,7 @@ class FullTm {
       active_ = false;
       if (user_abort_) {
         desc_->stats.aborts.fetch_add(1, std::memory_order_relaxed);
+        UpdateAbortEwma(desc_->stats, /*aborted=*/true);
         return false;
       }
       if (desc_->wset.Empty()) {
@@ -172,7 +244,39 @@ class FullTm {
         // read set, so adopters always validate.
         skip_validation = stamp.unique && wv == rv_ + 1;
       }
-      if (!skip_validation && !ValidateReadLog()) {
+      Word own_idx = 0;
+      if constexpr (kMode != ValMode::kPassive) {
+        // Writer summary: bump-and-publish while every commit lock is held, BEFORE
+        // the commit-time validation below and before any data store or orec
+        // release. Bump-before-validate is what lets the skip paths stay sound
+        // between two crossing committers (valstrategy.h): whichever bumps second
+        // fails its own skip test and walks into the first one's locks.
+        std::uint32_t write_bloom = 0;
+        for (const LockLogEntry& l : desc_->lock_log) {
+          write_bloom |= AddrBloom32(l.orec);
+        }
+        own_idx = Summary::PublishAndBump(write_bloom);
+        ++Probe::Get().summary_publishes;
+      }
+      if constexpr (kStrategicReads) {
+        // Commit-time skip: the read log was valid at sample_, and own_idx ==
+        // sample_ + 1 proves no foreign commit bumped since (writers that bump
+        // after us validate after our locks are visible and detect us instead).
+        // Under kBloom, foreign commits in (sample_, own_idx) may intervene as
+        // long as their write blooms miss our read bloom. Our own commit locks
+        // pin the write set regardless.
+        if (!skip_validation && sample_valid_ &&
+            strat_ != ValStrategy::kIncremental && own_idx == sample_ + 1) {
+          ++Probe::Get().counter_skips;
+          skip_validation = true;
+        } else if (!skip_validation && sample_valid_ &&
+                   strat_ == ValStrategy::kBloom &&
+                   Summary::CommitRangeDisjoint(sample_, own_idx, read_bloom_)) {
+          ++Probe::Get().bloom_skips;
+          skip_validation = true;
+        }
+      }
+      if (!skip_validation && !ValidateReadLogForCommit()) {
         ReleaseLocks();
         OnAbort();
         return false;
@@ -189,16 +293,42 @@ class FullTm {
     }
 
    private:
+
     Word Fail() {
       active_ = false;
       conflicted_ = true;
       return 0;
     }
 
-    // Validates that every read-log entry still carries the version observed at read
-    // time; entries locked by this transaction's own commit are pinned and valid.
-    bool ValidateReadLog() const {
+    // Commit-time validation: the plain conservative single walk (a foreign lock
+    // on a read-log entry fails it, which the crossing-committer argument needs).
+    // Entries locked by this transaction's own commit are pinned and valid.
+    bool ValidateReadLogForCommit() const {
+      if constexpr (kStrategicReads) {
+        ++Probe::Get().validation_walks;
+      }
       return ValidateReadLogPrefix(desc_->read_log.size());
+    }
+
+    // Tracked walk: one pass (orec versions are monotone, so a single matching
+    // pass is a valid snapshot — no NOrec retry loop needed) plus a best-effort
+    // anchor: the sample taken before the walk becomes the new skip anchor only
+    // if the counter is still stable after it (a writer that bumped mid-walk may
+    // have released mid-walk too). On a failed confirm the walk result stands but
+    // the anchor is invalidated, so later skips walk until a quiet window.
+    bool ValidatePrefixTracked(std::size_t count) {
+      ++Probe::Get().validation_walks;
+      const Word c = Summary::Sample();
+      if (!ValidateReadLogPrefix(count)) {
+        return false;
+      }
+      if (Summary::Stable(c)) {
+        sample_ = c;
+        sample_valid_ = true;
+      } else {
+        sample_valid_ = false;
+      }
+      return true;
     }
 
     // Validates the first `count` read-log entries (the per-read fast path excludes
@@ -235,7 +365,7 @@ class FullTm {
     // read set is still intact, and adopt the new snapshot.
     bool Extend() {
       const Word t = Clock::Sample();
-      if (!ValidateReadLog()) {
+      if (!ValidateReadLogPrefix(desc_->read_log.size())) {
         return false;
       }
       rv_ = t;
@@ -273,16 +403,22 @@ class FullTm {
 
     void OnCommit() {
       desc_->stats.commits.fetch_add(1, std::memory_order_relaxed);
+      UpdateAbortEwma(desc_->stats, /*aborted=*/false);
       desc_->backoff.OnCommit();
     }
 
     void OnAbort() {
       desc_->stats.aborts.fetch_add(1, std::memory_order_relaxed);
+      UpdateAbortEwma(desc_->stats, /*aborted=*/true);
       desc_->backoff.OnAbort();
     }
 
     TxDesc* desc_ = nullptr;
     Word rv_ = 0;
+    Word sample_ = 0;
+    std::uint32_t read_bloom_ = 0;
+    ValStrategy strat_ = ValStrategy::kIncremental;
+    bool sample_valid_ = false;
     bool active_ = false;
     bool conflicted_ = false;
     bool user_abort_ = false;

@@ -22,7 +22,19 @@
 //     commits hit one word within a single read-validate window while its payload
 //     also returns to the original value. The window for a short transaction is
 //     sub-microsecond; we follow the paper's §4.1 position on narrow counters and
-//     accept the bound (documented here, measured in bench/abl_pver).
+//     accept the bound (documented here, measured in bench/abl_pver, and pinned by
+//     tests/tm/pver_wrap_test.cc, which demonstrates the exact-wrap blind spot and
+//     the detection one commit short of it).
+//
+// Fix direction if the bound ever stops being acceptable (e.g. a persistently-open
+// full-transaction read-validate window on a very hot word): EPOCH-STAMPED
+// VERSIONS. Reserve the version field's top bit (or steal bit 1's delete mark for
+// non-structure payloads, widening to 16 bits) as a coarse epoch flipped by a
+// quiescence mechanism (src/epoch/epoch.h already tracks exactly the needed
+// "no transaction spans this boundary" property); a validator then rejects any
+// word whose epoch differs from its snapshot epoch, so a wrap would additionally
+// have to straddle an epoch flip that the open window by construction prevents.
+// The static_asserts below keep the layout assumptions loud for whoever does it.
 //
 // Families over this layout expose the same Slot/payload semantics as every other
 // family — Raw/Single/Short/Full all speak payloads — so the data structures run on
@@ -49,6 +61,15 @@ struct PverSlot {
 inline constexpr int kPverPayloadBits = 48;
 inline constexpr Word kPverPayloadMask = ((Word{1} << kPverPayloadBits) - 1) << 1;
 inline constexpr int kPverVersionShift = kPverPayloadBits + 1;  // bits 49..63
+
+// 15 version bits -> the wrap hazard window is exactly 2^15 commits
+// (tests/tm/pver_wrap_test.cc). Anyone changing the split must re-derive the
+// hazard bound and update that test; the epoch-stamp fix sketched in the file
+// comment would claim one of these bits.
+static_assert(64 - kPverVersionShift == 15,
+              "pver version field is 15 bits; pver_wrap_test pins the 2^15 wrap");
+static_assert(1 + kPverPayloadBits + (64 - kPverVersionShift) == 64,
+              "lock bit + payload + version must tile the word exactly");
 
 constexpr bool PverIsLocked(Word w) { return (w & kLockBit) != 0; }
 constexpr Word PverPayloadOf(Word w) { return w & kPverPayloadMask; }

@@ -37,20 +37,31 @@
 #include "src/tm/layout.h"
 #include "src/tm/orec.h"
 #include "src/tm/txdesc.h"
+#include "src/tm/valstrategy.h"
 
 namespace spectm {
 
-template <typename LayoutT, typename ClockT, typename DomainTag>
+// kMode (valstrategy.h) opts the family into the adaptive validation engine: RW
+// commits and single-op writers bump the domain's WriterSummary while holding their
+// orec locks, and RO readers carry a persistent counter sample so an unchanged
+// counter (or disjoint write blooms) skips the per-read RO-prefix revalidation.
+// kPassive is the zero-overhead default: no summary, the seed's exact behavior.
+template <typename LayoutT, typename ClockT, typename DomainTag,
+          ValMode kMode = ValMode::kPassive>
 class ShortTm {
  public:
   using Layout = LayoutT;
   using Clock = ClockT;
   using Slot = typename Layout::Slot;
+  using Summary = WriterSummary<DomainTag>;
+  using Probe = ValProbe<DomainTag>;
+  static constexpr ValMode kValMode = kMode;
+  static constexpr bool kStrategic = kMode != ValMode::kPassive;
 
   // The TX_RECORD of Figure 2: stack-allocated, fixed-size, reusable after Abort().
   class ShortTx {
    public:
-    ShortTx() : desc_(&DescOf<DomainTag>()) {}
+    ShortTx() : desc_(&DescOf<DomainTag>()) { StartAttempt(); }
     ~ShortTx() {
       // Defensive RAII: a record abandoned mid-transaction must not leak locks.
       if (!finished_) {
@@ -133,8 +144,45 @@ class ShortTm {
         // monotone, so matching then-and-now means unchanged in between — including
         // at this read's instant, the common consistency point). The first RO read
         // validates nothing.
-        const bool prefix_ok = ro_.Empty() || ValidateRoPrefix(ro_.Size());
-        ro_.PushBack(RoEntry{s, &orec, OrecVersionOf(o1)});
+        //
+        // Strategy fast paths (valstrategy.h): the persistent sample_ names a
+        // domain-counter value at which the whole RO log was valid; a stable
+        // counter — or all-disjoint intervening write blooms — skips the walk.
+        // The tracked walk runs AFTER the push so the entry just read is covered
+        // by the re-anchored sample too (valstrategy.h tail rule); the passive
+        // walk keeps the seed's prefix-only shape, whose result is not reused.
+        if constexpr (kStrategic) {
+          if (strat_ == ValStrategy::kBloom) {
+            read_bloom_ |= AddrBloom32(&orec);
+          }
+        }
+        bool prefix_ok = true;
+        if constexpr (kStrategic) {
+          const bool first_ro = ro_.Empty();
+          ro_.PushBack(RoEntry{s, &orec, OrecVersionOf(o1)});
+          if (!first_ro) {
+            const bool skippable =
+                strat_ != ValStrategy::kIncremental && sample_valid_;
+            if (skippable && Summary::Stable(sample_)) {
+              ++Probe::Get().counter_skips;
+              UpdateSkipEwma(desc_->stats, /*skipped=*/true);
+            } else if (skippable && strat_ == ValStrategy::kBloom &&
+                       Summary::BloomAdvance(&sample_, read_bloom_)) {
+              ++Probe::Get().bloom_skips;
+              UpdateSkipEwma(desc_->stats, /*skipped=*/true);
+            } else {
+              if (strat_ != ValStrategy::kIncremental) {
+                UpdateSkipEwma(desc_->stats, /*skipped=*/false);
+              }
+              prefix_ok = ValidateRoPrefixTracked(ro_.Size());
+            }
+          }
+        } else {
+          if (!ro_.Empty()) {
+            prefix_ok = ValidateRoPrefix(ro_.Size());
+          }
+          ro_.PushBack(RoEntry{s, &orec, OrecVersionOf(o1)});
+        }
         if (!prefix_ok) {
           valid_ = false;
           return 0;
@@ -150,7 +198,23 @@ class ShortTm {
     // Revalidates the RO set (Tx_RO_k_Is_Valid). For a read-only transaction a final
     // successful call serves in place of commit (§2.2: "Successful validation serves
     // in the place of commit").
-    bool ValidateRo() const { return ValidateRoPrefix(ro_.Size()); }
+    bool ValidateRo() const {
+      if constexpr (kStrategic) {
+        const bool skippable =
+            strat_ != ValStrategy::kIncremental && sample_valid_;
+        if (skippable && Summary::Stable(sample_)) {
+          ++Probe::Get().counter_skips;
+          return true;
+        }
+        if (skippable && strat_ == ValStrategy::kBloom &&
+            Summary::BloomAdvance(&sample_, read_bloom_)) {
+          ++Probe::Get().bloom_skips;
+          return true;
+        }
+        return ValidateRoPrefixTracked(ro_.Size());
+      }
+      return ValidateRoPrefix(ro_.Size());
+    }
 
     // Tx_Upgrade_RO_x_To_RW_y: promote the ro_index-th read into the write set by
     // locking its orec at exactly the version observed. Returns false (transaction
@@ -189,6 +253,7 @@ class ShortTm {
     bool CommitRw(std::initializer_list<Word> values) {
       assert(valid_ && !finished_);
       assert(values.size() == rw_.Size() && "commit arity must match RW access count");
+      PublishWriterSummary();  // before the data stores, while every lock is held
       const Word* v = values.begin();
       for (std::size_t i = 0; i < rw_.Size(); ++i) {
         Layout::Data(*rw_[i].slot).store(v[i], std::memory_order_release);
@@ -201,10 +266,40 @@ class ShortTm {
     // Tx_RO_x_RW_y_Commit: validates the remaining RO entries, then commits the RW
     // set. Returns false — with all locks released and values untouched — if
     // validation fails; the caller restarts.
+    //
+    // Writer-summary order: bump-and-publish BEFORE the final RO validation
+    // (bump-before-validate, valstrategy.h): of two crossing committers the one
+    // that bumps second fails its own-idx skip test and walks into the other's
+    // encounter-time locks. A pure-RO mixed commit (empty RW set) holds no locks,
+    // publishes nothing, and validates the ordinary way.
     bool CommitMixed(std::initializer_list<Word> values) {
       assert(valid_ && !finished_);
       assert(values.size() == rw_.Size());
-      if (!ValidateRo()) {
+      bool ro_ok;
+      if constexpr (kStrategic) {
+        if (rw_.Empty()) {
+          ro_ok = ValidateRo();
+        } else {
+          const Word own_idx = PublishWriterSummary();
+          if (strat_ != ValStrategy::kIncremental && sample_valid_ &&
+              own_idx == sample_ + 1) {
+            ++Probe::Get().counter_skips;
+            ro_ok = true;
+          } else if (strat_ == ValStrategy::kBloom && sample_valid_ &&
+                     Summary::CommitRangeDisjoint(sample_, own_idx, read_bloom_)) {
+            ++Probe::Get().bloom_skips;
+            ro_ok = true;
+          } else {
+            // Plain conservative walk: a foreign lock fails it, which the
+            // crossing-committer argument requires at commit time.
+            ++Probe::Get().validation_walks;
+            ro_ok = ValidateRoPrefix(ro_.Size());
+          }
+        }
+      } else {
+        ro_ok = ValidateRo();
+      }
+      if (!ro_ok) {
         Abort();
         return false;
       }
@@ -226,10 +321,19 @@ class ShortTm {
         }
       }
       const bool untouched = rw_.Empty() && ro_.Empty() && valid_;
+      // A still-valid, read-only record being dropped is the paper's normal RO
+      // completion/cleanup pattern ("successful validation serves in the place of
+      // commit"), not contention — keep it out of the abort-rate EWMA that
+      // steers the adaptive engine, while the raw abort statistic keeps its
+      // historical meaning.
+      const bool contention = !(rw_.Empty() && valid_);
       finished_ = true;
       valid_ = false;
       if (!untouched) {
         desc_->stats.aborts.fetch_add(1, std::memory_order_relaxed);
+        if (contention) {
+          UpdateAbortEwma(desc_->stats, /*aborted=*/true);
+        }
       }
     }
 
@@ -243,6 +347,7 @@ class ShortTm {
       ro_.Clear();
       valid_ = true;
       finished_ = false;
+      StartAttempt();
     }
 
     std::size_t RwCount() const { return rw_.Size(); }
@@ -263,6 +368,66 @@ class ShortTm {
     // Odd (locked-looking) and never a valid owner pointer: cannot collide with a
     // genuine displaced orec word, which is always an even version.
     static constexpr Word kAlreadyOwned = ~Word{0};
+
+    // Re-arms the strategy state for a fresh attempt: pick the strategy from the
+    // descriptor EWMA and anchor the persistent counter sample BEFORE any read (the
+    // skip soundness argument needs sample_ drawn no later than the first read).
+    void StartAttempt() {
+      if constexpr (kStrategic) {
+        strat_ = ChooseStrategy(kMode, /*has_bloom_ring=*/true,
+                                AbortEwmaQ16(desc_->stats),
+                                SkipEwmaQ16(desc_->stats));
+        if constexpr (kMode == ValMode::kAdaptive) {
+          if (strat_ == ValStrategy::kIncremental &&
+              ++Probe::Get().attempt_tick % kSkipProbePeriod == 0) {
+            strat_ = ValStrategy::kCounterSkip;  // efficacy probe (valstrategy.h)
+          }
+        }
+        Probe::OnStrategyChosen(strat_);
+        read_bloom_ = 0;
+        sample_ = Summary::Sample();
+        sample_valid_ = true;
+      }
+    }
+
+    // Writer-side summary: bump the domain counter and publish the write-set bloom
+    // while all orec locks are held, before any data store and before the final
+    // commit validation (valstrategy.h ordering). Returns the writer's own commit
+    // index (0 when nothing was published). A pure-RO commit (empty RW set)
+    // releases nothing and must not move the counter.
+    Word PublishWriterSummary() {
+      if constexpr (kStrategic) {
+        if (rw_.Empty()) {
+          return 0;
+        }
+        std::uint32_t bloom = 0;
+        for (const RwEntry& e : rw_) {
+          bloom |= AddrBloom32(e.orec);
+        }
+        ++Probe::Get().summary_publishes;
+        return Summary::PublishAndBump(bloom);
+      }
+      return 0;
+    }
+
+    // Tracked walk: one pass (orec versions are monotone, so a single matching
+    // pass is a valid snapshot) plus a best-effort anchor — the pre-walk sample
+    // becomes the new skip anchor only if the counter stayed stable across the
+    // walk; otherwise the walk result stands but the anchor is invalidated.
+    bool ValidateRoPrefixTracked(std::size_t count) const {
+      ++Probe::Get().validation_walks;
+      const Word c = Summary::Sample();
+      if (!ValidateRoPrefix(count)) {
+        return false;
+      }
+      if (Summary::Stable(c)) {
+        sample_ = c;
+        sample_valid_ = true;
+      } else {
+        sample_valid_ = false;
+      }
+      return true;
+    }
 
     // Validates the first `count` RO entries (the per-read fast path excludes the
     // freshly sandwiched tail entry).
@@ -302,15 +467,21 @@ class ShortTm {
       valid_ = false;
       if (committed) {
         desc_->stats.commits.fetch_add(1, std::memory_order_relaxed);
+        UpdateAbortEwma(desc_->stats, /*aborted=*/false);
         desc_->backoff.OnCommit();
       } else {
         desc_->stats.aborts.fetch_add(1, std::memory_order_relaxed);
+        UpdateAbortEwma(desc_->stats, /*aborted=*/true);
       }
     }
 
     TxDesc* desc_;
     InlineVec<RwEntry, kMaxShortWrites> rw_;
     InlineVec<RoEntry, kMaxShortReads> ro_;
+    mutable Word sample_ = 0;
+    std::uint32_t read_bloom_ = 0;
+    ValStrategy strat_ = ValStrategy::kIncremental;
+    mutable bool sample_valid_ = false;
     bool valid_ = true;
     bool finished_ = false;
   };
@@ -339,6 +510,9 @@ class ShortTm {
     std::atomic<Word>& orec = Layout::OrecOf(*s);
     TxDesc* self = &DescOf<DomainTag>();
     const Word old_word = AcquireOrec(&orec, self);
+    if constexpr (kStrategic) {
+      Summary::PublishAndBump(AddrBloom32(&orec));  // locked, before the data store
+    }
     Layout::Data(*s).store(value, std::memory_order_release);
     Word wv = 0;
     if constexpr (Clock::kHasGlobalClock) {
@@ -358,6 +532,9 @@ class ShortTm {
     if (observed != expected) {
       orec.store(old_word, std::memory_order_release);  // no update: version unchanged
       return observed;
+    }
+    if constexpr (kStrategic) {
+      Summary::PublishAndBump(AddrBloom32(&orec));  // locked, before the data store
     }
     Layout::Data(*s).store(desired, std::memory_order_release);
     Word wv = 0;

@@ -27,10 +27,61 @@
 namespace spectm {
 
 // Aggregate commit/abort counters, readable cross-thread (relaxed; statistics only).
+// `abort_ewma_q16` is the per-descriptor abort-rate EWMA in Q16 fixed point
+// (0 = never aborts, 65536 = always aborts). Only the owning thread writes it, on
+// every commit/abort outcome; it rides on the same padded stats cache line because
+// that line is already dirtied by the outcome counters. Atomic relaxed keeps
+// cross-thread peeks (benches, the GV6 clock reading another view of the same
+// descriptor) race-free without fencing the hot path.
 struct TxStats {
   std::atomic<std::uint64_t> commits{0};
   std::atomic<std::uint64_t> aborts{0};
+  std::atomic<std::uint32_t> abort_ewma_q16{0};
+  // Validation-skip efficacy EWMA (Q16): fraction of recent skip-eligible
+  // validation events that a counter/bloom skip actually absorbed. Starts
+  // optimistic so fresh descriptors try the cheap strategies first; decays when
+  // the domain's write traffic defeats them, steering the adaptive engine back
+  // to the plain incremental walk.
+  std::atomic<std::uint32_t> skip_ewma_q16{65536u};
 };
+
+// EWMA smoothing: alpha = 1/16 per transaction outcome. ~16 outcomes to move
+// half-way toward a new steady state — fast enough to track workload phase shifts
+// (the adaptive validation engine re-reads it at every transaction start), slow
+// enough not to flap on a single unlucky abort.
+inline constexpr int kAbortEwmaShift = 4;
+
+inline void UpdateAbortEwma(TxStats& stats, bool aborted) {
+  const std::uint32_t ewma = stats.abort_ewma_q16.load(std::memory_order_relaxed);
+  std::uint32_t next;
+  if (aborted) {
+    next = ewma + ((65536u - ewma) >> kAbortEwmaShift);
+  } else {
+    // Round the decay up so the EWMA actually reaches 0 under an abort-free run
+    // instead of stalling at a small residue.
+    next = ewma - ((ewma + (1u << kAbortEwmaShift) - 1) >> kAbortEwmaShift);
+  }
+  stats.abort_ewma_q16.store(next, std::memory_order_relaxed);
+}
+
+inline std::uint32_t AbortEwmaQ16(const TxStats& stats) {
+  return stats.abort_ewma_q16.load(std::memory_order_relaxed);
+}
+
+inline void UpdateSkipEwma(TxStats& stats, bool skipped) {
+  const std::uint32_t ewma = stats.skip_ewma_q16.load(std::memory_order_relaxed);
+  std::uint32_t next;
+  if (skipped) {
+    next = ewma + ((65536u - ewma) >> kAbortEwmaShift);
+  } else {
+    next = ewma - ((ewma + (1u << kAbortEwmaShift) - 1) >> kAbortEwmaShift);
+  }
+  stats.skip_ewma_q16.store(next, std::memory_order_relaxed);
+}
+
+inline std::uint32_t SkipEwmaQ16(const TxStats& stats) {
+  return stats.skip_ewma_q16.load(std::memory_order_relaxed);
+}
 
 // Process-wide roll-up of every live descriptor's statistics, for tests and the
 // benchmark harness (abort-rate reporting). Registration is cold-path only.

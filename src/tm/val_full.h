@@ -12,6 +12,11 @@
 // stability rule (NOrec-style); with NonReuseValidation the counter check vanishes
 // and soundness rests on the paper's special cases, exactly as in Figure 5's setup
 // ("The val-full RO transactions assume the non-re-use property from Section 2.4").
+//
+// The per-read revalidation is strategy-driven (valstrategy.h): the default
+// kCounterSkip mode reproduces the classic NOrec skip; kBloom adds the write-bloom
+// pre-filter (needs a kHasBloomRing policy); kAdaptive re-picks per attempt from
+// the descriptor's abort-rate EWMA. Non-precise policies always walk.
 #ifndef SPECTM_TM_VAL_FULL_H_
 #define SPECTM_TM_VAL_FULL_H_
 
@@ -24,14 +29,20 @@
 #include "src/tm/txdesc.h"
 #include "src/tm/val_short.h"
 #include "src/tm/val_word.h"
+#include "src/tm/valstrategy.h"
 
 namespace spectm {
 
-template <typename ValidationT>
+template <typename ValidationT, ValMode kMode = ValMode::kCounterSkip>
 class ValFullTm {
  public:
   using Validation = ValidationT;
   using Slot = ValSlot;
+  using Probe = ValProbe<ValDomainTag>;
+  static constexpr ValMode kValMode = kMode;
+  // Strategy machinery only matters when the counter is precise; otherwise every
+  // path degenerates to the incremental walk and the extra state is dead.
+  static constexpr bool kStrategic = Validation::kPrecise;
 
   class Tx {
    public:
@@ -47,6 +58,19 @@ class ValFullTm {
       active_ = true;
       user_abort_ = false;
       sample_ = Validation::Sample();
+      if constexpr (kStrategic) {
+        strat_ = ChooseStrategy(kMode, Validation::kHasBloomRing,
+                                AbortEwmaQ16(desc_->stats),
+                                SkipEwmaQ16(desc_->stats));
+        if constexpr (kMode == ValMode::kAdaptive) {
+          if (strat_ == ValStrategy::kIncremental &&
+              ++Probe::Get().attempt_tick % kSkipProbePeriod == 0) {
+            strat_ = ValStrategy::kCounterSkip;  // efficacy probe (valstrategy.h)
+          }
+        }
+        Probe::OnStrategyChosen(strat_);
+        read_bloom_ = 0;
+      }
     }
 
     Word Read(Slot* s) {
@@ -71,18 +95,37 @@ class ValFullTm {
         CpuRelax();
       }
       desc_->val_read_log.push_back(ValReadLogEntry{&s->word, w});
-      // Per-read revalidation — the val-full cost highlighted in Figure 5 — with two
-      // fast paths:
+      if constexpr (kStrategic) {
+        if (strat_ == ValStrategy::kBloom) {
+          read_bloom_ |= AddrBloom32(&s->word);
+        }
+      }
+      // Per-read revalidation — the val-full cost highlighted in Figure 5 — with
+      // strategy-dependent fast paths:
       //   * a one-entry log is trivially consistent (a single location);
       //   * under a precise commit counter (val_word.h), an unchanged counter since
       //     the log was last fully valid proves no writer released a value in
       //     between (NOrec's observation), so the O(read-set) re-check is skipped.
       //     sample_ always names a counter value at which the whole log was valid,
-      //     so the entry just appended joins a still-valid snapshot.
+      //     so the entry just appended joins a still-valid snapshot;
+      //   * under kBloom, a moved counter still skips the walk when every
+      //     intervening commit's write bloom is disjoint from this read set
+      //     (sample_ then advances to the current counter).
       if (desc_->val_read_log.size() > 1) {
-        if constexpr (Validation::kPrecise) {
-          if (Validation::Stable(sample_)) {
+        if constexpr (kStrategic) {
+          if (strat_ != ValStrategy::kIncremental && Validation::Stable(sample_)) {
+            ++Probe::Get().counter_skips;
+            UpdateSkipEwma(desc_->stats, /*skipped=*/true);
             return w;
+          }
+          if (strat_ == ValStrategy::kBloom &&
+              Validation::BloomAdvance(&sample_, read_bloom_)) {
+            ++Probe::Get().bloom_skips;
+            UpdateSkipEwma(desc_->stats, /*skipped=*/true);
+            return w;
+          }
+          if (strat_ != ValStrategy::kIncremental) {
+            UpdateSkipEwma(desc_->stats, /*skipped=*/false);
           }
         }
         if (!ValidateReads()) {
@@ -112,14 +155,22 @@ class ValFullTm {
       active_ = false;
       if (user_abort_) {
         desc_->stats.aborts.fetch_add(1, std::memory_order_relaxed);
+        UpdateAbortEwma(desc_->stats, /*aborted=*/true);
         return false;
       }
       if (desc_->wset.Empty()) {
         OnCommit();
         return true;  // reads were kept consistent incrementally
       }
+      std::uint32_t write_bloom = kBloomAll;
+      if constexpr (Validation::kHasBloomRing) {
+        write_bloom = 0;  // accumulated per locked entry below
+      }
       for (const WriteSet::Entry& e : desc_->wset) {
         auto* word = &static_cast<Slot*>(e.addr)->word;
+        if constexpr (Validation::kHasBloomRing) {
+          write_bloom |= AddrBloom32(word);
+        }
         Word w = word->load(std::memory_order_relaxed);
         while (true) {
           if (ValIsLocked(w)) {
@@ -136,16 +187,37 @@ class ValFullTm {
           }
         }
       }
-      // Commit-time validation, with the same precise-counter fast path as Read():
-      // counter unchanged since the log was last fully valid ⇒ no writer released a
-      // value since ⇒ the log still holds (our own commit locks pin the rest).
-      const bool counter_stable = Validation::kPrecise && Validation::Stable(sample_);
-      if (!counter_stable && !ValidateReads()) {
+      // Writer bump-and-publish BEFORE the commit-time validation and the stores,
+      // while every lock is held (bump-before-validate, valstrategy.h): of two
+      // crossing committers the one that bumps second fails its skip test below
+      // and walks into the other's locks.
+      const Word own_idx = Validation::OnWriterCommitWithBloom(desc_, write_bloom);
+      if constexpr (kStrategic) {
+        ++Probe::Get().summary_publishes;
+      }
+      // Commit-time skip: counter == sample_ + 1 after our own bump proves no
+      // foreign writer released a value since the log was last known valid (our
+      // own commit locks pin the rest); under kBloom, foreign commits before our
+      // bump may intervene if their write blooms miss our read bloom.
+      bool skip_walk = false;
+      if constexpr (kStrategic) {
+        if (strat_ != ValStrategy::kIncremental &&
+            Validation::Sample() == sample_ + 1) {
+          ++Probe::Get().counter_skips;
+          skip_walk = true;
+        } else if constexpr (Validation::kHasBloomRing) {
+          if (strat_ == ValStrategy::kBloom &&
+              Validation::CommitRangeDisjoint(sample_, own_idx, read_bloom_)) {
+            ++Probe::Get().bloom_skips;
+            skip_walk = true;
+          }
+        }
+      }
+      if (!skip_walk && !ValidateReads()) {
         ReleaseLocks();
         OnAbort();
         return false;
       }
-      Validation::OnWriterCommit(desc_);  // before the stores, while locks are held
       for (const WriteSet::Entry& e : desc_->wset) {
         // The value store is also the lock release: one atomic write (§2.4).
         static_cast<Slot*>(e.addr)->word.store(e.value, std::memory_order_release);
@@ -161,8 +233,14 @@ class ValFullTm {
     }
 
     // Value-based read-log validation under commit-counter stability. Entries locked
-    // by our own commit are compared against the displaced value they held.
+    // by our own commit are compared against the displaced value they held. Starts
+    // from a FRESH counter sample (the old anchor is known-stale whenever this runs
+    // — the skip already failed, or our own commit bump moved the counter — so
+    // looping on it would guarantee a wasted second walk), and re-anchors sample_
+    // once a sample is stable across a full pass.
     bool ValidateReads() {
+      ++Probe::Get().validation_walks;
+      Word sample = Validation::Sample();
       while (true) {
         for (const ValReadLogEntry& e : desc_->val_read_log) {
           const Word v = e.word->load(std::memory_order_acquire);
@@ -176,10 +254,11 @@ class ValFullTm {
           }
           return false;
         }
-        if (Validation::Stable(sample_)) {
+        if (Validation::Stable(sample)) {
+          sample_ = sample;
           return true;
         }
-        sample_ = Validation::Sample();
+        sample = Validation::Sample();
       }
     }
 
@@ -202,16 +281,20 @@ class ValFullTm {
 
     void OnCommit() {
       desc_->stats.commits.fetch_add(1, std::memory_order_relaxed);
+      UpdateAbortEwma(desc_->stats, /*aborted=*/false);
       desc_->backoff.OnCommit();
     }
 
     void OnAbort() {
       desc_->stats.aborts.fetch_add(1, std::memory_order_relaxed);
+      UpdateAbortEwma(desc_->stats, /*aborted=*/true);
       desc_->backoff.OnAbort();
     }
 
     TxDesc* desc_ = nullptr;
     Word sample_ = 0;
+    std::uint32_t read_bloom_ = 0;
+    ValStrategy strat_ = ValStrategy::kIncremental;
     bool active_ = false;
     bool user_abort_ = false;
   };

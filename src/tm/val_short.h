@@ -27,20 +27,24 @@
 #include "src/tm/config.h"
 #include "src/tm/txdesc.h"
 #include "src/tm/val_word.h"
+#include "src/tm/valstrategy.h"
 
 namespace spectm {
 
 struct ValDomainTag {};
 
-template <typename ValidationT>
+template <typename ValidationT, ValMode kMode = ValMode::kCounterSkip>
 class ValShortTm {
  public:
   using Validation = ValidationT;
   using Slot = ValSlot;
+  using Probe = ValProbe<ValDomainTag>;
+  static constexpr ValMode kValMode = kMode;
+  static constexpr bool kStrategic = Validation::kPrecise;
 
   class ShortTx {
    public:
-    ShortTx() : desc_(&DescOf<ValDomainTag>()) {}
+    ShortTx() : desc_(&DescOf<ValDomainTag>()) { StartAttempt(); }
     ~ShortTx() {
       if (!finished_) {
         Abort();
@@ -98,9 +102,42 @@ class ValShortTm {
       // are pinned by our locks), so only subsequent reads pay the revalidation.
       const bool first_ro = ro_.Empty();
       ro_.PushBack(RoEntry{s, w, /*upgraded=*/false});
-      if (!first_ro && !ValidateRo()) {
-        valid_ = false;
-        return 0;
+      if constexpr (kStrategic) {
+        if (strat_ == ValStrategy::kBloom) {
+          read_bloom_ |= AddrBloom32(&s->word);
+        }
+      }
+      if (!first_ro) {
+        // Strategy fast paths (valstrategy.h): the persistent sample_ names a
+        // counter value at which the whole RO log was simultaneously valid (every
+        // entry was read unlocked, so any writer that bumped before sample_ had
+        // already released these words). A stable counter — or all-disjoint
+        // intervening write blooms — lets the read-set walk be skipped and the
+        // value just read join a still-valid snapshot.
+        bool ok;
+        if constexpr (kStrategic) {
+          if (strat_ != ValStrategy::kIncremental && Validation::Stable(sample_)) {
+            ++Probe::Get().counter_skips;
+            UpdateSkipEwma(desc_->stats, /*skipped=*/true);
+            ok = true;
+          } else if (strat_ == ValStrategy::kBloom &&
+                     Validation::BloomAdvance(&sample_, read_bloom_)) {
+            ++Probe::Get().bloom_skips;
+            UpdateSkipEwma(desc_->stats, /*skipped=*/true);
+            ok = true;
+          } else {
+            if (strat_ != ValStrategy::kIncremental) {
+              UpdateSkipEwma(desc_->stats, /*skipped=*/false);
+            }
+            ok = ValidateRo();
+          }
+        } else {
+          ok = ValidateRo();
+        }
+        if (!ok) {
+          valid_ = false;
+          return 0;
+        }
       }
       return w;
     }
@@ -109,8 +146,10 @@ class ValShortTm {
 
     // Value-based validation of the RO set (Tx_RO_k_Is_Valid). Under a counter-based
     // ValidationPolicy this loops until the commit counter is stable across a full
-    // value re-check (NOrec-style); under NonReuseValidation it is one pass.
+    // value re-check (NOrec-style), re-anchoring the persistent sample_ so later
+    // reads can skip; under NonReuseValidation it is one pass.
     bool ValidateRo() const {
+      ++Probe::Get().validation_walks;
       Word sample = Validation::Sample();
       while (true) {
         for (const RoEntry& e : ro_) {
@@ -122,6 +161,7 @@ class ValShortTm {
           }
         }
         if (Validation::Stable(sample)) {
+          sample_ = sample;
           return true;
         }
         sample = Validation::Sample();
@@ -158,7 +198,7 @@ class ValShortTm {
     bool CommitRw(std::initializer_list<Word> values) {
       assert(valid_ && !finished_);
       assert(values.size() == rw_.Size() && "commit arity must match RW access count");
-      Validation::OnWriterCommit(desc_);  // before the stores, while locks are held
+      PublishWriterSummary();  // before the stores, while locks are held
       const Word* v = values.begin();
       for (std::size_t i = 0; i < rw_.Size(); ++i) {
         assert((v[i] & kLockBit) == 0 && "val layout reserves bit 0 (use EncodeInt)");
@@ -169,14 +209,43 @@ class ValShortTm {
     }
 
     // Tx_RO_x_RW_y_Commit: validate the remaining RO entries, then commit.
+    //
+    // Writer-summary order: bump-and-publish BEFORE the final RO validation
+    // (bump-before-validate, valstrategy.h); the own-idx skip test keeps two
+    // crossing committers from passing each other. A pure-RO mixed commit holds
+    // no locks, publishes nothing, and validates the ordinary way.
     bool CommitMixed(std::initializer_list<Word> values) {
       assert(valid_ && !finished_);
       assert(values.size() == rw_.Size());
-      if (!ValidateRo()) {
+      bool ro_ok;
+      if constexpr (kStrategic) {
+        if (rw_.Empty()) {
+          ro_ok = ValidateRo();
+        } else {
+          const Word own_idx = PublishWriterSummary();
+          ro_ok = false;
+          if (strat_ != ValStrategy::kIncremental &&
+              Validation::Sample() == sample_ + 1) {
+            ++Probe::Get().counter_skips;
+            ro_ok = true;
+          } else if constexpr (Validation::kHasBloomRing) {
+            if (strat_ == ValStrategy::kBloom &&
+                Validation::CommitRangeDisjoint(sample_, own_idx, read_bloom_)) {
+              ++Probe::Get().bloom_skips;
+              ro_ok = true;
+            }
+          }
+          if (!ro_ok) {
+            ro_ok = ValidateRo();
+          }
+        }
+      } else {
+        ro_ok = ValidateRo();
+      }
+      if (!ro_ok) {
         Abort();
         return false;
       }
-      Validation::OnWriterCommit(desc_);
       const Word* v = values.begin();
       for (std::size_t i = 0; i < rw_.Size(); ++i) {
         assert((v[i] & kLockBit) == 0 && "val layout reserves bit 0 (use EncodeInt)");
@@ -186,16 +255,26 @@ class ValShortTm {
       return true;
     }
 
-    // Tx_RW_k_Abort: put the displaced values back.
+    // Tx_RW_k_Abort: put the displaced values back. Restores, never publishes: no
+    // value was released, so the commit counter must not move.
     void Abort() {
       for (const RwEntry& e : rw_) {
         e.slot->word.store(e.old_value, std::memory_order_release);
       }
       const bool untouched = rw_.Empty() && ro_.Empty() && valid_;
+      // A still-valid, read-only record being dropped is the paper's normal RO
+      // completion/cleanup pattern ("successful validation serves in the place of
+      // commit"), not contention — keep it out of the abort-rate EWMA that
+      // steers the adaptive engine, while the raw abort statistic keeps its
+      // historical meaning.
+      const bool contention = !(rw_.Empty() && valid_);
       finished_ = true;
       valid_ = false;
       if (!untouched) {
         desc_->stats.aborts.fetch_add(1, std::memory_order_relaxed);
+        if (contention) {
+          UpdateAbortEwma(desc_->stats, /*aborted=*/true);
+        }
       }
     }
 
@@ -207,6 +286,7 @@ class ValShortTm {
       ro_.Clear();
       valid_ = true;
       finished_ = false;
+      StartAttempt();
     }
 
     std::size_t RwCount() const { return rw_.Size(); }
@@ -223,11 +303,53 @@ class ValShortTm {
       bool upgraded;
     };
 
+    // Re-arms the strategy state for a fresh attempt: pick the strategy from the
+    // descriptor EWMA and anchor the persistent counter sample BEFORE any read (the
+    // skip soundness argument needs sample_ drawn no later than the first read).
+    void StartAttempt() {
+      if constexpr (kStrategic) {
+        strat_ = ChooseStrategy(kMode, Validation::kHasBloomRing,
+                                AbortEwmaQ16(desc_->stats),
+                                SkipEwmaQ16(desc_->stats));
+        if constexpr (kMode == ValMode::kAdaptive) {
+          if (strat_ == ValStrategy::kIncremental &&
+              ++Probe::Get().attempt_tick % kSkipProbePeriod == 0) {
+            strat_ = ValStrategy::kCounterSkip;  // efficacy probe (valstrategy.h)
+          }
+        }
+        Probe::OnStrategyChosen(strat_);
+        read_bloom_ = 0;
+        sample_ = Validation::Sample();
+      }
+    }
+
+    // Writer-side summary: bump the commit counter and publish the write-set bloom,
+    // while all locks are held, before the releasing stores and before any final
+    // commit validation (valstrategy.h ordering). Returns the writer's own commit
+    // index (0 when the policy has none). A pure-RO commit (empty RW set)
+    // releases nothing and must not move the counter.
+    Word PublishWriterSummary() {
+      if (rw_.Empty()) {
+        return 0;
+      }
+      ++Probe::Get().summary_publishes;
+      if constexpr (Validation::kHasBloomRing) {
+        std::uint32_t bloom = 0;
+        for (const RwEntry& e : rw_) {
+          bloom |= AddrBloom32(&e.slot->word);
+        }
+        return Validation::OnWriterCommitWithBloom(desc_, bloom);
+      } else {
+        return Validation::OnWriterCommitWithBloom(desc_, kBloomAll);
+      }
+    }
+
     void Finish(bool committed) {
       finished_ = true;
       valid_ = false;
       if (committed) {
         desc_->stats.commits.fetch_add(1, std::memory_order_relaxed);
+        UpdateAbortEwma(desc_->stats, /*aborted=*/false);
         desc_->backoff.OnCommit();
       }
     }
@@ -235,6 +357,9 @@ class ValShortTm {
     TxDesc* desc_;
     InlineVec<RwEntry, kMaxShortWrites> rw_;
     InlineVec<RoEntry, kMaxShortReads> ro_;
+    mutable Word sample_ = 0;
+    std::uint32_t read_bloom_ = 0;
+    ValStrategy strat_ = ValStrategy::kIncremental;
     bool valid_ = true;
     bool finished_ = false;
   };
@@ -254,8 +379,36 @@ class ValShortTm {
 
   // One atomic CAS from the observed unlocked value to the new value: never clobbers
   // a concurrent owner's lock word.
+  //
+  // Counter protocol note: under a precise ValidationPolicy, single-op writers must
+  // follow the same lock -> bump -> releasing-store discipline as every other
+  // writer. A bare bump around an unlocked CAS is NOT enough: a writer that has
+  // bumped but not yet stored is invisible to validators (nothing is locked), so a
+  // reader sampling after the bump could log the pre-store value and then
+  // counter-skip past the change. Precise policies therefore pay one extra atomic
+  // (lock-displace, bump, store-release); NonReuseValidation keeps the paper's
+  // single-CAS fast path, which is the whole point of the default val-short mode.
   static void SingleWrite(Slot* s, Word value) {
     assert((value & kLockBit) == 0 && "val layout reserves bit 0 (use EncodeInt)");
+    if constexpr (Validation::kPrecise) {
+      TxDesc* self = &DescOf<ValDomainTag>();
+      Word w = s->word.load(std::memory_order_relaxed);
+      while (true) {
+        if (ValIsLocked(w)) {
+          CpuRelax();
+          w = s->word.load(std::memory_order_relaxed);
+          continue;
+        }
+        if (s->word.compare_exchange_weak(w, MakeValLocked(self),
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed)) {
+          break;
+        }
+      }
+      Validation::OnWriterCommitWithBloom(self, AddrBloom32(&s->word));
+      s->word.store(value, std::memory_order_release);
+      return;
+    }
     Validation::OnWriterCommit(&DescOf<ValDomainTag>());
     Word w = s->word.load(std::memory_order_relaxed);
     while (true) {
@@ -271,10 +424,32 @@ class ValShortTm {
     }
   }
 
-  // One atomic CAS — identical cost to raw hardware CAS (§2.4). Returns the observed
-  // value; success iff it equals `expected`.
+  // One atomic CAS — identical cost to raw hardware CAS (§2.4) under the default
+  // non-reuse policy. Returns the observed value; success iff it equals `expected`.
+  // Precise policies use the lock-displace protocol (see SingleWrite).
   static Word SingleCas(Slot* s, Word expected, Word desired) {
     assert((desired & kLockBit) == 0 && "val layout reserves bit 0 (use EncodeInt)");
+    if constexpr (Validation::kPrecise) {
+      TxDesc* self = &DescOf<ValDomainTag>();
+      while (true) {
+        Word w = s->word.load(std::memory_order_acquire);
+        if (ValIsLocked(w)) {
+          CpuRelax();
+          continue;
+        }
+        if (w != expected) {
+          return w;
+        }
+        if (s->word.compare_exchange_weak(w, MakeValLocked(self),
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed)) {
+          // Locked at the expected value: bump, then store == release.
+          Validation::OnWriterCommitWithBloom(self, AddrBloom32(&s->word));
+          s->word.store(desired, std::memory_order_release);
+          return expected;
+        }
+      }
+    }
     Validation::OnWriterCommit(&DescOf<ValDomainTag>());
     while (true) {
       Word w = s->word.load(std::memory_order_acquire);

@@ -29,6 +29,7 @@
 #include "src/common/tagged.h"
 #include "src/common/thread_registry.h"
 #include "src/tm/txdesc.h"
+#include "src/tm/valstrategy.h"
 
 namespace spectm {
 
@@ -49,11 +50,15 @@ inline Word MakeValLocked(TxDesc* owner) {
 // --- Validation policies -------------------------------------------------------------
 //
 // Protocol shared by all writers (short RW commits, full commits, single writes):
-// while holding the lock(s), call OnWriterCommit() BEFORE the value stores that
-// release them. A validator whose Sample() is stable across a value re-check then
-// knows that any commit it could have missed was still holding its locks during the
-// re-check — and a held lock always fails the value comparison, because a locked word
-// has bit 0 set and recorded values never do.
+// while holding the lock(s), call OnWriterCommit*() BEFORE the value stores that
+// release them — and, for commits that validate a read set, BEFORE that final
+// validation (bump-before-validate; see the crossing-committer note in
+// valstrategy.h — a writer may only skip its commit-time walk when no foreign
+// bump lies between its sample anchor and its own bump). A validator whose
+// Sample() is stable across a value re-check then knows that any commit it could
+// have missed was still holding its locks during the re-check — and a held lock
+// always fails the value comparison, because a locked word has bit 0 set and
+// recorded values never do.
 
 // `kPrecise` marks policies whose counter genuinely tracks writer commits: for those,
 // "counter unchanged since the log was last fully validated" proves no writer
@@ -64,14 +69,27 @@ inline Word MakeValLocked(TxDesc* owner) {
 // per-read revalidation. NonReuseValidation's trivially-stable pseudo-counter proves
 // nothing, so it must not enable that fast path.
 
+// `kHasBloomRing` marks policies that additionally publish each writer's write-set
+// bloom into a WriterRing (valstrategy.h), enabling the bloom-summary skip: a
+// reader whose counter went stale can still avoid the O(read-set) walk when every
+// intervening commit's bloom is disjoint from its read bloom. Writer paths call
+// OnWriterCommitWithBloom(); policies without a ring ignore the bloom.
+
 // Case-3 reliance: no tracking at all. Sound when values satisfy non-re-use (or one
 // of the other two special cases); this is the paper's default for val-short.
 struct NonReuseValidation {
   static constexpr const char* kName = "non-reuse";
   static constexpr bool kPrecise = false;
+  static constexpr bool kHasBloomRing = false;
   static Word Sample() { return 0; }
   static bool Stable(Word /*sample*/) { return true; }
+  static bool BloomAdvance(Word* /*sample*/, std::uint32_t /*read_bloom*/) {
+    return true;
+  }
   static void OnWriterCommit(TxDesc* /*self*/) {}
+  static Word OnWriterCommitWithBloom(TxDesc* /*self*/, std::uint32_t /*bloom*/) {
+    return 0;
+  }
 };
 
 // One shared commit counter (Dalessandro et al.): cheap to read, but every writer
@@ -79,6 +97,7 @@ struct NonReuseValidation {
 struct GlobalCounterValidation {
   static constexpr const char* kName = "global-counter";
   static constexpr bool kPrecise = true;
+  static constexpr bool kHasBloomRing = false;
 
   static std::atomic<Word>& Counter() {
     static CacheAligned<std::atomic<Word>> counter;
@@ -87,8 +106,53 @@ struct GlobalCounterValidation {
 
   static Word Sample() { return Counter().load(std::memory_order_seq_cst); }
   static bool Stable(Word sample) { return Sample() == sample; }
+  static bool BloomAdvance(Word* sample, std::uint32_t /*read_bloom*/) {
+    return Stable(*sample);
+  }
   static void OnWriterCommit(TxDesc* /*self*/) {
     Counter().fetch_add(1, std::memory_order_seq_cst);
+  }
+  static Word OnWriterCommitWithBloom(TxDesc* /*self*/, std::uint32_t /*bloom*/) {
+    return Counter().fetch_add(1, std::memory_order_seq_cst) + 1;
+  }
+};
+
+// Global counter + write-set bloom ring: the commit bump doubles as the publication
+// index for the writer's 32-bit write bloom, so readers can pre-filter stale
+// counters. A thin facade over WriterSummary (valstrategy.h) — ONE implementation
+// of the counter+ring protocol serves both the orec and the val layouts — on a
+// private domain tag, so families on this policy form their own validation domain.
+struct GlobalCounterBloomValidation {
+  struct RingDomainTag {};
+  using Summary = WriterSummary<RingDomainTag>;
+
+  static constexpr const char* kName = "global-counter-bloom";
+  static constexpr bool kPrecise = true;
+  static constexpr bool kHasBloomRing = true;
+
+  static Word Sample() { return Summary::Sample(); }
+  static bool Stable(Word sample) { return Summary::Stable(sample); }
+
+  static bool BloomAdvance(Word* sample, std::uint32_t read_bloom) {
+    return Summary::BloomAdvance(sample, read_bloom);
+  }
+
+  // Returns the writer's own commit index (see WriterSummary::PublishAndBump for
+  // the commit-skip contract it feeds).
+  static Word OnWriterCommitWithBloom(TxDesc* /*self*/, std::uint32_t bloom) {
+    return Summary::PublishAndBump(bloom);
+  }
+
+  // A writer path with no cheap write-set enumeration publishes the all-ones bloom:
+  // readers then fall back to the walk for that commit, never skip unsoundly.
+  static void OnWriterCommit(TxDesc* self) {
+    OnWriterCommitWithBloom(self, kBloomAll);
+  }
+
+  // Commit-time bloom pre-filter; the range contract lives in
+  // WriterSummary::CommitRangeDisjoint (single source of the off-by-one).
+  static bool CommitRangeDisjoint(Word sample, Word own_idx, std::uint32_t read_bloom) {
+    return Summary::CommitRangeDisjoint(sample, own_idx, read_bloom);
   }
 };
 
@@ -99,6 +163,7 @@ struct GlobalCounterValidation {
 struct PerThreadCounterValidation {
   static constexpr const char* kName = "per-thread-counters";
   static constexpr bool kPrecise = true;
+  static constexpr bool kHasBloomRing = false;
 
   static Word Sample() {
     const int bound = ThreadRegistry::IdBound();
@@ -110,9 +175,19 @@ struct PerThreadCounterValidation {
   }
 
   static bool Stable(Word sample) { return Sample() == sample; }
+  static bool BloomAdvance(Word* sample, std::uint32_t /*read_bloom*/) {
+    return Stable(*sample);
+  }
 
   static void OnWriterCommit(TxDesc* self) {
     Counters()[self->thread_slot]->fetch_add(1, std::memory_order_seq_cst);
+  }
+  // No single commit index exists for a distributed sum; callers use the uniform
+  // "Sample() == sample + 1 after own bump" test instead (sums count all bumps,
+  // so anchor+1 means exactly this writer's own).
+  static Word OnWriterCommitWithBloom(TxDesc* self, std::uint32_t /*bloom*/) {
+    OnWriterCommit(self);
+    return 0;
   }
 
  private:

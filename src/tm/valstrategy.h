@@ -1,0 +1,316 @@
+// Adaptive validation engine: the machinery that turns per-read revalidation cost
+// from a fixed property of a TM family into a runtime choice.
+//
+// The paper's local-clock and value-based variants pay O(read-set) revalidation on
+// every read to preserve opacity (§4.1, Figure 5) — the cost behind the Figs 7–9
+// crossovers. No single remedy wins across workloads, so engines that opt in switch
+// at runtime between three strategies, driven by the descriptor's abort-rate EWMA
+// (txdesc.h):
+//
+//   kCounterSkip — NOrec's precise-counter skip: a domain-wide commit counter that
+//     every writer bumps while holding its locks, before its releasing stores.
+//     "Counter unchanged since the log was last known valid" proves no writer
+//     released a value/version in between, so the O(read-set) walk is skipped.
+//     Cheapest when writer commits are rare relative to this thread's reads.
+//
+//   kBloom — counter skip plus a bloom-summary pre-filter: each writer publishes a
+//     32-bit bloom of its write set into a ring indexed by its counter bump; a
+//     reader whose counter went stale intersects its own read-set bloom with the
+//     blooms of the intervening commits and still skips the walk when they are
+//     disjoint. Rescues the skip under write traffic that does not touch this
+//     reader's read set, at the cost of maintaining the read bloom per read.
+//
+//   kIncremental — the paper's baseline: walk the read set, no shared-counter
+//     reliance. The fallback when contention is high enough that summaries rarely
+//     help and the walk happens anyway.
+//
+// Strategy choice (kAdaptive) is re-evaluated from the EWMA at every transaction
+// start: low abort rate -> counter-skip, moderate -> bloom, high -> incremental.
+// Fixed modes exist for ablation benches (bench/abl_adaptive_val) so the adaptive
+// engine can be measured against every fixed point it switches between.
+//
+// Soundness of the skip paths (NOrec discipline, extended with blooms):
+//   * Writer protocol: acquire ALL commit locks, bump-and-publish, validate (or
+//     skip), only then perform the releasing stores. The lock is held across the
+//     whole bump..release window, so a writer whose bump predates a reader's
+//     sample is visibly locked on (or already done with) every location it will
+//     store to.
+//   * Every read-log entry was admitted through an unlocked observation (val-layout
+//     reads spin past locks; orec reads sandwich an unlocked orec), so any writer
+//     that had bumped before the reader's sample had already finished with that
+//     location — its later stores cannot touch it.
+//   * Therefore "counter unchanged since sample" => every logged location is
+//     unchanged, and the newest read instant is a consistency point for the whole
+//     log. The bloom extension weakens "unchanged counter" to "all intervening
+//     commits have write blooms disjoint from my read bloom", which implies the
+//     same thing for the logged locations; bloom false positives only cost a walk.
+//
+// Tail rule: the engines' classic per-read walk may exclude the just-read entry
+// (consistent at its own read instant). A TRACKED walk — one that re-anchors the
+// persistent sample — must instead cover the ENTIRE log: anchoring at counter c
+// asserts "whole log valid at c", and on a preempted thread thousands of commits
+// can land between the tail's read sandwich and the walk, silently invalidating
+// the tail while the prefix still checks out.
+//
+// Why writers bump BEFORE their own commit-time validation (not after, as a
+// reader-only analysis would allow): two crossing committers — R reads X and
+// writes Y while W reads Y and writes X — could otherwise BOTH skip/pass: W
+// validates before R locks Y, R's counter check passes before W bumps, and both
+// store, committing a write skew (observed as lost hash-set unlinks => double
+// retire). With bump-before-validate, a committing writer may only skip when NO
+// foreign bump lies in (its sample anchor, its own bump]; of two crossing
+// committers one always bumps second, and that one's validation runs after the
+// first's locks are in place — the locked-orec (or locked-word) check then kills
+// it. The commit-time walk must therefore stay conservative: a foreign lock on a
+// read-log entry fails validation even though the underlying version is intact.
+#ifndef SPECTM_TM_VALSTRATEGY_H_
+#define SPECTM_TM_VALSTRATEGY_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/common/cacheline.h"
+#include "src/common/tagged.h"
+#include "src/tm/txdesc.h"
+
+namespace spectm {
+
+// Per-family validation mode. kPassive is the zero-overhead default (no summary
+// maintenance at all — existing families are bit-for-bit unchanged); kIncremental
+// maintains the writer summary but never consults it (measures pure maintenance
+// overhead); the rest consult it as described above.
+enum class ValMode : std::uint8_t {
+  kPassive,
+  kIncremental,
+  kCounterSkip,
+  kBloom,
+  kAdaptive,
+};
+
+// The strategy a transaction attempt actually runs with (kAdaptive resolves to one
+// of these at Start()).
+enum class ValStrategy : std::uint8_t { kIncremental, kCounterSkip, kBloom };
+
+inline const char* ValStrategyName(ValStrategy s) {
+  switch (s) {
+    case ValStrategy::kIncremental:
+      return "incremental";
+    case ValStrategy::kCounterSkip:
+      return "counter-skip";
+    case ValStrategy::kBloom:
+      return "bloom";
+  }
+  return "?";
+}
+
+// EWMA thresholds for the adaptive choice, Q16 (65536 = 100% abort rate).
+//   < ~3%  aborts: contention is rare; the bare counter skip almost always fires
+//           and bloom maintenance would be pure overhead.
+//   < 25%  aborts: writers are active; pay the per-read bloom OR so disjoint write
+//           traffic still skips the walk.
+//   >= 25% aborts: walks happen regardless; stop paying for summaries.
+inline constexpr std::uint32_t kEwmaCounterSkipMaxQ16 = 1u << 11;  // ~3.1%
+inline constexpr std::uint32_t kEwmaBloomMaxQ16 = 1u << 14;        // 25%
+
+// Below this skip-efficacy EWMA (txdesc.h) the adaptive engine stops paying for
+// skip attempts: when the domain's write traffic moves the counter between
+// almost every pair of reads, the skip checks are pure overhead on top of the
+// walk that happens anyway, and plain incremental is the better fixed point.
+inline constexpr std::uint32_t kSkipEwmaMinQ16 = 1u << 13;  // 12.5%
+
+// In the incremental-because-skips-don't-pay regime the efficacy EWMA would
+// freeze (no skip attempts -> no updates), so every N-th attempt probes a skip
+// strategy anyway to notice when the workload turns quiet again.
+inline constexpr std::uint32_t kSkipProbePeriod = 16;
+
+inline ValStrategy ChooseStrategy(ValMode mode, bool has_bloom_ring,
+                                  std::uint32_t abort_ewma_q16,
+                                  std::uint32_t skip_ewma_q16 = 65536u) {
+  switch (mode) {
+    case ValMode::kPassive:
+    case ValMode::kIncremental:
+      return ValStrategy::kIncremental;
+    case ValMode::kCounterSkip:
+      return ValStrategy::kCounterSkip;
+    case ValMode::kBloom:
+      return has_bloom_ring ? ValStrategy::kBloom : ValStrategy::kCounterSkip;
+    case ValMode::kAdaptive:
+      if (skip_ewma_q16 < kSkipEwmaMinQ16) {
+        return ValStrategy::kIncremental;  // skips are not paying for themselves
+      }
+      if (abort_ewma_q16 < kEwmaCounterSkipMaxQ16) {
+        return ValStrategy::kCounterSkip;
+      }
+      if (abort_ewma_q16 < kEwmaBloomMaxQ16) {
+        // Mid band: bloom where a ring exists, otherwise the counter skip still
+        // beats walking (it is one shared load).
+        return has_bloom_ring ? ValStrategy::kBloom : ValStrategy::kCounterSkip;
+      }
+      return ValStrategy::kIncremental;
+  }
+  return ValStrategy::kIncremental;
+}
+
+// 32-bit, 2-hash bloom signature of one transactional location (its metadata word
+// address: the orec for orec layouts, the value word for the val layout). Two set
+// bits keep small read/write sets well under saturation: an 8-entry write set
+// occupies <= 16 of 32 bits, so a disjoint 4-entry read set still tests clear with
+// probability ~(1/2)^8 per hash... in practice collisions only cost a spurious walk.
+inline std::uint32_t AddrBloom32(const void* p) {
+  std::uint64_t h =
+      static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(p)) >> 3;
+  h *= 0x9e3779b97f4a7c15ULL;  // Fibonacci hashing, as in OrecTable::ForAddr
+  return (1u << ((h >> 32) & 31)) | (1u << ((h >> 59) & 31));
+}
+
+// All-ones bloom: intersects everything, forcing readers to walk. The safe default
+// for writer paths that cannot cheaply enumerate their write set.
+inline constexpr std::uint32_t kBloomAll = 0xffffffffu;
+
+// Ring of recent writer commits: slot i%64 holds (low 32 bits of commit index i,
+// 32-bit write bloom) packed into one atomic word so publication and lookup are a
+// single store/load with no tearing. A reader that finds a stale tag (writer not
+// yet published, or slot since overwritten) simply falls back to the walk — the
+// ring is an optimization channel, never a correctness dependency.
+class WriterRing {
+ public:
+  static constexpr int kLog2Slots = 6;
+  static constexpr Word kSlotMask = (Word{1} << kLog2Slots) - 1;
+  // A reader walks at most this many ring entries before deciding the walk itself
+  // is cheaper; also keeps the probe window well inside the ring to make overwrite
+  // races (caught by the tag anyway) rare.
+  static constexpr Word kMaxSkipRange = 32;
+  static_assert(kMaxSkipRange < (Word{1} << 32),
+                "probe window must stay far inside the 32-bit tag space for the "
+                "documented 2^32 delayed-publish wrap bound to hold");
+
+  void Publish(Word idx, std::uint32_t bloom) {
+    slots_[idx & kSlotMask].value.store(((idx & 0xffffffffULL) << 32) | bloom,
+                                        std::memory_order_release);
+  }
+
+  // True iff every commit in (since, upto] published a bloom disjoint from
+  // `read_bloom`. False on any stale tag, intersection, or oversized range.
+  //
+  // Tag-wrap bound (pver.h-style documented risk): the publication tag keeps the
+  // low 32 bits of the commit index, so a writer preempted between its counter
+  // bump and its Publish() for EXACTLY 2^32 commits could republish a tag that
+  // matches a current probe index and serve a stale bloom. With a sub-32-entry
+  // probe window that requires a thread to sleep through four billion commits at
+  // precisely the wrap distance; we accept the bound, as with pver's 15-bit
+  // version wrap.
+  bool RangeDisjoint(Word since, Word upto, std::uint32_t read_bloom) const {
+    if (upto - since > kMaxSkipRange) {
+      return false;
+    }
+    for (Word i = since + 1; i <= upto; ++i) {
+      const Word w = slots_[i & kSlotMask].value.load(std::memory_order_acquire);
+      if ((w >> 32) != (i & 0xffffffffULL)) {
+        return false;  // not yet published, or already recycled
+      }
+      if ((static_cast<std::uint32_t>(w) & read_bloom) != 0) {
+        return false;  // may have written something we read
+      }
+    }
+    return true;
+  }
+
+ private:
+  CacheAligned<std::atomic<Word>> slots_[std::size_t{1} << kLog2Slots];
+};
+
+// Per-domain writer summary for orec-based families: the precise commit counter
+// plus the bloom ring. Writers call PublishAndBump() after acquiring all commit
+// locks and validating, BEFORE any data store or orec release (the ordering the
+// soundness argument above depends on). The val layout reaches the same machinery
+// through its ValidationPolicy (GlobalCounterBloomValidation in val_word.h).
+template <typename DomainTag>
+struct WriterSummary {
+  static std::atomic<Word>& Counter() {
+    static CacheAligned<std::atomic<Word>> counter;
+    return *counter;
+  }
+
+  static WriterRing& Ring() {
+    static WriterRing* ring = new WriterRing();  // leaked: program-lifetime
+    return *ring;
+  }
+
+  static Word Sample() { return Counter().load(std::memory_order_seq_cst); }
+  static bool Stable(Word sample) { return Sample() == sample; }
+
+  // Returns the writer's own commit index. Commit-time skip tests compare it
+  // against the sample anchor: own_idx == sample + 1 proves no FOREIGN bump lies
+  // between anchor and bump (later writers validate after this writer's locks are
+  // visible and detect them — see the crossing-committer note above).
+  static Word PublishAndBump(std::uint32_t write_bloom) {
+    const Word idx = Counter().fetch_add(1, std::memory_order_seq_cst) + 1;
+    Ring().Publish(idx, write_bloom);
+    return idx;
+  }
+
+  // Commit-time bloom pre-filter for a writer that has already bumped at
+  // `own_idx`: the final walk is skippable when every FOREIGN commit in
+  // (sample, own_idx) published a bloom disjoint from `read_bloom`. Own bump is
+  // excluded (a writer may read-then-write the same location); commits after
+  // own_idx validate after this writer's locks are visible and detect the
+  // conflict themselves. The (sample, own_idx - 1] bound is soundness-critical —
+  // this helper is the ONLY place it is written down.
+  static bool CommitRangeDisjoint(Word sample, Word own_idx,
+                                  std::uint32_t read_bloom) {
+    return Ring().RangeDisjoint(sample, own_idx - 1, read_bloom);
+  }
+
+  // Bloom pre-filter: advances *sample to the current counter when every
+  // intervening commit's write bloom is disjoint from `read_bloom`.
+  static bool BloomAdvance(Word* sample, std::uint32_t read_bloom) {
+    const Word now = Sample();
+    if (now == *sample) {
+      return true;
+    }
+    if (!Ring().RangeDisjoint(*sample, now, read_bloom)) {
+      return false;
+    }
+    *sample = now;
+    return true;
+  }
+};
+
+// Per-(thread, domain) validation instrumentation, mirroring ClockProbe: plain
+// thread-local integers, zero shared-state cost, release-build enabled. Tests and
+// benches use these to prove the hot-path claims (counter skips firing, the EWMA
+// switch actually transitioning strategy).
+template <typename DomainTag>
+struct ValProbe {
+  struct Counters {
+    std::uint64_t counter_skips = 0;      // walks avoided by a stable counter
+    std::uint64_t bloom_skips = 0;        // walks avoided by ring disjointness
+    std::uint64_t validation_walks = 0;   // full read-set walks performed
+    std::uint64_t strategy_switches = 0;  // attempts started with a new strategy
+    std::uint64_t summary_publishes = 0;  // writer-side bump+publish events
+    // Not counters: the strategy the last attempt started with (for tests) and
+    // the attempt tick driving the periodic skip-efficacy probe.
+    ValStrategy last_strategy = ValStrategy::kIncremental;
+    bool has_strategy = false;
+    std::uint32_t attempt_tick = 0;
+  };
+  static Counters& Get() {
+    thread_local Counters counters;
+    return counters;
+  }
+  static void Reset() { Get() = Counters{}; }
+
+  // Records the strategy chosen for a new attempt, counting transitions.
+  static void OnStrategyChosen(ValStrategy s) {
+    Counters& c = Get();
+    if (c.has_strategy && c.last_strategy != s) {
+      ++c.strategy_switches;
+    }
+    c.last_strategy = s;
+    c.has_strategy = true;
+  }
+};
+
+}  // namespace spectm
+
+#endif  // SPECTM_TM_VALSTRATEGY_H_

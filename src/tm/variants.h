@@ -25,22 +25,24 @@
 #include "src/tm/val_full.h"
 #include "src/tm/val_short.h"
 #include "src/tm/val_word.h"
+#include "src/tm/valstrategy.h"
 
 namespace spectm {
 
 namespace internal {
 
 template <typename Tag, template <typename> class LayoutTmpl,
-          template <typename> class ClockTmpl>
+          template <typename> class ClockTmpl, ValMode kMode = ValMode::kPassive>
 struct OrecBasedFamily {
   using DomainTag = Tag;
   using Layout = LayoutTmpl<Tag>;
   using Clock = ClockTmpl<Tag>;
-  using Full = FullTm<Layout, Clock, Tag>;
-  using Short = ShortTm<Layout, Clock, Tag>;
+  using Full = FullTm<Layout, Clock, Tag, kMode>;
+  using Short = ShortTm<Layout, Clock, Tag, kMode>;
   using Slot = typename Layout::Slot;
   using FullTx = typename Full::Tx;
   using ShortTx = typename Short::ShortTx;
+  static constexpr ValMode kValMode = kMode;
 
   static Word SingleRead(Slot* s) { return Short::SingleRead(s); }
   static void SingleWrite(Slot* s, Word v) { Short::SingleWrite(s, v); }
@@ -58,14 +60,15 @@ struct OrecBasedFamily {
   }
 };
 
-template <typename ValidationT>
+template <typename ValidationT, ValMode kMode = ValMode::kCounterSkip>
 struct ValFamilyT {
   using Validation = ValidationT;
-  using Full = ValFullTm<ValidationT>;
-  using Short = ValShortTm<ValidationT>;
+  using Full = ValFullTm<ValidationT, kMode>;
+  using Short = ValShortTm<ValidationT, kMode>;
   using Slot = ValSlot;
   using FullTx = typename Full::Tx;
   using ShortTx = typename Short::ShortTx;
+  static constexpr ValMode kValMode = kMode;
 
   static Word SingleRead(Slot* s) { return Short::SingleRead(s); }
   static void SingleWrite(Slot* s, Word v) { Short::SingleWrite(s, v); }
@@ -106,12 +109,53 @@ using TvarL = internal::OrecBasedFamily<TvarLTag, TvarLayout, LocalClockPolicy>;
 using OrecGNaive = internal::OrecBasedFamily<OrecGNaiveTag, OrecLayout, GlobalClockNaive>;
 using TvarGNaive = internal::OrecBasedFamily<TvarGNaiveTag, TvarLayout, GlobalClockNaive>;
 
+// Clock-policy ablations beyond GV4 (clock.h): GV5 draws commit stamps with a plain
+// load (no RMW on the commit path — ClockProbe's rmw_draws stays zero) at the price
+// of extra false aborts; GV6 flips between GV4 and GV5 per draw from the
+// descriptor's abort-rate EWMA.
+struct OrecGv5Tag {};
+struct OrecGv6Tag {};
+using OrecGv5 = internal::OrecBasedFamily<OrecGv5Tag, OrecLayout, GlobalClockGv5>;
+using OrecGv6 = internal::OrecBasedFamily<OrecGv6Tag, OrecLayout, GlobalClockGv6>;
+
+// Adaptive-validation ablations over the local-clock layout — the family whose
+// full-transaction reads pay the O(read-set) per-read revalidation the engine
+// exists to cut. OrecL itself (kPassive: no writer summary at all) is the
+// always-incremental baseline; the fixed strategies measure each mechanism in
+// isolation; the adaptive family switches between them per attempt from the
+// abort-rate EWMA. Swept in bench/abl_adaptive_val.
+struct OrecLCounterTag {};
+struct OrecLBloomTag {};
+struct OrecLAdaptTag {};
+using OrecLCounterSkip =
+    internal::OrecBasedFamily<OrecLCounterTag, OrecLayout, LocalClockPolicy,
+                              ValMode::kCounterSkip>;
+using OrecLBloom = internal::OrecBasedFamily<OrecLBloomTag, OrecLayout,
+                                             LocalClockPolicy, ValMode::kBloom>;
+using OrecLAdaptive = internal::OrecBasedFamily<OrecLAdaptTag, OrecLayout,
+                                                LocalClockPolicy, ValMode::kAdaptive>;
+
 // 1-bit meta-data with value-based validation (Figure 3(c)); version-free by default
 // (relies on the paper's three special cases, §2.4), with counter-backed general
 // modes for code outside those cases.
 using Val = internal::ValFamilyT<NonReuseValidation>;
 using ValGlobalCounter = internal::ValFamilyT<GlobalCounterValidation>;
 using ValPerThreadCounter = internal::ValFamilyT<PerThreadCounterValidation>;
+
+// Validation-strategy ablations for the val layout, ALL over the bloom-publishing
+// counter policy (val_word.h) so every row of bench/abl_adaptive_val pays the
+// identical writer protocol (bump + ring publish) and the cells differ only in
+// reader strategy: fixed incremental (walk every read — the pure
+// summary-maintenance-overhead baseline), fixed counter-skip, fixed bloom, and
+// the EWMA-adaptive engine. ValGlobalCounter above stays on the classic ring-less
+// Dalessandro counter for the original abl_val_validation comparison.
+using ValIncremental =
+    internal::ValFamilyT<GlobalCounterBloomValidation, ValMode::kIncremental>;
+using ValCounterSkip =
+    internal::ValFamilyT<GlobalCounterBloomValidation, ValMode::kCounterSkip>;
+using ValBloom = internal::ValFamilyT<GlobalCounterBloomValidation, ValMode::kBloom>;
+using ValAdaptive =
+    internal::ValFamilyT<GlobalCounterBloomValidation, ValMode::kAdaptive>;
 
 }  // namespace spectm
 

@@ -55,6 +55,35 @@ TEST(JsonReport, EmitsSchemaAndAllFields) {
   EXPECT_NE(json.find("\"duration_s\": 0.9"), std::string::npos);
 }
 
+TEST(JsonReport, StrategyAndProbeFieldsAreOptIn) {
+  // Benches that do not set the adaptive-validation extensions keep their exact
+  // historical record shape.
+  JsonReport plain("plain");
+  plain.Add(SampleRecord());
+  const std::string before = plain.ToJson();
+  EXPECT_EQ(before.find("\"workload\""), std::string::npos);
+  EXPECT_EQ(before.find("\"strategy\""), std::string::npos);
+  EXPECT_EQ(before.find("\"counter_skips\""), std::string::npos);
+
+  BenchRecord r = SampleRecord();
+  r.workload = "phase-shift";
+  r.strategy = "adaptive";
+  r.has_probes = true;
+  r.counter_skips = 7;
+  r.bloom_skips = 3;
+  r.validation_walks = 2;
+  r.strategy_switches = 1;
+  JsonReport extended("extended");
+  extended.Add(r);
+  const std::string json = extended.ToJson();
+  EXPECT_NE(json.find("\"workload\": \"phase-shift\""), std::string::npos);
+  EXPECT_NE(json.find("\"strategy\": \"adaptive\""), std::string::npos);
+  EXPECT_NE(json.find("\"counter_skips\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"bloom_skips\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"validation_walks\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"strategy_switches\": 1"), std::string::npos);
+}
+
 TEST(JsonReport, MultipleRecordsFormAnArray) {
   JsonReport report("b");
   report.Add(SampleRecord());

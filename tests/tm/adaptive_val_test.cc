@@ -1,0 +1,537 @@
+// Adaptive validation engine (valstrategy.h): EWMA tracking, strategy choice and
+// transitions, the writer-summary bloom ring, and the probe-verified hot-path
+// claims — counter skips firing on unchanged-counter RO reads (short and full
+// transactions, orec and val layouts) and bloom skips rescuing stale counters when
+// the intervening write traffic is disjoint.
+#include "src/tm/valstrategy.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "src/structures/hash_tm_full.h"
+#include "src/tm/config.h"
+#include "src/tm/txdesc.h"
+#include "src/tm/variants.h"
+
+namespace spectm {
+namespace {
+
+TEST(AbortEwma, TracksOutcomesAndDecaysToZero) {
+  TxStats stats;
+  EXPECT_EQ(AbortEwmaQ16(stats), 0u);
+
+  // Commits keep it at zero.
+  for (int i = 0; i < 10; ++i) {
+    UpdateAbortEwma(stats, /*aborted=*/false);
+  }
+  EXPECT_EQ(AbortEwmaQ16(stats), 0u);
+
+  // A run of aborts drives it toward 100%...
+  for (int i = 0; i < 100; ++i) {
+    UpdateAbortEwma(stats, /*aborted=*/true);
+  }
+  EXPECT_GT(AbortEwmaQ16(stats), kEwmaBloomMaxQ16) << "sustained aborts look contended";
+
+  // ...and a long abort-free run decays it all the way back to zero (the rounded
+  // decrement must not stall at a small residue).
+  for (int i = 0; i < 400; ++i) {
+    UpdateAbortEwma(stats, /*aborted=*/false);
+  }
+  EXPECT_EQ(AbortEwmaQ16(stats), 0u);
+}
+
+TEST(AbortEwma, SingleAbortDoesNotFlipTheStrategy) {
+  TxStats stats;
+  UpdateAbortEwma(stats, /*aborted=*/true);
+  // One abort from a cold start: 1/16 of full scale = 4096 Q16 — above the
+  // counter-skip band but below the incremental band.
+  EXPECT_LT(AbortEwmaQ16(stats), kEwmaBloomMaxQ16);
+}
+
+TEST(ChooseStrategy, FixedModesIgnoreTheEwma) {
+  for (const std::uint32_t ewma : {0u, 10000u, 65535u}) {
+    EXPECT_EQ(ChooseStrategy(ValMode::kPassive, true, ewma), ValStrategy::kIncremental);
+    EXPECT_EQ(ChooseStrategy(ValMode::kIncremental, true, ewma),
+              ValStrategy::kIncremental);
+    EXPECT_EQ(ChooseStrategy(ValMode::kCounterSkip, true, ewma),
+              ValStrategy::kCounterSkip);
+    EXPECT_EQ(ChooseStrategy(ValMode::kBloom, true, ewma), ValStrategy::kBloom);
+  }
+}
+
+TEST(ChooseStrategy, AdaptiveBandsAndRingClamp) {
+  EXPECT_EQ(ChooseStrategy(ValMode::kAdaptive, true, 0), ValStrategy::kCounterSkip);
+  EXPECT_EQ(ChooseStrategy(ValMode::kAdaptive, true, kEwmaCounterSkipMaxQ16 - 1),
+            ValStrategy::kCounterSkip);
+  EXPECT_EQ(ChooseStrategy(ValMode::kAdaptive, true, kEwmaCounterSkipMaxQ16),
+            ValStrategy::kBloom);
+  EXPECT_EQ(ChooseStrategy(ValMode::kAdaptive, true, kEwmaBloomMaxQ16 - 1),
+            ValStrategy::kBloom);
+  EXPECT_EQ(ChooseStrategy(ValMode::kAdaptive, true, kEwmaBloomMaxQ16),
+            ValStrategy::kIncremental);
+  // Without a bloom ring the middle band clamps to counter-skip, never bloom.
+  EXPECT_EQ(ChooseStrategy(ValMode::kAdaptive, false, kEwmaCounterSkipMaxQ16),
+            ValStrategy::kCounterSkip);
+  EXPECT_EQ(ChooseStrategy(ValMode::kBloom, false, 0), ValStrategy::kCounterSkip);
+}
+
+TEST(ChooseStrategy, PoorSkipEfficacyFallsBackToIncremental) {
+  // When skips stopped paying for themselves, adaptive mode walks regardless of
+  // the abort band; fixed modes are unaffected.
+  EXPECT_EQ(ChooseStrategy(ValMode::kAdaptive, true, 0, kSkipEwmaMinQ16 - 1),
+            ValStrategy::kIncremental);
+  EXPECT_EQ(ChooseStrategy(ValMode::kAdaptive, true, 0, kSkipEwmaMinQ16),
+            ValStrategy::kCounterSkip);
+  EXPECT_EQ(ChooseStrategy(ValMode::kCounterSkip, true, 0, 0),
+            ValStrategy::kCounterSkip);
+}
+
+TEST(WriterRingTest, DisjointAndIntersectingRanges) {
+  WriterRing ring;
+  int x = 0, y = 0;
+  const std::uint32_t bx = AddrBloom32(&x);
+  const std::uint32_t by = AddrBloom32(&y);
+
+  ring.Publish(1, bx);
+  // Reader whose bloom misses bx: skip allowed over (0, 1].
+  EXPECT_TRUE(ring.RangeDisjoint(0, 1, ~bx));
+  // Reader whose bloom contains a bit of bx: must walk.
+  EXPECT_FALSE(ring.RangeDisjoint(0, 1, bx));
+
+  // Unpublished index in the range: must walk (tag mismatch).
+  EXPECT_FALSE(ring.RangeDisjoint(0, 2, ~bx));
+
+  ring.Publish(2, by);
+  EXPECT_TRUE(ring.RangeDisjoint(0, 2, ~(bx | by)));
+
+  // Oversized ranges never skip.
+  EXPECT_FALSE(ring.RangeDisjoint(0, WriterRing::kMaxSkipRange + 1, ~bx));
+
+  // A recycled slot (same slot index, different commit index) fails the tag check.
+  const Word recycled = 1 + (Word{1} << WriterRing::kLog2Slots);
+  ring.Publish(recycled, bx);
+  EXPECT_FALSE(ring.RangeDisjoint(0, 1, ~bx)) << "slot now carries a newer tag";
+}
+
+// Acceptance: the short-tx counter skip fires on unchanged-counter RO reads — the
+// second RO read of a short transaction must skip the prefix walk when no writer
+// committed since the sample (orec layout, fixed counter-skip family).
+TEST(CounterSkip, ShortTxOrecRoReadsSkipOnStableCounter) {
+  using F = OrecLCounterSkip;
+  using Probe = ValProbe<OrecLCounterTag>;
+  static F::Slot a, b;
+  F::SingleWrite(&a, EncodeInt(1));
+  F::SingleWrite(&b, EncodeInt(2));
+
+  Probe::Reset();
+  F::ShortTx tx;
+  EXPECT_EQ(DecodeInt(tx.ReadRo(&a)), 1u);
+  EXPECT_EQ(DecodeInt(tx.ReadRo(&b)), 2u);
+  EXPECT_TRUE(tx.Valid());
+  EXPECT_TRUE(tx.ValidateRo());
+  tx.Abort();
+
+  EXPECT_GE(Probe::Get().counter_skips, 2u)
+      << "2nd read and final ValidateRo must both skip on the unchanged counter";
+  EXPECT_EQ(Probe::Get().validation_walks, 0u)
+      << "no RO-prefix walk may happen while the counter is stable";
+}
+
+// Same property through the val layout's persistent ShortTx sample.
+TEST(CounterSkip, ShortTxValRoReadsSkipOnStableCounter) {
+  using F = ValGlobalCounter;
+  using Probe = ValProbe<ValDomainTag>;
+  static F::Slot a, b;
+  F::SingleWrite(&a, EncodeInt(5));
+  F::SingleWrite(&b, EncodeInt(6));
+
+  Probe::Reset();
+  F::ShortTx tx;
+  EXPECT_EQ(DecodeInt(tx.ReadRo(&a)), 5u);
+  EXPECT_EQ(DecodeInt(tx.ReadRo(&b)), 6u);
+  EXPECT_TRUE(tx.Valid());
+  tx.Abort();
+
+  EXPECT_GE(Probe::Get().counter_skips, 1u);
+  EXPECT_EQ(Probe::Get().validation_walks, 0u)
+      << "ValShortTx revalidated the whole RO set despite a stable counter";
+}
+
+// When the counter moves between reads, the skip must NOT fire: the engine walks
+// (and the values are still intact, so the transaction stays valid).
+TEST(CounterSkip, MovedCounterForcesTheWalk) {
+  using F = OrecLCounterSkip;
+  using Probe = ValProbe<OrecLCounterTag>;
+  static F::Slot a, b, unrelated;
+  F::SingleWrite(&a, EncodeInt(1));
+  F::SingleWrite(&b, EncodeInt(2));
+
+  Probe::Reset();
+  F::ShortTx tx;
+  EXPECT_EQ(DecodeInt(tx.ReadRo(&a)), 1u);
+  F::SingleWrite(&unrelated, EncodeInt(9));  // bumps the domain counter
+  EXPECT_EQ(DecodeInt(tx.ReadRo(&b)), 2u);
+  EXPECT_TRUE(tx.Valid()) << "disjoint write must not invalidate, only force a walk";
+  tx.Abort();
+
+  EXPECT_GE(Probe::Get().validation_walks, 1u)
+      << "a moved counter with no bloom strategy must walk the prefix";
+}
+
+// Returns a slot (out of `pool`) whose orec bloom is disjoint from `read_bloom`,
+// so bloom-skip tests are deterministic under ASLR (hash bits depend on addresses).
+template <typename Family, std::size_t N>
+typename Family::Slot* FindBloomDisjointSlot(typename Family::Slot (&pool)[N],
+                                             std::uint32_t read_bloom) {
+  for (auto& s : pool) {
+    if ((AddrBloom32(&Family::Layout::OrecOf(s)) & read_bloom) == 0) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+// Bloom strategy: a writer that commits to locations DISJOINT from the read set
+// moves the counter but must not force a walk — the ring pre-filter skips it.
+TEST(BloomSkip, DisjointWriterTrafficSkipsTheWalk) {
+  using F = OrecLBloom;
+  using Probe = ValProbe<OrecLBloomTag>;
+  static F::Slot a, b;
+  static F::Slot pool[64];
+  F::SingleWrite(&a, EncodeInt(1));
+  F::SingleWrite(&b, EncodeInt(2));
+
+  const std::uint32_t read_bloom = AddrBloom32(&F::Layout::OrecOf(a)) |
+                                   AddrBloom32(&F::Layout::OrecOf(b));
+  F::Slot* disjoint = FindBloomDisjointSlot<F>(pool, read_bloom);
+  ASSERT_NE(disjoint, nullptr) << "64 candidates always contain a disjoint bloom";
+
+  Probe::Reset();
+  F::ShortTx tx;
+  EXPECT_EQ(DecodeInt(tx.ReadRo(&a)), 1u);
+  F::SingleWrite(disjoint, EncodeInt(7));  // moves the counter, disjoint bloom
+  EXPECT_EQ(DecodeInt(tx.ReadRo(&b)), 2u);
+  EXPECT_TRUE(tx.Valid());
+  tx.Abort();
+
+  EXPECT_GE(Probe::Get().bloom_skips, 1u)
+      << "disjoint intervening commit must be absorbed by the ring pre-filter";
+  EXPECT_EQ(Probe::Get().validation_walks, 0u);
+}
+
+// Bloom strategy, overlap case: a writer that DOES hit the read set must be
+// caught — the skip may not fire and the transaction must invalidate.
+TEST(BloomSkip, OverlappingWriterIsDetected) {
+  using F = OrecLBloom;
+  static F::Slot a, b;
+  F::SingleWrite(&a, EncodeInt(1));
+  F::SingleWrite(&b, EncodeInt(2));
+
+  F::ShortTx tx;
+  EXPECT_EQ(DecodeInt(tx.ReadRo(&a)), 1u);
+  F::SingleWrite(&a, EncodeInt(99));  // overlaps the read set
+  tx.ReadRo(&b);
+  EXPECT_FALSE(tx.Valid()) << "a changed read-set entry must invalidate the tx";
+  tx.Abort();
+}
+
+// Full-transaction (local-clock) counter skip: with no concurrent writers, a
+// read-heavy full transaction over the counter-skip family must do zero walks
+// after the first read — the O(read-set) per-read revalidation collapses.
+TEST(CounterSkip, FullTxLocalClockReadsSkipOnStableCounter) {
+  using F = OrecLCounterSkip;
+  using Probe = ValProbe<OrecLCounterTag>;
+  static F::Slot slots[16];
+  for (int i = 0; i < 16; ++i) {
+    F::SingleWrite(&slots[i], EncodeInt(static_cast<std::uint64_t>(i)));
+  }
+
+  Probe::Reset();
+  F::FullTx tx;
+  bool done = false;
+  while (!done) {
+    tx.Start();
+    for (int i = 0; i < 16; ++i) {
+      EXPECT_EQ(DecodeInt(tx.Read(&slots[i])), static_cast<std::uint64_t>(i));
+    }
+    done = tx.Commit();
+  }
+  EXPECT_GE(Probe::Get().counter_skips, 14u);
+  EXPECT_EQ(Probe::Get().validation_walks, 0u)
+      << "quiescent read-heavy full tx must never walk under counter-skip";
+}
+
+// Acceptance: the EWMA switch actually transitions strategies. Drive the
+// descriptor's EWMA across the bands and observe the adaptive family start
+// attempts under different strategies.
+TEST(AdaptiveStrategy, EwmaDrivesStrategyTransitions) {
+  using F = OrecLAdaptive;
+  using Probe = ValProbe<OrecLAdaptTag>;
+  static F::Slot a;
+  F::SingleWrite(&a, EncodeInt(1));
+  TxStats& stats = DescOf<OrecLAdaptTag>().stats;
+  stats.skip_ewma_q16.store(65536u);  // skips paying: isolate the abort signal
+
+  // Phase 1: clean history -> counter-skip.
+  while (AbortEwmaQ16(stats) != 0) {
+    UpdateAbortEwma(stats, false);
+  }
+  Probe::Reset();
+  {
+    F::ShortTx tx;
+    tx.ReadRo(&a);
+    EXPECT_TRUE(tx.ValidateRo());
+    tx.Abort();
+  }
+  EXPECT_EQ(Probe::Get().last_strategy, ValStrategy::kCounterSkip);
+
+  // Phase 2: moderate abort pressure -> bloom.
+  while (AbortEwmaQ16(stats) < kEwmaCounterSkipMaxQ16) {
+    UpdateAbortEwma(stats, true);
+  }
+  ASSERT_LT(AbortEwmaQ16(stats), kEwmaBloomMaxQ16);
+  {
+    F::ShortTx tx;
+    tx.ReadRo(&a);
+    tx.Abort();
+  }
+  EXPECT_EQ(Probe::Get().last_strategy, ValStrategy::kBloom);
+
+  // Phase 3: heavy abort pressure -> incremental.
+  while (AbortEwmaQ16(stats) < kEwmaBloomMaxQ16) {
+    UpdateAbortEwma(stats, true);
+  }
+  {
+    F::ShortTx tx;
+    tx.ReadRo(&a);
+    tx.Abort();
+  }
+  EXPECT_EQ(Probe::Get().last_strategy, ValStrategy::kIncremental);
+
+  EXPECT_GE(Probe::Get().strategy_switches, 2u)
+      << "the probe must have recorded both band crossings";
+
+  // Phase 4: pressure subsides -> back to counter-skip (full transactions pick the
+  // strategy at Start() the same way).
+  while (AbortEwmaQ16(stats) != 0) {
+    UpdateAbortEwma(stats, false);
+  }
+  F::FullTx tx;
+  do {
+    tx.Start();
+    tx.Read(&a);
+  } while (!tx.Commit());
+  EXPECT_EQ(Probe::Get().last_strategy, ValStrategy::kCounterSkip);
+  EXPECT_GE(Probe::Get().strategy_switches, 3u);
+}
+
+// The val layout's adaptive engine takes the same decisions through its
+// ValidationPolicy counter.
+TEST(AdaptiveStrategy, ValAdaptiveSkipsWhenQuiescent) {
+  using F = ValAdaptive;
+  using Probe = ValProbe<ValDomainTag>;
+  static F::Slot a, b;
+  F::SingleWrite(&a, EncodeInt(3));
+  F::SingleWrite(&b, EncodeInt(4));
+  TxStats& stats = DescOf<ValDomainTag>().stats;
+  stats.skip_ewma_q16.store(65536u);
+  while (AbortEwmaQ16(stats) != 0) {
+    UpdateAbortEwma(stats, false);
+  }
+
+  Probe::Reset();
+  F::FullTx tx;
+  Word va = 0, vb = 0;
+  do {
+    tx.Start();
+    va = tx.Read(&a);
+    vb = tx.Read(&b);
+  } while (!tx.Commit());
+  EXPECT_EQ(DecodeInt(va), 3u);
+  EXPECT_EQ(DecodeInt(vb), 4u);
+  EXPECT_EQ(Probe::Get().last_strategy, ValStrategy::kCounterSkip);
+  EXPECT_GE(Probe::Get().counter_skips, 1u);
+  EXPECT_EQ(Probe::Get().validation_walks, 0u);
+}
+
+// Skip-efficacy feedback, end to end: when the counter moves between every
+// pair of reads, the adaptive engine must decay toward incremental — and the
+// periodic probe must keep re-trying a skip so it can recover in quiet phases.
+TEST(AdaptiveStrategy, PoorEfficacyDecaysToIncrementalAndProbesBack) {
+  using F = OrecLAdaptive;
+  using Probe = ValProbe<OrecLAdaptTag>;
+  static F::Slot a, b, churn;
+  F::SingleWrite(&a, EncodeInt(1));
+  F::SingleWrite(&b, EncodeInt(2));
+  TxStats& stats = DescOf<OrecLAdaptTag>().stats;
+  while (AbortEwmaQ16(stats) != 0) {
+    UpdateAbortEwma(stats, false);
+  }
+  stats.skip_ewma_q16.store(65536u);
+
+  // Defeat every skip: a disjoint write between the two RO reads moves the
+  // counter each attempt, so each attempt walks (efficacy miss).
+  for (int i = 0; i < 200; ++i) {
+    F::ShortTx tx;
+    tx.ReadRo(&a);
+    F::SingleWrite(&churn, EncodeInt(static_cast<std::uint64_t>(i)));
+    tx.ReadRo(&b);
+    EXPECT_TRUE(tx.Valid());
+    tx.Reset();  // fresh attempt; strategy re-chosen from the decayed EWMA
+  }
+  EXPECT_LT(SkipEwmaQ16(stats), kSkipEwmaMinQ16) << "misses must decay the EWMA";
+  {
+    F::ShortTx tx;
+    tx.ReadRo(&a);
+    tx.Abort();
+  }
+  // The engine may be in a probe attempt (1 in kSkipProbePeriod); retry a few
+  // times to observe the steady incremental choice.
+  int incremental_seen = 0;
+  for (int i = 0; i < 8; ++i) {
+    F::ShortTx tx;
+    tx.ReadRo(&a);
+    tx.Abort();
+    incremental_seen += Probe::Get().last_strategy == ValStrategy::kIncremental;
+  }
+  EXPECT_GE(incremental_seen, 6) << "poor efficacy must steer attempts to walking";
+
+  // Quiet phase: probes fire every kSkipProbePeriod attempts, hit, and pull the
+  // EWMA back up until skips are the steady choice again.
+  for (int i = 0; i < 600; ++i) {
+    F::ShortTx tx;
+    tx.ReadRo(&a);
+    tx.ReadRo(&b);
+    EXPECT_TRUE(tx.Valid());
+    tx.Abort();
+  }
+  EXPECT_GE(SkipEwmaQ16(stats), kSkipEwmaMinQ16)
+      << "probe hits in a quiet phase must restore skip efficacy";
+  {
+    F::ShortTx tx;
+    tx.ReadRo(&a);
+    tx.Abort();
+    EXPECT_EQ(Probe::Get().last_strategy, ValStrategy::kCounterSkip);
+  }
+}
+
+// Multi-threaded sanity for the bloom ring under real concurrency: disjoint-slot
+// writers churn while RO pairs are read; pairs must stay consistent and at least
+// some reads should be absorbed by skips. (The heavyweight cross-family battery
+// lives in concurrency_test.cc, which includes the new families.)
+TEST(BloomSkip, ConcurrentDisjointChurnKeepsPairsConsistent) {
+  using F = OrecLBloom;
+  static F::Slot pair_a, pair_b;
+  static F::Slot churn[8];
+  F::SingleWrite(&pair_a, EncodeInt(0));
+  F::SingleWrite(&pair_b, EncodeInt(0));
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> torn{0};
+
+  std::thread writer([&] {
+    for (int i = 0; i < 20000; ++i) {
+      const Word v = EncodeInt(static_cast<std::uint64_t>(i) + 1);
+      while (true) {
+        F::ShortTx tx;
+        tx.ReadRw(&pair_a);
+        tx.ReadRw(&pair_b);
+        if (!tx.Valid()) {
+          tx.Abort();
+          continue;
+        }
+        tx.CommitRw({v, v});
+        break;
+      }
+      F::SingleWrite(&churn[i % 8], EncodeInt(static_cast<std::uint64_t>(i)));
+    }
+  });
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      F::ShortTx tx;
+      const Word va = tx.ReadRo(&pair_a);
+      const Word vb = tx.ReadRo(&pair_b);
+      if (!tx.Valid() || !tx.ValidateRo()) {
+        continue;
+      }
+      if (va != vb) {
+        torn.fetch_add(1);
+      }
+    }
+  });
+  writer.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(torn.load(), 0u);
+}
+
+// Linked-structure regression for the commit-time skip protocol: concurrent
+// inserts/removes on a transactional hash set must keep (successful inserts -
+// successful removes) equal to the final cardinality. The crossing-committer
+// write skew this pins down (two committers whose read sets cross each other's
+// write sets both skipping/passing validation) manifests exactly as a lost
+// unlink: a Remove returns true while its victim stays reachable, breaking this
+// balance — and later corrupting the heap via a double retire. Fixed by the
+// bump-before-validate + own-index commit discipline (valstrategy.h).
+template <typename Family>
+void RunLinkedSetBalanceCheck(std::uint64_t seed) {
+  TmHashSet<Family> set(64);
+  constexpr int kWorkers = 4;
+  constexpr int kOpsPerThread = 120000;
+  constexpr std::uint64_t kKeys = 512;
+  std::vector<std::int64_t> balance(kWorkers, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWorkers; ++t) {
+    threads.emplace_back([&, t] {
+      Xorshift128Plus rng(seed + static_cast<std::uint64_t>(t) * 7919);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::uint64_t k = rng.NextBounded(kKeys);
+        if (rng.Next() & 1) {
+          if (set.Insert(k)) {
+            ++balance[static_cast<std::size_t>(t)];
+          }
+        } else {
+          if (set.Remove(k)) {
+            --balance[static_cast<std::size_t>(t)];
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  std::int64_t expected = 0;
+  for (const std::int64_t b : balance) {
+    expected += b;
+  }
+  std::int64_t present = 0;
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    present += set.Contains(k) ? 1 : 0;
+  }
+  EXPECT_EQ(present, expected)
+      << "insert/remove balance diverged from the set cardinality: a commit "
+         "skipped validation past a crossing committer (lost unlink/insert)";
+}
+
+TEST(CommitSkipProtocol, LinkedSetBalanceOrecLBloom) {
+  RunLinkedSetBalanceCheck<OrecLBloom>(0xb100f);
+}
+
+TEST(CommitSkipProtocol, LinkedSetBalanceOrecLCounterSkip) {
+  RunLinkedSetBalanceCheck<OrecLCounterSkip>(0xc075);
+}
+
+TEST(CommitSkipProtocol, LinkedSetBalanceValBloom) {
+  RunLinkedSetBalanceCheck<ValBloom>(0x7a1b);
+}
+
+TEST(CommitSkipProtocol, LinkedSetBalanceValAdaptive) {
+  RunLinkedSetBalanceCheck<ValAdaptive>(0xada9);
+}
+
+}  // namespace
+}  // namespace spectm

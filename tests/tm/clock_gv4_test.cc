@@ -74,20 +74,45 @@ TEST(Gv4Clock, ConcurrentDrawsAreMonotonePerThreadAndUniqueWhenFlagged) {
   EXPECT_LE(final_clock, total);
 }
 
-TEST(Gv4Clock, SampleCacheServesOwnCommitOnceThenReloads) {
+TEST(Gv4Clock, SampleCacheIsMultiUseWithBoundedStaleness) {
   using Clock = GlobalClockGv4<struct Gv4TagC>;
   using Probe = ClockProbe<struct Gv4TagC>;
   const CommitStamp stamp = Clock::NextCommitStamp();
 
+  // The cache serves exactly kClockSampleReuse Sample() calls after a commit...
   Probe::Reset();
-  const Word cached = Clock::Sample();
-  EXPECT_EQ(cached, stamp.wv) << "first Sample() after a commit is the cached wv";
-  EXPECT_EQ(Probe::Get().cached_samples, 1u);
-  EXPECT_EQ(Probe::Get().shared_loads, 0u) << "cache hit must not touch the shared line";
+  for (int i = 0; i < kClockSampleReuse; ++i) {
+    EXPECT_EQ(Clock::Sample(), stamp.wv) << "Sample() #" << i << " is the cached wv";
+  }
+  EXPECT_EQ(Probe::Get().cached_samples, static_cast<std::uint64_t>(kClockSampleReuse))
+      << "the probe proves every one of the bounded reuses was a cache hit";
+  EXPECT_EQ(Probe::Get().shared_loads, 0u) << "cache hits must not touch the shared line";
 
+  // ...and the (K+1)-th call reloads the shared line: staleness is bounded.
   const Word reloaded = Clock::Sample();
-  EXPECT_EQ(Probe::Get().shared_loads, 1u) << "cache is consumed once";
+  EXPECT_EQ(Probe::Get().shared_loads, 1u) << "cache reuse is bounded, not unlimited";
   EXPECT_EQ(reloaded, stamp.wv);
+}
+
+TEST(Gv4Clock, SampleCacheStalenessWindowEndsAtReuseBound) {
+  // Staleness bound, observed end to end: other threads race the clock forward
+  // after our commit; our samples may lag for at most kClockSampleReuse calls, then
+  // MUST reflect the advanced clock.
+  using Clock = GlobalClockGv4<struct Gv4TagC2>;
+  const CommitStamp mine = Clock::NextCommitStamp();
+  std::thread other([] {
+    for (int i = 0; i < 100; ++i) {
+      Clock::NextCommitStamp();
+    }
+  });
+  other.join();
+
+  for (int i = 0; i < kClockSampleReuse; ++i) {
+    EXPECT_EQ(Clock::Sample(), mine.wv) << "within the staleness window";
+  }
+  const Word fresh = Clock::Sample();
+  EXPECT_GE(fresh, mine.wv + 100) << "past the bound, other threads' commits are seen";
+  EXPECT_LE(fresh, Clock::Clock().load());
 }
 
 TEST(Gv4Clock, CachedSampleNeverExceedsTheClock) {

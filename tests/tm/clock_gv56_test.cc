@@ -1,0 +1,181 @@
+// GV5 (load-only commit stamps + max-bump release + reader-side clock catch-up)
+// and the GV6 EWMA hybrid: probe-verified hot-path properties and end-to-end
+// behavior through the OrecGv5/OrecGv6 families.
+#include "src/tm/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/tm/config.h"
+#include "src/tm/variants.h"
+
+namespace spectm {
+namespace {
+
+TEST(Gv5Clock, CommitStampsAreLoadOnly) {
+  using Clock = GlobalClockGv5<struct Gv5TagA>;
+  using Probe = ClockProbe<struct Gv5TagA>;
+  Probe::Reset();
+  const CommitStamp a = Clock::NextCommitStamp();
+  const CommitStamp b = Clock::NextCommitStamp();
+  // wv = clock + 1 without advancing: repeated draws return the same non-unique
+  // stamp, and the clock itself never moves.
+  EXPECT_EQ(a.wv, b.wv);
+  EXPECT_FALSE(a.unique);
+  EXPECT_FALSE(b.unique);
+  EXPECT_EQ(Probe::Get().rmw_draws, 0u) << "GV5 commit draws must never CAS";
+  EXPECT_EQ(Probe::Get().nocas_draws, 2u);
+}
+
+TEST(Gv5Clock, ReleaseVersionRestoresPerOrecMonotonicity) {
+  using Clock = GlobalClockGv5<struct Gv5TagB>;
+  // wv ahead of the orec: plain wv release (the normal case).
+  EXPECT_EQ(Clock::ReleaseVersion(12, MakeOrecVersion(9)), 12u);
+  // Stale wv (another committer already pushed this orec past it): bump past the
+  // old version so validators can still tell the commits apart.
+  EXPECT_EQ(Clock::ReleaseVersion(5, MakeOrecVersion(9)), 10u);
+  EXPECT_EQ(Clock::ReleaseVersion(10, MakeOrecVersion(9)), 10u);
+}
+
+// Acceptance: an entire writer workload under the GV5 family draws ZERO clock
+// RMWs on the commit path (every draw is a load), for full transactions, short
+// transactions, and single ops alike.
+TEST(Gv5Clock, WriterCommitsDrawNoCas) {
+  using F = OrecGv5;
+  using Probe = ClockProbe<OrecGv5Tag>;
+  static F::Slot a, b;
+
+  Probe::Reset();
+  F::SingleWrite(&a, EncodeInt(1));
+  F::SingleCas(&a, EncodeInt(1), EncodeInt(2));
+  {
+    F::ShortTx tx;
+    const Word va = tx.ReadRw(&a);
+    const Word vb = tx.ReadRw(&b);
+    ASSERT_TRUE(tx.Valid());
+    tx.CommitRw({va, vb});
+  }
+  F::FullTx tx;
+  do {
+    tx.Start();
+    tx.Write(&b, EncodeInt(7));
+  } while (!tx.Commit());
+
+  EXPECT_EQ(Probe::Get().rmw_draws, 0u)
+      << "no GV5 commit path may touch the clock with an RMW";
+  EXPECT_EQ(Probe::Get().nocas_draws, 4u)
+      << "each of the four committing writers drew exactly one load-only stamp";
+}
+
+TEST(Gv5Clock, SequentialCommitsToOneSlotStayDistinguishable) {
+  // Two same-wv commits to one location must still advance its version (the
+  // max-bump), or short-tx RO validation could be fooled.
+  using F = OrecGv5;
+  static F::Slot s;
+  F::SingleWrite(&s, EncodeInt(1));
+  const Word v1 = OrecVersionOf(F::Layout::OrecOf(s).load());
+  F::SingleWrite(&s, EncodeInt(2));
+  const Word v2 = OrecVersionOf(F::Layout::OrecOf(s).load());
+  EXPECT_GT(v2, v1) << "version must advance even though both draws shared wv";
+}
+
+TEST(Gv5Clock, StaleReadDragsTheClockForward) {
+  // A full-tx reader that trips over a version ahead of its snapshot must pull the
+  // clock up (the CAS-max catch-up) and then succeed via extension.
+  using F = OrecGv5;
+  using Clock = GlobalClockGv5<OrecGv5Tag>;
+  using Probe = ClockProbe<OrecGv5Tag>;
+  static F::Slot s;
+  F::SingleWrite(&s, EncodeInt(41));
+  F::SingleWrite(&s, EncodeInt(42));
+  const Word published = OrecVersionOf(F::Layout::OrecOf(s).load());
+  ASSERT_GT(published, Clock::Clock().load())
+      << "precondition: versions run ahead of the GV5 clock";
+
+  Probe::Reset();
+  F::FullTx tx;
+  Word v = 0;
+  do {
+    tx.Start();
+    v = tx.Read(&s);
+  } while (!tx.Commit());
+  EXPECT_EQ(DecodeInt(v), 42u);
+  EXPECT_GE(Probe::Get().stale_advances, 1u) << "the reader must have caught the clock up";
+  EXPECT_GE(Clock::Clock().load(), published);
+}
+
+TEST(Gv6Clock, EwmaFlipsBetweenGv4AndGv5Draws) {
+  using Clock = GlobalClockGv6<OrecGv6Tag>;
+  using Probe = ClockProbe<OrecGv6Tag>;
+  TxStats& stats = DescOf<OrecGv6Tag>().stats;
+
+  // Quiet phase: EWMA below the threshold -> load-only GV5 draws.
+  while (AbortEwmaQ16(stats) != 0) {
+    UpdateAbortEwma(stats, false);
+  }
+  Probe::Reset();
+  const CommitStamp quiet = Clock::NextCommitStamp();
+  EXPECT_FALSE(quiet.unique);
+  EXPECT_EQ(Probe::Get().nocas_draws, 1u);
+  EXPECT_EQ(Probe::Get().rmw_draws, 0u);
+
+  // Contended phase: EWMA above the threshold -> GV4 CAS draws (unique when won).
+  while (AbortEwmaQ16(stats) < Clock::kGv4ThresholdQ16) {
+    UpdateAbortEwma(stats, true);
+  }
+  const CommitStamp contended = Clock::NextCommitStamp();
+  // Never unique, even on a won CAS: the hybrid's GV5 draws do not RMW the
+  // clock, so "CAS won at rv+1" cannot imply "no commit since rv" and the TL2
+  // unique-stamp shortcut must stay off for every GV6 stamp.
+  EXPECT_FALSE(contended.unique);
+  EXPECT_EQ(Probe::Get().rmw_draws, 1u);
+  EXPECT_EQ(Probe::Get().nocas_draws, 1u) << "no further load-only draws";
+
+  // Back to quiet: the flip reverses.
+  while (AbortEwmaQ16(stats) != 0) {
+    UpdateAbortEwma(stats, false);
+  }
+  Clock::NextCommitStamp();
+  EXPECT_EQ(Probe::Get().nocas_draws, 2u);
+  EXPECT_EQ(Probe::Get().rmw_draws, 1u);
+}
+
+TEST(Gv6Clock, ConcurrentMixedDrawsKeepCounterCorrect) {
+  // End-to-end: increments through the GV6 family from racing threads (whose
+  // descriptors sit in different EWMA states) must not lose updates.
+  using F = OrecGv6;
+  static F::Slot counter;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 4000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      // Half the threads start with a polluted EWMA so both draw flavors mix.
+      TxStats& stats = DescOf<OrecGv6Tag>().stats;
+      for (int i = 0; i < 64; ++i) {
+        UpdateAbortEwma(stats, t % 2 == 0);
+      }
+      for (int i = 0; i < kPerThread; ++i) {
+        F::FullTx tx;
+        do {
+          tx.Start();
+          const Word v = tx.Read(&counter);
+          if (!tx.ok()) {
+            continue;
+          }
+          tx.Write(&counter, EncodeInt(DecodeInt(v) + 1));
+        } while (!tx.Commit());
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(DecodeInt(F::SingleRead(&counter)),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace spectm

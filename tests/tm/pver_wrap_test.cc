@@ -1,0 +1,74 @@
+// Regression documentation for pver's 15-bit version wrap hazard (pver.h): the
+// embedded version wraps after exactly 2^15 = 32768 committed updates, so a read
+// log entry whose location absorbs exactly that many commits — with the payload
+// also returning to the original value — inside ONE read-validate window passes
+// validation despite having changed. These tests pin the hazard boundary: one
+// commit short of the wrap is detected, the exact wrap is not. If the epoch-stamp
+// fix (see the pver.h comment trail) lands, the Wrap test flips and must be
+// rewritten to assert detection.
+#include "src/tm/pver.h"
+
+#include <gtest/gtest.h>
+
+#include "src/tm/config.h"
+
+namespace spectm {
+namespace {
+
+constexpr int kVersionBits = 64 - kPverVersionShift;
+constexpr std::uint64_t kWrapCommits = std::uint64_t{1} << kVersionBits;
+
+TEST(PverWrap, VersionFieldIs15Bits) {
+  // The hazard window is a compile-time property of the layout; if someone widens
+  // or narrows the field, the wrap tests below must be revisited.
+  EXPECT_EQ(kVersionBits, 15);
+  EXPECT_EQ(kWrapCommits, 32768u);
+  // PverBump wraps modulo 2^15 — version kWrapCommits-1 + 1 == 0.
+  const Word top = MakePverWord(kWrapCommits - 1, EncodeInt(1));
+  EXPECT_EQ(PverVersionOf(PverBump(top, EncodeInt(1))), 0u);
+}
+
+TEST(PverWrap, OneCommitShortOfWrapIsDetected) {
+  PverSlot slot;
+  PverShortTm::SingleWrite(&slot, EncodeInt(1));
+
+  PverShortTm::ShortTx tx;
+  EXPECT_EQ(DecodeInt(tx.ReadRo(&slot)), 1u);
+  ASSERT_TRUE(tx.Valid());
+
+  // 32767 commits, ending back at the original payload: version differs by
+  // kWrapCommits-1, so validation still catches it.
+  for (std::uint64_t i = 0; i < kWrapCommits - 2; ++i) {
+    PverShortTm::SingleWrite(&slot, EncodeInt(2));
+  }
+  PverShortTm::SingleWrite(&slot, EncodeInt(1));
+  EXPECT_FALSE(tx.ValidateRo()) << "a non-wrap number of commits must be detected";
+  tx.Abort();
+}
+
+TEST(PverWrap, ExactWrapWithRecycledPayloadIsInvisible) {
+  PverSlot slot;
+  PverShortTm::SingleWrite(&slot, EncodeInt(1));
+
+  PverShortTm::ShortTx tx;
+  EXPECT_EQ(DecodeInt(tx.ReadRo(&slot)), 1u);
+  ASSERT_TRUE(tx.Valid());
+
+  // Exactly 2^15 commits with the payload returning to its original value: the
+  // word is bit-for-bit identical to the logged one. THIS IS THE DOCUMENTED
+  // HAZARD — validation cannot see it. The paper's §4.1 position on narrow
+  // counters accepts the bound (the window for a short transaction is
+  // sub-microsecond; 32768 commits cannot fit in it on real hardware — this test
+  // holds the window open artificially).
+  for (std::uint64_t i = 0; i < kWrapCommits - 1; ++i) {
+    PverShortTm::SingleWrite(&slot, EncodeInt(2));
+  }
+  PverShortTm::SingleWrite(&slot, EncodeInt(1));
+  EXPECT_TRUE(tx.ValidateRo())
+      << "if this fails, the wrap hazard has been fixed — update pver.h's comment "
+         "trail and rewrite this test to assert detection instead";
+  tx.Abort();
+}
+
+}  // namespace
+}  // namespace spectm

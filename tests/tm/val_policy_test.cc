@@ -135,5 +135,15 @@ TEST(ValPolicies, PerThreadCountersKeepPairsConsistentUnderValueRecycling) {
 // three special cases; this test documents that they are at least as strong.
 TEST(ValPolicies, NonReuseSafeWhenWritersLockEverything) { RunAbaChurn<Val>(); }
 
+// The bloom-ring policy and the adaptive engine must be exactly as strong as the
+// plain counter under value recycling — skips may only fire when provably safe.
+TEST(ValPolicies, BloomRingKeepsPairsConsistentUnderValueRecycling) {
+  RunAbaChurn<ValBloom>();
+}
+
+TEST(ValPolicies, AdaptiveEngineKeepsPairsConsistentUnderValueRecycling) {
+  RunAbaChurn<ValAdaptive>();
+}
+
 }  // namespace
 }  // namespace spectm
