@@ -88,14 +88,14 @@ struct ProbeDeltas {
 // (shared-table) orec for orec layouts, the value word itself for the val layout.
 template <typename Family, typename = void>
 struct SlotBloom {
-  static std::uint32_t Of(typename Family::Slot* s) {
-    return AddrBloom32(&s->word);
+  static Bloom128 Of(typename Family::Slot* s) {
+    return AddrBloom128(&s->word);
   }
 };
 template <typename Family>
 struct SlotBloom<Family, std::void_t<typename Family::Layout>> {
-  static std::uint32_t Of(typename Family::Slot* s) {
-    return AddrBloom32(&Family::Layout::OrecOf(*s));
+  static Bloom128 Of(typename Family::Slot* s) {
+    return AddrBloom128(&Family::Layout::OrecOf(*s));
   }
 };
 
@@ -121,11 +121,11 @@ ProbeDeltas MeasureProbes(bool adaptive_transitions) {
   // A write target whose bloom misses {a, b}, so the bloom pre-filter can prove
   // disjointness (64 candidates make a miss essentially impossible; if every one
   // collides the step degrades to a walk and the column honestly reads 0).
-  const std::uint32_t read_bloom =
-      SlotBloom<Family>::Of(a) | SlotBloom<Family>::Of(b);
+  Bloom128 read_bloom = SlotBloom<Family>::Of(a);
+  read_bloom |= SlotBloom<Family>::Of(b);
   typename Family::Slot* disjoint = &pool[0];
   for (std::size_t i = 0; i < 64; ++i) {
-    if ((SlotBloom<Family>::Of(&pool[i]) & read_bloom) == 0) {
+    if (!SlotBloom<Family>::Of(&pool[i]).Intersects(read_bloom)) {
       disjoint = &pool[i];
       break;
     }

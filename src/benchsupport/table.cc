@@ -133,6 +133,18 @@ std::string JsonReport::ToJson() const {
           << ", \"validation_walks\": " << r.validation_walks
           << ", \"strategy_switches\": " << r.strategy_switches;
     }
+    if (r.has_layout) {
+      out << ", \"layout\": \"" << Escape(r.layout) << "\""
+          << ", \"simd\": \"" << Escape(r.simd) << "\""
+          << ", \"chain_len\": " << r.chain_len
+          << ", \"scan_width\": " << r.scan_width
+          << ", \"simd_batches\": " << r.simd_batches
+          << ", \"scalar_checks\": " << r.scalar_checks
+          << ", \"wset_bloom_misses\": " << r.wset_bloom_misses
+          << ", \"ring_window_fails\": " << r.ring_window_fails
+          << ", \"ring_stale_fails\": " << r.ring_stale_fails
+          << ", \"ring_intersect_fails\": " << r.ring_intersect_fails;
+    }
     out << "}";
   }
   out << "\n  ]\n}\n";

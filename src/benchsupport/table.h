@@ -49,6 +49,20 @@ struct BenchRecord {
   std::uint64_t bloom_skips = 0;        // ValProbe: walks avoided by ring blooms
   std::uint64_t validation_walks = 0;   // ValProbe: full read-set walks
   std::uint64_t strategy_switches = 0;  // ValProbe: strategy transitions observed
+
+  // Metadata-layout sweep extensions (bench/abl_readset_layout): emitted only
+  // when has_layout is set, so every earlier BENCH_*.json stays byte-stable.
+  bool has_layout = false;
+  std::string layout;        // orec-table indexing: "hashed" / "striped"
+  std::string simd;          // validation body the cell ran: "simd" / "scalar"
+  int chain_len = 0;         // expected hash-chain length (0 when n/a)
+  int scan_width = 0;        // btree range-scan width (0 when n/a)
+  std::uint64_t simd_batches = 0;       // ValProbe: 4-entry gather iterations
+  std::uint64_t scalar_checks = 0;      // ValProbe: scalar-path entry checks
+  std::uint64_t wset_bloom_misses = 0;  // WriteSet: lookups killed by the bloom
+  std::uint64_t ring_window_fails = 0;     // WriterRing: range wider than probe cap
+  std::uint64_t ring_stale_fails = 0;      // WriterRing: unpublished/recycled tag
+  std::uint64_t ring_intersect_fails = 0;  // WriterRing: bloom hit (saturation)
 };
 
 // Collects BenchRecords and renders them as a JSON document:

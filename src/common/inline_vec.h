@@ -1,9 +1,9 @@
 // Fixed-capacity inline vector: storage lives inside the object, no heap traffic.
 //
 // §2.2: "Focusing on short transactions means that the set of all locations accessed
-// can be held in a fixed-size array inline in the TX_RECORD." The same property is
-// exploited for the full-TM read log's common case via a small-size-optimized log
-// (see read_log in full_tm.h), so single-digit-location transactions never allocate.
+// can be held in a fixed-size array inline in the TX_RECORD." The full-TM read logs
+// solve the same no-allocation problem differently: per-thread SoA arenas whose
+// capacity persists across transactions (src/common/soa_log.h).
 #ifndef SPECTM_COMMON_INLINE_VEC_H_
 #define SPECTM_COMMON_INLINE_VEC_H_
 

@@ -1,0 +1,91 @@
+// Structure-of-arrays transactional read log.
+//
+// The full-transaction engines append one (metadata word pointer, expected word)
+// pair per transactional read and then walk the whole log on every revalidation —
+// per read under local clocks (§4.1's "-l" cost), at commit and extension under
+// global clocks. The walk touches only the two fields, so an array-of-structs
+// layout wastes half of every fetched cache line and defeats vectorization. This
+// log keeps the two fields in separate contiguous lanes:
+//
+//   ptrs_  : std::atomic<Word>*[]   — the orec (orec layouts) or data word (val
+//                                     layout) each entry revalidates against
+//   words_ : Word[]                 — the word the entry expects to observe there
+//                                     (an unlocked orec body, or the value read)
+//
+// so a validation walk streams two dense arrays (8 entries per cache line per
+// lane) and the batch kernel (src/tm/validate_batch.h) can gather-compare four
+// entries per iteration.
+//
+// Growth policy: capacity starts at one chunk (kChunkEntries) and doubles; it is
+// PERSISTED across transactions — Clear() resets the size only, so a descriptor
+// that once ran a 10k-read transaction never reallocates for one again (§4.1
+// allocates descriptors once per thread for exactly this reason). Growth can only
+// happen inside PushBack, never during a walk, so lane pointers taken for a walk
+// stay valid for its duration.
+#ifndef SPECTM_COMMON_SOA_LOG_H_
+#define SPECTM_COMMON_SOA_LOG_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstring>
+#include <memory>
+
+#include "src/common/tagged.h"
+
+namespace spectm {
+
+class SoaReadLog {
+ public:
+  // One chunk = 256 entries = 2 KB ptr lane + 2 KB word lane; matches the seed's
+  // read_log.reserve(256) so typical transactions never grow at all.
+  static constexpr std::size_t kChunkEntries = 256;
+
+  SoaReadLog() { Reallocate(kChunkEntries); }
+
+  SoaReadLog(const SoaReadLog&) = delete;
+  SoaReadLog& operator=(const SoaReadLog&) = delete;
+
+  void Clear() { size_ = 0; }
+  bool Empty() const { return size_ == 0; }
+  std::size_t Size() const { return size_; }
+  std::size_t Capacity() const { return capacity_; }
+
+  void PushBack(std::atomic<Word>* ptr, Word expected) {
+    if (size_ == capacity_) {
+      Reallocate(capacity_ * 2);
+    }
+    ptrs_[size_] = ptr;
+    words_[size_] = expected;
+    ++size_;
+  }
+
+  // Dense lanes for validation walks and the batch kernel. Stable until the next
+  // PushBack that grows the log.
+  std::atomic<Word>* const* Ptrs() const { return ptrs_.get(); }
+  const Word* Words() const { return words_.get(); }
+
+  std::atomic<Word>* PtrAt(std::size_t i) const { return ptrs_[i]; }
+  Word WordAt(std::size_t i) const { return words_[i]; }
+
+ private:
+  void Reallocate(std::size_t new_capacity) {
+    std::unique_ptr<std::atomic<Word>*[]> ptrs(new std::atomic<Word>*[new_capacity]);
+    std::unique_ptr<Word[]> words(new Word[new_capacity]);
+    if (size_ > 0) {
+      std::memcpy(ptrs.get(), ptrs_.get(), size_ * sizeof(ptrs[0]));
+      std::memcpy(words.get(), words_.get(), size_ * sizeof(words[0]));
+    }
+    ptrs_ = std::move(ptrs);
+    words_ = std::move(words);
+    capacity_ = new_capacity;
+  }
+
+  std::unique_ptr<std::atomic<Word>*[]> ptrs_;
+  std::unique_ptr<Word[]> words_;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace spectm
+
+#endif  // SPECTM_COMMON_SOA_LOG_H_

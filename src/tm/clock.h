@@ -101,6 +101,7 @@ struct ClockProbe {
     std::uint64_t cached_samples = 0;  // Sample() calls served from the local cache
     std::uint64_t nocas_draws = 0;     // GV5-style load-only commit-stamp draws
     std::uint64_t stale_advances = 0;  // reader-side CAS-max clock catch-ups (GV5/6)
+    std::uint64_t mode_flips = 0;      // GV6 hysteresis transitions (GV4 <-> GV5)
   };
   static Counters& Get() {
     thread_local Counters counters;
@@ -289,13 +290,28 @@ struct GlobalClockGv5 {
 // extra false abort compounds) pay the GV4 CAS for unique stamps and versions that
 // track the clock tightly. ReleaseVersion max-bumps unconditionally because GV5
 // draws can collide with versions already published by GV4 draws.
+//
+// The flip is HYSTERETIC (ROADMAP item): a single threshold made border
+// workloads — whose EWMA hovers around it, crossing on every few outcomes —
+// alternate draw flavors pathologically (each flavor's cost profile defeats the
+// other's assumption: GV5 draws inflate false aborts which push the EWMA up into
+// GV4, whose CASes calm it back down, forever). Separate enter/exit thresholds
+// make a flip require the EWMA to traverse the whole dead band, i.e. a genuine
+// phase change, not noise; ClockProbe::mode_flips counts the transitions so the
+// damping is testable (clock_gv56_test) and observable in benches.
 template <typename DomainTag>
 struct GlobalClockGv6 {
   static constexpr bool kHasGlobalClock = true;
   static constexpr const char* kName = "gv6";
 
-  // Above this abort-rate EWMA (Q16) the policy draws GV4-style stamps: ~6.25%.
-  static constexpr std::uint32_t kGv4ThresholdQ16 = 1u << 12;
+  // Rising through kGv4EnterThresholdQ16 (~6.25% abort rate) switches the
+  // thread's draws to GV4; only falling below kGv4ExitThresholdQ16 (~3.1%)
+  // switches back to GV5. Between the two, the current mode sticks.
+  static constexpr std::uint32_t kGv4EnterThresholdQ16 = 1u << 12;
+  static constexpr std::uint32_t kGv4ExitThresholdQ16 = 1u << 11;
+  static_assert(kGv4ExitThresholdQ16 < kGv4EnterThresholdQ16,
+                "the dead band must be non-empty or the hysteresis degenerates "
+                "to the old single-threshold flapping");
 
   static std::atomic<Word>& Clock() {
     static CacheAligned<std::atomic<Word>> clock;
@@ -317,7 +333,20 @@ struct GlobalClockGv6 {
 #if !(defined(__x86_64__) || defined(__i386__))
     std::atomic_thread_fence(std::memory_order_seq_cst);
 #endif
-    if (AbortEwmaQ16(DescOf<DomainTag>().stats) < kGv4ThresholdQ16) {
+    SampleCache& mode = Cache();
+    const std::uint32_t ewma = AbortEwmaQ16(DescOf<DomainTag>().stats);
+    if (mode.gv4_mode) {
+      if (ewma < kGv4ExitThresholdQ16) {
+        mode.gv4_mode = false;
+        ++ClockProbe<DomainTag>::Get().mode_flips;
+      }
+    } else {
+      if (ewma >= kGv4EnterThresholdQ16) {
+        mode.gv4_mode = true;
+        ++ClockProbe<DomainTag>::Get().mode_flips;
+      }
+    }
+    if (!mode.gv4_mode) {
       // GV5 path: load-only draw; the clock did not move, so there is no fresh
       // value worth caching.
       ++ClockProbe<DomainTag>::Get().nocas_draws;
@@ -365,9 +394,12 @@ struct GlobalClockGv6 {
   }
 
  private:
+  // Per-thread clock state: the GV4-style sample cache plus the hysteretic mode
+  // bit (per-thread because the steering EWMA is per-descriptor, i.e. per-thread).
   struct SampleCache {
     Word value = 0;
     int uses_left = 0;
+    bool gv4_mode = false;
   };
   static SampleCache& Cache() {
     thread_local SampleCache cache;

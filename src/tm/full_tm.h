@@ -4,12 +4,18 @@
 //   * timebase extension (Riegel, Fetzer, Felber) — a read that observes a version
 //     newer than the transaction's snapshot revalidates the read set against a fresh
 //     clock sample instead of aborting;
-//   * the hash-based write set of Spear et al. for O(1) read-after-write checks;
+//   * the hash-based write set of Spear et al. for O(1) read-after-write checks
+//     (with a descriptor-resident bloom so the common MISS costs one AND+TEST);
 //   * commit-time locking, invisible reads, deferred updates;
 //   * opacity: with a global clock via rv-sampling + extension, with local per-orec
 //     clocks via full read-set revalidation after every read (§4.1);
 //   * contention management: self-abort plus randomized linear backoff (SwissTM's
 //     first phase), driven by the caller's retry loop.
+//
+// Read-set layout: the log is SoA (src/common/soa_log.h) storing (orec, expected
+// unlocked orec body) lanes, and every validation walk runs through the batch
+// kernel (validate_batch.h) — AVX2 gather-compare four entries per iteration
+// where available, scalar otherwise, identical abort decisions either way.
 //
 // Usage pattern (mirrors the paper's §2.1 example):
 //
@@ -37,6 +43,7 @@
 #include "src/tm/layout.h"
 #include "src/tm/orec.h"
 #include "src/tm/txdesc.h"
+#include "src/tm/validate_batch.h"
 #include "src/tm/valstrategy.h"
 
 namespace spectm {
@@ -69,7 +76,7 @@ class FullTm {
 
     void Start() {
       desc_ = &DescOf<DomainTag>();
-      desc_->read_log.clear();
+      desc_->read_log.Clear();
       desc_->wset.Clear();
       desc_->lock_log.clear();
       active_ = true;
@@ -78,23 +85,11 @@ class FullTm {
         rv_ = Clock::Sample();
       }
       if constexpr (kStrategicReads) {
-        strat_ = ChooseStrategy(kMode, /*has_bloom_ring=*/true,
-                                AbortEwmaQ16(desc_->stats),
-                                SkipEwmaQ16(desc_->stats));
-        if constexpr (kMode == ValMode::kAdaptive) {
-          // Periodically probe a skip strategy even when efficacy looks poor, so
-          // the engine notices when the workload turns quiet again.
-          if (strat_ == ValStrategy::kIncremental &&
-              ++Probe::Get().attempt_tick % kSkipProbePeriod == 0) {
-            strat_ = ValStrategy::kCounterSkip;
-          }
-        }
-        Probe::OnStrategyChosen(strat_);
-        read_bloom_ = 0;
-        // Anchored before the first read: the skip argument needs every entry to
-        // have been admitted no earlier than the sample it is judged against.
-        sample_ = Summary::Sample();
-        sample_valid_ = true;
+        // Strategy choice + probe tick + anchor, shared across engines
+        // (StrategyState): the anchor is drawn before the first read, so the
+        // skip argument's "every entry admitted no earlier than the sample it
+        // is judged against" holds for the whole attempt.
+        state_.StartAttempt(kMode, /*has_bloom_ring=*/true, desc_->stats);
       }
     }
 
@@ -105,7 +100,7 @@ class FullTm {
         return 0;
       }
       Word buffered;
-      if (!desc_->wset.Empty() && desc_->wset.Lookup(s, &buffered)) {
+      if (desc_->wset.Lookup(s, &buffered)) {  // bloom-filtered: miss is AND+TEST
         return buffered;
       }
       std::atomic<Word>& orec = Layout::OrecOf(*s);
@@ -125,6 +120,8 @@ class FullTm {
         if (o1 != o2) {
           continue;  // raced with a commit; re-sandwich
         }
+        // o1 is the unlocked orec body — exactly the word validation expects to
+        // re-observe, so it goes into the log's expected-word lane verbatim.
         if constexpr (Clock::kHasGlobalClock) {
           if (OrecVersionOf(o1) > rv_) {
             // GV5-style clocks can lag published versions; give the policy a chance
@@ -136,14 +133,12 @@ class FullTm {
             }
             continue;
           }
-          desc_->read_log.push_back(ReadLogEntry{&orec, OrecVersionOf(o1)});
+          desc_->read_log.PushBack(&orec, o1);
           return value;
         } else {
-          desc_->read_log.push_back(ReadLogEntry{&orec, OrecVersionOf(o1)});
+          desc_->read_log.PushBack(&orec, o1);
           if constexpr (kStrategicReads) {
-            if (strat_ == ValStrategy::kBloom) {
-              read_bloom_ |= AddrBloom32(&orec);
-            }
+            state_.NoteRead(&orec);
           }
           // No snapshot number to compare against: preserve opacity by revalidating
           // the read set after every read (§4.1, the "-l" cost). Fast path: the
@@ -158,31 +153,20 @@ class FullTm {
           // Strategy fast paths (valstrategy.h): a stable domain commit counter —
           // or all-disjoint intervening write blooms — proves the earlier entries
           // unchanged without walking them.
-          if (desc_->read_log.size() > 1) {
+          if (desc_->read_log.Size() > 1) {
             bool ok;
             if constexpr (kStrategicReads) {
-              const bool skippable =
-                  strat_ != ValStrategy::kIncremental && sample_valid_;
-              if (skippable && Summary::Stable(sample_)) {
-                ++Probe::Get().counter_skips;
-                UpdateSkipEwma(desc_->stats, /*skipped=*/true);
-                ok = true;
-              } else if (skippable && strat_ == ValStrategy::kBloom &&
-                         Summary::BloomAdvance(&sample_, read_bloom_)) {
-                ++Probe::Get().bloom_skips;
-                UpdateSkipEwma(desc_->stats, /*skipped=*/true);
+              if (state_.TrySkipRead(&desc_->stats) ==
+                  StratState::ReadSkip::kSkipped) {
                 ok = true;
               } else {
                 // Tracked walk must cover the FULL log, tail included: it
-                // re-anchors sample_, and "valid at the anchor" has to hold for
-                // the entry just read too (valstrategy.h tail rule).
-                if (strat_ != ValStrategy::kIncremental) {
-                  UpdateSkipEwma(desc_->stats, /*skipped=*/false);
-                }
-                ok = ValidatePrefixTracked(desc_->read_log.size());
+                // re-anchors the sample, and "valid at the anchor" has to hold
+                // for the entry just read too (valstrategy.h tail rule).
+                ok = ValidatePrefixTracked(desc_->read_log.Size());
               }
             } else {
-              ok = ValidateReadLogPrefix(desc_->read_log.size() - 1);
+              ok = ValidateReadLogPrefix(desc_->read_log.Size() - 1);
             }
             if (!ok) {
               return Fail();
@@ -251,28 +235,21 @@ class FullTm {
         // release. Bump-before-validate is what lets the skip paths stay sound
         // between two crossing committers (valstrategy.h): whichever bumps second
         // fails its own skip test and walks into the first one's locks.
-        std::uint32_t write_bloom = 0;
+        Bloom128 write_bloom;
         for (const LockLogEntry& l : desc_->lock_log) {
-          write_bloom |= AddrBloom32(l.orec);
+          write_bloom |= AddrBloom128(l.orec);
         }
         own_idx = Summary::PublishAndBump(write_bloom);
         ++Probe::Get().summary_publishes;
       }
       if constexpr (kStrategicReads) {
-        // Commit-time skip: the read log was valid at sample_, and own_idx ==
-        // sample_ + 1 proves no foreign commit bumped since (writers that bump
-        // after us validate after our locks are visible and detect us instead).
-        // Under kBloom, foreign commits in (sample_, own_idx) may intervene as
-        // long as their write blooms miss our read bloom. Our own commit locks
-        // pin the write set regardless.
-        if (!skip_validation && sample_valid_ &&
-            strat_ != ValStrategy::kIncremental && own_idx == sample_ + 1) {
-          ++Probe::Get().counter_skips;
-          skip_validation = true;
-        } else if (!skip_validation && sample_valid_ &&
-                   strat_ == ValStrategy::kBloom &&
-                   Summary::CommitRangeDisjoint(sample_, own_idx, read_bloom_)) {
-          ++Probe::Get().bloom_skips;
+        // Commit-time skip (StrategyState): own_idx == sample + 1 proves no
+        // foreign commit bumped since the log was last known valid (writers that
+        // bump after us validate after our locks are visible and detect us
+        // instead); under kBloom, foreign commits in (sample, own_idx) may
+        // intervene as long as their write blooms miss our read bloom. Our own
+        // commit locks pin the write set regardless.
+        if (!skip_validation && state_.TrySkipCommit(own_idx)) {
           skip_validation = true;
         }
       }
@@ -293,6 +270,7 @@ class FullTm {
     }
 
    private:
+    using StratState = StrategyState<Summary, Probe>;
 
     Word Fail() {
       active_ = false;
@@ -307,48 +285,39 @@ class FullTm {
       if constexpr (kStrategicReads) {
         ++Probe::Get().validation_walks;
       }
-      return ValidateReadLogPrefix(desc_->read_log.size());
+      return ValidateReadLogPrefix(desc_->read_log.Size());
     }
 
     // Tracked walk: one pass (orec versions are monotone, so a single matching
     // pass is a valid snapshot — no NOrec retry loop needed) plus a best-effort
     // anchor: the sample taken before the walk becomes the new skip anchor only
-    // if the counter is still stable after it (a writer that bumped mid-walk may
-    // have released mid-walk too). On a failed confirm the walk result stands but
-    // the anchor is invalidated, so later skips walk until a quiet window.
+    // if the counter is still stable after it (StrategyState's confirm rule).
     bool ValidatePrefixTracked(std::size_t count) {
       ++Probe::Get().validation_walks;
-      const Word c = Summary::Sample();
+      const Word pre_walk = Summary::Sample();
       if (!ValidateReadLogPrefix(count)) {
         return false;
       }
-      if (Summary::Stable(c)) {
-        sample_ = c;
-        sample_valid_ = true;
-      } else {
-        sample_valid_ = false;
-      }
+      state_.ConfirmAnchorAfterWalk(pre_walk);
       return true;
     }
 
     // Validates the first `count` read-log entries (the per-read fast path excludes
-    // the freshly sandwiched tail entry).
+    // the freshly sandwiched tail entry) through the batch kernel: gather-compare
+    // over the SoA lanes where SIMD is enabled, scalar otherwise. The expected-word
+    // lane holds unlocked orec bodies, so a mismatch is either a real conflict or
+    // an orec this transaction itself locked at commit time — tolerated iff the
+    // displaced body still matches.
     bool ValidateReadLogPrefix(std::size_t count) const {
-      for (std::size_t i = 0; i < count; ++i) {
-        const ReadLogEntry& e = desc_->read_log[i];
-        const Word w = e.orec->load(std::memory_order_acquire);
-        if (w == MakeOrecVersion(e.version)) {
-          continue;
-        }
-        if (OrecIsLocked(w) && OrecOwnerOf(w) == desc_) {
-          // Locked by us at commit time; check the displaced version instead.
-          if (FindLockedOldWord(e.orec) == MakeOrecVersion(e.version)) {
-            continue;
-          }
-        }
-        return false;
-      }
-      return true;
+      typename Probe::Counters& probe = Probe::Get();
+      return ValidateEqualSpan(
+          desc_->read_log.Ptrs(), desc_->read_log.Words(), count,
+          probe.simd_batches, probe.scalar_checks,
+          [this](std::size_t i, Word observed) {
+            return OrecIsLocked(observed) && OrecOwnerOf(observed) == desc_ &&
+                   FindLockedOldWord(desc_->read_log.PtrAt(i)) ==
+                       desc_->read_log.WordAt(i);
+          });
     }
 
     Word FindLockedOldWord(const std::atomic<Word>* orec) const {
@@ -365,7 +334,7 @@ class FullTm {
     // read set is still intact, and adopt the new snapshot.
     bool Extend() {
       const Word t = Clock::Sample();
-      if (!ValidateReadLogPrefix(desc_->read_log.size())) {
+      if (!ValidateReadLogPrefix(desc_->read_log.Size())) {
         return false;
       }
       rv_ = t;
@@ -415,10 +384,7 @@ class FullTm {
 
     TxDesc* desc_ = nullptr;
     Word rv_ = 0;
-    Word sample_ = 0;
-    std::uint32_t read_bloom_ = 0;
-    ValStrategy strat_ = ValStrategy::kIncremental;
-    bool sample_valid_ = false;
+    StratState state_;
     bool active_ = false;
     bool conflicted_ = false;
     bool user_abort_ = false;

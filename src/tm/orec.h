@@ -32,17 +32,50 @@ inline Word MakeOrecLocked(TxDesc* owner) {
   return static_cast<Word>(reinterpret_cast<std::uintptr_t>(owner)) | kLockBit;
 }
 
+// Indexing policy for the shared orec table (compile-time: the seed families
+// stay byte-identical on kHashed, and the mode is part of the family type so two
+// modes never alias one table).
+//
+//   kHashed  — the seed scheme: Fibonacci hash of the word address over the whole
+//     table. Statistically scatters everything; two addresses adjacent in memory
+//     land on the same table LINE only with the base 8/2^log2 probability, but
+//     nothing prevents it either.
+//   kStriped — cache-line-striped: the word address's low 3 bits select one of 8
+//     table segments a full segment apart, and the Fibonacci hash spreads the
+//     remaining bits within the segment. ADJACENT ADDRESSES ARE GUARANTEED
+//     DISTINCT LINES (consecutive words of one node can never false-share an orec
+//     line, no matter what the hash does), at the price of structured workloads
+//     concentrating same-offset fields of different nodes into one segment.
+//     Swept against kHashed in bench/abl_readset_layout.
+enum class OrecStriping { kHashed, kStriped };
+
 // Global table of ownership records, indexed by a multiplicative hash of the data
 // address. Never resized; shared by all transactional locations of its domain.
-class OrecTable {
+template <OrecStriping kStriping = OrecStriping::kHashed>
+class OrecTableT {
  public:
-  explicit OrecTable(int log2_size = kOrecTableLog2)
-      : shift_(64 - log2_size), orecs_(std::size_t{1} << log2_size) {}
+  // log2 of the number of orecs packed per 64-byte cache line (8 x 8 B).
+  static constexpr int kLog2OrecsPerLine = 3;
+
+  explicit OrecTableT(int log2_size = kOrecTableLog2)
+      : log2_size_(log2_size),
+        shift_(64 - log2_size),
+        orecs_(std::size_t{1} << log2_size) {}
 
   std::atomic<Word>& ForAddr(const void* addr) {
     auto x = static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(addr)) >> 3;
-    x *= 0x9e3779b97f4a7c15ULL;  // Fibonacci hashing
-    return orecs_[x >> shift_].word;
+    if constexpr (kStriping == OrecStriping::kHashed) {
+      x *= 0x9e3779b97f4a7c15ULL;  // Fibonacci hashing
+      return orecs_[x >> shift_].word;
+    } else {
+      // Segment = low 3 address bits (adjacent words -> different segments, each
+      // 2^(log2-3) orecs = at least a page apart); Fibonacci within the segment.
+      const std::uint64_t segment = x & ((1u << kLog2OrecsPerLine) - 1);
+      const std::uint64_t inner =
+          ((x >> kLog2OrecsPerLine) * 0x9e3779b97f4a7c15ULL) >>
+          (shift_ + kLog2OrecsPerLine);
+      return orecs_[(segment << (log2_size_ - kLog2OrecsPerLine)) | inner].word;
+    }
   }
 
   std::size_t Size() const { return orecs_.size(); }
@@ -52,9 +85,12 @@ class OrecTable {
     std::atomic<Word> word{0};
   };
 
+  int log2_size_;
   int shift_;
   std::vector<OrecCell> orecs_;
 };
+
+using OrecTable = OrecTableT<>;
 
 }  // namespace spectm
 

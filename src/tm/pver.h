@@ -51,6 +51,8 @@
 #include "src/common/tagged.h"
 #include "src/tm/config.h"
 #include "src/tm/txdesc.h"
+#include "src/tm/validate_batch.h"
+#include "src/tm/valstrategy.h"
 
 namespace spectm {
 
@@ -334,7 +336,7 @@ class PverFullTm {
 
     void Start() {
       desc_ = &DescOf<PverDomainTag>();
-      desc_->val_read_log.clear();
+      desc_->val_read_log.Clear();
       desc_->wset.Clear();
       desc_->val_lock_log.clear();
       active_ = true;
@@ -346,7 +348,7 @@ class PverFullTm {
         return 0;
       }
       Word buffered;
-      if (!desc_->wset.Empty() && desc_->wset.Lookup(s, &buffered)) {
+      if (desc_->wset.Lookup(s, &buffered)) {  // bloom-filtered: miss is AND+TEST
         return buffered;  // wset stores payloads
       }
       int spins = 0;
@@ -361,7 +363,7 @@ class PverFullTm {
         }
         CpuRelax();
       }
-      desc_->val_read_log.push_back(ValReadLogEntry{&s->word, w});
+      desc_->val_read_log.PushBack(&s->word, w);
       if (!ValidateReads()) {
         return Fail();
       }
@@ -431,19 +433,19 @@ class PverFullTm {
       return 0;
     }
 
+    // Batched over the SoA lanes (validate_batch.h), like val_full's walk: the
+    // pver word is version-stamped, so a raw 64-bit equality is the whole check.
     bool ValidateReads() const {
-      for (const ValReadLogEntry& e : desc_->val_read_log) {
-        const Word v = e.word->load(std::memory_order_acquire);
-        if (v == e.value) {
-          continue;
-        }
-        if (PverIsLocked(v) && PverOwnerOf(v) == desc_ &&
-            FindDisplaced(e.word) == e.value) {
-          continue;
-        }
-        return false;
-      }
-      return true;
+      typename ValProbe<PverDomainTag>::Counters& probe =
+          ValProbe<PverDomainTag>::Get();
+      return ValidateEqualSpan(
+          desc_->val_read_log.Ptrs(), desc_->val_read_log.Words(),
+          desc_->val_read_log.Size(), probe.simd_batches, probe.scalar_checks,
+          [this](std::size_t i, Word observed) {
+            return PverIsLocked(observed) && PverOwnerOf(observed) == desc_ &&
+                   FindDisplaced(desc_->val_read_log.PtrAt(i)) ==
+                       desc_->val_read_log.WordAt(i);
+          });
     }
 
     Word FindDisplaced(const std::atomic<Word>* word) const {

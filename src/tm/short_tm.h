@@ -152,30 +152,16 @@ class ShortTm {
         // by the re-anchored sample too (valstrategy.h tail rule); the passive
         // walk keeps the seed's prefix-only shape, whose result is not reused.
         if constexpr (kStrategic) {
-          if (strat_ == ValStrategy::kBloom) {
-            read_bloom_ |= AddrBloom32(&orec);
-          }
+          state_.NoteRead(&orec);
         }
         bool prefix_ok = true;
         if constexpr (kStrategic) {
           const bool first_ro = ro_.Empty();
           ro_.PushBack(RoEntry{s, &orec, OrecVersionOf(o1)});
-          if (!first_ro) {
-            const bool skippable =
-                strat_ != ValStrategy::kIncremental && sample_valid_;
-            if (skippable && Summary::Stable(sample_)) {
-              ++Probe::Get().counter_skips;
-              UpdateSkipEwma(desc_->stats, /*skipped=*/true);
-            } else if (skippable && strat_ == ValStrategy::kBloom &&
-                       Summary::BloomAdvance(&sample_, read_bloom_)) {
-              ++Probe::Get().bloom_skips;
-              UpdateSkipEwma(desc_->stats, /*skipped=*/true);
-            } else {
-              if (strat_ != ValStrategy::kIncremental) {
-                UpdateSkipEwma(desc_->stats, /*skipped=*/false);
-              }
-              prefix_ok = ValidateRoPrefixTracked(ro_.Size());
-            }
+          if (!first_ro &&
+              state_.TrySkipRead(&desc_->stats) ==
+                  StratState::ReadSkip::kMustWalk) {
+            prefix_ok = ValidateRoPrefixTracked(ro_.Size());
           }
         } else {
           if (!ro_.Empty()) {
@@ -200,15 +186,9 @@ class ShortTm {
     // in the place of commit").
     bool ValidateRo() const {
       if constexpr (kStrategic) {
-        const bool skippable =
-            strat_ != ValStrategy::kIncremental && sample_valid_;
-        if (skippable && Summary::Stable(sample_)) {
-          ++Probe::Get().counter_skips;
-          return true;
-        }
-        if (skippable && strat_ == ValStrategy::kBloom &&
-            Summary::BloomAdvance(&sample_, read_bloom_)) {
-          ++Probe::Get().bloom_skips;
+        // No EWMA feedback here (nullptr): the final validate is not a per-read
+        // skip opportunity the adaptive engine should learn from.
+        if (state_.TrySkipRead(nullptr) == StratState::ReadSkip::kSkipped) {
           return true;
         }
         return ValidateRoPrefixTracked(ro_.Size());
@@ -281,13 +261,7 @@ class ShortTm {
           ro_ok = ValidateRo();
         } else {
           const Word own_idx = PublishWriterSummary();
-          if (strat_ != ValStrategy::kIncremental && sample_valid_ &&
-              own_idx == sample_ + 1) {
-            ++Probe::Get().counter_skips;
-            ro_ok = true;
-          } else if (strat_ == ValStrategy::kBloom && sample_valid_ &&
-                     Summary::CommitRangeDisjoint(sample_, own_idx, read_bloom_)) {
-            ++Probe::Get().bloom_skips;
+          if (state_.TrySkipCommit(own_idx)) {
             ro_ok = true;
           } else {
             // Plain conservative walk: a foreign lock fails it, which the
@@ -369,24 +343,12 @@ class ShortTm {
     // genuine displaced orec word, which is always an even version.
     static constexpr Word kAlreadyOwned = ~Word{0};
 
-    // Re-arms the strategy state for a fresh attempt: pick the strategy from the
-    // descriptor EWMA and anchor the persistent counter sample BEFORE any read (the
-    // skip soundness argument needs sample_ drawn no later than the first read).
+    // Re-arms the strategy state for a fresh attempt (StrategyState: choose +
+    // probe tick + anchor drawn BEFORE any read — the skip soundness argument
+    // needs the sample no later than the first read).
     void StartAttempt() {
       if constexpr (kStrategic) {
-        strat_ = ChooseStrategy(kMode, /*has_bloom_ring=*/true,
-                                AbortEwmaQ16(desc_->stats),
-                                SkipEwmaQ16(desc_->stats));
-        if constexpr (kMode == ValMode::kAdaptive) {
-          if (strat_ == ValStrategy::kIncremental &&
-              ++Probe::Get().attempt_tick % kSkipProbePeriod == 0) {
-            strat_ = ValStrategy::kCounterSkip;  // efficacy probe (valstrategy.h)
-          }
-        }
-        Probe::OnStrategyChosen(strat_);
-        read_bloom_ = 0;
-        sample_ = Summary::Sample();
-        sample_valid_ = true;
+        state_.StartAttempt(kMode, /*has_bloom_ring=*/true, desc_->stats);
       }
     }
 
@@ -400,9 +362,9 @@ class ShortTm {
         if (rw_.Empty()) {
           return 0;
         }
-        std::uint32_t bloom = 0;
+        Bloom128 bloom;
         for (const RwEntry& e : rw_) {
-          bloom |= AddrBloom32(e.orec);
+          bloom |= AddrBloom128(e.orec);
         }
         ++Probe::Get().summary_publishes;
         return Summary::PublishAndBump(bloom);
@@ -411,21 +373,17 @@ class ShortTm {
     }
 
     // Tracked walk: one pass (orec versions are monotone, so a single matching
-    // pass is a valid snapshot) plus a best-effort anchor — the pre-walk sample
-    // becomes the new skip anchor only if the counter stayed stable across the
-    // walk; otherwise the walk result stands but the anchor is invalidated.
+    // pass is a valid snapshot) plus the best-effort anchor confirm
+    // (StrategyState): the pre-walk sample becomes the new skip anchor only if
+    // the counter stayed stable across the walk; otherwise the walk result
+    // stands but the anchor is invalidated.
     bool ValidateRoPrefixTracked(std::size_t count) const {
       ++Probe::Get().validation_walks;
-      const Word c = Summary::Sample();
+      const Word pre_walk = Summary::Sample();
       if (!ValidateRoPrefix(count)) {
         return false;
       }
-      if (Summary::Stable(c)) {
-        sample_ = c;
-        sample_valid_ = true;
-      } else {
-        sample_valid_ = false;
-      }
+      state_.ConfirmAnchorAfterWalk(pre_walk);
       return true;
     }
 
@@ -475,13 +433,12 @@ class ShortTm {
       }
     }
 
+    using StratState = StrategyState<Summary, Probe>;
+
     TxDesc* desc_;
     InlineVec<RwEntry, kMaxShortWrites> rw_;
     InlineVec<RoEntry, kMaxShortReads> ro_;
-    mutable Word sample_ = 0;
-    std::uint32_t read_bloom_ = 0;
-    ValStrategy strat_ = ValStrategy::kIncremental;
-    mutable bool sample_valid_ = false;
+    StratState state_;
     bool valid_ = true;
     bool finished_ = false;
   };
@@ -511,7 +468,7 @@ class ShortTm {
     TxDesc* self = &DescOf<DomainTag>();
     const Word old_word = AcquireOrec(&orec, self);
     if constexpr (kStrategic) {
-      Summary::PublishAndBump(AddrBloom32(&orec));  // locked, before the data store
+      Summary::PublishAndBump(AddrBloom128(&orec));  // locked, before the data store
     }
     Layout::Data(*s).store(value, std::memory_order_release);
     Word wv = 0;
@@ -534,7 +491,7 @@ class ShortTm {
       return observed;
     }
     if constexpr (kStrategic) {
-      Summary::PublishAndBump(AddrBloom32(&orec));  // locked, before the data store
+      Summary::PublishAndBump(AddrBloom128(&orec));  // locked, before the data store
     }
     Layout::Data(*s).store(desired, std::memory_order_release);
     Word wv = 0;

@@ -20,6 +20,7 @@
 
 #include "src/common/backoff.h"
 #include "src/common/cacheline.h"
+#include "src/common/soa_log.h"
 #include "src/common/tagged.h"
 #include "src/common/thread_registry.h"
 #include "src/common/write_set.h"
@@ -98,20 +99,16 @@ class TxStatsRegistry {
   static Totals Snapshot();
 };
 
-struct ReadLogEntry {
-  std::atomic<Word>* orec;
-  Word version;
-};
+// Read logs are SoA lanes (src/common/soa_log.h): `read_log` records
+// (orec, expected unlocked orec body) pairs for the orec/tvar layouts,
+// `val_read_log` records (data word, expected value) pairs for the val layout.
+// Both store the EXPECTED WORD directly (an unlocked orec body IS the encoded
+// version), so every validation is a raw 64-bit equality the batch kernel
+// (validate_batch.h) can gather-compare without re-encoding.
 
 struct LockLogEntry {
   std::atomic<Word>* orec;
   Word old_word;  // pre-lock orec body, restored on abort
-};
-
-// Value-based logs for the `val` layout (no orecs; the word is its own meta-data).
-struct ValReadLogEntry {
-  std::atomic<Word>* word;
-  Word value;
 };
 
 struct ValLockLogEntry {
@@ -133,9 +130,7 @@ struct alignas(kCacheLineSize) TxDesc {
   TxDesc()
       : thread_slot(ThreadRegistry::CurrentId()),
         backoff(0xb0ffULL + static_cast<std::uint64_t>(thread_slot) * 0x9e3779b9ULL) {
-    read_log.reserve(256);
     lock_log.reserve(64);
-    val_read_log.reserve(256);
     val_lock_log.reserve(64);
     TxStatsRegistry::Register(&stats);
   }
@@ -146,13 +141,16 @@ struct alignas(kCacheLineSize) TxDesc {
   int thread_slot;
   Backoff backoff;
 
-  // Full-transaction logs (orec/tvar layouts); owner-private.
-  std::vector<ReadLogEntry> read_log;
+  // Full-transaction logs (orec/tvar layouts); owner-private. The read log is
+  // SoA (one chunk pre-sized, capacity persisted across attempts); the write
+  // set carries its own cache-line alignment so its read-path header never
+  // shares a line with the log headers around it.
+  SoaReadLog read_log;
   WriteSet wset;
   std::vector<LockLogEntry> lock_log;
 
   // Full-transaction logs (val layout); owner-private.
-  std::vector<ValReadLogEntry> val_read_log;
+  SoaReadLog val_read_log;
   std::vector<ValLockLogEntry> val_lock_log;
 
   // Cross-thread-readable counters, isolated on their own cache line.

@@ -13,10 +13,15 @@
 // and soundness rests on the paper's special cases, exactly as in Figure 5's setup
 // ("The val-full RO transactions assume the non-re-use property from Section 2.4").
 //
-// The per-read revalidation is strategy-driven (valstrategy.h): the default
-// kCounterSkip mode reproduces the classic NOrec skip; kBloom adds the write-bloom
-// pre-filter (needs a kHasBloomRing policy); kAdaptive re-picks per attempt from
-// the descriptor's abort-rate EWMA. Non-precise policies always walk.
+// The read log is SoA (src/common/soa_log.h; the expected-word lane holds the
+// values read) and the revalidation walk runs through the batch kernel
+// (validate_batch.h) — this engine walks more than any other (per READ under
+// counter policies), so it gains the most from gather-compare.
+//
+// The per-read revalidation is strategy-driven (valstrategy.h StrategyState): the
+// default kCounterSkip mode reproduces the classic NOrec skip; kBloom adds the
+// write-bloom pre-filter (needs a kHasBloomRing policy); kAdaptive re-picks per
+// attempt from the descriptor's abort-rate EWMA. Non-precise policies always walk.
 #ifndef SPECTM_TM_VAL_FULL_H_
 #define SPECTM_TM_VAL_FULL_H_
 
@@ -29,6 +34,7 @@
 #include "src/tm/txdesc.h"
 #include "src/tm/val_short.h"
 #include "src/tm/val_word.h"
+#include "src/tm/validate_batch.h"
 #include "src/tm/valstrategy.h"
 
 namespace spectm {
@@ -52,24 +58,15 @@ class ValFullTm {
 
     void Start() {
       desc_ = &DescOf<ValDomainTag>();
-      desc_->val_read_log.clear();
+      desc_->val_read_log.Clear();
       desc_->wset.Clear();
       desc_->val_lock_log.clear();
       active_ = true;
       user_abort_ = false;
-      sample_ = Validation::Sample();
       if constexpr (kStrategic) {
-        strat_ = ChooseStrategy(kMode, Validation::kHasBloomRing,
-                                AbortEwmaQ16(desc_->stats),
-                                SkipEwmaQ16(desc_->stats));
-        if constexpr (kMode == ValMode::kAdaptive) {
-          if (strat_ == ValStrategy::kIncremental &&
-              ++Probe::Get().attempt_tick % kSkipProbePeriod == 0) {
-            strat_ = ValStrategy::kCounterSkip;  // efficacy probe (valstrategy.h)
-          }
-        }
-        Probe::OnStrategyChosen(strat_);
-        read_bloom_ = 0;
+        state_.StartAttempt(kMode, Validation::kHasBloomRing, desc_->stats);
+      } else {
+        state_.Anchor();  // sample kept current for ValidateReads' re-anchor
       }
     }
 
@@ -78,7 +75,7 @@ class ValFullTm {
         return 0;
       }
       Word buffered;
-      if (!desc_->wset.Empty() && desc_->wset.Lookup(s, &buffered)) {
+      if (desc_->wset.Lookup(s, &buffered)) {  // bloom-filtered: miss is AND+TEST
         return buffered;
       }
       int spins = 0;
@@ -94,11 +91,9 @@ class ValFullTm {
         }
         CpuRelax();
       }
-      desc_->val_read_log.push_back(ValReadLogEntry{&s->word, w});
+      desc_->val_read_log.PushBack(&s->word, w);
       if constexpr (kStrategic) {
-        if (strat_ == ValStrategy::kBloom) {
-          read_bloom_ |= AddrBloom32(&s->word);
-        }
+        state_.NoteRead(&s->word);
       }
       // Per-read revalidation — the val-full cost highlighted in Figure 5 — with
       // strategy-dependent fast paths:
@@ -106,26 +101,16 @@ class ValFullTm {
       //   * under a precise commit counter (val_word.h), an unchanged counter since
       //     the log was last fully valid proves no writer released a value in
       //     between (NOrec's observation), so the O(read-set) re-check is skipped.
-      //     sample_ always names a counter value at which the whole log was valid,
-      //     so the entry just appended joins a still-valid snapshot;
+      //     The anchor always names a counter value at which the whole log was
+      //     valid, so the entry just appended joins a still-valid snapshot;
       //   * under kBloom, a moved counter still skips the walk when every
       //     intervening commit's write bloom is disjoint from this read set
-      //     (sample_ then advances to the current counter).
-      if (desc_->val_read_log.size() > 1) {
+      //     (the anchor then advances to the current counter).
+      if (desc_->val_read_log.Size() > 1) {
         if constexpr (kStrategic) {
-          if (strat_ != ValStrategy::kIncremental && Validation::Stable(sample_)) {
-            ++Probe::Get().counter_skips;
-            UpdateSkipEwma(desc_->stats, /*skipped=*/true);
+          if (state_.TrySkipRead(&desc_->stats) ==
+              StratState::ReadSkip::kSkipped) {
             return w;
-          }
-          if (strat_ == ValStrategy::kBloom &&
-              Validation::BloomAdvance(&sample_, read_bloom_)) {
-            ++Probe::Get().bloom_skips;
-            UpdateSkipEwma(desc_->stats, /*skipped=*/true);
-            return w;
-          }
-          if (strat_ != ValStrategy::kIncremental) {
-            UpdateSkipEwma(desc_->stats, /*skipped=*/false);
           }
         }
         if (!ValidateReads()) {
@@ -162,14 +147,14 @@ class ValFullTm {
         OnCommit();
         return true;  // reads were kept consistent incrementally
       }
-      std::uint32_t write_bloom = kBloomAll;
+      Bloom128 write_bloom = Bloom128All();
       if constexpr (Validation::kHasBloomRing) {
-        write_bloom = 0;  // accumulated per locked entry below
+        write_bloom = Bloom128{};  // accumulated per locked entry below
       }
       for (const WriteSet::Entry& e : desc_->wset) {
         auto* word = &static_cast<Slot*>(e.addr)->word;
         if constexpr (Validation::kHasBloomRing) {
-          write_bloom |= AddrBloom32(word);
+          write_bloom |= AddrBloom128(word);
         }
         Word w = word->load(std::memory_order_relaxed);
         while (true) {
@@ -195,23 +180,14 @@ class ValFullTm {
       if constexpr (kStrategic) {
         ++Probe::Get().summary_publishes;
       }
-      // Commit-time skip: counter == sample_ + 1 after our own bump proves no
+      // Commit-time skip (StrategyState): own bump index == anchor + 1 (or, for
+      // policies without a single index, a fresh sample at anchor + 1) proves no
       // foreign writer released a value since the log was last known valid (our
       // own commit locks pin the rest); under kBloom, foreign commits before our
       // bump may intervene if their write blooms miss our read bloom.
       bool skip_walk = false;
       if constexpr (kStrategic) {
-        if (strat_ != ValStrategy::kIncremental &&
-            Validation::Sample() == sample_ + 1) {
-          ++Probe::Get().counter_skips;
-          skip_walk = true;
-        } else if constexpr (Validation::kHasBloomRing) {
-          if (strat_ == ValStrategy::kBloom &&
-              Validation::CommitRangeDisjoint(sample_, own_idx, read_bloom_)) {
-            ++Probe::Get().bloom_skips;
-            skip_walk = true;
-          }
-        }
+        skip_walk = state_.TrySkipCommit(own_idx);
       }
       if (!skip_walk && !ValidateReads()) {
         ReleaseLocks();
@@ -227,35 +203,38 @@ class ValFullTm {
     }
 
    private:
+    using StratState = StrategyState<Validation, Probe>;
+
     Word Fail() {
       active_ = false;
       return 0;
     }
 
-    // Value-based read-log validation under commit-counter stability. Entries locked
-    // by our own commit are compared against the displaced value they held. Starts
-    // from a FRESH counter sample (the old anchor is known-stale whenever this runs
-    // — the skip already failed, or our own commit bump moved the counter — so
-    // looping on it would guarantee a wasted second walk), and re-anchors sample_
-    // once a sample is stable across a full pass.
+    // Value-based read-log validation under commit-counter stability, batched:
+    // each pass runs the whole SoA log through the gather-compare kernel; entries
+    // locked by our own commit are compared against the displaced value they
+    // held. Starts from a FRESH counter sample (the old anchor is known-stale
+    // whenever this runs — the skip already failed, or our own commit bump moved
+    // the counter — so looping on it would guarantee a wasted second walk), and
+    // re-anchors once a sample is stable across a full pass.
     bool ValidateReads() {
       ++Probe::Get().validation_walks;
       Word sample = Validation::Sample();
+      typename Probe::Counters& probe = Probe::Get();
       while (true) {
-        for (const ValReadLogEntry& e : desc_->val_read_log) {
-          const Word v = e.word->load(std::memory_order_acquire);
-          if (v == e.value) {
-            continue;
-          }
-          if (ValIsLocked(v) && ValOwnerOf(v) == desc_) {
-            if (FindDisplacedValue(e.word) == e.value) {
-              continue;
-            }
-          }
+        const bool pass = ValidateEqualSpan(
+            desc_->val_read_log.Ptrs(), desc_->val_read_log.Words(),
+            desc_->val_read_log.Size(), probe.simd_batches, probe.scalar_checks,
+            [this](std::size_t i, Word observed) {
+              return ValIsLocked(observed) && ValOwnerOf(observed) == desc_ &&
+                     FindDisplacedValue(desc_->val_read_log.PtrAt(i)) ==
+                         desc_->val_read_log.WordAt(i);
+            });
+        if (!pass) {
           return false;
         }
         if (Validation::Stable(sample)) {
-          sample_ = sample;
+          state_.ReanchorStable(sample);
           return true;
         }
         sample = Validation::Sample();
@@ -292,9 +271,7 @@ class ValFullTm {
     }
 
     TxDesc* desc_ = nullptr;
-    Word sample_ = 0;
-    std::uint32_t read_bloom_ = 0;
-    ValStrategy strat_ = ValStrategy::kIncremental;
+    StratState state_;
     bool active_ = false;
     bool user_abort_ = false;
   };

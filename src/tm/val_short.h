@@ -103,34 +103,21 @@ class ValShortTm {
       const bool first_ro = ro_.Empty();
       ro_.PushBack(RoEntry{s, w, /*upgraded=*/false});
       if constexpr (kStrategic) {
-        if (strat_ == ValStrategy::kBloom) {
-          read_bloom_ |= AddrBloom32(&s->word);
-        }
+        state_.NoteRead(&s->word);
       }
       if (!first_ro) {
-        // Strategy fast paths (valstrategy.h): the persistent sample_ names a
-        // counter value at which the whole RO log was simultaneously valid (every
-        // entry was read unlocked, so any writer that bumped before sample_ had
-        // already released these words). A stable counter — or all-disjoint
-        // intervening write blooms — lets the read-set walk be skipped and the
-        // value just read join a still-valid snapshot.
+        // Strategy fast paths (valstrategy.h StrategyState): the persistent
+        // anchor names a counter value at which the whole RO log was
+        // simultaneously valid (every entry was read unlocked, so any writer
+        // that bumped before the anchor had already released these words). A
+        // stable counter — or all-disjoint intervening write blooms — lets the
+        // read-set walk be skipped and the value just read join a still-valid
+        // snapshot.
         bool ok;
         if constexpr (kStrategic) {
-          if (strat_ != ValStrategy::kIncremental && Validation::Stable(sample_)) {
-            ++Probe::Get().counter_skips;
-            UpdateSkipEwma(desc_->stats, /*skipped=*/true);
-            ok = true;
-          } else if (strat_ == ValStrategy::kBloom &&
-                     Validation::BloomAdvance(&sample_, read_bloom_)) {
-            ++Probe::Get().bloom_skips;
-            UpdateSkipEwma(desc_->stats, /*skipped=*/true);
-            ok = true;
-          } else {
-            if (strat_ != ValStrategy::kIncremental) {
-              UpdateSkipEwma(desc_->stats, /*skipped=*/false);
-            }
-            ok = ValidateRo();
-          }
+          ok = state_.TrySkipRead(&desc_->stats) ==
+                   StratState::ReadSkip::kSkipped ||
+               ValidateRo();
         } else {
           ok = ValidateRo();
         }
@@ -146,7 +133,7 @@ class ValShortTm {
 
     // Value-based validation of the RO set (Tx_RO_k_Is_Valid). Under a counter-based
     // ValidationPolicy this loops until the commit counter is stable across a full
-    // value re-check (NOrec-style), re-anchoring the persistent sample_ so later
+    // value re-check (NOrec-style), re-anchoring the persistent sample so later
     // reads can skip; under NonReuseValidation it is one pass.
     bool ValidateRo() const {
       ++Probe::Get().validation_walks;
@@ -161,7 +148,7 @@ class ValShortTm {
           }
         }
         if (Validation::Stable(sample)) {
-          sample_ = sample;
+          state_.ReanchorStable(sample);
           return true;
         }
         sample = Validation::Sample();
@@ -223,21 +210,7 @@ class ValShortTm {
           ro_ok = ValidateRo();
         } else {
           const Word own_idx = PublishWriterSummary();
-          ro_ok = false;
-          if (strat_ != ValStrategy::kIncremental &&
-              Validation::Sample() == sample_ + 1) {
-            ++Probe::Get().counter_skips;
-            ro_ok = true;
-          } else if constexpr (Validation::kHasBloomRing) {
-            if (strat_ == ValStrategy::kBloom &&
-                Validation::CommitRangeDisjoint(sample_, own_idx, read_bloom_)) {
-              ++Probe::Get().bloom_skips;
-              ro_ok = true;
-            }
-          }
-          if (!ro_ok) {
-            ro_ok = ValidateRo();
-          }
+          ro_ok = state_.TrySkipCommit(own_idx) || ValidateRo();
         }
       } else {
         ro_ok = ValidateRo();
@@ -303,23 +276,12 @@ class ValShortTm {
       bool upgraded;
     };
 
-    // Re-arms the strategy state for a fresh attempt: pick the strategy from the
-    // descriptor EWMA and anchor the persistent counter sample BEFORE any read (the
-    // skip soundness argument needs sample_ drawn no later than the first read).
+    // Re-arms the strategy state for a fresh attempt (StrategyState: choose +
+    // probe tick + anchor drawn BEFORE any read — the skip soundness argument
+    // needs the sample no later than the first read).
     void StartAttempt() {
       if constexpr (kStrategic) {
-        strat_ = ChooseStrategy(kMode, Validation::kHasBloomRing,
-                                AbortEwmaQ16(desc_->stats),
-                                SkipEwmaQ16(desc_->stats));
-        if constexpr (kMode == ValMode::kAdaptive) {
-          if (strat_ == ValStrategy::kIncremental &&
-              ++Probe::Get().attempt_tick % kSkipProbePeriod == 0) {
-            strat_ = ValStrategy::kCounterSkip;  // efficacy probe (valstrategy.h)
-          }
-        }
-        Probe::OnStrategyChosen(strat_);
-        read_bloom_ = 0;
-        sample_ = Validation::Sample();
+        state_.StartAttempt(kMode, Validation::kHasBloomRing, desc_->stats);
       }
     }
 
@@ -334,13 +296,13 @@ class ValShortTm {
       }
       ++Probe::Get().summary_publishes;
       if constexpr (Validation::kHasBloomRing) {
-        std::uint32_t bloom = 0;
+        Bloom128 bloom;
         for (const RwEntry& e : rw_) {
-          bloom |= AddrBloom32(&e.slot->word);
+          bloom |= AddrBloom128(&e.slot->word);
         }
         return Validation::OnWriterCommitWithBloom(desc_, bloom);
       } else {
-        return Validation::OnWriterCommitWithBloom(desc_, kBloomAll);
+        return Validation::OnWriterCommitWithBloom(desc_, Bloom128All());
       }
     }
 
@@ -354,12 +316,12 @@ class ValShortTm {
       }
     }
 
+    using StratState = StrategyState<Validation, Probe>;
+
     TxDesc* desc_;
     InlineVec<RwEntry, kMaxShortWrites> rw_;
     InlineVec<RoEntry, kMaxShortReads> ro_;
-    mutable Word sample_ = 0;
-    std::uint32_t read_bloom_ = 0;
-    ValStrategy strat_ = ValStrategy::kIncremental;
+    StratState state_;
     bool valid_ = true;
     bool finished_ = false;
   };
@@ -405,7 +367,7 @@ class ValShortTm {
           break;
         }
       }
-      Validation::OnWriterCommitWithBloom(self, AddrBloom32(&s->word));
+      Validation::OnWriterCommitWithBloom(self, AddrBloom128(&s->word));
       s->word.store(value, std::memory_order_release);
       return;
     }
@@ -444,7 +406,7 @@ class ValShortTm {
                                           std::memory_order_acq_rel,
                                           std::memory_order_relaxed)) {
           // Locked at the expected value: bump, then store == release.
-          Validation::OnWriterCommitWithBloom(self, AddrBloom32(&s->word));
+          Validation::OnWriterCommitWithBloom(self, AddrBloom128(&s->word));
           s->word.store(desired, std::memory_order_release);
           return expected;
         }

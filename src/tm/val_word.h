@@ -83,11 +83,11 @@ struct NonReuseValidation {
   static constexpr bool kHasBloomRing = false;
   static Word Sample() { return 0; }
   static bool Stable(Word /*sample*/) { return true; }
-  static bool BloomAdvance(Word* /*sample*/, std::uint32_t /*read_bloom*/) {
+  static bool BloomAdvance(Word* /*sample*/, const Bloom128& /*read_bloom*/) {
     return true;
   }
   static void OnWriterCommit(TxDesc* /*self*/) {}
-  static Word OnWriterCommitWithBloom(TxDesc* /*self*/, std::uint32_t /*bloom*/) {
+  static Word OnWriterCommitWithBloom(TxDesc* /*self*/, const Bloom128& /*bloom*/) {
     return 0;
   }
 };
@@ -106,13 +106,13 @@ struct GlobalCounterValidation {
 
   static Word Sample() { return Counter().load(std::memory_order_seq_cst); }
   static bool Stable(Word sample) { return Sample() == sample; }
-  static bool BloomAdvance(Word* sample, std::uint32_t /*read_bloom*/) {
+  static bool BloomAdvance(Word* sample, const Bloom128& /*read_bloom*/) {
     return Stable(*sample);
   }
   static void OnWriterCommit(TxDesc* /*self*/) {
     Counter().fetch_add(1, std::memory_order_seq_cst);
   }
-  static Word OnWriterCommitWithBloom(TxDesc* /*self*/, std::uint32_t /*bloom*/) {
+  static Word OnWriterCommitWithBloom(TxDesc* /*self*/, const Bloom128& /*bloom*/) {
     return Counter().fetch_add(1, std::memory_order_seq_cst) + 1;
   }
 };
@@ -133,25 +133,26 @@ struct GlobalCounterBloomValidation {
   static Word Sample() { return Summary::Sample(); }
   static bool Stable(Word sample) { return Summary::Stable(sample); }
 
-  static bool BloomAdvance(Word* sample, std::uint32_t read_bloom) {
+  static bool BloomAdvance(Word* sample, const Bloom128& read_bloom) {
     return Summary::BloomAdvance(sample, read_bloom);
   }
 
   // Returns the writer's own commit index (see WriterSummary::PublishAndBump for
   // the commit-skip contract it feeds).
-  static Word OnWriterCommitWithBloom(TxDesc* /*self*/, std::uint32_t bloom) {
+  static Word OnWriterCommitWithBloom(TxDesc* /*self*/, const Bloom128& bloom) {
     return Summary::PublishAndBump(bloom);
   }
 
   // A writer path with no cheap write-set enumeration publishes the all-ones bloom:
   // readers then fall back to the walk for that commit, never skip unsoundly.
   static void OnWriterCommit(TxDesc* self) {
-    OnWriterCommitWithBloom(self, kBloomAll);
+    OnWriterCommitWithBloom(self, Bloom128All());
   }
 
   // Commit-time bloom pre-filter; the range contract lives in
   // WriterSummary::CommitRangeDisjoint (single source of the off-by-one).
-  static bool CommitRangeDisjoint(Word sample, Word own_idx, std::uint32_t read_bloom) {
+  static bool CommitRangeDisjoint(Word sample, Word own_idx,
+                                  const Bloom128& read_bloom) {
     return Summary::CommitRangeDisjoint(sample, own_idx, read_bloom);
   }
 };
@@ -175,7 +176,7 @@ struct PerThreadCounterValidation {
   }
 
   static bool Stable(Word sample) { return Sample() == sample; }
-  static bool BloomAdvance(Word* sample, std::uint32_t /*read_bloom*/) {
+  static bool BloomAdvance(Word* sample, const Bloom128& /*read_bloom*/) {
     return Stable(*sample);
   }
 
@@ -185,7 +186,7 @@ struct PerThreadCounterValidation {
   // No single commit index exists for a distributed sum; callers use the uniform
   // "Sample() == sample + 1 after own bump" test instead (sums count all bumps,
   // so anchor+1 means exactly this writer's own).
-  static Word OnWriterCommitWithBloom(TxDesc* self, std::uint32_t /*bloom*/) {
+  static Word OnWriterCommitWithBloom(TxDesc* self, const Bloom128& /*bloom*/) {
     OnWriterCommit(self);
     return 0;
   }

@@ -151,30 +151,72 @@ inline ValStrategy ChooseStrategy(ValMode mode, bool has_bloom_ring,
   return ValStrategy::kIncremental;
 }
 
-// 32-bit, 2-hash bloom signature of one transactional location (its metadata word
-// address: the orec for orec layouts, the value word for the val layout). Two set
-// bits keep small read/write sets well under saturation: an 8-entry write set
-// occupies <= 16 of 32 bits, so a disjoint 4-entry read set still tests clear with
-// probability ~(1/2)^8 per hash... in practice collisions only cost a spurious walk.
-inline std::uint32_t AddrBloom32(const void* p) {
+// 128-bit, 2-hash bloom signature space for transactional locations (a location's
+// signature hashes its metadata word address: the orec for orec layouts, the value
+// word for the val layout). The 128 bits are organized as four 32-bit STRIPES —
+// stripe s holds bit positions [32s, 32s+32) — matching the WriterRing's
+// stripe-lane storage below: a probe touches only the stripes where the reader's
+// bloom has bits at all. Two set bits per address keep even btree range-scan read
+// sets (hundreds of entries) meaningfully under saturation, where the previous
+// 32-bit bloom saturated at a few dozen entries (the ROADMAP ring-saturation
+// item, measured in bench/abl_readset_layout).
+struct Bloom128 {
+  static constexpr int kStripes = 4;
+  std::uint32_t s[kStripes] = {0, 0, 0, 0};
+
+  bool Empty() const { return (s[0] | s[1] | s[2] | s[3]) == 0; }
+
+  Bloom128& operator|=(const Bloom128& o) {
+    for (int i = 0; i < kStripes; ++i) {
+      s[i] |= o.s[i];
+    }
+    return *this;
+  }
+
+  bool Intersects(const Bloom128& o) const {
+    return ((s[0] & o.s[0]) | (s[1] & o.s[1]) | (s[2] & o.s[2]) |
+            (s[3] & o.s[3])) != 0;
+  }
+};
+
+inline Bloom128 AddrBloom128(const void* p) {
   std::uint64_t h =
       static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(p)) >> 3;
   h *= 0x9e3779b97f4a7c15ULL;  // Fibonacci hashing, as in OrecTable::ForAddr
-  return (1u << ((h >> 32) & 31)) | (1u << ((h >> 59) & 31));
+  const unsigned b0 = static_cast<unsigned>(h >> 57);         // bits 57..63
+  const unsigned b1 = static_cast<unsigned>((h >> 33) & 127);  // bits 33..39
+  Bloom128 b;
+  b.s[b0 >> 5] |= 1u << (b0 & 31);
+  b.s[b1 >> 5] |= 1u << (b1 & 31);
+  return b;
 }
 
 // All-ones bloom: intersects everything, forcing readers to walk. The safe default
 // for writer paths that cannot cheaply enumerate their write set.
-inline constexpr std::uint32_t kBloomAll = 0xffffffffu;
+inline Bloom128 Bloom128All() {
+  return Bloom128{{0xffffffffu, 0xffffffffu, 0xffffffffu, 0xffffffffu}};
+}
 
-// Ring of recent writer commits: slot i%64 holds (low 32 bits of commit index i,
-// 32-bit write bloom) packed into one atomic word so publication and lookup are a
-// single store/load with no tearing. A reader that finds a stale tag (writer not
-// yet published, or slot since overwritten) simply falls back to the walk — the
-// ring is an optimization channel, never a correctness dependency.
+// Ring of recent writer commits, stripe-lane layout: commit i's 128-bit write
+// bloom lives as four words — lanes_[s][i%64] holds (low 32 bits of commit index
+// i, stripe s of the bloom) packed into ONE atomic word, so each lane word is
+// self-validating: publication and lookup of a stripe are a single store/load
+// with no tearing, and a reader that assembles stripes from different
+// publications sees a tag mismatch and falls back to the walk. A stale tag
+// (writer not yet published, or slot since overwritten) likewise just costs the
+// walk — the ring is an optimization channel, never a correctness dependency.
+//
+// Why stripe-major storage: a range probe scans commits (since, upto] within each
+// stripe lane, so L probed commits touch ceil(L/8) cache lines per CONSULTED
+// stripe — and a reader consults only stripes where its read bloom has bits (a
+// small read set occupies 1-2 of the 4 stripes). The previous layout paid one
+// line per probed commit regardless. Writers store one word per stripe; the
+// stores go to 4 distinct lines, but the writer path already owns the shared
+// counter line (the seq-cst bump), so publication stays a small constant.
 class WriterRing {
  public:
   static constexpr int kLog2Slots = 6;
+  static constexpr int kStripes = Bloom128::kStripes;
   static constexpr Word kSlotMask = (Word{1} << kLog2Slots) - 1;
   // A reader walks at most this many ring entries before deciding the walk itself
   // is cheaper; also keeps the probe window well inside the ring to make overwrite
@@ -184,13 +226,33 @@ class WriterRing {
                 "probe window must stay far inside the 32-bit tag space for the "
                 "documented 2^32 delayed-publish wrap bound to hold");
 
-  void Publish(Word idx, std::uint32_t bloom) {
-    slots_[idx & kSlotMask].value.store(((idx & 0xffffffffULL) << 32) | bloom,
-                                        std::memory_order_release);
+  // Probe-failure taxonomy. Callers pass their own (typically thread-local, see
+  // WriterSummary::Fails) counter block — shared atomics here would add
+  // cross-core coherence traffic exactly in the contended regime where probes
+  // fail most. `intersect` is the ring-SATURATION signal
+  // bench/abl_readset_layout reports: a saturated bloom intersects everything,
+  // so rising intersect-failures with constant true conflict traffic mean the
+  // bloom bits, not the workload, are the bottleneck.
+  struct FailCounts {
+    std::uint64_t window = 0;     // range wider than kMaxSkipRange
+    std::uint64_t stale = 0;      // tag mismatch: unpublished or recycled slot
+    std::uint64_t intersect = 0;  // bloom hit: possible overlap, must walk
+  };
+
+  void Publish(Word idx, const Bloom128& bloom) {
+    const std::size_t slot = static_cast<std::size_t>(idx & kSlotMask);
+    const Word tag = (idx & 0xffffffffULL) << 32;
+    for (int s = 0; s < kStripes; ++s) {
+      lanes_[s][slot].store(tag | bloom.s[s], std::memory_order_release);
+    }
   }
 
   // True iff every commit in (since, upto] published a bloom disjoint from
   // `read_bloom`. False on any stale tag, intersection, or oversized range.
+  // Stripes where `read_bloom` has no bits are skipped entirely — whatever a
+  // writer published there cannot intersect an empty stripe, and tag freshness
+  // is judged on the stripes actually consulted. (A fully empty read bloom means
+  // an empty — trivially consistent — read set; vacuous success is correct.)
   //
   // Tag-wrap bound (pver.h-style documented risk): the publication tag keeps the
   // low 32 bits of the commit index, so a writer preempted between its counter
@@ -199,24 +261,35 @@ class WriterRing {
   // probe window that requires a thread to sleep through four billion commits at
   // precisely the wrap distance; we accept the bound, as with pver's 15-bit
   // version wrap.
-  bool RangeDisjoint(Word since, Word upto, std::uint32_t read_bloom) const {
+  bool RangeDisjoint(Word since, Word upto, const Bloom128& read_bloom,
+                     FailCounts* fails) const {
     if (upto - since > kMaxSkipRange) {
+      ++fails->window;
       return false;
     }
-    for (Word i = since + 1; i <= upto; ++i) {
-      const Word w = slots_[i & kSlotMask].value.load(std::memory_order_acquire);
-      if ((w >> 32) != (i & 0xffffffffULL)) {
-        return false;  // not yet published, or already recycled
+    for (int s = 0; s < kStripes; ++s) {
+      if (read_bloom.s[s] == 0) {
+        continue;
       }
-      if ((static_cast<std::uint32_t>(w) & read_bloom) != 0) {
-        return false;  // may have written something we read
+      for (Word i = since + 1; i <= upto; ++i) {
+        const Word w = lanes_[s][static_cast<std::size_t>(i & kSlotMask)].load(
+            std::memory_order_acquire);
+        if ((w >> 32) != (i & 0xffffffffULL)) {
+          ++fails->stale;
+          return false;  // not yet published, or already recycled
+        }
+        if ((static_cast<std::uint32_t>(w) & read_bloom.s[s]) != 0) {
+          ++fails->intersect;
+          return false;  // may have written something we read
+        }
       }
     }
     return true;
   }
 
  private:
-  CacheAligned<std::atomic<Word>> slots_[std::size_t{1} << kLog2Slots];
+  // Stripe-major: lanes_[s] is the contiguous 64-slot lane of bloom stripe s.
+  std::atomic<Word> lanes_[kStripes][std::size_t{1} << kLog2Slots] = {};
 };
 
 // Per-domain writer summary for orec-based families: the precise commit counter
@@ -224,8 +297,14 @@ class WriterRing {
 // locks and validating, BEFORE any data store or orec release (the ordering the
 // soundness argument above depends on). The val layout reaches the same machinery
 // through its ValidationPolicy (GlobalCounterBloomValidation in val_word.h).
+//
+// Summary concept (shared with the ValidationPolicy classes in val_word.h, so
+// StrategyState below can drive either): Sample/Stable/BloomAdvance, plus
+// CommitRangeDisjoint where kHasBloomRing is true.
 template <typename DomainTag>
 struct WriterSummary {
+  static constexpr bool kHasBloomRing = true;
+
   static std::atomic<Word>& Counter() {
     static CacheAligned<std::atomic<Word>> counter;
     return *counter;
@@ -236,6 +315,15 @@ struct WriterSummary {
     return *ring;
   }
 
+  // Per-(thread, domain) ring probe-failure counters — the same pattern as
+  // ValProbe/ClockProbe: plain thread-local integers, zero shared-state cost on
+  // the (contended!) probe-failure paths. Benches read deltas around their
+  // single-threaded probe passes.
+  static WriterRing::FailCounts& Fails() {
+    thread_local WriterRing::FailCounts fails;
+    return fails;
+  }
+
   static Word Sample() { return Counter().load(std::memory_order_seq_cst); }
   static bool Stable(Word sample) { return Sample() == sample; }
 
@@ -243,7 +331,7 @@ struct WriterSummary {
   // against the sample anchor: own_idx == sample + 1 proves no FOREIGN bump lies
   // between anchor and bump (later writers validate after this writer's locks are
   // visible and detect them — see the crossing-committer note above).
-  static Word PublishAndBump(std::uint32_t write_bloom) {
+  static Word PublishAndBump(const Bloom128& write_bloom) {
     const Word idx = Counter().fetch_add(1, std::memory_order_seq_cst) + 1;
     Ring().Publish(idx, write_bloom);
     return idx;
@@ -257,18 +345,18 @@ struct WriterSummary {
   // conflict themselves. The (sample, own_idx - 1] bound is soundness-critical —
   // this helper is the ONLY place it is written down.
   static bool CommitRangeDisjoint(Word sample, Word own_idx,
-                                  std::uint32_t read_bloom) {
-    return Ring().RangeDisjoint(sample, own_idx - 1, read_bloom);
+                                  const Bloom128& read_bloom) {
+    return Ring().RangeDisjoint(sample, own_idx - 1, read_bloom, &Fails());
   }
 
   // Bloom pre-filter: advances *sample to the current counter when every
   // intervening commit's write bloom is disjoint from `read_bloom`.
-  static bool BloomAdvance(Word* sample, std::uint32_t read_bloom) {
+  static bool BloomAdvance(Word* sample, const Bloom128& read_bloom) {
     const Word now = Sample();
     if (now == *sample) {
       return true;
     }
-    if (!Ring().RangeDisjoint(*sample, now, read_bloom)) {
+    if (!Ring().RangeDisjoint(*sample, now, read_bloom, &Fails())) {
       return false;
     }
     *sample = now;
@@ -288,6 +376,11 @@ struct ValProbe {
     std::uint64_t validation_walks = 0;   // full read-set walks performed
     std::uint64_t strategy_switches = 0;  // attempts started with a new strategy
     std::uint64_t summary_publishes = 0;  // writer-side bump+publish events
+    // Batch-validation kernel evidence (validate_batch.h): 4-entry SIMD
+    // iterations and scalar-path entry checks. The CI SIMD and forced-scalar
+    // jobs each assert their column is the one that moved.
+    std::uint64_t simd_batches = 0;
+    std::uint64_t scalar_checks = 0;
     // Not counters: the strategy the last attempt started with (for tests) and
     // the attempt tick driving the periodic skip-efficacy probe.
     ValStrategy last_strategy = ValStrategy::kIncremental;
@@ -309,6 +402,143 @@ struct ValProbe {
     c.last_strategy = s;
     c.has_strategy = true;
   }
+};
+
+// Per-attempt strategy state, shared by all four engines (full/short x orec/val —
+// previously open-coded in each with small drift; the ROADMAP refactor item).
+// Owns the choose/probe-tick at attempt start, the persistent counter anchor, the
+// read bloom, and the counter/bloom/walk skip triad with its efficacy-EWMA
+// feedback. SummaryT is anything satisfying the summary concept (WriterSummary,
+// or a ValidationPolicy from val_word.h); ProbeT is the family's ValProbe.
+//
+// The anchor invariant every user maintains: `sample()` (when `sample_valid()`)
+// names a summary-counter value at which the ENTIRE read log was simultaneously
+// valid. Anchor() establishes it before the first read of an attempt; tracked
+// walks re-establish it via ConfirmAnchorAfterWalk (tail rule: such walks must
+// cover the whole log). Mutating members are mutable + const because engines
+// call the triad from const validation paths (short_tm's ValidateRo).
+template <typename SummaryT, typename ProbeT>
+class StrategyState {
+ public:
+  // Outcome of the per-read skip triad: the walk was skipped (stable counter /
+  // disjoint ring range), or the caller must run its walk.
+  enum class ReadSkip : std::uint8_t { kSkipped, kMustWalk };
+
+  // Re-arms for a fresh attempt: pick the strategy from the descriptor EWMAs
+  // (with the periodic skip-efficacy probe under kAdaptive), reset the read
+  // bloom, and anchor the persistent sample BEFORE any read (the skip soundness
+  // argument needs the anchor drawn no later than the first read).
+  void StartAttempt(ValMode mode, bool has_bloom_ring, const TxStats& stats) {
+    strat_ = ChooseStrategy(mode, has_bloom_ring, AbortEwmaQ16(stats),
+                            SkipEwmaQ16(stats));
+    if (mode == ValMode::kAdaptive && strat_ == ValStrategy::kIncremental &&
+        ++ProbeT::Get().attempt_tick % kSkipProbePeriod == 0) {
+      strat_ = ValStrategy::kCounterSkip;  // efficacy probe (see kSkipProbePeriod)
+    }
+    ProbeT::OnStrategyChosen(strat_);
+    read_bloom_ = Bloom128{};
+    Anchor();
+  }
+
+  ValStrategy strategy() const { return strat_; }
+  Word sample() const { return sample_; }
+  bool sample_valid() const { return sample_valid_; }
+  const Bloom128& read_bloom() const { return read_bloom_; }
+
+  void Anchor() const {
+    sample_ = SummaryT::Sample();
+    sample_valid_ = true;
+  }
+
+  // Accumulates a just-read location's signature (bloom strategy only; the other
+  // strategies never consult the read bloom, so the OR would be dead work).
+  void NoteRead(const void* metadata_word) {
+    if (strat_ == ValStrategy::kBloom) {
+      read_bloom_ |= AddrBloom128(metadata_word);
+    }
+  }
+
+  // The skip triad: stable counter, then ring disjointness, else walk. Updates
+  // the skip-efficacy EWMA when `ewma_stats` is non-null (per-read call sites
+  // feed the adaptive engine; final-validation call sites pass nullptr, matching
+  // the engines' historical behavior).
+  ReadSkip TrySkipRead(TxStats* ewma_stats) const {
+    const bool skippable =
+        strat_ != ValStrategy::kIncremental && sample_valid_;
+    if (skippable && SummaryT::Stable(sample_)) {
+      ++ProbeT::Get().counter_skips;
+      if (ewma_stats != nullptr) {
+        UpdateSkipEwma(*ewma_stats, /*skipped=*/true);
+      }
+      return ReadSkip::kSkipped;
+    }
+    if (skippable && strat_ == ValStrategy::kBloom &&
+        SummaryT::BloomAdvance(&sample_, read_bloom_)) {
+      ++ProbeT::Get().bloom_skips;
+      if (ewma_stats != nullptr) {
+        UpdateSkipEwma(*ewma_stats, /*skipped=*/true);
+      }
+      return ReadSkip::kSkipped;
+    }
+    if (strat_ != ValStrategy::kIncremental && ewma_stats != nullptr) {
+      UpdateSkipEwma(*ewma_stats, /*skipped=*/false);
+    }
+    return ReadSkip::kMustWalk;
+  }
+
+  // Commit-time skip for a writer that has bumped-and-published (bump-before-
+  // validate; see the crossing-committer note atop this file). `own_idx` is the
+  // writer's own commit index, or 0 for policies without one (per-thread counter
+  // sums), which fall back to the fresh-sample test — sums count every bump, so
+  // anchor+1 still means "exactly my own". The bloom arm exists only where the
+  // summary has a ring.
+  bool TrySkipCommit(Word own_idx) const {
+    if (strat_ == ValStrategy::kIncremental || !sample_valid_) {
+      return false;
+    }
+    const bool counter_ok = own_idx != 0
+                                ? own_idx == sample_ + 1
+                                : SummaryT::Sample() == sample_ + 1;
+    if (counter_ok) {
+      ++ProbeT::Get().counter_skips;
+      return true;
+    }
+    if constexpr (SummaryT::kHasBloomRing) {
+      if (strat_ == ValStrategy::kBloom && own_idx != 0 &&
+          SummaryT::CommitRangeDisjoint(sample_, own_idx, read_bloom_)) {
+        ++ProbeT::Get().bloom_skips;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Tracked-walk anchoring: call with SummaryT::Sample() drawn BEFORE the walk.
+  // The pre-walk sample becomes the new anchor only if the counter stayed stable
+  // across the walk (a writer that bumped mid-walk may have released mid-walk
+  // too); on a failed confirm the walk's result stands but the anchor is
+  // invalidated, so later skips walk until a quiet window re-anchors.
+  void ConfirmAnchorAfterWalk(Word pre_walk_sample) const {
+    if (SummaryT::Stable(pre_walk_sample)) {
+      sample_ = pre_walk_sample;
+      sample_valid_ = true;
+    } else {
+      sample_valid_ = false;
+    }
+  }
+
+  // Direct re-anchor for walks that themselves loop until the counter is stable
+  // (the val engines' NOrec-style ValidateReads).
+  void ReanchorStable(Word stable_sample) const {
+    sample_ = stable_sample;
+    sample_valid_ = true;
+  }
+
+ private:
+  mutable Word sample_ = 0;
+  Bloom128 read_bloom_;
+  ValStrategy strat_ = ValStrategy::kIncremental;
+  mutable bool sample_valid_ = false;
 };
 
 }  // namespace spectm

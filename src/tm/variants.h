@@ -109,10 +109,22 @@ using TvarL = internal::OrecBasedFamily<TvarLTag, TvarLayout, LocalClockPolicy>;
 using OrecGNaive = internal::OrecBasedFamily<OrecGNaiveTag, OrecLayout, GlobalClockNaive>;
 using TvarGNaive = internal::OrecBasedFamily<TvarGNaiveTag, TvarLayout, GlobalClockNaive>;
 
+// Orec-table indexing ablations (orec.h OrecStriping): identical engines and
+// clocks, but the shared table maps adjacent addresses to guaranteed-distinct
+// cache lines instead of hash-scattering them. Distinct tags keep the striped
+// tables fully isolated; swept against the hashed defaults in
+// bench/abl_readset_layout.
+struct OrecGStripedTag {};
+struct OrecLStripedTag {};
+using OrecGStriped =
+    internal::OrecBasedFamily<OrecGStripedTag, OrecLayoutStriped, GlobalClockPolicy>;
+using OrecLStriped =
+    internal::OrecBasedFamily<OrecLStripedTag, OrecLayoutStriped, LocalClockPolicy>;
+
 // Clock-policy ablations beyond GV4 (clock.h): GV5 draws commit stamps with a plain
 // load (no RMW on the commit path — ClockProbe's rmw_draws stays zero) at the price
 // of extra false aborts; GV6 flips between GV4 and GV5 per draw from the
-// descriptor's abort-rate EWMA.
+// descriptor's abort-rate EWMA, with hysteresis (separate enter/exit thresholds).
 struct OrecGv5Tag {};
 struct OrecGv6Tag {};
 using OrecGv5 = internal::OrecBasedFamily<OrecGv5Tag, OrecLayout, GlobalClockGv5>;

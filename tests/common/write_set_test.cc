@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -14,7 +15,7 @@ namespace {
 TEST(WriteSet, EmptyLookupMisses) {
   WriteSet ws;
   int x;
-  std::uint64_t v;
+  std::uint64_t v = 0;
   EXPECT_TRUE(ws.Empty());
   EXPECT_FALSE(ws.Lookup(&x, &v));
 }
@@ -64,7 +65,7 @@ TEST(WriteSet, ClearIsCheapAndComplete) {
   ws.Put(&x, 5);
   ws.Clear();
   EXPECT_TRUE(ws.Empty());
-  std::uint64_t v;
+  std::uint64_t v = 0;
   EXPECT_FALSE(ws.Lookup(&x, &v));
   // Reuse after clear must behave like a fresh set.
   ws.Put(&x, 6);
@@ -114,6 +115,99 @@ TEST(WriteSet, FuzzAgainstReferenceModel) {
     ASSERT_EQ(ws.Size(), model.size());
     ws.Clear();
   }
+}
+
+// Randomized property test against a std::unordered_map oracle, with a much
+// larger arena than the fuzz above so the slot table grows repeatedly across
+// generations — every Lookup verdict (including bloom fast-misses) and the
+// insertion-order iteration must match the oracle exactly.
+TEST(WriteSet, PropertyTestAgainstUnorderedMapOracle) {
+  WriteSet ws;
+  Xorshift128Plus rng(0xCAFE);
+  std::vector<std::uint64_t> arena(4096);
+  for (int gen = 0; gen < 30; ++gen) {
+    std::unordered_map<void*, std::uint64_t> oracle;
+    std::vector<void*> order;  // oracle for insertion-order iteration
+    const int ops = 400 + static_cast<int>(rng.NextBounded(400));
+    for (int i = 0; i < ops; ++i) {
+      void* addr = &arena[rng.NextBounded(arena.size())];
+      if (rng.NextBounded(100) < 60) {
+        const std::uint64_t value = rng.Next();
+        if (oracle.emplace(addr, value).second) {
+          order.push_back(addr);
+        } else {
+          oracle[addr] = value;
+        }
+        ws.Put(addr, value);
+      } else {
+        std::uint64_t got = 0;
+        const bool hit = ws.Lookup(addr, &got);
+        const auto it = oracle.find(addr);
+        ASSERT_EQ(hit, it != oracle.end());
+        if (hit) {
+          ASSERT_EQ(got, it->second);
+        }
+      }
+    }
+    ASSERT_EQ(ws.Size(), oracle.size());
+    std::size_t idx = 0;
+    for (const WriteSet::Entry& e : ws) {
+      ASSERT_LT(idx, order.size());
+      ASSERT_EQ(e.addr, order[idx]);
+      ASSERT_EQ(e.value, oracle[e.addr]);
+      ++idx;
+    }
+    ASSERT_EQ(idx, order.size());
+    ws.Clear();
+  }
+}
+
+// The 32-bit generation counter wraps after 2^32 Clear() calls; the wrap must
+// hard-reset the slot table so entries stamped at the ORIGINAL gen == 1 cannot
+// read as live in the post-wrap gen == 1.
+TEST(WriteSet, GenerationWrapHardResets) {
+  WriteSet ws;
+  std::uint64_t a = 0, b = 0;
+  ws.Put(&a, 111);  // stamped at gen == 1 — the alias the wrap must not revive
+
+  ws.SetGenerationForTest(0xffffffffu);
+  ws.Put(&b, 222);  // stamped at the max generation
+  ws.Clear();       // ++gen wraps to 0 -> hard reset, gen = 1
+
+  std::uint64_t v = 0;
+  EXPECT_TRUE(ws.Empty());
+  EXPECT_FALSE(ws.Lookup(&a, &v)) << "pre-wrap gen-1 slot must not resurrect";
+  EXPECT_FALSE(ws.Lookup(&b, &v));
+  ws.Put(&a, 333);
+  ASSERT_TRUE(ws.Lookup(&a, &v));
+  EXPECT_EQ(v, 333u);
+}
+
+// The descriptor-resident bloom serves the read-dominant miss path: lookups of
+// never-written addresses should overwhelmingly be rejected by the filter alone
+// (two set bits out of 64 per entry; a handful of entries cannot saturate it).
+TEST(WriteSet, BloomAbsorbsMostMisses) {
+  WriteSet ws;
+  std::vector<std::uint64_t> written(4), probed(256);
+  for (std::size_t i = 0; i < written.size(); ++i) {
+    ws.Put(&written[i], i);
+  }
+  ws.ResetStats();
+  std::uint64_t v = 0;
+  for (auto& p : probed) {
+    EXPECT_FALSE(ws.Lookup(&p, &v));
+  }
+  EXPECT_EQ(ws.stats().lookups, probed.size());
+  // 4 entries set <= 8 of 64 bits; P(2-bit probe passes) <= (8/64)^1 per hash —
+  // demand a clear majority to stay ASLR-robust rather than an exact count.
+  EXPECT_GT(ws.stats().bloom_misses, probed.size() / 2)
+      << "the bloom fast path is not absorbing the miss traffic";
+
+  // An empty (cleared) set rejects everything via the zeroed bloom.
+  ws.Clear();
+  ws.ResetStats();
+  EXPECT_FALSE(ws.Lookup(&probed[0], &v));
+  EXPECT_EQ(ws.stats().bloom_misses, 1u);
 }
 
 }  // namespace

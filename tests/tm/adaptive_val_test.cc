@@ -89,31 +89,74 @@ TEST(ChooseStrategy, PoorSkipEfficacyFallsBackToIncremental) {
             ValStrategy::kCounterSkip);
 }
 
+// Stripe-wise complement: a bloom guaranteed disjoint from `b` with bits in
+// every stripe (so the probe consults all four lanes).
+Bloom128 BloomNot(const Bloom128& b) {
+  Bloom128 r;
+  for (int s = 0; s < Bloom128::kStripes; ++s) {
+    r.s[s] = ~b.s[s];
+  }
+  return r;
+}
+
 TEST(WriterRingTest, DisjointAndIntersectingRanges) {
   WriterRing ring;
+  WriterRing::FailCounts fails;
   int x = 0, y = 0;
-  const std::uint32_t bx = AddrBloom32(&x);
-  const std::uint32_t by = AddrBloom32(&y);
+  const Bloom128 bx = AddrBloom128(&x);
+  const Bloom128 by = AddrBloom128(&y);
 
   ring.Publish(1, bx);
   // Reader whose bloom misses bx: skip allowed over (0, 1].
-  EXPECT_TRUE(ring.RangeDisjoint(0, 1, ~bx));
+  EXPECT_TRUE(ring.RangeDisjoint(0, 1, BloomNot(bx), &fails));
   // Reader whose bloom contains a bit of bx: must walk.
-  EXPECT_FALSE(ring.RangeDisjoint(0, 1, bx));
+  EXPECT_FALSE(ring.RangeDisjoint(0, 1, bx, &fails));
 
   // Unpublished index in the range: must walk (tag mismatch).
-  EXPECT_FALSE(ring.RangeDisjoint(0, 2, ~bx));
+  EXPECT_FALSE(ring.RangeDisjoint(0, 2, BloomNot(bx), &fails));
 
   ring.Publish(2, by);
-  EXPECT_TRUE(ring.RangeDisjoint(0, 2, ~(bx | by)));
+  Bloom128 both = bx;
+  both |= by;
+  EXPECT_TRUE(ring.RangeDisjoint(0, 2, BloomNot(both), &fails));
 
   // Oversized ranges never skip.
-  EXPECT_FALSE(ring.RangeDisjoint(0, WriterRing::kMaxSkipRange + 1, ~bx));
+  EXPECT_FALSE(
+      ring.RangeDisjoint(0, WriterRing::kMaxSkipRange + 1, BloomNot(bx), &fails));
+  EXPECT_EQ(fails.window, 1u);
 
   // A recycled slot (same slot index, different commit index) fails the tag check.
   const Word recycled = 1 + (Word{1} << WriterRing::kLog2Slots);
   ring.Publish(recycled, bx);
-  EXPECT_FALSE(ring.RangeDisjoint(0, 1, ~bx)) << "slot now carries a newer tag";
+  EXPECT_FALSE(ring.RangeDisjoint(0, 1, BloomNot(bx), &fails))
+      << "slot now carries a newer tag";
+}
+
+// The stripe-skipping probe: a reader with bits in only ONE stripe must still
+// catch an unpublished commit (tag freshness is judged on consulted stripes) and
+// an intersecting one, while genuinely disjoint same-stripe traffic passes.
+TEST(WriterRingTest, SingleStripeProbeStaysSound) {
+  WriterRing ring;
+  WriterRing::FailCounts fails;
+  Bloom128 read;
+  read.s[2] = 1u << 7;  // reader occupies stripe 2 only
+
+  // Unpublished commit in range: stale tag seen through stripe 2's lane.
+  EXPECT_FALSE(ring.RangeDisjoint(0, 1, read, &fails));
+
+  Bloom128 w_other;
+  w_other.s[0] = 1u << 3;  // writer bits entirely in a stripe the reader skips
+  ring.Publish(1, w_other);
+  EXPECT_TRUE(ring.RangeDisjoint(0, 1, read, &fails));
+
+  Bloom128 w_hit;
+  w_hit.s[2] = 1u << 7;  // same stripe, same bit: possible overlap
+  ring.Publish(2, w_hit);
+  EXPECT_FALSE(ring.RangeDisjoint(0, 2, read, &fails));
+
+  // The failure taxonomy classified both failures.
+  EXPECT_GE(fails.stale, 1u);
+  EXPECT_GE(fails.intersect, 1u);
 }
 
 // Acceptance: the short-tx counter skip fires on unchanged-counter RO reads — the
@@ -185,9 +228,9 @@ TEST(CounterSkip, MovedCounterForcesTheWalk) {
 // so bloom-skip tests are deterministic under ASLR (hash bits depend on addresses).
 template <typename Family, std::size_t N>
 typename Family::Slot* FindBloomDisjointSlot(typename Family::Slot (&pool)[N],
-                                             std::uint32_t read_bloom) {
+                                             const Bloom128& read_bloom) {
   for (auto& s : pool) {
-    if ((AddrBloom32(&Family::Layout::OrecOf(s)) & read_bloom) == 0) {
+    if (!AddrBloom128(&Family::Layout::OrecOf(s)).Intersects(read_bloom)) {
       return &s;
     }
   }
@@ -204,8 +247,8 @@ TEST(BloomSkip, DisjointWriterTrafficSkipsTheWalk) {
   F::SingleWrite(&a, EncodeInt(1));
   F::SingleWrite(&b, EncodeInt(2));
 
-  const std::uint32_t read_bloom = AddrBloom32(&F::Layout::OrecOf(a)) |
-                                   AddrBloom32(&F::Layout::OrecOf(b));
+  Bloom128 read_bloom = AddrBloom128(&F::Layout::OrecOf(a));
+  read_bloom |= AddrBloom128(&F::Layout::OrecOf(b));
   F::Slot* disjoint = FindBloomDisjointSlot<F>(pool, read_bloom);
   ASSERT_NE(disjoint, nullptr) << "64 candidates always contain a disjoint bloom";
 

@@ -111,18 +111,21 @@ TEST(Gv6Clock, EwmaFlipsBetweenGv4AndGv5Draws) {
   using Probe = ClockProbe<OrecGv6Tag>;
   TxStats& stats = DescOf<OrecGv6Tag>().stats;
 
-  // Quiet phase: EWMA below the threshold -> load-only GV5 draws.
+  // Quiet phase: EWMA below the exit threshold -> load-only GV5 draws.
   while (AbortEwmaQ16(stats) != 0) {
     UpdateAbortEwma(stats, false);
   }
+  Clock::NextCommitStamp();  // settle the hysteretic mode bit into GV5
   Probe::Reset();
   const CommitStamp quiet = Clock::NextCommitStamp();
   EXPECT_FALSE(quiet.unique);
   EXPECT_EQ(Probe::Get().nocas_draws, 1u);
   EXPECT_EQ(Probe::Get().rmw_draws, 0u);
+  EXPECT_EQ(Probe::Get().mode_flips, 0u);
 
-  // Contended phase: EWMA above the threshold -> GV4 CAS draws (unique when won).
-  while (AbortEwmaQ16(stats) < Clock::kGv4ThresholdQ16) {
+  // Contended phase: EWMA rises through the enter threshold -> GV4 CAS draws
+  // (one recorded flip).
+  while (AbortEwmaQ16(stats) < Clock::kGv4EnterThresholdQ16) {
     UpdateAbortEwma(stats, true);
   }
   const CommitStamp contended = Clock::NextCommitStamp();
@@ -132,14 +135,58 @@ TEST(Gv6Clock, EwmaFlipsBetweenGv4AndGv5Draws) {
   EXPECT_FALSE(contended.unique);
   EXPECT_EQ(Probe::Get().rmw_draws, 1u);
   EXPECT_EQ(Probe::Get().nocas_draws, 1u) << "no further load-only draws";
+  EXPECT_EQ(Probe::Get().mode_flips, 1u);
 
-  // Back to quiet: the flip reverses.
+  // Back to quiet: the flip reverses once the EWMA falls below the EXIT
+  // threshold.
   while (AbortEwmaQ16(stats) != 0) {
     UpdateAbortEwma(stats, false);
   }
   Clock::NextCommitStamp();
   EXPECT_EQ(Probe::Get().nocas_draws, 2u);
   EXPECT_EQ(Probe::Get().rmw_draws, 1u);
+  EXPECT_EQ(Probe::Get().mode_flips, 2u);
+}
+
+// The hysteresis dead band (ROADMAP: "consider hysteresis to stop border
+// flapping"): an EWMA hovering BETWEEN the exit and enter thresholds must leave
+// the mode wherever it last was — a border workload no longer alternates draw
+// flavors on every outcome wiggle.
+TEST(Gv6Clock, DeadBandDoesNotFlap) {
+  using Clock = GlobalClockGv6<OrecGv6Tag>;
+  using Probe = ClockProbe<OrecGv6Tag>;
+  TxStats& stats = DescOf<OrecGv6Tag>().stats;
+
+  // Park the EWMA inside the dead band [exit, enter).
+  const std::uint32_t mid =
+      (Clock::kGv4ExitThresholdQ16 + Clock::kGv4EnterThresholdQ16) / 2;
+
+  // Enter GV4 mode first (rise above enter), then wiggle within the band.
+  while (AbortEwmaQ16(stats) < Clock::kGv4EnterThresholdQ16) {
+    UpdateAbortEwma(stats, true);
+  }
+  Clock::NextCommitStamp();
+  Probe::Reset();
+  for (int i = 0; i < 64; ++i) {
+    // Pin the EWMA to wiggle around the old single threshold's position (which
+    // sat at today's enter edge): alternating just-under/just-over values inside
+    // the band — the single-threshold design flipped on every such wiggle.
+    const std::uint32_t wiggle = mid + (i % 2 == 0 ? -64 : +64);
+    stats.abort_ewma_q16.store(wiggle, std::memory_order_relaxed);
+    ASSERT_GE(AbortEwmaQ16(stats), Clock::kGv4ExitThresholdQ16);
+    ASSERT_LT(AbortEwmaQ16(stats), Clock::kGv4EnterThresholdQ16);
+    Clock::NextCommitStamp();
+  }
+  EXPECT_EQ(Probe::Get().mode_flips, 0u)
+      << "in-band wiggling must never flip the draw flavor";
+  EXPECT_EQ(Probe::Get().nocas_draws, 0u) << "mode stuck to GV4 inside the band";
+
+  // Leaving the band through the bottom finally flips, once.
+  while (AbortEwmaQ16(stats) >= Clock::kGv4ExitThresholdQ16) {
+    UpdateAbortEwma(stats, false);
+  }
+  Clock::NextCommitStamp();
+  EXPECT_EQ(Probe::Get().mode_flips, 1u);
 }
 
 TEST(Gv6Clock, ConcurrentMixedDrawsKeepCounterCorrect) {

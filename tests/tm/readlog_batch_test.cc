@@ -1,0 +1,262 @@
+// SoA read log (src/common/soa_log.h) and the batch validation kernel
+// (src/tm/validate_batch.h): growth/persistence invariants, the SIMD-vs-scalar
+// equivalence contract (identical pass/fail decisions AND identical mismatch-
+// handler call sequences on randomized logs), equivalence against an
+// array-of-structs reference walk written the seed's way, probe-proven execution
+// of whichever body the build/CPU provides, and end-to-end determinism of an
+// engine driven through both bodies.
+#include "src/common/soa_log.h"
+#include "src/tm/validate_batch.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/structures/hash_tm_full.h"
+#include "src/tm/config.h"
+#include "src/tm/variants.h"
+
+namespace spectm {
+namespace {
+
+// Restores the runtime SIMD switch on scope exit so test order never matters.
+struct SimdGuard {
+  bool saved = SimdEnabled();
+  ~SimdGuard() { SetSimdEnabled(saved); }
+};
+
+TEST(SoaReadLog, PushClearAndLaneContents) {
+  SoaReadLog log;
+  std::vector<std::atomic<Word>> words(8);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    log.PushBack(&words[i], Word{100 + i});
+  }
+  ASSERT_EQ(log.Size(), words.size());
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    EXPECT_EQ(log.PtrAt(i), &words[i]);
+    EXPECT_EQ(log.WordAt(i), Word{100 + i});
+    EXPECT_EQ(log.Ptrs()[i], &words[i]);
+    EXPECT_EQ(log.Words()[i], Word{100 + i});
+  }
+  log.Clear();
+  EXPECT_TRUE(log.Empty());
+  EXPECT_EQ(log.Size(), 0u);
+}
+
+TEST(SoaReadLog, GrowthPreservesEntriesAndCapacityPersistsAcrossClear) {
+  SoaReadLog log;
+  const std::size_t initial_capacity = log.Capacity();
+  EXPECT_EQ(initial_capacity, SoaReadLog::kChunkEntries);
+
+  const std::size_t n = 3 * SoaReadLog::kChunkEntries + 17;
+  std::vector<std::atomic<Word>> words(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    log.PushBack(&words[i], Word{i} * 3);
+  }
+  ASSERT_EQ(log.Size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(log.PtrAt(i), &words[i]) << "growth must relocate both lanes";
+    ASSERT_EQ(log.WordAt(i), Word{i} * 3);
+  }
+
+  const std::size_t grown_capacity = log.Capacity();
+  EXPECT_GE(grown_capacity, n);
+  log.Clear();
+  EXPECT_EQ(log.Capacity(), grown_capacity)
+      << "Clear() must persist capacity across attempts (no realloc churn)";
+}
+
+// Reference validation written exactly like the seed's AoS loop, against a local
+// array-of-structs copy of the log.
+struct AosEntry {
+  std::atomic<Word>* ptr;
+  Word expected;
+};
+
+template <typename MismatchFn>
+bool AosReferenceValidate(const std::vector<AosEntry>& entries,
+                          MismatchFn&& mismatch) {
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Word w = entries[i].ptr->load(std::memory_order_acquire);
+    if (w != entries[i].expected && !mismatch(i, w)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// One randomized scenario: `n` words, some entries deliberately mismatched, a
+// subset of the mismatches "tolerated" (standing in for the engines' locked-by-
+// self displaced-word check). Returns (result, mismatch-handler call sequence).
+struct ScenarioResult {
+  bool pass = false;
+  std::vector<std::pair<std::size_t, Word>> handler_calls;
+};
+
+ScenarioResult RunKernel(const std::vector<std::atomic<Word>>& words,
+                         const SoaReadLog& log,
+                         const std::vector<bool>& tolerated,
+                         std::uint64_t& simd_batches,
+                         std::uint64_t& scalar_checks) {
+  ScenarioResult r;
+  r.pass = ValidateEqualSpan(
+      log.Ptrs(), log.Words(), log.Size(), simd_batches, scalar_checks,
+      [&](std::size_t i, Word observed) {
+        r.handler_calls.emplace_back(i, observed);
+        return tolerated[i];
+      });
+  (void)words;
+  return r;
+}
+
+TEST(ValidateBatch, SimdAndScalarAgreeOnRandomizedLogs) {
+  SimdGuard guard;
+  Xorshift128Plus rng(0x51AD);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 1 + rng.NextBounded(40);
+    std::vector<std::atomic<Word>> words(n);
+    SoaReadLog log;
+    std::vector<AosEntry> aos;
+    std::vector<bool> tolerated(n, false);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Word stored = rng.Next();
+      words[i].store(stored, std::memory_order_relaxed);
+      Word expected = stored;
+      if (rng.NextBounded(100) < 30) {  // mismatch
+        expected = stored + 1 + rng.NextBounded(5);
+        tolerated[i] = rng.NextBounded(2) == 0;
+      }
+      log.PushBack(&words[i], expected);
+      aos.push_back(AosEntry{&words[i], expected});
+    }
+
+    std::uint64_t simd_batches = 0, scalar_checks = 0;
+
+    SetSimdEnabled(false);
+    const ScenarioResult scalar =
+        RunKernel(words, log, tolerated, simd_batches, scalar_checks);
+
+    SetSimdEnabled(true);  // no-op when unavailable; kernel then stays scalar
+    const ScenarioResult simd =
+        RunKernel(words, log, tolerated, simd_batches, scalar_checks);
+
+    // Reference decision from the seed-shaped AoS loop.
+    std::vector<std::pair<std::size_t, Word>> ref_calls;
+    const bool ref_pass = AosReferenceValidate(aos, [&](std::size_t i, Word w) {
+      ref_calls.emplace_back(i, w);
+      return tolerated[i];
+    });
+
+    ASSERT_EQ(scalar.pass, ref_pass) << "trial " << trial;
+    ASSERT_EQ(simd.pass, ref_pass) << "trial " << trial;
+    ASSERT_EQ(scalar.handler_calls, ref_calls)
+        << "scalar body must see mismatches in reference order, trial " << trial;
+    ASSERT_EQ(simd.handler_calls, ref_calls)
+        << "SIMD body must see identical mismatches in identical order, trial "
+        << trial;
+  }
+}
+
+TEST(ValidateBatch, ProbeProvesTheActiveBodyRan) {
+  SimdGuard guard;
+  constexpr std::size_t kEntries = 64;
+  std::vector<std::atomic<Word>> words(kEntries);
+  SoaReadLog log;
+  for (std::size_t i = 0; i < kEntries; ++i) {
+    words[i].store(Word{7} * i, std::memory_order_relaxed);
+    log.PushBack(&words[i], Word{7} * i);
+  }
+  auto never = [](std::size_t, Word) { return false; };
+
+  // Forced scalar: every entry is a scalar check, zero SIMD batches.
+  {
+    SetSimdEnabled(false);
+    std::uint64_t simd_batches = 0, scalar_checks = 0;
+    EXPECT_TRUE(ValidateEqualSpan(log.Ptrs(), log.Words(), log.Size(),
+                                  simd_batches, scalar_checks, never));
+    EXPECT_EQ(simd_batches, 0u);
+    EXPECT_EQ(scalar_checks, kEntries);
+  }
+
+  // SIMD enabled: where the build and CPU provide the body, all 64 entries run
+  // as 16 gather batches; otherwise the kernel honestly stays scalar.
+  {
+    SetSimdEnabled(true);
+    std::uint64_t simd_batches = 0, scalar_checks = 0;
+    EXPECT_TRUE(ValidateEqualSpan(log.Ptrs(), log.Words(), log.Size(),
+                                  simd_batches, scalar_checks, never));
+    if (SimdAvailable()) {
+      EXPECT_EQ(simd_batches, kEntries / kSimdBatchWidth)
+          << "the AVX2 body must have processed every full batch";
+      EXPECT_EQ(scalar_checks, 0u);
+    } else {
+      EXPECT_EQ(simd_batches, 0u);
+      EXPECT_EQ(scalar_checks, kEntries);
+    }
+  }
+
+  // Ragged tail: 4k + 3 entries split between the two bodies.
+  {
+    SetSimdEnabled(true);
+    log.PushBack(&words[0], Word{0});
+    log.PushBack(&words[1], Word{7});
+    log.PushBack(&words[2], Word{14});
+    std::uint64_t simd_batches = 0, scalar_checks = 0;
+    EXPECT_TRUE(ValidateEqualSpan(log.Ptrs(), log.Words(), log.Size(),
+                                  simd_batches, scalar_checks, never));
+    if (SimdAvailable()) {
+      EXPECT_EQ(simd_batches, kEntries / kSimdBatchWidth);
+      EXPECT_EQ(scalar_checks, 3u);
+    } else {
+      EXPECT_EQ(scalar_checks, kEntries + 3);
+    }
+  }
+}
+
+#ifdef SPECTM_NO_SIMD
+TEST(ValidateBatch, ForcedScalarBuildHasNoSimd) {
+  EXPECT_FALSE(SimdAvailable());
+  EXPECT_FALSE(SimdEnabled());
+  SetSimdEnabled(true);  // must clamp to unavailable
+  EXPECT_FALSE(SimdEnabled());
+}
+#endif
+
+// End-to-end determinism: the same single-threaded operation sequence against
+// the per-read-revalidating local-clock family must produce identical results
+// and identical commit counts with the SIMD body on and off — the engines'
+// abort decisions may not depend on which body validated.
+TEST(ValidateBatch, EngineDecisionsIdenticalAcrossBodies) {
+  SimdGuard guard;
+  auto run = [](bool simd) {
+    SetSimdEnabled(simd);
+    TmHashSet<OrecL> set(16);  // few buckets => long chains => big read sets
+    Xorshift128Plus rng(0xE0E0);
+    std::vector<bool> results;
+    for (int i = 0; i < 4000; ++i) {
+      const std::uint64_t key = rng.NextBounded(512);
+      switch (rng.NextBounded(3)) {
+        case 0:
+          results.push_back(set.Insert(key));
+          break;
+        case 1:
+          results.push_back(set.Remove(key));
+          break;
+        default:
+          results.push_back(set.Contains(key));
+          break;
+      }
+    }
+    return results;
+  };
+  const std::vector<bool> with_simd = run(true);
+  const std::vector<bool> without = run(false);
+  EXPECT_EQ(with_simd, without);
+}
+
+}  // namespace
+}  // namespace spectm
