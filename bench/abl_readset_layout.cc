@@ -28,9 +28,11 @@
 //
 // Single-core caveat as with every trajectory file: numbers from a 1-core
 // container prove plumbing and probe wiring, not separations (bench/README.md).
+#include <atomic>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "bench/set_bench.h"
@@ -132,15 +134,28 @@ void RunChainCell(JsonReport& report, TextTable& table, const char* layout,
                     std::to_string(probes.wset_lookups)});
 }
 
+// The metadata word governing a slot: the orec for orec layouts (hash-scattered
+// shared table), the data word itself for the val layout — which is why the
+// address-region counter stripes inherit structural locality only there.
+template <typename Family>
+std::atomic<Word>* MetadataWordOf(typename Family::Slot& s) {
+  if constexpr (std::is_same_v<typename Family::Slot, ValSlot>) {
+    return &s.word;
+  } else {
+    return &Family::Layout::OrecOf(s);
+  }
+}
+
 // Btree range-scan cell: thread 0 scans [lo, lo+width], the remaining threads
 // churn inserts/removes so the domain counter moves and the ring fills. Ring
 // failure counters are thread-local (like every probe in this tree), so the
 // saturation columns come from the deterministic probe pass below, not the
-// timed cell.
-void RunScanCell(JsonReport& report, TextTable& table, int scan_width,
+// timed cell. Swept over the bloom-only and partitioned families so the
+// committed JSON diffs per-stripe skips directly against intersect-failures.
+template <typename F, typename Summary, typename Probe>
+void RunScanCell(JsonReport& report, TextTable& table, const char* variant,
+                 const char* clock, const char* strategy, int scan_width,
                  int threads) {
-  using F = OrecLBloom;
-  using Summary = WriterSummary<OrecLBloomTag>;
   SetSimdEnabled(SimdAvailable());
 
   const int runs = BenchRuns(3);
@@ -179,20 +194,43 @@ void RunScanCell(JsonReport& report, TextTable& table, int scan_width,
     cell.aborts += after.aborts - before.aborts;
     cell.duration_s += r.duration_s;
   }
-  // Deterministic saturation probe: one bloom-strategy transaction reads
-  // `scan_width` slots while a disjoint single-op writer bumps the counter
-  // every 4th read — each subsequent read probes the ring against an
-  // ever-fuller read bloom, so the width at which intersect-failures appear IS
-  // the ring's saturation point. Runs on this thread, so this thread's
-  // WriterSummary fail counters capture it exactly.
+  // Deterministic saturation probe: one transaction of the family's fixed
+  // strategy reads `scan_width` contiguous slots while a single-op writer —
+  // outside the read set, in a counter stripe DISJOINT from the scanned slots'
+  // stripes where one exists (always on the val layout: a contiguous pool
+  // occupies few 4 KiB regions; effectively never at width 256 on the
+  // hash-scattered orec table, which is the point of comparing them) — bumps
+  // the counter every 4th read. Each subsequent read then exercises the
+  // family's skip ladder against an ever-fuller read set: the bloom family
+  // probes the ring (intersect-failures rising with width IS filter
+  // saturation), the partitioned family absorbs the same traffic with its
+  // stripe vector (stripe_skips rising instead). Runs on this thread, so this
+  // thread's probe and fail counters capture it exactly.
   const WriterRing::FailCounts ring_before = Summary::Fails();
+  const typename Probe::Counters probe_before = Probe::Get();
   {
-    std::vector<F::Slot> pool(static_cast<std::size_t>(scan_width) + 1);
+    std::vector<typename F::Slot> pool(static_cast<std::size_t>(scan_width));
+    // 32 KiB of candidate slots spans every 4 KiB stripe, so a stripe-disjoint
+    // churn target exists whenever the scanned pool leaves one free.
+    std::vector<typename F::Slot> churn_pool(4096);
     for (auto& s : pool) {
       F::RawWrite(&s, EncodeInt(1));
     }
-    F::Slot* churn = &pool.back();
-    F::FullTx tx;
+    for (auto& s : churn_pool) {
+      F::RawWrite(&s, EncodeInt(1));
+    }
+    unsigned occupied = 0;
+    for (auto& s : pool) {
+      occupied |= 1u << CounterStripeOf(MetadataWordOf<F>(s));
+    }
+    typename F::Slot* churn = &churn_pool.back();
+    for (auto& s : churn_pool) {
+      if (((occupied >> CounterStripeOf(MetadataWordOf<F>(s))) & 1u) == 0) {
+        churn = &s;
+        break;
+      }
+    }
+    typename F::FullTx tx;
     do {
       tx.Start();
       for (int i = 0; i < scan_width; ++i) {
@@ -204,6 +242,7 @@ void RunScanCell(JsonReport& report, TextTable& table, int scan_width,
     } while (!tx.Commit());
   }
   const WriterRing::FailCounts ring_after = Summary::Fails();
+  const typename Probe::Counters probe_after = Probe::Get();
   cell.ops_per_sec = AggregateRuns(samples);
   const std::uint64_t attempts = cell.commits + cell.aborts;
   cell.abort_rate = attempts == 0
@@ -212,10 +251,10 @@ void RunScanCell(JsonReport& report, TextTable& table, int scan_width,
                               static_cast<double>(attempts);
 
   BenchRecord r;
-  r.variant = "btree-orec-l";
-  r.clock = "local";
+  r.variant = variant;
+  r.clock = clock;
   r.workload = "range-scan";
-  r.strategy = "bloom";
+  r.strategy = strategy;
   r.threads = threads;
   r.ops_per_sec = cell.ops_per_sec;
   r.abort_rate = cell.abort_rate;
@@ -229,11 +268,19 @@ void RunScanCell(JsonReport& report, TextTable& table, int scan_width,
   r.ring_window_fails = ring_after.window - ring_before.window;
   r.ring_stale_fails = ring_after.stale - ring_before.stale;
   r.ring_intersect_fails = ring_after.intersect - ring_before.intersect;
+  r.has_stripes = true;
+  r.stripe_skips = probe_after.stripe_skips - probe_before.stripe_skips;
+  r.stripe_bumps = probe_after.stripe_bumps - probe_before.stripe_bumps;
+  r.cross_stripe_walks =
+      probe_after.cross_stripe_walks - probe_before.cross_stripe_walks;
   report.Add(r);
 
-  table.AddRow({std::to_string(scan_width),
+  table.AddRow({std::string(variant) + "/" + strategy,
+                std::to_string(scan_width),
                 TextTable::Num(cell.ops_per_sec / 1e6, 3),
                 TextTable::Num(cell.abort_rate * 100.0, 2),
+                std::to_string(r.stripe_skips),
+                std::to_string(r.cross_stripe_walks),
                 std::to_string(r.ring_intersect_fails),
                 std::to_string(r.ring_stale_fails),
                 std::to_string(r.ring_window_fails)});
@@ -259,12 +306,22 @@ bool Run(const std::string& json_path) {
   std::fputs(chain_table.ToString().c_str(), stdout);
 
   const int scan_threads = max_threads > 1 ? max_threads : 2;
-  std::printf("\nring saturation — btree range scans (orec-l bloom strategy), "
+  std::printf("\nring saturation vs partitioned counters — btree range scans, "
               "%d threads (1 scanner + writers)\n", scan_threads);
-  TextTable scan_table({"scan-width", "Mops/s", "abort%", "ring-intersect",
+  TextTable scan_table({"family/strategy", "scan-width", "Mops/s", "abort%",
+                        "stripe-skips", "x-stripe-walks", "ring-intersect",
                         "ring-stale", "ring-window"});
   for (const int width : kScanWidths) {
-    RunScanCell(report, scan_table, width, scan_threads);
+    // Summary must be the ENGINE's instantiation (the partitioned flag is part
+    // of the type, and each instantiation owns its own counters/fail blocks).
+    RunScanCell<OrecLBloom, OrecLBloom::Full::Summary, ValProbe<OrecLBloomTag>>(
+        report, scan_table, "btree-orec-l", "local", "bloom", width, scan_threads);
+    RunScanCell<ValBloom, GlobalCounterBloomValidation::Summary,
+                ValProbe<ValDomainTag>>(report, scan_table, "btree-val", "none",
+                                        "bloom", width, scan_threads);
+    RunScanCell<ValPart, GlobalCounterBloomValidation::Summary,
+                ValProbe<ValDomainTag>>(report, scan_table, "btree-val", "none",
+                                        "partitioned", width, scan_threads);
   }
   std::fputs(scan_table.ToString().c_str(), stdout);
 

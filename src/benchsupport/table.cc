@@ -145,6 +145,11 @@ std::string JsonReport::ToJson() const {
           << ", \"ring_stale_fails\": " << r.ring_stale_fails
           << ", \"ring_intersect_fails\": " << r.ring_intersect_fails;
     }
+    if (r.has_stripes) {
+      out << ", \"stripe_skips\": " << r.stripe_skips
+          << ", \"stripe_bumps\": " << r.stripe_bumps
+          << ", \"cross_stripe_walks\": " << r.cross_stripe_walks;
+    }
     out << "}";
   }
   out << "\n  ]\n}\n";

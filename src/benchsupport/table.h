@@ -63,6 +63,13 @@ struct BenchRecord {
   std::uint64_t ring_window_fails = 0;     // WriterRing: range wider than probe cap
   std::uint64_t ring_stale_fails = 0;      // WriterRing: unpublished/recycled tag
   std::uint64_t ring_intersect_fails = 0;  // WriterRing: bloom hit (saturation)
+
+  // Partitioned-NOrec extensions (abl_readset_layout scan rows): emitted only
+  // when has_stripes is set, so earlier BENCH_*.json files stay byte-stable.
+  bool has_stripes = false;
+  std::uint64_t stripe_skips = 0;       // ValProbe: walks avoided by stable stripes
+  std::uint64_t stripe_bumps = 0;       // ValProbe: writer-side stripe-counter bumps
+  std::uint64_t cross_stripe_walks = 0; // ValProbe: kStripe walks no skip absorbed
 };
 
 // Collects BenchRecords and renders them as a JSON document:

@@ -60,7 +60,9 @@ class FullTm {
   using Layout = LayoutT;
   using Clock = ClockT;
   using Slot = typename Layout::Slot;
-  using Summary = WriterSummary<DomainTag>;
+  // Per-stripe counters are a domain-wide writer protocol: only the partitioned
+  // mode pays for them (see WriterSummary's kPartitionedCounters note).
+  using Summary = WriterSummary<DomainTag, kMode == ValMode::kPartitioned>;
   using Probe = ValProbe<DomainTag>;
   static constexpr ValMode kValMode = kMode;
   // Reader-side strategy only pays off where per-read revalidation exists: the
@@ -229,27 +231,36 @@ class FullTm {
         skip_validation = stamp.unique && wv == rv_ + 1;
       }
       Word own_idx = 0;
+      unsigned write_stripes = 0;
       if constexpr (kMode != ValMode::kPassive) {
         // Writer summary: bump-and-publish while every commit lock is held, BEFORE
         // the commit-time validation below and before any data store or orec
         // release. Bump-before-validate is what lets the skip paths stay sound
         // between two crossing committers (valstrategy.h): whichever bumps second
-        // fails its own skip test and walks into the first one's locks.
+        // fails its own skip test and walks into the first one's locks. The
+        // stripe mask shards the bump: only the counter stripes this write set
+        // touches move, so disjoint-stripe readers keep their anchors.
         Bloom128 write_bloom;
         for (const LockLogEntry& l : desc_->lock_log) {
           write_bloom |= AddrBloom128(l.orec);
+          write_stripes |= 1u << CounterStripeOf(l.orec);
         }
-        own_idx = Summary::PublishAndBump(write_bloom);
+        own_idx = Summary::PublishAndBump(write_bloom, write_stripes);
         ++Probe::Get().summary_publishes;
+        if constexpr (kMode == ValMode::kPartitioned) {
+          Probe::Get().stripe_bumps +=
+              static_cast<std::uint64_t>(CountStripeBits(write_stripes));
+        }
       }
       if constexpr (kStrategicReads) {
         // Commit-time skip (StrategyState): own_idx == sample + 1 proves no
         // foreign commit bumped since the log was last known valid (writers that
         // bump after us validate after our locks are visible and detect us
-        // instead); under kBloom, foreign commits in (sample, own_idx) may
+        // instead); under kPartitioned the same holds one stripe at a time, and
+        // under kBloom/kStripe foreign commits in (sample, own_idx) may
         // intervene as long as their write blooms miss our read bloom. Our own
         // commit locks pin the write set regardless.
-        if (!skip_validation && state_.TrySkipCommit(own_idx)) {
+        if (!skip_validation && state_.TrySkipCommit(own_idx, write_stripes)) {
           skip_validation = true;
         }
       }
@@ -290,11 +301,12 @@ class FullTm {
 
     // Tracked walk: one pass (orec versions are monotone, so a single matching
     // pass is a valid snapshot — no NOrec retry loop needed) plus a best-effort
-    // anchor: the sample taken before the walk becomes the new skip anchor only
-    // if the counter is still stable after it (StrategyState's confirm rule).
+    // anchor: the snapshot (global sample + stripe vector) taken before the walk
+    // becomes the new skip anchor only if the global counter is still stable
+    // after it (StrategyState's confirm rule).
     bool ValidatePrefixTracked(std::size_t count) {
       ++Probe::Get().validation_walks;
-      const Word pre_walk = Summary::Sample();
+      const typename StratState::Snapshot pre_walk = state_.DrawSnapshot();
       if (!ValidateReadLogPrefix(count)) {
         return false;
       }

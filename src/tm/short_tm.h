@@ -53,7 +53,9 @@ class ShortTm {
   using Layout = LayoutT;
   using Clock = ClockT;
   using Slot = typename Layout::Slot;
-  using Summary = WriterSummary<DomainTag>;
+  // Per-stripe counters are a domain-wide writer protocol: only the partitioned
+  // mode pays for them (see WriterSummary's kPartitionedCounters note).
+  using Summary = WriterSummary<DomainTag, kMode == ValMode::kPartitioned>;
   using Probe = ValProbe<DomainTag>;
   static constexpr ValMode kValMode = kMode;
   static constexpr bool kStrategic = kMode != ValMode::kPassive;
@@ -260,8 +262,9 @@ class ShortTm {
         if (rw_.Empty()) {
           ro_ok = ValidateRo();
         } else {
-          const Word own_idx = PublishWriterSummary();
-          if (state_.TrySkipCommit(own_idx)) {
+          unsigned write_stripes = 0;
+          const Word own_idx = PublishWriterSummary(&write_stripes);
+          if (state_.TrySkipCommit(own_idx, write_stripes)) {
             ro_ok = true;
           } else {
             // Plain conservative walk: a foreign lock fails it, which the
@@ -352,22 +355,33 @@ class ShortTm {
       }
     }
 
-    // Writer-side summary: bump the domain counter and publish the write-set bloom
-    // while all orec locks are held, before any data store and before the final
-    // commit validation (valstrategy.h ordering). Returns the writer's own commit
-    // index (0 when nothing was published). A pure-RO commit (empty RW set)
+    // Writer-side summary: bump the domain counter — only the stripes this write
+    // set touches — and publish the write-set bloom while all orec locks are
+    // held, before any data store and before the final commit validation
+    // (valstrategy.h ordering). Returns the writer's own commit index (0 when
+    // nothing was published) and, via `out_stripes`, the stripe mask it bumped
+    // (for the partitioned commit-skip test). A pure-RO commit (empty RW set)
     // releases nothing and must not move the counter.
-    Word PublishWriterSummary() {
+    Word PublishWriterSummary(unsigned* out_stripes = nullptr) {
       if constexpr (kStrategic) {
         if (rw_.Empty()) {
           return 0;
         }
         Bloom128 bloom;
+        unsigned stripes = 0;
         for (const RwEntry& e : rw_) {
           bloom |= AddrBloom128(e.orec);
+          stripes |= 1u << CounterStripeOf(e.orec);
+        }
+        if (out_stripes != nullptr) {
+          *out_stripes = stripes;
         }
         ++Probe::Get().summary_publishes;
-        return Summary::PublishAndBump(bloom);
+        if constexpr (kMode == ValMode::kPartitioned) {
+          Probe::Get().stripe_bumps +=
+              static_cast<std::uint64_t>(CountStripeBits(stripes));
+        }
+        return Summary::PublishAndBump(bloom, stripes);
       }
       return 0;
     }
@@ -379,7 +393,7 @@ class ShortTm {
     // stands but the anchor is invalidated.
     bool ValidateRoPrefixTracked(std::size_t count) const {
       ++Probe::Get().validation_walks;
-      const Word pre_walk = Summary::Sample();
+      const typename StratState::Snapshot pre_walk = state_.DrawSnapshot();
       if (!ValidateRoPrefix(count)) {
         return false;
       }
@@ -468,7 +482,12 @@ class ShortTm {
     TxDesc* self = &DescOf<DomainTag>();
     const Word old_word = AcquireOrec(&orec, self);
     if constexpr (kStrategic) {
-      Summary::PublishAndBump(AddrBloom128(&orec));  // locked, before the data store
+      // Locked, before the data store; one location -> one stripe bumped.
+      if constexpr (kMode == ValMode::kPartitioned) {
+        ++Probe::Get().stripe_bumps;
+      }
+      Summary::PublishAndBump(AddrBloom128(&orec),
+                              1u << CounterStripeOf(&orec));
     }
     Layout::Data(*s).store(value, std::memory_order_release);
     Word wv = 0;
@@ -491,7 +510,12 @@ class ShortTm {
       return observed;
     }
     if constexpr (kStrategic) {
-      Summary::PublishAndBump(AddrBloom128(&orec));  // locked, before the data store
+      // Locked, before the data store; one location -> one stripe bumped.
+      if constexpr (kMode == ValMode::kPartitioned) {
+        ++Probe::Get().stripe_bumps;
+      }
+      Summary::PublishAndBump(AddrBloom128(&orec),
+                              1u << CounterStripeOf(&orec));
     }
     Layout::Data(*s).store(desired, std::memory_order_release);
     Word wv = 0;

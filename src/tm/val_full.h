@@ -148,13 +148,16 @@ class ValFullTm {
         return true;  // reads were kept consistent incrementally
       }
       Bloom128 write_bloom = Bloom128All();
+      unsigned write_stripes = kAllCounterStripesMask;
       if constexpr (Validation::kHasBloomRing) {
         write_bloom = Bloom128{};  // accumulated per locked entry below
+        write_stripes = 0;
       }
       for (const WriteSet::Entry& e : desc_->wset) {
         auto* word = &static_cast<Slot*>(e.addr)->word;
         if constexpr (Validation::kHasBloomRing) {
           write_bloom |= AddrBloom128(word);
+          write_stripes |= 1u << CounterStripeOf(word);
         }
         Word w = word->load(std::memory_order_relaxed);
         while (true) {
@@ -175,19 +178,27 @@ class ValFullTm {
       // Writer bump-and-publish BEFORE the commit-time validation and the stores,
       // while every lock is held (bump-before-validate, valstrategy.h): of two
       // crossing committers the one that bumps second fails its skip test below
-      // and walks into the other's locks.
-      const Word own_idx = Validation::OnWriterCommitWithBloom(desc_, write_bloom);
+      // and walks into the other's locks. Under a partitioned policy only the
+      // counter stripes this write set touches are bumped.
+      const Word own_idx =
+          Validation::OnWriterCommitWithBloom(desc_, write_bloom, write_stripes);
       if constexpr (kStrategic) {
         ++Probe::Get().summary_publishes;
+        if constexpr (Validation::kPartitioned) {
+          Probe::Get().stripe_bumps +=
+              static_cast<std::uint64_t>(CountStripeBits(write_stripes));
+        }
       }
       // Commit-time skip (StrategyState): own bump index == anchor + 1 (or, for
       // policies without a single index, a fresh sample at anchor + 1) proves no
       // foreign writer released a value since the log was last known valid (our
-      // own commit locks pin the rest); under kBloom, foreign commits before our
-      // bump may intervene if their write blooms miss our read bloom.
+      // own commit locks pin the rest); under kPartitioned the same test runs
+      // per READ-occupied stripe with the own-bump contribution subtracted, and
+      // under kBloom/kStripe foreign commits before our bump may intervene if
+      // their write blooms miss our read bloom.
       bool skip_walk = false;
       if constexpr (kStrategic) {
-        skip_walk = state_.TrySkipCommit(own_idx);
+        skip_walk = state_.TrySkipCommit(own_idx, write_stripes);
       }
       if (!skip_walk && !ValidateReads()) {
         ReleaseLocks();
@@ -219,7 +230,7 @@ class ValFullTm {
     // re-anchors once a sample is stable across a full pass.
     bool ValidateReads() {
       ++Probe::Get().validation_walks;
-      Word sample = Validation::Sample();
+      typename StratState::Snapshot snap = state_.DrawSnapshot();
       typename Probe::Counters& probe = Probe::Get();
       while (true) {
         const bool pass = ValidateEqualSpan(
@@ -233,11 +244,11 @@ class ValFullTm {
         if (!pass) {
           return false;
         }
-        if (Validation::Stable(sample)) {
-          state_.ReanchorStable(sample);
+        if (Validation::Stable(snap.global)) {
+          state_.ReanchorStable(snap);
           return true;
         }
-        sample = Validation::Sample();
+        snap = state_.DrawSnapshot();
       }
     }
 

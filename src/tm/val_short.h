@@ -137,7 +137,7 @@ class ValShortTm {
     // reads can skip; under NonReuseValidation it is one pass.
     bool ValidateRo() const {
       ++Probe::Get().validation_walks;
-      Word sample = Validation::Sample();
+      typename StratState::Snapshot snap = state_.DrawSnapshot();
       while (true) {
         for (const RoEntry& e : ro_) {
           if (e.upgraded) {
@@ -147,11 +147,11 @@ class ValShortTm {
             return false;  // changed — or locked, which can never equal a value
           }
         }
-        if (Validation::Stable(sample)) {
-          state_.ReanchorStable(sample);
+        if (Validation::Stable(snap.global)) {
+          state_.ReanchorStable(snap);
           return true;
         }
-        sample = Validation::Sample();
+        snap = state_.DrawSnapshot();
       }
     }
 
@@ -209,8 +209,9 @@ class ValShortTm {
         if (rw_.Empty()) {
           ro_ok = ValidateRo();
         } else {
-          const Word own_idx = PublishWriterSummary();
-          ro_ok = state_.TrySkipCommit(own_idx) || ValidateRo();
+          unsigned write_stripes = 0;
+          const Word own_idx = PublishWriterSummary(&write_stripes);
+          ro_ok = state_.TrySkipCommit(own_idx, write_stripes) || ValidateRo();
         }
       } else {
         ro_ok = ValidateRo();
@@ -285,24 +286,39 @@ class ValShortTm {
       }
     }
 
-    // Writer-side summary: bump the commit counter and publish the write-set bloom,
+    // Writer-side summary: bump the commit counter — only the stripes this write
+    // set touches, under a partitioned policy — and publish the write-set bloom,
     // while all locks are held, before the releasing stores and before any final
     // commit validation (valstrategy.h ordering). Returns the writer's own commit
-    // index (0 when the policy has none). A pure-RO commit (empty RW set)
-    // releases nothing and must not move the counter.
-    Word PublishWriterSummary() {
+    // index (0 when the policy has none) and, via `out_stripes`, the bumped
+    // stripe mask for the partitioned commit-skip test. A pure-RO commit (empty
+    // RW set) releases nothing and must not move the counter.
+    Word PublishWriterSummary(unsigned* out_stripes = nullptr) {
       if (rw_.Empty()) {
         return 0;
       }
       ++Probe::Get().summary_publishes;
       if constexpr (Validation::kHasBloomRing) {
         Bloom128 bloom;
+        unsigned stripes = 0;
         for (const RwEntry& e : rw_) {
           bloom |= AddrBloom128(&e.slot->word);
+          stripes |= 1u << CounterStripeOf(&e.slot->word);
         }
-        return Validation::OnWriterCommitWithBloom(desc_, bloom);
+        if (out_stripes != nullptr) {
+          *out_stripes = stripes;
+        }
+        if constexpr (Validation::kPartitioned) {
+          Probe::Get().stripe_bumps +=
+              static_cast<std::uint64_t>(CountStripeBits(stripes));
+        }
+        return Validation::OnWriterCommitWithBloom(desc_, bloom, stripes);
       } else {
-        return Validation::OnWriterCommitWithBloom(desc_, Bloom128All());
+        if (out_stripes != nullptr) {
+          *out_stripes = kAllCounterStripesMask;
+        }
+        return Validation::OnWriterCommitWithBloom(desc_, Bloom128All(),
+                                                   kAllCounterStripesMask);
       }
     }
 
@@ -367,7 +383,11 @@ class ValShortTm {
           break;
         }
       }
-      Validation::OnWriterCommitWithBloom(self, AddrBloom128(&s->word));
+      if constexpr (Validation::kPartitioned) {
+        ++Probe::Get().stripe_bumps;
+      }
+      Validation::OnWriterCommitWithBloom(self, AddrBloom128(&s->word),
+                                          1u << CounterStripeOf(&s->word));
       s->word.store(value, std::memory_order_release);
       return;
     }
@@ -405,8 +425,13 @@ class ValShortTm {
         if (s->word.compare_exchange_weak(w, MakeValLocked(self),
                                           std::memory_order_acq_rel,
                                           std::memory_order_relaxed)) {
-          // Locked at the expected value: bump, then store == release.
-          Validation::OnWriterCommitWithBloom(self, AddrBloom128(&s->word));
+          // Locked at the expected value: bump (one location -> one stripe),
+          // then store == release.
+          if constexpr (Validation::kPartitioned) {
+            ++Probe::Get().stripe_bumps;
+          }
+          Validation::OnWriterCommitWithBloom(self, AddrBloom128(&s->word),
+                                              1u << CounterStripeOf(&s->word));
           s->word.store(desired, std::memory_order_release);
           return expected;
         }

@@ -75,19 +75,28 @@ inline Word MakeValLocked(TxDesc* owner) {
 // intervening commit's bloom is disjoint from its read bloom. Writer paths call
 // OnWriterCommitWithBloom(); policies without a ring ignore the bloom.
 
+// `kPartitioned` marks policies whose counter is additionally sharded into
+// per-stripe counters keyed by the metadata word's address region
+// (valstrategy.h kCounterStripes): writers pass the stripe mask of their write
+// set to OnWriterCommitWithBloom, and readers under ValMode::kPartitioned skip
+// walks when every READ-occupied stripe is unchanged. Non-partitioned policies
+// ignore the mask; StrategyState compiles the stripe paths out for them.
+
 // Case-3 reliance: no tracking at all. Sound when values satisfy non-re-use (or one
 // of the other two special cases); this is the paper's default for val-short.
 struct NonReuseValidation {
   static constexpr const char* kName = "non-reuse";
   static constexpr bool kPrecise = false;
   static constexpr bool kHasBloomRing = false;
+  static constexpr bool kPartitioned = false;
   static Word Sample() { return 0; }
   static bool Stable(Word /*sample*/) { return true; }
   static bool BloomAdvance(Word* /*sample*/, const Bloom128& /*read_bloom*/) {
     return true;
   }
   static void OnWriterCommit(TxDesc* /*self*/) {}
-  static Word OnWriterCommitWithBloom(TxDesc* /*self*/, const Bloom128& /*bloom*/) {
+  static Word OnWriterCommitWithBloom(TxDesc* /*self*/, const Bloom128& /*bloom*/,
+                                      unsigned /*stripe_mask*/ = 0) {
     return 0;
   }
 };
@@ -98,6 +107,7 @@ struct GlobalCounterValidation {
   static constexpr const char* kName = "global-counter";
   static constexpr bool kPrecise = true;
   static constexpr bool kHasBloomRing = false;
+  static constexpr bool kPartitioned = false;
 
   static std::atomic<Word>& Counter() {
     static CacheAligned<std::atomic<Word>> counter;
@@ -112,7 +122,8 @@ struct GlobalCounterValidation {
   static void OnWriterCommit(TxDesc* /*self*/) {
     Counter().fetch_add(1, std::memory_order_seq_cst);
   }
-  static Word OnWriterCommitWithBloom(TxDesc* /*self*/, const Bloom128& /*bloom*/) {
+  static Word OnWriterCommitWithBloom(TxDesc* /*self*/, const Bloom128& /*bloom*/,
+                                      unsigned /*stripe_mask*/ = 0) {
     return Counter().fetch_add(1, std::memory_order_seq_cst) + 1;
   }
 };
@@ -129,24 +140,29 @@ struct GlobalCounterBloomValidation {
   static constexpr const char* kName = "global-counter-bloom";
   static constexpr bool kPrecise = true;
   static constexpr bool kHasBloomRing = true;
+  static constexpr bool kPartitioned = Summary::kPartitioned;
 
   static Word Sample() { return Summary::Sample(); }
   static bool Stable(Word sample) { return Summary::Stable(sample); }
+  static Word StripeNow(int s) { return Summary::StripeNow(s); }
+  static StripeSample StripeSampleNow() { return Summary::StripeSampleNow(); }
 
   static bool BloomAdvance(Word* sample, const Bloom128& read_bloom) {
     return Summary::BloomAdvance(sample, read_bloom);
   }
 
   // Returns the writer's own commit index (see WriterSummary::PublishAndBump for
-  // the commit-skip contract it feeds).
-  static Word OnWriterCommitWithBloom(TxDesc* /*self*/, const Bloom128& bloom) {
-    return Summary::PublishAndBump(bloom);
+  // the commit-skip contract it feeds and the stripe-mask protocol).
+  static Word OnWriterCommitWithBloom(TxDesc* /*self*/, const Bloom128& bloom,
+                                      unsigned stripe_mask = kAllCounterStripesMask) {
+    return Summary::PublishAndBump(bloom, stripe_mask);
   }
 
-  // A writer path with no cheap write-set enumeration publishes the all-ones bloom:
-  // readers then fall back to the walk for that commit, never skip unsoundly.
+  // A writer path with no cheap write-set enumeration publishes the all-ones
+  // bloom and the all-stripes mask: readers then fall back to the walk for that
+  // commit, never skip unsoundly.
   static void OnWriterCommit(TxDesc* self) {
-    OnWriterCommitWithBloom(self, Bloom128All());
+    OnWriterCommitWithBloom(self, Bloom128All(), kAllCounterStripesMask);
   }
 
   // Commit-time bloom pre-filter; the range contract lives in
@@ -165,6 +181,7 @@ struct PerThreadCounterValidation {
   static constexpr const char* kName = "per-thread-counters";
   static constexpr bool kPrecise = true;
   static constexpr bool kHasBloomRing = false;
+  static constexpr bool kPartitioned = false;
 
   static Word Sample() {
     const int bound = ThreadRegistry::IdBound();
@@ -186,7 +203,8 @@ struct PerThreadCounterValidation {
   // No single commit index exists for a distributed sum; callers use the uniform
   // "Sample() == sample + 1 after own bump" test instead (sums count all bumps,
   // so anchor+1 means exactly this writer's own).
-  static Word OnWriterCommitWithBloom(TxDesc* self, const Bloom128& /*bloom*/) {
+  static Word OnWriterCommitWithBloom(TxDesc* self, const Bloom128& /*bloom*/,
+                                      unsigned /*stripe_mask*/ = 0) {
     OnWriterCommit(self);
     return 0;
   }

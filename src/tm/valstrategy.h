@@ -24,10 +24,28 @@
 //     reliance. The fallback when contention is high enough that summaries rarely
 //     help and the walk happens anyway.
 //
+//   kStripe (partitioned NOrec, ValMode::kPartitioned) — the commit counter is
+//     SHARDED into kCounterStripes cache-line-separated per-stripe counters keyed
+//     by the metadata word's address region: a committing writer bumps only the
+//     stripes its write set touches, and a reader's skip test compares a
+//     per-stripe sample vector against only the stripes its read set occupies.
+//     Disjoint-stripe write traffic no longer invalidates the reader's anchor at
+//     all — the failure mode the fixed-width bloom ring cannot absorb once a wide
+//     scan saturates its filter (the abl_readset_layout intersect-failure
+//     gradient). Per-stripe counters are consulted BEFORE the ring; bloom
+//     intersection is the fallback for same-stripe-but-disjoint traffic. The
+//     per-stripe soundness argument (anchor re-derivation, crossing committers)
+//     lives in docs/VALIDATION.md.
+//
 // Strategy choice (kAdaptive) is re-evaluated from the EWMA at every transaction
 // start: low abort rate -> counter-skip, moderate -> bloom, high -> incremental.
-// Fixed modes exist for ablation benches (bench/abl_adaptive_val) so the adaptive
-// engine can be measured against every fixed point it switches between.
+// The band edges are HYSTERETIC (same enter/exit dead-band pattern as the GV6
+// clock flip in clock.h): moving to a more conservative strategy uses the enter
+// threshold, moving back requires the EWMA to fall through a lower exit
+// threshold, so a border workload whose EWMA wiggles around one edge no longer
+// alternates strategies on every outcome. Fixed modes exist for ablation benches
+// (bench/abl_adaptive_val) so the adaptive engine can be measured against every
+// fixed point it switches between.
 //
 // Soundness of the skip paths (NOrec discipline, extended with blooms):
 //   * Writer protocol: acquire ALL commit locks, bump-and-publish, validate (or
@@ -85,11 +103,12 @@ enum class ValMode : std::uint8_t {
   kCounterSkip,
   kBloom,
   kAdaptive,
+  kPartitioned,
 };
 
 // The strategy a transaction attempt actually runs with (kAdaptive resolves to one
-// of these at Start()).
-enum class ValStrategy : std::uint8_t { kIncremental, kCounterSkip, kBloom };
+// of these at Start(); kStripe is the partitioned-NOrec per-stripe skip).
+enum class ValStrategy : std::uint8_t { kIncremental, kCounterSkip, kBloom, kStripe };
 
 inline const char* ValStrategyName(ValStrategy s) {
   switch (s) {
@@ -99,6 +118,8 @@ inline const char* ValStrategyName(ValStrategy s) {
       return "counter-skip";
     case ValStrategy::kBloom:
       return "bloom";
+    case ValStrategy::kStripe:
+      return "partitioned";
   }
   return "?";
 }
@@ -109,23 +130,48 @@ inline const char* ValStrategyName(ValStrategy s) {
 //   < 25%  aborts: writers are active; pay the per-read bloom OR so disjoint write
 //           traffic still skips the walk.
 //   >= 25% aborts: walks happen regardless; stop paying for summaries.
-inline constexpr std::uint32_t kEwmaCounterSkipMaxQ16 = 1u << 11;  // ~3.1%
-inline constexpr std::uint32_t kEwmaBloomMaxQ16 = 1u << 14;        // 25%
+//
+// Each band edge is a hysteresis PAIR (the GV6 clock.h pattern): crossing the
+// *MaxQ16 enter threshold upward moves to the more conservative strategy; only
+// falling below the matching *ExitQ16 threshold moves back. Inside the dead band
+// the previous choice sticks, so a border workload's EWMA noise cannot alternate
+// strategies per attempt (ValProbe::strategy_switches pins the damping).
+inline constexpr std::uint32_t kEwmaCounterSkipMaxQ16 = 1u << 11;   // ~3.1%: enter bloom
+inline constexpr std::uint32_t kEwmaCounterSkipExitQ16 = 1u << 10;  // ~1.6%: back to counter-skip
+inline constexpr std::uint32_t kEwmaBloomMaxQ16 = 1u << 14;         // 25%: enter incremental
+inline constexpr std::uint32_t kEwmaBloomExitQ16 = 1u << 13;        // 12.5%: back to bloom
+static_assert(kEwmaCounterSkipExitQ16 < kEwmaCounterSkipMaxQ16 &&
+                  kEwmaBloomExitQ16 < kEwmaBloomMaxQ16,
+              "each dead band must be non-empty or the hysteresis degenerates to "
+              "single-threshold flapping");
 
 // Below this skip-efficacy EWMA (txdesc.h) the adaptive engine stops paying for
 // skip attempts: when the domain's write traffic moves the counter between
 // almost every pair of reads, the skip checks are pure overhead on top of the
 // walk that happens anyway, and plain incremental is the better fixed point.
-inline constexpr std::uint32_t kSkipEwmaMinQ16 = 1u << 13;  // 12.5%
+// Re-enabling skips requires the efficacy to recover through the higher
+// kSkipEwmaRecoverQ16 (hysteresis, as with the abort bands).
+inline constexpr std::uint32_t kSkipEwmaMinQ16 = 1u << 13;      // 12.5%: stop skipping
+inline constexpr std::uint32_t kSkipEwmaRecoverQ16 = 1u << 14;  // 25%: resume skipping
+static_assert(kSkipEwmaMinQ16 < kSkipEwmaRecoverQ16,
+              "the efficacy dead band must be non-empty");
 
 // In the incremental-because-skips-don't-pay regime the efficacy EWMA would
 // freeze (no skip attempts -> no updates), so every N-th attempt probes a skip
 // strategy anyway to notice when the workload turns quiet again.
 inline constexpr std::uint32_t kSkipProbePeriod = 16;
 
+// Strategy choice for a new attempt. Without history (`has_prev` false) the
+// plain enter thresholds apply — the memoryless mapping the band tests pin.
+// With history, the previous attempt's strategy supplies the hysteresis state:
+// moving toward incremental needs the enter edge, moving back the exit edge.
+// kPartitioned is a fixed mode resolving to kStripe; StrategyState clamps it to
+// kCounterSkip at compile time when the family's summary has no stripe counters.
 inline ValStrategy ChooseStrategy(ValMode mode, bool has_bloom_ring,
                                   std::uint32_t abort_ewma_q16,
-                                  std::uint32_t skip_ewma_q16 = 65536u) {
+                                  std::uint32_t skip_ewma_q16 = 65536u,
+                                  bool has_prev = false,
+                                  ValStrategy prev = ValStrategy::kIncremental) {
   switch (mode) {
     case ValMode::kPassive:
     case ValMode::kIncremental:
@@ -134,19 +180,43 @@ inline ValStrategy ChooseStrategy(ValMode mode, bool has_bloom_ring,
       return ValStrategy::kCounterSkip;
     case ValMode::kBloom:
       return has_bloom_ring ? ValStrategy::kBloom : ValStrategy::kCounterSkip;
-    case ValMode::kAdaptive:
-      if (skip_ewma_q16 < kSkipEwmaMinQ16) {
+    case ValMode::kPartitioned:
+      return ValStrategy::kStripe;
+    case ValMode::kAdaptive: {
+      // Efficacy gate: once the engine fell back to walking, skips must prove
+      // themselves through the recover threshold before they are paid for again.
+      const bool was_walking = has_prev && prev == ValStrategy::kIncremental;
+      if (skip_ewma_q16 < (was_walking ? kSkipEwmaRecoverQ16 : kSkipEwmaMinQ16)) {
         return ValStrategy::kIncremental;  // skips are not paying for themselves
       }
-      if (abort_ewma_q16 < kEwmaCounterSkipMaxQ16) {
+      // Abort-pressure level: 0 = counter-skip, 1 = bloom, 2 = incremental.
+      // Rise through enter thresholds, fall through exit thresholds, stick in
+      // between. A fresh descriptor starts at level 0, which reproduces the old
+      // memoryless bands exactly.
+      int level = !has_prev || prev == ValStrategy::kCounterSkip ||
+                          prev == ValStrategy::kStripe
+                      ? 0
+                      : prev == ValStrategy::kBloom ? 1 : 2;
+      if (abort_ewma_q16 >= kEwmaBloomMaxQ16) {
+        level = 2;
+      } else if (abort_ewma_q16 >= kEwmaCounterSkipMaxQ16 && level < 1) {
+        level = 1;
+      }
+      if (abort_ewma_q16 < kEwmaCounterSkipExitQ16) {
+        level = 0;
+      } else if (abort_ewma_q16 < kEwmaBloomExitQ16 && level > 1) {
+        level = 1;
+      }
+      if (level == 0) {
         return ValStrategy::kCounterSkip;
       }
-      if (abort_ewma_q16 < kEwmaBloomMaxQ16) {
+      if (level == 1) {
         // Mid band: bloom where a ring exists, otherwise the counter skip still
         // beats walking (it is one shared load).
         return has_bloom_ring ? ValStrategy::kBloom : ValStrategy::kCounterSkip;
       }
       return ValStrategy::kIncremental;
+    }
   }
   return ValStrategy::kIncremental;
 }
@@ -196,6 +266,50 @@ inline Bloom128 AddrBloom128(const void* p) {
 inline Bloom128 Bloom128All() {
   return Bloom128{{0xffffffffu, 0xffffffffu, 0xffffffffu, 0xffffffffu}};
 }
+
+// --- Partitioned NOrec: counter stripes -----------------------------------------
+//
+// The precise commit counter is sharded into kCounterStripes cache-line-separated
+// per-stripe counters keyed by the metadata word's ADDRESS REGION (a
+// 2^kCounterStripeShift-byte block): stripe(m) = (m >> shift) mod kCounterStripes.
+// The partition key is the metadata word — the conflict unit — so a writer and a
+// reader always agree on which stripe guards a location. Region (rather than
+// hash-bit) keying is what makes the partition worth having: on layouts whose
+// metadata is co-located with the data (the val layout, §2.4), a structurally
+// local read set — a btree leaf-chain scan, a node's field cluster — occupies few
+// stripes no matter how many ENTRIES it has, which is precisely where the
+// fixed-width bloom ring saturates (abl_readset_layout's intersect-failure
+// gradient). On the hash-scattered shared orec table the stripe of an orec is
+// effectively random, so wide orec read sets still occupy every stripe; the
+// region partition only degrades to the whole-counter behavior there, never below
+// it (ROADMAP notes the striped-table alignment as follow-up).
+//
+// The stripe count matches the WriterRing's stripe lanes so the two summary
+// structures shard at the same granularity; sweep both together if resizing.
+inline constexpr int kCounterStripes = Bloom128::kStripes;
+inline constexpr int kCounterStripeShift = 12;  // 4 KiB regions
+inline constexpr unsigned kAllCounterStripesMask = (1u << kCounterStripes) - 1;
+
+inline int CounterStripeOf(const void* metadata_word) {
+  return static_cast<int>(
+      (reinterpret_cast<std::uintptr_t>(metadata_word) >> kCounterStripeShift) &
+      static_cast<std::uintptr_t>(kCounterStripes - 1));
+}
+
+inline int CountStripeBits(unsigned mask) {
+  int n = 0;
+  for (unsigned m = mask; m != 0; m &= m - 1) {
+    ++n;
+  }
+  return n;
+}
+
+// A reader's per-stripe counter sample vector (the partitioned analogue of the
+// single Word sample). Components are meaningful only for stripes the owner's
+// read-stripe mask occupies; the rest are whatever the draw happened to load.
+struct StripeSample {
+  Word v[kCounterStripes] = {};
+};
 
 // Ring of recent writer commits, stripe-lane layout: commit i's 128-bit write
 // bloom lives as four words — lanes_[s][i%64] holds (low 32 bits of commit index
@@ -301,13 +415,43 @@ class WriterRing {
 // Summary concept (shared with the ValidationPolicy classes in val_word.h, so
 // StrategyState below can drive either): Sample/Stable/BloomAdvance, plus
 // CommitRangeDisjoint where kHasBloomRing is true.
-template <typename DomainTag>
+// `kPartitionedCounters` opts the DOMAIN into partitioned NOrec: per-stripe
+// commit counters alongside the precise global counter (which remains the ring
+// publication index and the commit-skip own_idx). Writers then bump ONLY the
+// stripes their write set touches — cache-line-separated, so two committers in
+// disjoint regions no longer exchange a counter line — and bump them BEFORE the
+// global counter, so any commit counted by a global sample already has its
+// stripe bumps visible. It is a compile-time property of the whole domain
+// because the protocol is writer-side: a domain with any kStripe reader needs
+// EVERY writer bumping stripes; conversely a domain with none should not pay
+// the extra seq-cst RMWs on its commit path (the orec ablation families each
+// own a private domain, so they opt in per family; the val families share one
+// ring domain, which therefore stays partitioned for ValPart's readers).
+template <typename DomainTag, bool kPartitionedCounters = true>
 struct WriterSummary {
   static constexpr bool kHasBloomRing = true;
+  static constexpr bool kPartitioned = kPartitionedCounters;
 
   static std::atomic<Word>& Counter() {
     static CacheAligned<std::atomic<Word>> counter;
     return *counter;
+  }
+
+  static std::atomic<Word>& StripeCounter(int s) {
+    static CacheAligned<std::atomic<Word>> counters[kCounterStripes];
+    return *counters[s];
+  }
+
+  static Word StripeNow(int s) {
+    return StripeCounter(s).load(std::memory_order_seq_cst);
+  }
+
+  static StripeSample StripeSampleNow() {
+    StripeSample x;
+    for (int s = 0; s < kCounterStripes; ++s) {
+      x.v[s] = StripeNow(s);
+    }
+    return x;
   }
 
   static WriterRing& Ring() {
@@ -331,7 +475,25 @@ struct WriterSummary {
   // against the sample anchor: own_idx == sample + 1 proves no FOREIGN bump lies
   // between anchor and bump (later writers validate after this writer's locks are
   // visible and detect them — see the crossing-committer note above).
-  static Word PublishAndBump(const Bloom128& write_bloom) {
+  //
+  // `stripe_mask` names the counter stripes the write set occupies (bit s set =
+  // some locked metadata word lives in stripe s); callers that cannot enumerate
+  // their write set pass kAllCounterStripesMask, which readers absorb as "every
+  // stripe moved" — conservative, never unsound. Stripe bumps precede the global
+  // bump (see kPartitioned above), and the whole sequence runs while every
+  // commit lock is held, before the commit-time validation and the releasing
+  // stores — each stripe inherits the global bump-before-validate discipline.
+  static Word PublishAndBump(const Bloom128& write_bloom,
+                             unsigned stripe_mask = kAllCounterStripesMask) {
+    if constexpr (kPartitioned) {
+      for (int s = 0; s < kCounterStripes; ++s) {
+        if ((stripe_mask >> s) & 1u) {
+          StripeCounter(s).fetch_add(1, std::memory_order_seq_cst);
+        }
+      }
+    } else {
+      (void)stripe_mask;  // non-partitioned domain: the global bump is the protocol
+    }
     const Word idx = Counter().fetch_add(1, std::memory_order_seq_cst) + 1;
     Ring().Publish(idx, write_bloom);
     return idx;
@@ -376,6 +538,13 @@ struct ValProbe {
     std::uint64_t validation_walks = 0;   // full read-set walks performed
     std::uint64_t strategy_switches = 0;  // attempts started with a new strategy
     std::uint64_t summary_publishes = 0;  // writer-side bump+publish events
+    // Partitioned-NOrec evidence: walks avoided because every READ-occupied
+    // stripe counter was stable; writer-side per-stripe counter bumps; and walks
+    // a kStripe attempt could not avoid even through the ring fallback (i.e.
+    // genuinely same-stripe — at bloom granularity, same-location — traffic).
+    std::uint64_t stripe_skips = 0;
+    std::uint64_t stripe_bumps = 0;
+    std::uint64_t cross_stripe_walks = 0;
     // Batch-validation kernel evidence (validate_batch.h): 4-entry SIMD
     // iterations and scalar-path entry checks. The CI SIMD and forced-scalar
     // jobs each assert their column is the one that moved.
@@ -386,6 +555,11 @@ struct ValProbe {
     ValStrategy last_strategy = ValStrategy::kIncremental;
     bool has_strategy = false;
     std::uint32_t attempt_tick = 0;
+    // Hysteresis memory for ChooseStrategy: the last UN-probed adaptive choice
+    // (the kSkipProbePeriod override must not masquerade as a recovered skip
+    // phase, or incremental-with-probing would flap once per probe period).
+    ValStrategy steady_strategy = ValStrategy::kIncremental;
+    bool has_steady = false;
   };
   static Counters& Get() {
     thread_local Counters counters;
@@ -406,37 +580,68 @@ struct ValProbe {
 
 // Per-attempt strategy state, shared by all four engines (full/short x orec/val —
 // previously open-coded in each with small drift; the ROADMAP refactor item).
-// Owns the choose/probe-tick at attempt start, the persistent counter anchor, the
-// read bloom, and the counter/bloom/walk skip triad with its efficacy-EWMA
-// feedback. SummaryT is anything satisfying the summary concept (WriterSummary,
-// or a ValidationPolicy from val_word.h); ProbeT is the family's ValProbe.
+// Owns the choose/probe-tick at attempt start, the persistent counter anchor
+// (global sample AND, for partitioned summaries, the per-stripe sample vector),
+// the read bloom + read-stripe mask, and the counter/stripe/bloom/walk skip
+// quartet with its efficacy-EWMA feedback. SummaryT is anything satisfying the
+// summary concept (WriterSummary, or a ValidationPolicy from val_word.h); ProbeT
+// is the family's ValProbe.
 //
 // The anchor invariant every user maintains: `sample()` (when `sample_valid()`)
 // names a summary-counter value at which the ENTIRE read log was simultaneously
-// valid. Anchor() establishes it before the first read of an attempt; tracked
-// walks re-establish it via ConfirmAnchorAfterWalk (tail rule: such walks must
-// cover the whole log). Mutating members are mutable + const because engines
-// call the triad from const validation paths (short_tm's ValidateRo).
+// valid, and the stripe vector (when stripe-valid) was drawn at the same
+// anchoring event, so "every READ-occupied stripe unchanged" proves the same
+// thing one shard at a time (docs/VALIDATION.md carries the per-stripe
+// re-derivation). Anchor() establishes both before the first read of an attempt;
+// tracked walks re-establish them via ConfirmAnchorAfterWalk (tail rule: such
+// walks must cover the whole log). A ring BloomAdvance moves only the GLOBAL
+// anchor — the advanced-past commits bumped stripes the ring does not identify —
+// so it invalidates the stripe anchor until the next full walk. Mutating members
+// are mutable + const because engines call the skip paths from const validation
+// paths (short_tm's ValidateRo).
 template <typename SummaryT, typename ProbeT>
 class StrategyState {
  public:
-  // Outcome of the per-read skip triad: the walk was skipped (stable counter /
-  // disjoint ring range), or the caller must run its walk.
+  // Outcome of the per-read skip paths: the walk was skipped (stable counter /
+  // stable stripes / disjoint ring range), or the caller must run its walk.
   enum class ReadSkip : std::uint8_t { kSkipped, kMustWalk };
 
+  // Pre-walk snapshot for tracked walks: the global sample plus (partitioned
+  // summaries only) the stripe vector. Drawn global-first: writers bump stripes
+  // BEFORE the global counter, so every commit a global sample counts already
+  // has its stripe bumps included in a vector drawn after that sample.
+  struct Snapshot {
+    Word global = 0;
+    StripeSample stripes;
+  };
+
   // Re-arms for a fresh attempt: pick the strategy from the descriptor EWMAs
-  // (with the periodic skip-efficacy probe under kAdaptive), reset the read
-  // bloom, and anchor the persistent sample BEFORE any read (the skip soundness
-  // argument needs the anchor drawn no later than the first read).
+  // (hysteretic band edges keyed off the thread's previous steady choice, with
+  // the periodic skip-efficacy probe under kAdaptive), reset the read bloom and
+  // stripe mask, and anchor the persistent sample BEFORE any read (the skip
+  // soundness argument needs the anchor drawn no later than the first read).
   void StartAttempt(ValMode mode, bool has_bloom_ring, const TxStats& stats) {
+    typename ProbeT::Counters& probe = ProbeT::Get();
     strat_ = ChooseStrategy(mode, has_bloom_ring, AbortEwmaQ16(stats),
-                            SkipEwmaQ16(stats));
+                            SkipEwmaQ16(stats), probe.has_steady,
+                            probe.steady_strategy);
+    if constexpr (!SummaryT::kPartitioned) {
+      if (strat_ == ValStrategy::kStripe) {
+        strat_ = ValStrategy::kCounterSkip;  // summary shards nothing: whole counter
+      }
+    }
+    // The hysteresis memory records the steady choice BEFORE the probe override:
+    // a probe attempt must not masquerade as a recovered skip phase, or
+    // incremental-with-probing would flap once per probe period.
+    probe.steady_strategy = strat_;
+    probe.has_steady = true;
     if (mode == ValMode::kAdaptive && strat_ == ValStrategy::kIncremental &&
-        ++ProbeT::Get().attempt_tick % kSkipProbePeriod == 0) {
+        ++probe.attempt_tick % kSkipProbePeriod == 0) {
       strat_ = ValStrategy::kCounterSkip;  // efficacy probe (see kSkipProbePeriod)
     }
     ProbeT::OnStrategyChosen(strat_);
     read_bloom_ = Bloom128{};
+    read_stripe_mask_ = 0;
     Anchor();
   }
 
@@ -444,21 +649,41 @@ class StrategyState {
   Word sample() const { return sample_; }
   bool sample_valid() const { return sample_valid_; }
   const Bloom128& read_bloom() const { return read_bloom_; }
+  unsigned read_stripe_mask() const { return read_stripe_mask_; }
 
   void Anchor() const {
     sample_ = SummaryT::Sample();
     sample_valid_ = true;
-  }
-
-  // Accumulates a just-read location's signature (bloom strategy only; the other
-  // strategies never consult the read bloom, so the OR would be dead work).
-  void NoteRead(const void* metadata_word) {
-    if (strat_ == ValStrategy::kBloom) {
-      read_bloom_ |= AddrBloom128(metadata_word);
+    if constexpr (SummaryT::kPartitioned) {
+      // The stripe vector costs kCounterStripes extra seq-cst loads; only the
+      // kStripe strategy ever consults it, so other strategies skip the draw.
+      if (strat_ == ValStrategy::kStripe) {
+        stripe_sample_ = SummaryT::StripeSampleNow();
+        stripe_valid_ = true;
+      } else {
+        stripe_valid_ = false;
+      }
     }
   }
 
-  // The skip triad: stable counter, then ring disjointness, else walk. Updates
+  // Accumulates a just-read location's signature (bloom/stripe strategies only;
+  // the other strategies never consult it, so the OR would be dead work). Under
+  // kStripe both the bloom (for the ring fallback) and the stripe-occupancy mask
+  // (for the per-stripe skip) are maintained.
+  void NoteRead(const void* metadata_word) {
+    if (strat_ == ValStrategy::kBloom || strat_ == ValStrategy::kStripe) {
+      read_bloom_ |= AddrBloom128(metadata_word);
+    }
+    if (strat_ == ValStrategy::kStripe) {
+      read_stripe_mask_ |= 1u << CounterStripeOf(metadata_word);
+    }
+  }
+
+  // The skip paths, cheapest first: stable global counter, then (partitioned)
+  // stable READ-occupied stripes, then ring disjointness, else walk. The stripe
+  // test is consulted before the ring on purpose (the ISSUE's probe order): a
+  // vector compare against private-ish lines beats scanning ring lanes, and it
+  // keeps working after the read bloom has saturated the ring's filter. Updates
   // the skip-efficacy EWMA when `ewma_stats` is non-null (per-read call sites
   // feed the adaptive engine; final-validation call sites pass nullptr, matching
   // the engines' historical behavior).
@@ -472,8 +697,25 @@ class StrategyState {
       }
       return ReadSkip::kSkipped;
     }
-    if (skippable && strat_ == ValStrategy::kBloom &&
+    if constexpr (SummaryT::kPartitioned) {
+      if (skippable && strat_ == ValStrategy::kStripe && stripe_valid_ &&
+          StripesUnchanged()) {
+        ++ProbeT::Get().stripe_skips;
+        if (ewma_stats != nullptr) {
+          UpdateSkipEwma(*ewma_stats, /*skipped=*/true);
+        }
+        return ReadSkip::kSkipped;
+      }
+    }
+    if (skippable &&
+        (strat_ == ValStrategy::kBloom || strat_ == ValStrategy::kStripe) &&
         SummaryT::BloomAdvance(&sample_, read_bloom_)) {
+      // Only the GLOBAL anchor advanced: the commits the ring proved disjoint
+      // bumped stripes the ring does not name, so the stripe vector is stale
+      // until a full walk (or fresh attempt) re-anchors it.
+      if constexpr (SummaryT::kPartitioned) {
+        stripe_valid_ = false;
+      }
       ++ProbeT::Get().bloom_skips;
       if (ewma_stats != nullptr) {
         UpdateSkipEwma(*ewma_stats, /*skipped=*/true);
@@ -483,6 +725,9 @@ class StrategyState {
     if (strat_ != ValStrategy::kIncremental && ewma_stats != nullptr) {
       UpdateSkipEwma(*ewma_stats, /*skipped=*/false);
     }
+    if (strat_ == ValStrategy::kStripe) {
+      ++ProbeT::Get().cross_stripe_walks;  // same-stripe traffic beat every skip
+    }
     return ReadSkip::kMustWalk;
   }
 
@@ -490,9 +735,14 @@ class StrategyState {
   // validate; see the crossing-committer note atop this file). `own_idx` is the
   // writer's own commit index, or 0 for policies without one (per-thread counter
   // sums), which fall back to the fresh-sample test — sums count every bump, so
-  // anchor+1 still means "exactly my own". The bloom arm exists only where the
-  // summary has a ring.
-  bool TrySkipCommit(Word own_idx) const {
+  // anchor+1 still means "exactly my own". `write_stripe_mask` is the stripe
+  // mask this writer passed to PublishAndBump; the partitioned arm expects each
+  // READ-occupied stripe at anchor + own contribution, so a foreign bump of any
+  // stripe guarding a logged location before this writer's own bump is caught,
+  // and writers bumping those stripes afterwards validate against this writer's
+  // already-visible locks (the per-stripe crossing-committer argument,
+  // docs/VALIDATION.md). The bloom arm exists only where the summary has a ring.
+  bool TrySkipCommit(Word own_idx, unsigned write_stripe_mask = 0) const {
     if (strat_ == ValStrategy::kIncremental || !sample_valid_) {
       return false;
     }
@@ -503,8 +753,16 @@ class StrategyState {
       ++ProbeT::Get().counter_skips;
       return true;
     }
+    if constexpr (SummaryT::kPartitioned) {
+      if (strat_ == ValStrategy::kStripe && stripe_valid_ &&
+          StripesUnchangedWithOwn(write_stripe_mask)) {
+        ++ProbeT::Get().stripe_skips;
+        return true;
+      }
+    }
     if constexpr (SummaryT::kHasBloomRing) {
-      if (strat_ == ValStrategy::kBloom && own_idx != 0 &&
+      if ((strat_ == ValStrategy::kBloom || strat_ == ValStrategy::kStripe) &&
+          own_idx != 0 &&
           SummaryT::CommitRangeDisjoint(sample_, own_idx, read_bloom_)) {
         ++ProbeT::Get().bloom_skips;
         return true;
@@ -513,32 +771,99 @@ class StrategyState {
     return false;
   }
 
-  // Tracked-walk anchoring: call with SummaryT::Sample() drawn BEFORE the walk.
-  // The pre-walk sample becomes the new anchor only if the counter stayed stable
-  // across the walk (a writer that bumped mid-walk may have released mid-walk
-  // too); on a failed confirm the walk's result stands but the anchor is
-  // invalidated, so later skips walk until a quiet window re-anchors.
-  void ConfirmAnchorAfterWalk(Word pre_walk_sample) const {
-    if (SummaryT::Stable(pre_walk_sample)) {
-      sample_ = pre_walk_sample;
+  // Snapshot for tracked walks and the val engines' stability loops: global
+  // sample first, then the stripe vector (see Snapshot for why this order).
+  Snapshot DrawSnapshot() const {
+    Snapshot snap;
+    snap.global = SummaryT::Sample();
+    if constexpr (SummaryT::kPartitioned) {
+      if (strat_ == ValStrategy::kStripe) {  // see Anchor(): nobody else reads it
+        snap.stripes = SummaryT::StripeSampleNow();
+      }
+    }
+    return snap;
+  }
+
+  // Tracked-walk anchoring: call with a Snapshot drawn BEFORE the walk. The
+  // pre-walk snapshot becomes the new anchor only if the global counter stayed
+  // stable across the walk (a writer that bumped mid-walk may have released
+  // mid-walk too); a stable global also vouches for the stripe vector — no
+  // commit completed, and an in-flight writer's pending stripe bump either
+  // predates the vector (its still-held locks then failed the walk on any
+  // logged target) or postdates it (its eventual release is caught as stripe
+  // movement). On a failed confirm the walk's result stands but both anchors
+  // are invalidated, so later skips walk until a quiet window re-anchors.
+  void ConfirmAnchorAfterWalk(const Snapshot& pre_walk) const {
+    if (SummaryT::Stable(pre_walk.global)) {
+      sample_ = pre_walk.global;
       sample_valid_ = true;
+      if constexpr (SummaryT::kPartitioned) {
+        if (strat_ == ValStrategy::kStripe) {
+          stripe_sample_ = pre_walk.stripes;
+          stripe_valid_ = true;
+        }
+      }
     } else {
       sample_valid_ = false;
+      if constexpr (SummaryT::kPartitioned) {
+        stripe_valid_ = false;
+      }
     }
   }
 
-  // Direct re-anchor for walks that themselves loop until the counter is stable
-  // (the val engines' NOrec-style ValidateReads).
-  void ReanchorStable(Word stable_sample) const {
-    sample_ = stable_sample;
+  // Direct re-anchor for walks that themselves loop until the global counter is
+  // stable across a full pass (the val engines' NOrec-style ValidateReads); the
+  // snapshot must be the one drawn before that pass.
+  void ReanchorStable(const Snapshot& stable) const {
+    sample_ = stable.global;
     sample_valid_ = true;
+    if constexpr (SummaryT::kPartitioned) {
+      if (strat_ == ValStrategy::kStripe) {
+        stripe_sample_ = stable.stripes;
+        stripe_valid_ = true;
+      }
+    }
   }
 
  private:
+  // True iff every READ-occupied stripe counter equals its anchor component.
+  // An empty mask is vacuously stable (an empty — trivially consistent — read
+  // set, mirroring the empty-read-bloom note on WriterRing::RangeDisjoint).
+  bool StripesUnchanged() const {
+    for (int s = 0; s < kCounterStripes; ++s) {
+      if (((read_stripe_mask_ >> s) & 1u) != 0 &&
+          SummaryT::StripeNow(s) != stripe_sample_.v[s]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Commit-time variant: this writer already bumped `own_mask`, so a
+  // read-occupied stripe it also wrote must read exactly anchor + 1 (its own
+  // bump and nothing else) and any other read-occupied stripe exactly the
+  // anchor. anchor + 2 on a self-bumped stripe means a foreign bump crossed us
+  // — the partitioned analogue of own_idx != sample + 1.
+  bool StripesUnchangedWithOwn(unsigned own_mask) const {
+    for (int s = 0; s < kCounterStripes; ++s) {
+      if (((read_stripe_mask_ >> s) & 1u) == 0) {
+        continue;
+      }
+      const Word expected = stripe_sample_.v[s] + ((own_mask >> s) & 1u);
+      if (SummaryT::StripeNow(s) != expected) {
+        return false;
+      }
+    }
+    return true;
+  }
+
   mutable Word sample_ = 0;
+  mutable StripeSample stripe_sample_;
   Bloom128 read_bloom_;
+  unsigned read_stripe_mask_ = 0;
   ValStrategy strat_ = ValStrategy::kIncremental;
   mutable bool sample_valid_ = false;
+  mutable bool stripe_valid_ = false;
 };
 
 }  // namespace spectm

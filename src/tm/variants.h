@@ -147,6 +147,18 @@ using OrecLBloom = internal::OrecBasedFamily<OrecLBloomTag, OrecLayout,
 using OrecLAdaptive = internal::OrecBasedFamily<OrecLAdaptTag, OrecLayout,
                                                 LocalClockPolicy, ValMode::kAdaptive>;
 
+// Partitioned NOrec (valstrategy.h kStripe): the precise commit counter sharded
+// into per-address-region stripe counters — writers bump only the stripes their
+// write set touches, readers skip walks when every READ-occupied stripe is
+// stable, and the bloom ring is the fallback for same-stripe traffic. On the
+// hash-scattered shared orec table the stripe of an orec is effectively random
+// (wide read sets occupy every stripe), so OrecLPart mainly measures the
+// partition's overhead there; the val-layout ValPart below is where region
+// locality pays (see the counter-stripe note in valstrategy.h).
+struct OrecLPartTag {};
+using OrecLPart = internal::OrecBasedFamily<OrecLPartTag, OrecLayout,
+                                            LocalClockPolicy, ValMode::kPartitioned>;
+
 // 1-bit meta-data with value-based validation (Figure 3(c)); version-free by default
 // (relies on the paper's three special cases, §2.4), with counter-backed general
 // modes for code outside those cases.
@@ -168,6 +180,13 @@ using ValCounterSkip =
 using ValBloom = internal::ValFamilyT<GlobalCounterBloomValidation, ValMode::kBloom>;
 using ValAdaptive =
     internal::ValFamilyT<GlobalCounterBloomValidation, ValMode::kAdaptive>;
+// Partitioned NOrec over the val layout: metadata IS the data word (§2.4), so the
+// address-region counter stripes inherit the structure's locality — a btree
+// leaf-chain scan occupies few stripes however many ENTRIES it logs, which is
+// exactly where the fixed-width ring bloom saturates (abl_readset_layout's
+// 256-entry intersect-failure row, the ROADMAP item this family closes).
+using ValPart =
+    internal::ValFamilyT<GlobalCounterBloomValidation, ValMode::kPartitioned>;
 
 }  // namespace spectm
 

@@ -576,5 +576,297 @@ TEST(CommitSkipProtocol, LinkedSetBalanceValAdaptive) {
   RunLinkedSetBalanceCheck<ValAdaptive>(0xada9);
 }
 
+// Crossing-committers regression, re-derived for the PARTITIONED skip protocol:
+// the per-stripe commit skip (expected = anchor + own-bump contribution per
+// READ-occupied stripe) must keep two crossing committers from write-skewing
+// past each other exactly as the global own-index test did — a lost unlink
+// breaks the insert/remove balance below. Both partitioned families run in the
+// TSan smoke subset via this test binary.
+TEST(CommitSkipProtocol, LinkedSetBalanceOrecLPart) {
+  RunLinkedSetBalanceCheck<OrecLPart>(0x9a47);
+}
+
+TEST(CommitSkipProtocol, LinkedSetBalanceValPart) {
+  RunLinkedSetBalanceCheck<ValPart>(0x57a1);
+}
+
+// --- Partitioned NOrec: per-stripe counters -------------------------------------
+
+// The sharded bump: PublishAndBump moves exactly the masked stripe counters plus
+// the global counter (the ring index / own_idx), nothing else.
+TEST(PartitionedSkip, StripeCountersShardTheBump) {
+  struct StripeUnitTag {};
+  using S = WriterSummary<StripeUnitTag>;
+  const StripeSample before = S::StripeSampleNow();
+  const Word global_before = S::Sample();
+  int anchor_obj = 0;
+  const Word own_idx = S::PublishAndBump(AddrBloom128(&anchor_obj), 0b0101u);
+  EXPECT_EQ(own_idx, global_before + 1);
+  EXPECT_EQ(S::StripeNow(0), before.v[0] + 1);
+  EXPECT_EQ(S::StripeNow(1), before.v[1]);
+  EXPECT_EQ(S::StripeNow(2), before.v[2] + 1);
+  EXPECT_EQ(S::StripeNow(3), before.v[3]);
+  EXPECT_EQ(S::Sample(), global_before + 1);
+}
+
+// Returns a slot from `pool` whose counter stripe is NOT in `occupied_mask`
+// (metadata word = the val-layout data word). The pool must span enough 4 KiB
+// regions that every stripe occurs in it.
+template <std::size_t N>
+ValSlot* FindStripeDisjointValSlot(ValSlot (&pool)[N], unsigned occupied_mask) {
+  for (auto& s : pool) {
+    if (((occupied_mask >> CounterStripeOf(&s.word)) & 1u) == 0) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+// Acceptance: disjoint-STRIPE writer traffic moves the global counter but not
+// the reader's occupied stripes — the partitioned skip fires with zero walks and
+// without ever consulting the ring.
+TEST(PartitionedSkip, DisjointStripeChurnSkipsWithoutWalks) {
+  using F = ValPart;
+  using Probe = ValProbe<ValDomainTag>;
+  static F::Slot pair_a, pair_b;
+  static F::Slot pool[4096];  // 32 KiB of slots: every 4 KiB stripe occurs
+  F::SingleWrite(&pair_a, EncodeInt(1));
+  F::SingleWrite(&pair_b, EncodeInt(2));
+  const unsigned occupied =
+      (1u << CounterStripeOf(&pair_a.word)) | (1u << CounterStripeOf(&pair_b.word));
+  F::Slot* churn = FindStripeDisjointValSlot(pool, occupied);
+  ASSERT_NE(churn, nullptr);
+  F::SingleWrite(churn, EncodeInt(3));
+
+  Probe::Reset();
+  F::ShortTx tx;
+  EXPECT_EQ(DecodeInt(tx.ReadRo(&pair_a)), 1u);
+  F::SingleWrite(churn, EncodeInt(7));  // bumps the global counter, other stripe
+  EXPECT_EQ(DecodeInt(tx.ReadRo(&pair_b)), 2u);
+  EXPECT_TRUE(tx.Valid());
+  tx.Abort();
+
+  EXPECT_GE(Probe::Get().stripe_skips, 1u)
+      << "disjoint-stripe traffic must be absorbed by the stripe vector";
+  EXPECT_EQ(Probe::Get().validation_walks, 0u);
+  EXPECT_EQ(Probe::Get().cross_stripe_walks, 0u);
+  EXPECT_GE(Probe::Get().stripe_bumps, 1u) << "the churn writer bumped its stripe";
+}
+
+// Same property through the hash-scattered orec table (stripes there are
+// effectively random per orec, but with a two-entry read set a disjoint stripe
+// still exists and the skip must fire).
+TEST(PartitionedSkip, OrecLayoutDisjointStripeChurnSkips) {
+  using F = OrecLPart;
+  using Probe = ValProbe<OrecLPartTag>;
+  static F::Slot a, b;
+  static F::Slot pool[256];
+  F::SingleWrite(&a, EncodeInt(1));
+  F::SingleWrite(&b, EncodeInt(2));
+  const unsigned occupied = (1u << CounterStripeOf(&F::Layout::OrecOf(a))) |
+                            (1u << CounterStripeOf(&F::Layout::OrecOf(b)));
+  F::Slot* churn = nullptr;
+  for (auto& s : pool) {
+    if (((occupied >> CounterStripeOf(&F::Layout::OrecOf(s))) & 1u) == 0) {
+      churn = &s;
+      break;
+    }
+  }
+  ASSERT_NE(churn, nullptr) << "256 hash-scattered orecs always hit a free stripe";
+
+  Probe::Reset();
+  F::ShortTx tx;
+  EXPECT_EQ(DecodeInt(tx.ReadRo(&a)), 1u);
+  F::SingleWrite(churn, EncodeInt(9));
+  EXPECT_EQ(DecodeInt(tx.ReadRo(&b)), 2u);
+  EXPECT_TRUE(tx.Valid());
+  tx.Abort();
+
+  EXPECT_GE(Probe::Get().stripe_skips, 1u);
+  EXPECT_EQ(Probe::Get().validation_walks, 0u);
+}
+
+// Same-stripe but bloom-disjoint traffic: the stripe vector cannot prove
+// anything (an occupied stripe moved), so the engine must fall back to the ring
+// — which still absorbs the walk because the churn bloom misses the read bloom.
+TEST(PartitionedSkip, SameStripeDisjointTrafficFallsBackToRing) {
+  using F = ValPart;
+  using Probe = ValProbe<ValDomainTag>;
+  static F::Slot pair_a, pair_b;
+  static F::Slot pool[4096];
+  F::SingleWrite(&pair_a, EncodeInt(1));
+  F::SingleWrite(&pair_b, EncodeInt(2));
+  Bloom128 read_bloom = AddrBloom128(&pair_a.word);
+  read_bloom |= AddrBloom128(&pair_b.word);
+  const unsigned occupied =
+      (1u << CounterStripeOf(&pair_a.word)) | (1u << CounterStripeOf(&pair_b.word));
+  F::Slot* churn = nullptr;
+  for (auto& s : pool) {
+    if (((occupied >> CounterStripeOf(&s.word)) & 1u) != 0 &&
+        !AddrBloom128(&s.word).Intersects(read_bloom)) {
+      churn = &s;
+      break;
+    }
+  }
+  ASSERT_NE(churn, nullptr);
+
+  Probe::Reset();
+  F::ShortTx tx;
+  EXPECT_EQ(DecodeInt(tx.ReadRo(&pair_a)), 1u);
+  F::SingleWrite(churn, EncodeInt(5));  // moves an OCCUPIED stripe, disjoint bloom
+  EXPECT_EQ(DecodeInt(tx.ReadRo(&pair_b)), 2u);
+  EXPECT_TRUE(tx.Valid());
+  tx.Abort();
+
+  EXPECT_EQ(Probe::Get().stripe_skips, 0u)
+      << "a moved occupied stripe must not stripe-skip";
+  EXPECT_GE(Probe::Get().bloom_skips, 1u) << "the ring is the fallback";
+  EXPECT_EQ(Probe::Get().validation_walks, 0u);
+}
+
+// Correctness under the partitioned family: a write that actually hits the read
+// set must still invalidate the reader (stripe check fails, ring intersects, the
+// walk sees the changed value).
+TEST(PartitionedSkip, SameLocationWriteIsDetected) {
+  using F = ValPart;
+  static F::Slot pair_a, pair_b;
+  F::SingleWrite(&pair_a, EncodeInt(1));
+  F::SingleWrite(&pair_b, EncodeInt(2));
+
+  F::ShortTx tx;
+  EXPECT_EQ(DecodeInt(tx.ReadRo(&pair_a)), 1u);
+  F::SingleWrite(&pair_a, EncodeInt(99));
+  tx.ReadRo(&pair_b);
+  EXPECT_FALSE(tx.Valid()) << "a changed read-set entry must invalidate the tx";
+  tx.Abort();
+}
+
+// Commit-time partitioned skip: a committing writer whose read-occupied stripes
+// saw only its own bump (foreign traffic entirely in other stripes) skips its
+// final walk via the per-stripe expected-increment test.
+TEST(PartitionedSkip, CommitSkipSurvivesDisjointStripeTraffic) {
+  using F = ValPart;
+  using Probe = ValProbe<ValDomainTag>;
+  static F::Slot read_slot, write_slot;
+  static F::Slot pool[4096];
+  F::SingleWrite(&read_slot, EncodeInt(4));
+  F::SingleWrite(&write_slot, EncodeInt(5));
+  const unsigned occupied = 1u << CounterStripeOf(&read_slot.word);
+  F::Slot* churn = FindStripeDisjointValSlot(pool, occupied);
+  ASSERT_NE(churn, nullptr);
+
+  Probe::Reset();
+  F::FullTx tx;
+  Word v = 0;
+  do {
+    tx.Start();
+    v = tx.Read(&read_slot);
+    F::SingleWrite(churn, EncodeInt(11));  // foreign bump, disjoint stripe
+    tx.Write(&write_slot, EncodeInt(6));
+  } while (!tx.Commit());
+  EXPECT_EQ(DecodeInt(v), 4u);
+  EXPECT_GE(Probe::Get().stripe_skips, 1u)
+      << "the commit must skip through the per-stripe test, not walk";
+  EXPECT_EQ(Probe::Get().validation_walks, 0u);
+}
+
+// --- Strategy-band hysteresis (the GV6 enter/exit dead-band pattern) ------------
+
+TEST(ChooseStrategy, AbortBandEdgesAreHysteretic) {
+  const std::uint32_t lower_band =
+      (kEwmaCounterSkipExitQ16 + kEwmaCounterSkipMaxQ16) / 2;
+  // Inside the counter-skip/bloom dead band the previous choice sticks — the
+  // single-threshold design flipped here on every EWMA wiggle.
+  EXPECT_EQ(ChooseStrategy(ValMode::kAdaptive, true, lower_band, 65536u,
+                           /*has_prev=*/true, ValStrategy::kCounterSkip),
+            ValStrategy::kCounterSkip);
+  EXPECT_EQ(ChooseStrategy(ValMode::kAdaptive, true, lower_band, 65536u,
+                           /*has_prev=*/true, ValStrategy::kBloom),
+            ValStrategy::kBloom);
+  // Leaving through the exit edge flips back.
+  EXPECT_EQ(ChooseStrategy(ValMode::kAdaptive, true, kEwmaCounterSkipExitQ16 - 1,
+                           65536u, /*has_prev=*/true, ValStrategy::kBloom),
+            ValStrategy::kCounterSkip);
+  // Upper (bloom/incremental) band behaves the same way.
+  const std::uint32_t upper_band = (kEwmaBloomExitQ16 + kEwmaBloomMaxQ16) / 2;
+  EXPECT_EQ(ChooseStrategy(ValMode::kAdaptive, true, upper_band, 65536u,
+                           /*has_prev=*/true, ValStrategy::kIncremental),
+            ValStrategy::kIncremental);
+  EXPECT_EQ(ChooseStrategy(ValMode::kAdaptive, true, upper_band, 65536u,
+                           /*has_prev=*/true, ValStrategy::kBloom),
+            ValStrategy::kBloom);
+  EXPECT_EQ(ChooseStrategy(ValMode::kAdaptive, true, kEwmaBloomExitQ16 - 1, 65536u,
+                           /*has_prev=*/true, ValStrategy::kIncremental),
+            ValStrategy::kBloom);
+}
+
+TEST(ChooseStrategy, SkipEfficacyRecoveryIsHysteretic) {
+  const std::uint32_t in_band = (kSkipEwmaMinQ16 + kSkipEwmaRecoverQ16) / 2;
+  // A thread that fell back to walking needs the RECOVER threshold to resume...
+  EXPECT_EQ(ChooseStrategy(ValMode::kAdaptive, true, 0, in_band,
+                           /*has_prev=*/true, ValStrategy::kIncremental),
+            ValStrategy::kIncremental);
+  // ...while a thread still skipping keeps skipping at the same efficacy.
+  EXPECT_EQ(ChooseStrategy(ValMode::kAdaptive, true, 0, in_band,
+                           /*has_prev=*/true, ValStrategy::kCounterSkip),
+            ValStrategy::kCounterSkip);
+  EXPECT_EQ(ChooseStrategy(ValMode::kAdaptive, true, 0, kSkipEwmaRecoverQ16,
+                           /*has_prev=*/true, ValStrategy::kIncremental),
+            ValStrategy::kCounterSkip);
+}
+
+// End-to-end flap regression, mirroring clock_gv56_test's DeadBandDoesNotFlap:
+// an abort EWMA wiggling INSIDE the dead band must not alternate the strategy
+// attempts start with; leaving the band through the exit edge flips exactly once.
+TEST(StrategyHysteresis, InBandEwmaWiggleDoesNotFlap) {
+  using F = OrecLAdaptive;
+  using Probe = ValProbe<OrecLAdaptTag>;
+  static F::Slot a;
+  F::SingleWrite(&a, EncodeInt(1));
+  TxStats& stats = DescOf<OrecLAdaptTag>().stats;
+  stats.skip_ewma_q16.store(65536u);  // isolate the abort-band signal
+
+  // Rise through the enter edge: attempts settle on bloom.
+  while (AbortEwmaQ16(stats) < kEwmaCounterSkipMaxQ16) {
+    UpdateAbortEwma(stats, true);
+  }
+  {
+    F::ShortTx tx;
+    tx.ReadRo(&a);
+    tx.Abort();
+  }
+  ASSERT_EQ(Probe::Get().last_strategy, ValStrategy::kBloom);
+
+  const std::uint64_t switches_before = Probe::Get().strategy_switches;
+  const std::uint32_t mid =
+      (kEwmaCounterSkipExitQ16 + kEwmaCounterSkipMaxQ16) / 2;
+  for (int i = 0; i < 64; ++i) {
+    // Wiggle around the old single threshold's position (today's enter edge sits
+    // where the memoryless band edge sat): alternating values inside the band —
+    // the memoryless chooser alternated strategies on every such wiggle.
+    const std::uint32_t wiggle = mid + (i % 2 == 0 ? -64 : +64);
+    stats.abort_ewma_q16.store(wiggle, std::memory_order_relaxed);
+    ASSERT_GE(AbortEwmaQ16(stats), kEwmaCounterSkipExitQ16);
+    ASSERT_LT(AbortEwmaQ16(stats), kEwmaCounterSkipMaxQ16);
+    F::ShortTx tx;
+    tx.ReadRo(&a);  // pure-RO attempt: its Abort() leaves the EWMA untouched
+    tx.Abort();
+    EXPECT_EQ(Probe::Get().last_strategy, ValStrategy::kBloom)
+        << "in-band wiggling must never flip the strategy";
+  }
+  EXPECT_EQ(Probe::Get().strategy_switches, switches_before);
+
+  // Falling through the exit edge finally flips, once.
+  stats.abort_ewma_q16.store(kEwmaCounterSkipExitQ16 - 1,
+                             std::memory_order_relaxed);
+  {
+    F::ShortTx tx;
+    tx.ReadRo(&a);
+    tx.Abort();
+  }
+  EXPECT_EQ(Probe::Get().last_strategy, ValStrategy::kCounterSkip);
+  EXPECT_EQ(Probe::Get().strategy_switches, switches_before + 1);
+}
+
 }  // namespace
 }  // namespace spectm

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Offline markdown link checker for the docs CI job.
+
+Checks every inline link in the given markdown files:
+  * relative file links must resolve to an existing file or directory
+    (relative to the containing file);
+  * fragment links (`#anchor`, `file.md#anchor`) must name a heading that
+    exists in the target file, using GitHub's heading-slug rules;
+  * external schemes (http/https/mailto) are skipped — CI runners must not
+    need network access for a docs check.
+
+Usage: check_md_links.py FILE.md [FILE.md ...]
+Exits non-zero listing every broken link.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+INLINE_LINK = re.compile(r"(?<!\!)\[(?P<text>[^\]]*)\]\((?P<target>[^)\s]+)\)")
+FENCE = re.compile(r"^(```|~~~)")
+HEADING = re.compile(r"^#{1,6}\s+(?P<title>.+?)\s*#*\s*$")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def strip_fenced_blocks(lines):
+    out, in_fence = [], False
+    for line in lines:
+        if FENCE.match(line.strip()):
+            in_fence = not in_fence
+            out.append("")
+            continue
+        out.append("" if in_fence else line)
+    return out
+
+
+def github_slug(title):
+    # GitHub's anchor algorithm: lowercase, drop everything but word chars,
+    # spaces and hyphens, then spaces -> hyphens. Inline code/emphasis markers
+    # are dropped with the punctuation.
+    slug = title.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def headings_of(path):
+    slugs, counts = set(), {}
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError:
+        return slugs
+    for line in strip_fenced_blocks(lines):
+        m = HEADING.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group("title"))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def check_file(md_path):
+    errors = []
+    lines = md_path.read_text(encoding="utf-8").splitlines()
+    for lineno, line in enumerate(strip_fenced_blocks(lines), start=1):
+        for m in INLINE_LINK.finditer(line):
+            target = m.group("target")
+            if target.startswith(SKIP_SCHEMES):
+                continue
+            path_part, _, fragment = target.partition("#")
+            if path_part:
+                resolved = (md_path.parent / path_part).resolve()
+                if not resolved.exists():
+                    errors.append(
+                        f"{md_path}:{lineno}: broken link '{target}' "
+                        f"(no such file: {resolved})")
+                    continue
+                anchor_host = resolved
+            else:
+                anchor_host = md_path
+            if fragment:
+                if anchor_host.is_dir():
+                    errors.append(
+                        f"{md_path}:{lineno}: fragment on a directory link "
+                        f"'{target}'")
+                elif fragment.lower() not in headings_of(anchor_host):
+                    errors.append(
+                        f"{md_path}:{lineno}: broken anchor '#{fragment}' "
+                        f"in {anchor_host}")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    all_errors = []
+    for name in argv[1:]:
+        path = Path(name)
+        if not path.exists():
+            all_errors.append(f"{name}: file to check does not exist")
+            continue
+        all_errors.extend(check_file(path))
+    for err in all_errors:
+        print(err, file=sys.stderr)
+    checked = len(argv) - 1
+    if not all_errors:
+        print(f"check_md_links: {checked} file(s) OK")
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
