@@ -29,6 +29,8 @@
 
 #include "bench/set_bench.h"
 #include "src/structures/hash_tm_full.h"
+#include "src/tm/orec.h"
+#include "src/tm/serial.h"
 #include "src/tm/valstrategy.h"
 #include "src/tm/variants.h"
 
@@ -250,6 +252,131 @@ void EmitGroup(JsonReport& report, const char* variant, const char* clock,
   std::fputs(table.ToString().c_str(), stdout);
 }
 
+// --- Pathological-contention section (two-phase contention manager) -----------------
+//
+// A deterministic livelock script, same single-threaded probe-pass idiom as
+// MeasureProbes: an ADVERSARY LOCK planted on the victim's orec makes every
+// optimistic attempt conflict-abort — the shape phase 2 of the contention
+// manager (src/tm/serial.h) exists for. The adversary retreats only once the
+// CM answers the storm (first escalation observed), or — with the watchdog
+// disabled via SetSerialEscalationStreak(0) — only after a fixed budget of
+// 4x the default threshold. So the escalation-on row's max_abort_streak reads
+// "what the CM bounds" (threshold + the one serial attempt that still hit the
+// planted lock), while the escalation-off row's reads "how long the adversary
+// persisted" — it scales with the storm, i.e. is unbounded in the storm
+// length, which is the paper's livelock argument in one column.
+struct PathCell {
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t escalations = 0;
+  std::uint64_t serial_commits = 0;
+  std::uint64_t max_abort_streak = 0;
+  std::uint64_t backoff_spins = 0;
+};
+
+PathCell RunPathologicalPass(bool escalation_on) {
+  using F = OrecLAdaptive;
+  using Tag = OrecLAdaptTag;
+  using Probe = CmProbe<Tag>;
+
+  SetSerialEscalationStreak(escalation_on ? kSerialEscalationStreak : 0);
+  static F::Slot victim;
+  F::RawWrite(&victim, EncodeInt(1));
+  std::atomic<Word>& orec = F::Layout::OrecOf(victim);
+  TxDesc adversary;  // owns the planted lock; never runs a transaction itself
+
+  constexpr int kStorms = 3;
+  const std::uint64_t adversary_budget = 4 * kSerialEscalationStreak;
+  Probe::Reset();
+  const typename Probe::Counters start = Probe::Get();
+  PathCell cell;
+
+  for (int storm = 0; storm < kStorms; ++storm) {
+    const std::uint64_t esc_base = Probe::Get().escalations;
+    const Word saved = orec.load(std::memory_order_relaxed);
+    orec.store(MakeOrecLocked(&adversary), std::memory_order_release);
+    bool planted = true;
+    std::uint64_t failed_attempts = 0;
+    while (true) {
+      const bool answered = escalation_on
+                                ? Probe::Get().escalations > esc_base
+                                : failed_attempts >= adversary_budget;
+      if (planted && answered) {
+        orec.store(saved, std::memory_order_release);
+        planted = false;
+      }
+      F::FullTx tx;
+      tx.Start();
+      tx.Read(&victim);
+      tx.Write(&victim, EncodeInt(static_cast<std::uint64_t>(storm) + 2));
+      if (tx.Commit()) {
+        ++cell.commits;
+        break;
+      }
+      ++cell.aborts;
+      ++failed_attempts;
+    }
+    // Quiet commits between storms drain the post-serial cooldown, so every
+    // storm faces the 1x threshold (the steady-state per-storm bound, not the
+    // hysteresis-doubled one).
+    for (std::uint32_t i = 0; i < kSerialCooldownCommits; ++i) {
+      F::FullTx tx;
+      do {
+        tx.Start();
+        tx.Read(&victim);
+      } while (!tx.Commit());
+      ++cell.commits;
+    }
+  }
+
+  const typename Probe::Counters end = Probe::Get();
+  cell.escalations = end.escalations - start.escalations;
+  cell.serial_commits = end.serial_commits - start.serial_commits;
+  cell.max_abort_streak = end.max_abort_streak;
+  cell.backoff_spins = end.backoff_spins - start.backoff_spins;
+  return cell;
+}
+
+void RunPathologicalSection(JsonReport& report) {
+  std::printf(
+      "\norec-full-l — pathological (planted adversary lock, %d storms, "
+      "escalation threshold %llu)\n",
+      3, static_cast<unsigned long long>(kSerialEscalationStreak));
+  TextTable table({"cm", "commits", "aborts", "escalations", "serial-commits",
+                   "max-streak", "backoff-spins"});
+  struct {
+    const char* name;
+    bool on;
+  } rows[] = {{"escalation-on", true}, {"escalation-off", false}};
+  for (const auto& spec : rows) {
+    const PathCell cell = RunPathologicalPass(spec.on);
+    BenchRecord r;
+    r.variant = "orec-full-l";
+    r.clock = "local";
+    r.workload = "pathological";
+    r.strategy = spec.name;
+    r.threads = 1;
+    r.lookup_pct = 0;
+    r.commits = cell.commits;
+    r.aborts = cell.aborts;
+    r.abort_rate = static_cast<double>(cell.aborts) /
+                   static_cast<double>(cell.commits + cell.aborts);
+    r.has_cm = true;
+    r.escalations = cell.escalations;
+    r.serial_commits = cell.serial_commits;
+    r.max_abort_streak = cell.max_abort_streak;
+    r.backoff_spins = cell.backoff_spins;
+    report.Add(r);
+    table.AddRow({spec.name, std::to_string(cell.commits),
+                  std::to_string(cell.aborts), std::to_string(cell.escalations),
+                  std::to_string(cell.serial_commits),
+                  std::to_string(cell.max_abort_streak),
+                  std::to_string(cell.backoff_spins)});
+  }
+  SetSerialEscalationStreak(kSerialEscalationStreak);  // restore the default
+  std::fputs(table.ToString().c_str(), stdout);
+}
+
 bool Run(const std::string& json_path) {
   const std::vector<int> threads = bench::ThreadSweep();
   const int max_threads = threads.back();
@@ -274,6 +401,8 @@ bool Run(const std::string& json_path) {
     val_rows.push_back(MeasureFamily<ValAdaptive>("adaptive", wl, max_threads));
     EmitGroup(report, "val-full", "none", wl, max_threads, val_rows);
   }
+
+  RunPathologicalSection(report);
 
   return json_path.empty() || report.WriteFile(json_path);
 }

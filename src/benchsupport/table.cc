@@ -150,6 +150,12 @@ std::string JsonReport::ToJson() const {
           << ", \"stripe_bumps\": " << r.stripe_bumps
           << ", \"cross_stripe_walks\": " << r.cross_stripe_walks;
     }
+    if (r.has_cm) {
+      out << ", \"escalations\": " << r.escalations
+          << ", \"serial_commits\": " << r.serial_commits
+          << ", \"max_abort_streak\": " << r.max_abort_streak
+          << ", \"backoff_spins\": " << r.backoff_spins;
+    }
     out << "}";
   }
   out << "\n  ]\n}\n";

@@ -70,6 +70,14 @@ struct BenchRecord {
   std::uint64_t stripe_skips = 0;       // ValProbe: walks avoided by stable stripes
   std::uint64_t stripe_bumps = 0;       // ValProbe: writer-side stripe-counter bumps
   std::uint64_t cross_stripe_walks = 0; // ValProbe: kStripe walks no skip absorbed
+
+  // Contention-manager extensions (abl_adaptive_val pathological section):
+  // emitted only when has_cm is set, so earlier BENCH_*.json stay byte-stable.
+  bool has_cm = false;
+  std::uint64_t escalations = 0;       // CmProbe: serial-mode entries
+  std::uint64_t serial_commits = 0;    // CmProbe: commits under the token
+  std::uint64_t max_abort_streak = 0;  // worst consecutive-abort streak in cell
+  std::uint64_t backoff_spins = 0;     // CmProbe: phase-1 spins actually waited
 };
 
 // Collects BenchRecords and renders them as a JSON document:

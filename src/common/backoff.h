@@ -5,6 +5,10 @@
 // contention manager)". The wait is a bounded spin: the expected delay grows
 // linearly with the number of consecutive aborts, with a uniformly random factor to
 // de-synchronize repeat offenders.
+//
+// This is only the FIRST phase: `attempts()` is the abort streak, and the second
+// phase (serial-irrevocable escalation past kSerialEscalationStreak) lives in
+// src/tm/serial.h, which watches this streak through SerialCm.
 #ifndef SPECTM_COMMON_BACKOFF_H_
 #define SPECTM_COMMON_BACKOFF_H_
 
@@ -17,10 +21,17 @@ namespace spectm {
 
 class Backoff {
  public:
+  // Public so tests and probes can state the worst-case delay honestly:
+  // one wait is bounded by kMaxAttemptFactor * kSpinsPerAttempt (~65k) spins.
+  static constexpr std::uint64_t kSpinsPerAttempt = 64;
+  static constexpr std::uint64_t kMaxAttemptFactor = 1024;  // caps worst-case delay
+
   explicit Backoff(std::uint64_t seed = 0x9e3779b9ULL) : rng_(seed) {}
 
   // Call after an abort; spins for a random time linear in the abort streak.
-  void OnAbort() {
+  // Returns the number of spins actually waited so the caller can account the
+  // delay (CmProbe::backoff_spins) instead of it vanishing into dark time.
+  std::uint64_t OnAbort() {
     if (attempts_ < kMaxAttemptFactor) {
       ++attempts_;
     }
@@ -28,17 +39,16 @@ class Backoff {
     for (std::uint64_t i = 0; i < spins; ++i) {
       CpuRelax();
     }
+    return spins;
   }
 
   // Call after a successful commit to reset the streak.
   void OnCommit() { attempts_ = 0; }
 
+  // Consecutive-abort streak: the watchdog signal for serial escalation.
   std::uint64_t attempts() const { return attempts_; }
 
  private:
-  static constexpr std::uint64_t kSpinsPerAttempt = 64;
-  static constexpr std::uint64_t kMaxAttemptFactor = 1024;  // caps worst-case delay
-
   Xorshift128Plus rng_;
   std::uint64_t attempts_ = 0;
 };

@@ -1,0 +1,216 @@
+// Deterministic fail-point fault injection, compiled out of production builds.
+//
+// The PR-2/PR-4 skip-soundness bugs both lived in windows a few instructions
+// wide (the orec sandwich, the counter-bump/ring-publish gap). Plain stress
+// tests hit such windows by luck; a fail point turns luck into a schedule: at
+// each named site an armed build can (a) force the transaction to abort, or
+// (b) inject a delay/yield to widen the race window, both driven by a seeded
+// per-thread RNG so a failing schedule replays from its seed.
+//
+// The whole layer is gated on SPECTM_FAILPOINTS (CMake option of the same
+// name). When the gate is off the macros fold to compile-time constants — no
+// loads, no branches, nothing for the optimizer to even see — which is
+// asserted by tests/common/failpoint_test.cc via static_assert.
+#ifndef SPECTM_COMMON_FAILPOINT_H_
+#define SPECTM_COMMON_FAILPOINT_H_
+
+#include <cstdint>
+
+#if defined(SPECTM_FAILPOINTS)
+#include <atomic>
+#include <thread>
+
+#include "src/common/cacheline.h"
+#include "src/common/rng.h"
+#include "src/common/thread_registry.h"
+#endif
+
+namespace spectm {
+namespace failpoint {
+
+// Injection sites sit at the protocol's razor edges — the spots where the
+// validation soundness argument (docs/VALIDATION.md) depends on ordering.
+enum class Site : int {
+  kPostReadPreSandwich = 0,  // between the data load and the version re-check
+  kPreValidate,              // before a skip check / read-set walk
+  kPreBump,                  // before the global commit-counter fetch_add
+  kPreRingPublish,           // the counter-bump -> ring-publish tail window
+  kPreStripeBump,            // before the per-stripe counter bumps
+  kLockAcquire,              // before a lock-word CAS
+  kCount,
+};
+
+inline constexpr int kSiteCount = static_cast<int>(Site::kCount);
+
+inline const char* SiteName(Site s) {
+  switch (s) {
+    case Site::kPostReadPreSandwich:
+      return "post-read-pre-sandwich";
+    case Site::kPreValidate:
+      return "pre-validate";
+    case Site::kPreBump:
+      return "pre-bump";
+    case Site::kPreRingPublish:
+      return "pre-ring-publish";
+    case Site::kPreStripeBump:
+      return "pre-stripe-bump";
+    case Site::kLockAcquire:
+      return "lock-acquire";
+    default:
+      return "?";
+  }
+}
+
+#if defined(SPECTM_FAILPOINTS)
+
+inline constexpr bool kEnabled = true;
+
+// Per-site arming. All fields are probabilities in percent except
+// `delay_spins` (CpuRelax iterations per injected delay) and `yield_instead`
+// (os-yield instead of spinning, for single-core hosts where spinning cannot
+// widen a window).
+struct SiteConfig {
+  std::atomic<std::uint32_t> abort_pct{0};
+  std::atomic<std::uint32_t> delay_pct{0};
+  std::atomic<std::uint32_t> delay_spins{0};
+  std::atomic<bool> yield_instead{false};
+};
+
+namespace internal {
+
+inline SiteConfig& Config(Site s) {
+  static SiteConfig configs[kSiteCount];
+  return configs[static_cast<int>(s)];
+}
+
+inline std::atomic<std::uint64_t>& HitCounter(Site s) {
+  static CacheAligned<std::atomic<std::uint64_t>> hits[kSiteCount];
+  return hits[static_cast<int>(s)].value;
+}
+
+inline std::atomic<std::uint64_t>& GlobalSeed() {
+  static std::atomic<std::uint64_t> seed{0x5eedf417ULL};
+  return seed;
+}
+
+// Bumped on every SetSeed so live threads discard their cached RNG state and
+// re-derive it from the new seed — reruns replay without restarting threads.
+inline std::atomic<std::uint64_t>& SeedEpoch() {
+  static std::atomic<std::uint64_t> epoch{0};
+  return epoch;
+}
+
+// Per-thread RNG derived from (global seed, dense thread slot) so a fixed
+// seed yields a fixed per-thread decision stream.
+inline Xorshift128Plus& ThreadRng() {
+  struct TlState {
+    Xorshift128Plus rng{0};
+    std::uint64_t epoch = ~std::uint64_t{0};
+  };
+  thread_local TlState tl;
+  const std::uint64_t epoch = SeedEpoch().load(std::memory_order_acquire);
+  if (tl.epoch != epoch) {
+    std::uint64_t mix = GlobalSeed().load(std::memory_order_acquire) +
+                        0x9e3779b97f4a7c15ULL *
+                            static_cast<std::uint64_t>(ThreadRegistry::CurrentId() + 1);
+    tl.rng = Xorshift128Plus(Xorshift128Plus::SplitMix64(&mix));
+    tl.epoch = epoch;
+  }
+  return tl.rng;
+}
+
+}  // namespace internal
+
+inline void SetSeed(std::uint64_t seed) {
+  internal::GlobalSeed().store(seed, std::memory_order_release);
+  internal::SeedEpoch().fetch_add(1, std::memory_order_acq_rel);
+}
+
+inline void Arm(Site s, std::uint32_t abort_pct, std::uint32_t delay_pct = 0,
+                std::uint32_t delay_spins = 0, bool yield_instead = false) {
+  SiteConfig& c = internal::Config(s);
+  c.delay_pct.store(delay_pct, std::memory_order_relaxed);
+  c.delay_spins.store(delay_spins, std::memory_order_relaxed);
+  c.yield_instead.store(yield_instead, std::memory_order_relaxed);
+  // abort_pct last (release): a site is "armed" once this is visible.
+  c.abort_pct.store(abort_pct, std::memory_order_release);
+}
+
+inline void Disarm(Site s) { Arm(s, 0, 0, 0, false); }
+
+inline void DisarmAll() {
+  for (int i = 0; i < kSiteCount; ++i) {
+    Disarm(static_cast<Site>(i));
+  }
+}
+
+inline std::uint64_t Hits(Site s) {
+  return internal::HitCounter(s).load(std::memory_order_relaxed);
+}
+
+inline void ResetHits() {
+  for (int i = 0; i < kSiteCount; ++i) {
+    internal::HitCounter(static_cast<Site>(i)).store(0, std::memory_order_relaxed);
+  }
+}
+
+namespace internal {
+
+inline void MaybeDelay(Site s, SiteConfig& c) {
+  const std::uint32_t delay_pct = c.delay_pct.load(std::memory_order_relaxed);
+  if (delay_pct != 0 && ThreadRng().NextPercent() < delay_pct) {
+    HitCounter(s).fetch_add(1, std::memory_order_relaxed);
+    if (c.yield_instead.load(std::memory_order_relaxed)) {
+      std::this_thread::yield();
+    } else {
+      const std::uint32_t spins = c.delay_spins.load(std::memory_order_relaxed);
+      for (std::uint32_t i = 0; i < spins; ++i) {
+        CpuRelax();
+      }
+    }
+  }
+}
+
+}  // namespace internal
+
+// Abort-style fire: inject any armed delay, then decide a forced abort.
+// Call sites treat `true` exactly like a real conflict at that point.
+inline bool FireAbort(Site s) {
+  SiteConfig& c = internal::Config(s);
+  const std::uint32_t abort_pct = c.abort_pct.load(std::memory_order_acquire);
+  internal::MaybeDelay(s, c);
+  if (abort_pct != 0 && internal::ThreadRng().NextPercent() < abort_pct) {
+    internal::HitCounter(s).fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+// Pause-style fire: delay/yield only, for sites that cannot abort (e.g. the
+// publication sequence after locks are held, where a forced abort would have
+// to unwind the bump — widening the window is the useful injection there).
+inline void FirePause(Site s) {
+  internal::MaybeDelay(s, internal::Config(s));
+}
+
+#else  // !SPECTM_FAILPOINTS
+
+inline constexpr bool kEnabled = false;
+
+#endif  // SPECTM_FAILPOINTS
+
+}  // namespace failpoint
+}  // namespace spectm
+
+// The macros reference the site token in both forms so an invalid site fails
+// to compile even in production builds, while the disabled form is a pure
+// constant expression (see failpoint_test.cc's static_assert).
+#if defined(SPECTM_FAILPOINTS)
+#define SPECTM_FAILPOINT(site) (::spectm::failpoint::FireAbort(site))
+#define SPECTM_FAILPOINT_PAUSE(site) (::spectm::failpoint::FirePause(site))
+#else
+#define SPECTM_FAILPOINT(site) (static_cast<void>(site), false)
+#define SPECTM_FAILPOINT_PAUSE(site) static_cast<void>(site)
+#endif
+
+#endif  // SPECTM_COMMON_FAILPOINT_H_

@@ -20,6 +20,10 @@
 // the wrapper invalidates itself so subsequent control flow takes the restart path.
 // Tests and debug builds read the violation log; production code simply instantiates
 // the raw ShortTx instead — zero overhead, as the paper prescribes.
+//
+// The wrapper delegates Reset/Abort to the underlying ShortTx unchanged, so the
+// two-phase contention manager (backoff + serial escalation, src/tm/serial.h)
+// applies to checked retry loops exactly as to raw ones.
 #ifndef SPECTM_TM_CHECKED_TX_H_
 #define SPECTM_TM_CHECKED_TX_H_
 

@@ -11,6 +11,13 @@
 // numbers are validated against the record's actual access count in debug builds
 // ("Incorrect uses of the SpecTM interface can typically be detected at runtime. For
 // performance, we do not implement such checks in non-debug modes." §2.2).
+//
+// Contention management rides along automatically: every retry entry point here
+// (Restart/Tx_RW_R1/Tx_RO_R1) funnels through ShortTx::Reset/Abort, which apply
+// the phase-1 randomized backoff on contention aborts and, past the abort-streak
+// threshold, escalate the NEXT attempt to serial-irrevocable mode (src/tm/serial.h)
+// — so a paper-style `goto restart` loop is livelock-bounded without any change
+// to calling code.
 #ifndef SPECTM_TM_COMPAT_H_
 #define SPECTM_TM_COMPAT_H_
 

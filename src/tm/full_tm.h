@@ -10,7 +10,11 @@
 //   * opacity: with a global clock via rv-sampling + extension, with local per-orec
 //     clocks via full read-set revalidation after every read (§4.1);
 //   * contention management: self-abort plus randomized linear backoff (SwissTM's
-//     first phase), driven by the caller's retry loop.
+//     first phase), driven by the caller's retry loop; past an abort streak of
+//     kSerialEscalationStreak the next attempt runs serial-irrevocable behind the
+//     domain's SerialGate (src/tm/serial.h) — it excludes every other committer
+//     (read-only transactions keep running) and therefore cannot conflict-abort,
+//     bounding the streak.
 //
 // Read-set layout: the log is SoA (src/common/soa_log.h) storing (orec, expected
 // unlocked orec body) lanes, and every validation walk runs through the batch
@@ -38,10 +42,12 @@
 #include <cassert>
 
 #include "src/common/cacheline.h"
+#include "src/common/failpoint.h"
 #include "src/common/tagged.h"
 #include "src/tm/clock.h"
 #include "src/tm/layout.h"
 #include "src/tm/orec.h"
+#include "src/tm/serial.h"
 #include "src/tm/txdesc.h"
 #include "src/tm/validate_batch.h"
 #include "src/tm/valstrategy.h"
@@ -64,6 +70,8 @@ class FullTm {
   // mode pays for them (see WriterSummary's kPartitionedCounters note).
   using Summary = WriterSummary<DomainTag, kMode == ValMode::kPartitioned>;
   using Probe = ValProbe<DomainTag>;
+  using Cm = SerialCm<DomainTag>;
+  using Gate = SerialGate<DomainTag>;
   static constexpr ValMode kValMode = kMode;
   // Reader-side strategy only pays off where per-read revalidation exists: the
   // local-clock families. Global-clock readers keep rv-sampling + extension.
@@ -83,6 +91,15 @@ class FullTm {
       desc_->lock_log.clear();
       active_ = true;
       user_abort_ = false;
+      // Two-phase contention manager, phase 2: past the (hysteretic) streak
+      // threshold this attempt runs serial-irrevocable. Token first, reads
+      // after — once AcquireSerial returns, no other committer is in flight,
+      // so nothing this attempt reads can be invalidated before Commit.
+      if (!serial_ && Cm::ShouldEscalate(*desc_)) {
+        Gate::AcquireSerial(desc_);
+        serial_ = true;
+        Cm::NoteEscalated();
+      }
       if constexpr (Clock::kHasGlobalClock) {
         rv_ = Clock::Sample();
       }
@@ -118,9 +135,15 @@ class FullTm {
           return Fail();
         }
         const Word value = Layout::Data(*s).load(std::memory_order_acquire);
+        // Widen the data-load -> version-recheck window (and optionally force
+        // a conflict) under fault injection; no-op in production builds.
+        SPECTM_FAILPOINT_PAUSE(failpoint::Site::kPostReadPreSandwich);
         const Word o2 = orec.load(std::memory_order_acquire);
         if (o1 != o2) {
           continue;  // raced with a commit; re-sandwich
+        }
+        if (SPECTM_FAILPOINT(failpoint::Site::kPostReadPreSandwich)) {
+          return Fail();
         }
         // o1 is the unlocked orec body — exactly the word validation expects to
         // re-observe, so it goes into the log's expected-word lane verbatim.
@@ -206,13 +229,27 @@ class FullTm {
       if (user_abort_) {
         desc_->stats.aborts.fetch_add(1, std::memory_order_relaxed);
         UpdateAbortEwma(desc_->stats, /*aborted=*/true);
+        ReleaseSerialIfHeld();  // user abort must not wedge the domain
         return false;
       }
       if (desc_->wset.Empty()) {
         // Read-only: reads were kept consistent throughout (rv/extension or
-        // incremental validation), so there is nothing left to check.
+        // incremental validation), so there is nothing left to check. Readers
+        // never enter the committer gate — this is the path that keeps running
+        // concurrently with a serial transaction.
         OnCommit();
         return true;
+      }
+      // Committer gate: announce before the first lock CAS so a serial owner
+      // can drain us, and fail fast if the token is held (retry via backoff;
+      // bounded by the serial transaction's solo execution). A serial attempt
+      // holds the token instead and skips the gate.
+      if (!serial_) {
+        if (!Gate::TryEnterCommitter(desc_)) {
+          OnAbort();
+          return false;
+        }
+        gated_ = true;
       }
       if (!LockWriteSet()) {
         ReleaseLocks();
@@ -321,6 +358,12 @@ class FullTm {
     // an orec this transaction itself locked at commit time — tolerated iff the
     // displaced body still matches.
     bool ValidateReadLogPrefix(std::size_t count) const {
+      // Forced failure here exercises every abort edge that follows a walk —
+      // including the post-publish one (summary bumped, then abort), which the
+      // soundness argument claims is conservative-but-safe.
+      if (SPECTM_FAILPOINT(failpoint::Site::kPreValidate)) {
+        return false;
+      }
       typename Probe::Counters& probe = Probe::Get();
       return ValidateEqualSpan(
           desc_->read_log.Ptrs(), desc_->read_log.Words(), count,
@@ -355,6 +398,9 @@ class FullTm {
 
     bool LockWriteSet() {
       for (const WriteSet::Entry& e : desc_->wset) {
+        if (SPECTM_FAILPOINT(failpoint::Site::kLockAcquire)) {
+          return false;  // partial-lock abort: ReleaseLocks restores the prefix
+        }
         std::atomic<Word>& orec = Layout::OrecOf(*static_cast<Slot*>(e.addr));
         Word w = orec.load(std::memory_order_relaxed);
         while (true) {
@@ -382,16 +428,45 @@ class FullTm {
       desc_->lock_log.clear();
     }
 
+    // The gate is held through the releasing stores: a serial transaction must
+    // not see flags drained while our commit locks are still planted, or its
+    // own (fail-fast) lock acquisition could hit them and abort — the one
+    // thing serial mode promises cannot happen.
+    void ExitGateIfHeld() {
+      if (gated_) {
+        Gate::ExitCommitter(desc_);
+        gated_ = false;
+      }
+    }
+
+    void ReleaseSerialIfHeld() {
+      if (serial_) {
+        Gate::ReleaseSerial(desc_);
+        serial_ = false;
+      }
+    }
+
     void OnCommit() {
+      ExitGateIfHeld();
       desc_->stats.commits.fetch_add(1, std::memory_order_relaxed);
       UpdateAbortEwma(desc_->stats, /*aborted=*/false);
-      desc_->backoff.OnCommit();
+      if (serial_) {
+        Gate::ReleaseSerial(desc_);
+        serial_ = false;
+        Cm::OnSerialCommit(*desc_);
+      } else {
+        Cm::OnOptimisticCommit(*desc_);
+      }
     }
 
     void OnAbort() {
+      ExitGateIfHeld();
+      // A serial attempt cannot conflict-abort, but a forced (fail-point)
+      // abort can land here; the token MUST go back either way.
+      ReleaseSerialIfHeld();
       desc_->stats.aborts.fetch_add(1, std::memory_order_relaxed);
       UpdateAbortEwma(desc_->stats, /*aborted=*/true);
-      desc_->backoff.OnAbort();
+      Cm::NoteAbortBackoff(*desc_);
     }
 
     TxDesc* desc_ = nullptr;
@@ -400,6 +475,8 @@ class FullTm {
     bool active_ = false;
     bool conflicted_ = false;
     bool user_abort_ = false;
+    bool serial_ = false;  // this attempt holds the serialization token
+    bool gated_ = false;   // this attempt announced itself as a committer
   };
 
   // Convenience retry wrapper: runs `body(tx)` until it commits. The body must

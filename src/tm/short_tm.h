@@ -31,11 +31,13 @@
 #include <initializer_list>
 
 #include "src/common/cacheline.h"
+#include "src/common/failpoint.h"
 #include "src/common/inline_vec.h"
 #include "src/common/tagged.h"
 #include "src/tm/clock.h"
 #include "src/tm/layout.h"
 #include "src/tm/orec.h"
+#include "src/tm/serial.h"
 #include "src/tm/txdesc.h"
 #include "src/tm/valstrategy.h"
 
@@ -57,6 +59,8 @@ class ShortTm {
   // mode pays for them (see WriterSummary's kPartitionedCounters note).
   using Summary = WriterSummary<DomainTag, kMode == ValMode::kPartitioned>;
   using Probe = ValProbe<DomainTag>;
+  using Cm = SerialCm<DomainTag>;
+  using Gate = SerialGate<DomainTag>;
   static constexpr ValMode kValMode = kMode;
   static constexpr bool kStrategic = kMode != ValMode::kPassive;
 
@@ -89,6 +93,17 @@ class ShortTm {
       // transaction instead of pushing past the InlineVec bound. The caller's normal
       // Valid()/Abort()/restart path then surfaces the bug safely.
       if (rw_.Full()) {
+        valid_ = false;
+        return 0;
+      }
+      // Encounter-time locking makes every RW transaction a committer from its
+      // first lock onward: announce at the committer gate BEFORE that lock so a
+      // serial-irrevocable transaction (src/tm/serial.h) can exclude us. Fail
+      // fast while the token is held — the caller's normal restart loop retries.
+      if (!EnterGateForFirstLock()) {
+        return 0;
+      }
+      if (SPECTM_FAILPOINT(failpoint::Site::kLockAcquire)) {
         valid_ = false;
         return 0;
       }
@@ -137,9 +152,14 @@ class ShortTm {
           return 0;
         }
         const Word value = Layout::Data(*s).load(std::memory_order_acquire);
+        SPECTM_FAILPOINT_PAUSE(failpoint::Site::kPostReadPreSandwich);
         const Word o2 = orec.load(std::memory_order_acquire);
         if (o1 != o2) {
           continue;
+        }
+        if (SPECTM_FAILPOINT(failpoint::Site::kPostReadPreSandwich)) {
+          valid_ = false;
+          return 0;
         }
         // Fast path: the entry just sandwiched is consistent at its own read
         // instant; only EARLIER entries need re-checking (orec versions are
@@ -208,6 +228,13 @@ class ShortTm {
       }
       assert(ro_index >= 0 && static_cast<std::size_t>(ro_index) < ro_.Size());
       if (rw_.Full()) {  // overflow invalidates instead of corrupting (see ReadRw)
+        valid_ = false;
+        return false;
+      }
+      if (!EnterGateForFirstLock()) {  // upgrades lock too (see ReadRw)
+        return false;
+      }
+      if (SPECTM_FAILPOINT(failpoint::Site::kLockAcquire)) {
         valid_ = false;
         return false;
       }
@@ -297,6 +324,10 @@ class ShortTm {
           e.orec->store(e.old_word, std::memory_order_release);
         }
       }
+      // Locks are restored above BEFORE the gate exit: a draining serial
+      // transaction must never observe flags at zero while our locks stand.
+      ExitGateIfHeld();
+      ReleaseSerialIfHeld();
       const bool untouched = rw_.Empty() && ro_.Empty() && valid_;
       // A still-valid, read-only record being dropped is the paper's normal RO
       // completion/cleanup pattern ("successful validation serves in the place of
@@ -310,6 +341,10 @@ class ShortTm {
         desc_->stats.aborts.fetch_add(1, std::memory_order_relaxed);
         if (contention) {
           UpdateAbortEwma(desc_->stats, /*aborted=*/true);
+          // Phase-1 backoff + streak watchdog. The seed applied backoff only in
+          // the full engines; short transactions retried hot, which is exactly
+          // the lock-step livelock shape the two-phase manager exists to break.
+          Cm::NoteAbortBackoff(*desc_);
         }
       }
     }
@@ -348,10 +383,45 @@ class ShortTm {
 
     // Re-arms the strategy state for a fresh attempt (StrategyState: choose +
     // probe tick + anchor drawn BEFORE any read — the skip soundness argument
-    // needs the sample no later than the first read).
+    // needs the sample no later than the first read). Also the escalation
+    // checkpoint: past the (hysteretic) abort-streak threshold this attempt
+    // takes the serialization token up front and cannot conflict thereafter.
     void StartAttempt() {
+      if (!serial_ && Cm::ShouldEscalate(*desc_)) {
+        Gate::AcquireSerial(desc_);
+        serial_ = true;
+        Cm::NoteEscalated();
+      }
       if constexpr (kStrategic) {
         state_.StartAttempt(kMode, /*has_bloom_ring=*/true, desc_->stats);
+      }
+    }
+
+    // Committer-gate entry, once per attempt, before the FIRST lock CAS.
+    // Serial attempts own the token and skip the gate.
+    bool EnterGateForFirstLock() {
+      if (serial_ || gated_) {
+        return true;
+      }
+      if (!Gate::TryEnterCommitter(desc_)) {
+        valid_ = false;  // token held: fail fast, restart via Abort/Reset
+        return false;
+      }
+      gated_ = true;
+      return true;
+    }
+
+    void ExitGateIfHeld() {
+      if (gated_) {
+        Gate::ExitCommitter(desc_);
+        gated_ = false;
+      }
+    }
+
+    void ReleaseSerialIfHeld() {
+      if (serial_) {
+        Gate::ReleaseSerial(desc_);
+        serial_ = false;
       }
     }
 
@@ -404,6 +474,9 @@ class ShortTm {
     // Validates the first `count` RO entries (the per-read fast path excludes the
     // freshly sandwiched tail entry).
     bool ValidateRoPrefix(std::size_t count) const {
+      if (SPECTM_FAILPOINT(failpoint::Site::kPreValidate)) {
+        return false;
+      }
       for (std::size_t i = 0; i < count; ++i) {
         const RoEntry& e = ro_[i];
         const Word w = e.orec->load(std::memory_order_acquire);
@@ -435,15 +508,26 @@ class ShortTm {
     }
 
     void Finish(bool committed) {
+      // Locks were released by the caller; the gate can drop now (and must
+      // not before — see Abort()).
+      ExitGateIfHeld();
       finished_ = true;
       valid_ = false;
       if (committed) {
         desc_->stats.commits.fetch_add(1, std::memory_order_relaxed);
         UpdateAbortEwma(desc_->stats, /*aborted=*/false);
-        desc_->backoff.OnCommit();
+        if (serial_) {
+          Gate::ReleaseSerial(desc_);
+          serial_ = false;
+          Cm::OnSerialCommit(*desc_);
+        } else {
+          Cm::OnOptimisticCommit(*desc_);
+        }
       } else {
+        ReleaseSerialIfHeld();
         desc_->stats.aborts.fetch_add(1, std::memory_order_relaxed);
         UpdateAbortEwma(desc_->stats, /*aborted=*/true);
+        Cm::NoteAbortBackoff(*desc_);
       }
     }
 
@@ -455,6 +539,8 @@ class ShortTm {
     StratState state_;
     bool valid_ = true;
     bool finished_ = false;
+    bool serial_ = false;  // this attempt holds the serialization token
+    bool gated_ = false;   // this attempt announced itself as a committer
   };
 
   // --- Single-operation transactions (Tx_Single_*, Figure 2) -------------------------
@@ -476,10 +562,13 @@ class ShortTm {
     }
   }
 
-  // Linearizable single-word transactional write.
+  // Linearizable single-word transactional write. A committer like any other:
+  // it waits out a serial transaction at the gate (it has no abort/retry loop
+  // to fail fast into), bounded by the serial transaction's solo execution.
   static void SingleWrite(Slot* s, Word value) {
     std::atomic<Word>& orec = Layout::OrecOf(*s);
     TxDesc* self = &DescOf<DomainTag>();
+    Gate::EnterCommitterWait(self);
     const Word old_word = AcquireOrec(&orec, self);
     if constexpr (kStrategic) {
       // Locked, before the data store; one location -> one stripe bumped.
@@ -496,6 +585,7 @@ class ShortTm {
     }
     orec.store(MakeOrecVersion(Clock::ReleaseVersion(wv, old_word)),
                std::memory_order_release);
+    Gate::ExitCommitter(self);
   }
 
   // Linearizable single-word transactional compare-and-swap. Returns the observed
@@ -503,10 +593,12 @@ class ShortTm {
   static Word SingleCas(Slot* s, Word expected, Word desired) {
     std::atomic<Word>& orec = Layout::OrecOf(*s);
     TxDesc* self = &DescOf<DomainTag>();
+    Gate::EnterCommitterWait(self);
     const Word old_word = AcquireOrec(&orec, self);
     const Word observed = Layout::Data(*s).load(std::memory_order_acquire);
     if (observed != expected) {
       orec.store(old_word, std::memory_order_release);  // no update: version unchanged
+      Gate::ExitCommitter(self);
       return observed;
     }
     if constexpr (kStrategic) {
@@ -524,6 +616,7 @@ class ShortTm {
     }
     orec.store(MakeOrecVersion(Clock::ReleaseVersion(wv, old_word)),
                std::memory_order_release);
+    Gate::ExitCommitter(self);
     return observed;
   }
 
@@ -534,6 +627,7 @@ class ShortTm {
   // locks (no deadlock) — multi-location transactions must fail fast instead.
   static Word AcquireOrec(std::atomic<Word>* orec, TxDesc* self) {
     while (true) {
+      SPECTM_FAILPOINT_PAUSE(failpoint::Site::kLockAcquire);
       Word w = orec->load(std::memory_order_relaxed);
       if (!OrecIsLocked(w) &&
           orec->compare_exchange_weak(w, MakeOrecLocked(self), std::memory_order_acq_rel,

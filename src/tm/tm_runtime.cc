@@ -12,6 +12,7 @@ struct RegistryState {
   // Counts carried over from descriptors whose threads have exited.
   std::uint64_t retained_commits = 0;
   std::uint64_t retained_aborts = 0;
+  std::uint64_t retained_max_streak = 0;
 };
 
 RegistryState& State() {
@@ -34,6 +35,11 @@ void TxStatsRegistry::Unregister(TxStats* stats) {
     if (s.live[i] == stats) {
       s.retained_commits += stats->commits.load(std::memory_order_relaxed);
       s.retained_aborts += stats->aborts.load(std::memory_order_relaxed);
+      const std::uint64_t streak =
+          stats->max_abort_streak.load(std::memory_order_relaxed);
+      if (streak > s.retained_max_streak) {
+        s.retained_max_streak = streak;
+      }
       s.live[i] = s.live.back();
       s.live.pop_back();
       return;
@@ -47,11 +53,26 @@ TxStatsRegistry::Totals TxStatsRegistry::Snapshot() {
   Totals t;
   t.commits = s.retained_commits;
   t.aborts = s.retained_aborts;
+  t.max_abort_streak = s.retained_max_streak;
   for (const TxStats* stats : s.live) {
     t.commits += stats->commits.load(std::memory_order_relaxed);
     t.aborts += stats->aborts.load(std::memory_order_relaxed);
+    const std::uint64_t streak =
+        stats->max_abort_streak.load(std::memory_order_relaxed);
+    if (streak > t.max_abort_streak) {
+      t.max_abort_streak = streak;
+    }
   }
   return t;
+}
+
+void TxStatsRegistry::ResetMaxStreak() {
+  RegistryState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.retained_max_streak = 0;
+  for (TxStats* stats : s.live) {
+    stats->max_abort_streak.store(0, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace spectm

@@ -44,6 +44,11 @@ struct TxStats {
   // the domain's write traffic defeats them, steering the adaptive engine back
   // to the plain incremental walk.
   std::atomic<std::uint32_t> skip_ewma_q16{65536u};
+  // High-water mark of the consecutive-abort streak (Backoff::attempts()).
+  // Written by the owner via SerialCm::NoteAbortBackoff; rolled up by
+  // TxStatsRegistry so benches can report the worst streak a cell produced
+  // (bounded by kSerialEscalationStreak + hysteresis when escalation is on).
+  std::atomic<std::uint64_t> max_abort_streak{0};
 };
 
 // EWMA smoothing: alpha = 1/16 per transaction outcome. ~16 outcomes to move
@@ -94,9 +99,15 @@ class TxStatsRegistry {
   struct Totals {
     std::uint64_t commits = 0;
     std::uint64_t aborts = 0;
+    // Max (not sum) over live + retained descriptors' streak high-water marks.
+    std::uint64_t max_abort_streak = 0;
   };
   // Sum over live descriptors plus the retained counts of exited threads.
   static Totals Snapshot();
+  // Zeroes every live descriptor's streak high-water mark and the retained
+  // max, so benches can measure the worst streak of one timed window via
+  // ResetMaxStreak() ... Snapshot().max_abort_streak.
+  static void ResetMaxStreak();
 };
 
 // Read logs are SoA lanes (src/common/soa_log.h): `read_log` records
@@ -128,8 +139,7 @@ struct ValLockLogEntry {
 //     together on the leading lines, touched on every transaction.
 struct alignas(kCacheLineSize) TxDesc {
   TxDesc()
-      : thread_slot(ThreadRegistry::CurrentId()),
-        backoff(0xb0ffULL + static_cast<std::uint64_t>(thread_slot) * 0x9e3779b9ULL) {
+      : thread_slot(ThreadRegistry::CurrentId()), backoff(BackoffSeed()) {
     lock_log.reserve(64);
     val_lock_log.reserve(64);
     TxStatsRegistry::Register(&stats);
@@ -137,9 +147,31 @@ struct alignas(kCacheLineSize) TxDesc {
 
   ~TxDesc() { TxStatsRegistry::Unregister(&stats); }
 
+  // Backoff seed: thread slot alone is not enough — one thread owns one
+  // descriptor PER DOMAIN, and two domains' descriptors on the same slot would
+  // replay identical delay sequences. A process-wide construction serial
+  // (unique per descriptor by definition) mixed with the slot through
+  // splitmix64 de-synchronizes them; regression-tested in
+  // tests/common/backoff_test.cc. (Deliberately NOT the descriptor address:
+  // descriptors are thread_local, and folding a TLS address into seed
+  // arithmetic makes the compiler emit the whole mixed constant as one
+  // 32-bit TPOFF relocation addend, which overflows at link time.)
+  std::uint64_t BackoffSeed() const {
+    static std::atomic<std::uint64_t> serial{0};
+    std::uint64_t mix =
+        0xb0ffULL + static_cast<std::uint64_t>(thread_slot) * 0x9e3779b9ULL +
+        (serial.fetch_add(1, std::memory_order_relaxed) << 32);
+    return Xorshift128Plus::SplitMix64(&mix);
+  }
+
   // Owner-private hot fields.
   int thread_slot;
   Backoff backoff;
+  // Serial-escalation hysteresis: optimistic commits remaining before the
+  // escalation threshold drops back from 2x to 1x after a serial commit
+  // (src/tm/serial.h). Owner-private; rides the hot leading line because every
+  // commit already touches `backoff` next to it.
+  std::uint32_t cm_cooldown = 0;
 
   // Full-transaction logs (orec/tvar layouts); owner-private. The read log is
   // SoA (one chunk pre-sized, capacity persisted across attempts); the write

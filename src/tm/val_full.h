@@ -29,8 +29,10 @@
 #include <cassert>
 
 #include "src/common/cacheline.h"
+#include "src/common/failpoint.h"
 #include "src/common/tagged.h"
 #include "src/tm/config.h"
+#include "src/tm/serial.h"
 #include "src/tm/txdesc.h"
 #include "src/tm/val_short.h"
 #include "src/tm/val_word.h"
@@ -45,6 +47,8 @@ class ValFullTm {
   using Validation = ValidationT;
   using Slot = ValSlot;
   using Probe = ValProbe<ValDomainTag>;
+  using Cm = SerialCm<ValDomainTag>;
+  using Gate = SerialGate<ValDomainTag>;
   static constexpr ValMode kValMode = kMode;
   // Strategy machinery only matters when the counter is precise; otherwise every
   // path degenerates to the incremental walk and the extra state is dead.
@@ -63,6 +67,16 @@ class ValFullTm {
       desc_->val_lock_log.clear();
       active_ = true;
       user_abort_ = false;
+      // Serial escalation (src/tm/serial.h): token before the first read, so
+      // the attempt observes a committer-quiescent domain and cannot abort.
+      // The serial commit below still bumps/publishes the writer summary —
+      // concurrent READERS keep validating against it (see VALIDATION.md
+      // "Serial-irrevocable interop").
+      if (!serial_ && Cm::ShouldEscalate(*desc_)) {
+        Gate::AcquireSerial(desc_);
+        serial_ = true;
+        Cm::NoteEscalated();
+      }
       if constexpr (kStrategic) {
         state_.StartAttempt(kMode, Validation::kHasBloomRing, desc_->stats);
       } else {
@@ -141,11 +155,22 @@ class ValFullTm {
       if (user_abort_) {
         desc_->stats.aborts.fetch_add(1, std::memory_order_relaxed);
         UpdateAbortEwma(desc_->stats, /*aborted=*/true);
+        ReleaseSerialIfHeld();
         return false;
       }
       if (desc_->wset.Empty()) {
         OnCommit();
         return true;  // reads were kept consistent incrementally
+      }
+      // Committer gate: announce before the first lock CAS; fail fast while a
+      // serial transaction holds the token (read-only transactions above never
+      // get here and keep running).
+      if (!serial_) {
+        if (!Gate::TryEnterCommitter(desc_)) {
+          OnAbort();
+          return false;
+        }
+        gated_ = true;
       }
       Bloom128 write_bloom = Bloom128All();
       unsigned write_stripes = kAllCounterStripesMask;
@@ -158,6 +183,11 @@ class ValFullTm {
         if constexpr (Validation::kHasBloomRing) {
           write_bloom |= AddrBloom128(word);
           write_stripes |= 1u << CounterStripeOf(word);
+        }
+        if (SPECTM_FAILPOINT(failpoint::Site::kLockAcquire)) {
+          ReleaseLocks();
+          OnAbort();
+          return false;
         }
         Word w = word->load(std::memory_order_relaxed);
         while (true) {
@@ -229,6 +259,9 @@ class ValFullTm {
     // the counter — so looping on it would guarantee a wasted second walk), and
     // re-anchors once a sample is stable across a full pass.
     bool ValidateReads() {
+      if (SPECTM_FAILPOINT(failpoint::Site::kPreValidate)) {
+        return false;
+      }
       ++Probe::Get().validation_walks;
       typename StratState::Snapshot snap = state_.DrawSnapshot();
       typename Probe::Counters& probe = Probe::Get();
@@ -269,22 +302,49 @@ class ValFullTm {
       desc_->val_lock_log.clear();
     }
 
+    // Gate held through the releasing stores (the value store IS the lock
+    // release here), so a draining serial transaction never sees our locks.
+    void ExitGateIfHeld() {
+      if (gated_) {
+        Gate::ExitCommitter(desc_);
+        gated_ = false;
+      }
+    }
+
+    void ReleaseSerialIfHeld() {
+      if (serial_) {
+        Gate::ReleaseSerial(desc_);
+        serial_ = false;
+      }
+    }
+
     void OnCommit() {
+      ExitGateIfHeld();
       desc_->stats.commits.fetch_add(1, std::memory_order_relaxed);
       UpdateAbortEwma(desc_->stats, /*aborted=*/false);
-      desc_->backoff.OnCommit();
+      if (serial_) {
+        Gate::ReleaseSerial(desc_);
+        serial_ = false;
+        Cm::OnSerialCommit(*desc_);
+      } else {
+        Cm::OnOptimisticCommit(*desc_);
+      }
     }
 
     void OnAbort() {
+      ExitGateIfHeld();
+      ReleaseSerialIfHeld();  // fail-point aborts can hit a serial attempt
       desc_->stats.aborts.fetch_add(1, std::memory_order_relaxed);
       UpdateAbortEwma(desc_->stats, /*aborted=*/true);
-      desc_->backoff.OnAbort();
+      Cm::NoteAbortBackoff(*desc_);
     }
 
     TxDesc* desc_ = nullptr;
     StratState state_;
     bool active_ = false;
     bool user_abort_ = false;
+    bool serial_ = false;  // this attempt holds the serialization token
+    bool gated_ = false;   // this attempt announced itself as a committer
   };
 
   template <typename Body>

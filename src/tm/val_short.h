@@ -22,9 +22,11 @@
 #include <initializer_list>
 
 #include "src/common/cacheline.h"
+#include "src/common/failpoint.h"
 #include "src/common/inline_vec.h"
 #include "src/common/tagged.h"
 #include "src/tm/config.h"
+#include "src/tm/serial.h"
 #include "src/tm/txdesc.h"
 #include "src/tm/val_word.h"
 #include "src/tm/valstrategy.h"
@@ -39,6 +41,8 @@ class ValShortTm {
   using Validation = ValidationT;
   using Slot = ValSlot;
   using Probe = ValProbe<ValDomainTag>;
+  using Cm = SerialCm<ValDomainTag>;
+  using Gate = SerialGate<ValDomainTag>;
   static constexpr ValMode kValMode = kMode;
   static constexpr bool kStrategic = Validation::kPrecise;
 
@@ -62,6 +66,16 @@ class ValShortTm {
       // Contract violation (§2.2) must not become memory corruption in release
       // builds: invalidate instead of pushing past the InlineVec bound.
       if (rw_.Full()) {
+        valid_ = false;
+        return 0;
+      }
+      // First lock makes this attempt a committer: announce at the gate so a
+      // serial-irrevocable transaction (src/tm/serial.h) can exclude us; fail
+      // fast while the token is held.
+      if (!EnterGateForFirstLock()) {
+        return 0;
+      }
+      if (SPECTM_FAILPOINT(failpoint::Site::kLockAcquire)) {
         valid_ = false;
         return 0;
       }
@@ -95,6 +109,10 @@ class ValShortTm {
       const Word w = s->word.load(std::memory_order_acquire);
       if (ValIsLocked(w)) {
         assert(ValOwnerOf(w) != desc_ && "RO and RW sets must be disjoint");
+        valid_ = false;
+        return 0;
+      }
+      if (SPECTM_FAILPOINT(failpoint::Site::kPostReadPreSandwich)) {
         valid_ = false;
         return 0;
       }
@@ -136,6 +154,9 @@ class ValShortTm {
     // value re-check (NOrec-style), re-anchoring the persistent sample so later
     // reads can skip; under NonReuseValidation it is one pass.
     bool ValidateRo() const {
+      if (SPECTM_FAILPOINT(failpoint::Site::kPreValidate)) {
+        return false;
+      }
       ++Probe::Get().validation_walks;
       typename StratState::Snapshot snap = state_.DrawSnapshot();
       while (true) {
@@ -163,6 +184,13 @@ class ValShortTm {
       }
       assert(ro_index >= 0 && static_cast<std::size_t>(ro_index) < ro_.Size());
       if (rw_.Full()) {  // overflow invalidates instead of corrupting (see ReadRw)
+        valid_ = false;
+        return false;
+      }
+      if (!EnterGateForFirstLock()) {  // upgrades lock too (see ReadRw)
+        return false;
+      }
+      if (SPECTM_FAILPOINT(failpoint::Site::kLockAcquire)) {
         valid_ = false;
         return false;
       }
@@ -235,6 +263,10 @@ class ValShortTm {
       for (const RwEntry& e : rw_) {
         e.slot->word.store(e.old_value, std::memory_order_release);
       }
+      // Values restored BEFORE the gate exit: a draining serial transaction
+      // must never observe flags at zero while our locks stand.
+      ExitGateIfHeld();
+      ReleaseSerialIfHeld();
       const bool untouched = rw_.Empty() && ro_.Empty() && valid_;
       // A still-valid, read-only record being dropped is the paper's normal RO
       // completion/cleanup pattern ("successful validation serves in the place of
@@ -248,6 +280,9 @@ class ValShortTm {
         desc_->stats.aborts.fetch_add(1, std::memory_order_relaxed);
         if (contention) {
           UpdateAbortEwma(desc_->stats, /*aborted=*/true);
+          // Phase-1 backoff + streak watchdog (the seed retried short
+          // transactions hot; see short_tm.h).
+          Cm::NoteAbortBackoff(*desc_);
         }
       }
     }
@@ -279,10 +314,45 @@ class ValShortTm {
 
     // Re-arms the strategy state for a fresh attempt (StrategyState: choose +
     // probe tick + anchor drawn BEFORE any read — the skip soundness argument
-    // needs the sample no later than the first read).
+    // needs the sample no later than the first read). Also the escalation
+    // checkpoint (src/tm/serial.h): past the hysteretic abort-streak threshold
+    // the attempt takes the serialization token up front. Serial commits still
+    // publish the writer summary below — concurrent readers' skip anchors
+    // depend on it (VALIDATION.md "Serial-irrevocable interop").
     void StartAttempt() {
+      if (!serial_ && Cm::ShouldEscalate(*desc_)) {
+        Gate::AcquireSerial(desc_);
+        serial_ = true;
+        Cm::NoteEscalated();
+      }
       if constexpr (kStrategic) {
         state_.StartAttempt(kMode, Validation::kHasBloomRing, desc_->stats);
+      }
+    }
+
+    bool EnterGateForFirstLock() {
+      if (serial_ || gated_) {
+        return true;
+      }
+      if (!Gate::TryEnterCommitter(desc_)) {
+        valid_ = false;  // token held: fail fast, restart via Abort/Reset
+        return false;
+      }
+      gated_ = true;
+      return true;
+    }
+
+    void ExitGateIfHeld() {
+      if (gated_) {
+        Gate::ExitCommitter(desc_);
+        gated_ = false;
+      }
+    }
+
+    void ReleaseSerialIfHeld() {
+      if (serial_) {
+        Gate::ReleaseSerial(desc_);
+        serial_ = false;
       }
     }
 
@@ -323,12 +393,23 @@ class ValShortTm {
     }
 
     void Finish(bool committed) {
+      // The releasing stores already happened; the gate can drop now (and
+      // must not before — see Abort()).
+      ExitGateIfHeld();
       finished_ = true;
       valid_ = false;
       if (committed) {
         desc_->stats.commits.fetch_add(1, std::memory_order_relaxed);
         UpdateAbortEwma(desc_->stats, /*aborted=*/false);
-        desc_->backoff.OnCommit();
+        if (serial_) {
+          Gate::ReleaseSerial(desc_);
+          serial_ = false;
+          Cm::OnSerialCommit(*desc_);
+        } else {
+          Cm::OnOptimisticCommit(*desc_);
+        }
+      } else {
+        ReleaseSerialIfHeld();
       }
     }
 
@@ -340,6 +421,8 @@ class ValShortTm {
     StratState state_;
     bool valid_ = true;
     bool finished_ = false;
+    bool serial_ = false;  // this attempt holds the serialization token
+    bool gated_ = false;   // this attempt announced itself as a committer
   };
 
   // --- Single-operation transactions --------------------------------------------------
@@ -368,8 +451,13 @@ class ValShortTm {
   // single-CAS fast path, which is the whole point of the default val-short mode.
   static void SingleWrite(Slot* s, Word value) {
     assert((value & kLockBit) == 0 && "val layout reserves bit 0 (use EncodeInt)");
+    // A committer like any other — including the bare-CAS non-reuse path: an
+    // ungated single-op store could invalidate a serial transaction's value
+    // log, the one abort serial mode promises away. Waits (no retry loop to
+    // fail fast into), bounded by the serial transaction's solo execution.
+    TxDesc* self = &DescOf<ValDomainTag>();
+    Gate::EnterCommitterWait(self);
     if constexpr (Validation::kPrecise) {
-      TxDesc* self = &DescOf<ValDomainTag>();
       Word w = s->word.load(std::memory_order_relaxed);
       while (true) {
         if (ValIsLocked(w)) {
@@ -389,9 +477,10 @@ class ValShortTm {
       Validation::OnWriterCommitWithBloom(self, AddrBloom128(&s->word),
                                           1u << CounterStripeOf(&s->word));
       s->word.store(value, std::memory_order_release);
+      Gate::ExitCommitter(self);
       return;
     }
-    Validation::OnWriterCommit(&DescOf<ValDomainTag>());
+    Validation::OnWriterCommit(self);
     Word w = s->word.load(std::memory_order_relaxed);
     while (true) {
       if (ValIsLocked(w)) {
@@ -401,6 +490,7 @@ class ValShortTm {
       }
       if (s->word.compare_exchange_weak(w, value, std::memory_order_acq_rel,
                                         std::memory_order_relaxed)) {
+        Gate::ExitCommitter(self);
         return;
       }
     }
@@ -411,8 +501,10 @@ class ValShortTm {
   // Precise policies use the lock-displace protocol (see SingleWrite).
   static Word SingleCas(Slot* s, Word expected, Word desired) {
     assert((desired & kLockBit) == 0 && "val layout reserves bit 0 (use EncodeInt)");
+    // Gated like SingleWrite, non-reuse path included (see the note there).
+    TxDesc* self = &DescOf<ValDomainTag>();
+    Gate::EnterCommitterWait(self);
     if constexpr (Validation::kPrecise) {
-      TxDesc* self = &DescOf<ValDomainTag>();
       while (true) {
         Word w = s->word.load(std::memory_order_acquire);
         if (ValIsLocked(w)) {
@@ -420,6 +512,7 @@ class ValShortTm {
           continue;
         }
         if (w != expected) {
+          Gate::ExitCommitter(self);
           return w;
         }
         if (s->word.compare_exchange_weak(w, MakeValLocked(self),
@@ -433,11 +526,12 @@ class ValShortTm {
           Validation::OnWriterCommitWithBloom(self, AddrBloom128(&s->word),
                                               1u << CounterStripeOf(&s->word));
           s->word.store(desired, std::memory_order_release);
+          Gate::ExitCommitter(self);
           return expected;
         }
       }
     }
-    Validation::OnWriterCommit(&DescOf<ValDomainTag>());
+    Validation::OnWriterCommit(self);
     while (true) {
       Word w = s->word.load(std::memory_order_acquire);
       if (ValIsLocked(w)) {
@@ -445,10 +539,12 @@ class ValShortTm {
         continue;
       }
       if (w != expected) {
+        Gate::ExitCommitter(self);
         return w;
       }
       if (s->word.compare_exchange_weak(w, desired, std::memory_order_acq_rel,
                                         std::memory_order_relaxed)) {
+        Gate::ExitCommitter(self);
         return expected;
       }
     }

@@ -88,6 +88,7 @@
 #include <cstdint>
 
 #include "src/common/cacheline.h"
+#include "src/common/failpoint.h"
 #include "src/common/tagged.h"
 #include "src/tm/txdesc.h"
 
@@ -486,6 +487,10 @@ struct WriterSummary {
   static Word PublishAndBump(const Bloom128& write_bloom,
                              unsigned stripe_mask = kAllCounterStripesMask) {
     if constexpr (kPartitioned) {
+      // Fault injection (no-ops in production): widen the gaps the ordering
+      // arguments above close — stripe-bumps vs global bump, and the
+      // bump -> ring-publish tail window readers probe through.
+      SPECTM_FAILPOINT_PAUSE(failpoint::Site::kPreStripeBump);
       for (int s = 0; s < kCounterStripes; ++s) {
         if ((stripe_mask >> s) & 1u) {
           StripeCounter(s).fetch_add(1, std::memory_order_seq_cst);
@@ -494,7 +499,9 @@ struct WriterSummary {
     } else {
       (void)stripe_mask;  // non-partitioned domain: the global bump is the protocol
     }
+    SPECTM_FAILPOINT_PAUSE(failpoint::Site::kPreBump);
     const Word idx = Counter().fetch_add(1, std::memory_order_seq_cst) + 1;
+    SPECTM_FAILPOINT_PAUSE(failpoint::Site::kPreRingPublish);
     Ring().Publish(idx, write_bloom);
     return idx;
   }

@@ -62,6 +62,10 @@ struct OrecBasedFamily {
 
 template <typename ValidationT, ValMode kMode = ValMode::kCounterSkip>
 struct ValFamilyT {
+  // All val families share one descriptor/metadata domain (they interoperate on
+  // the same words), so they also share one SerialGate/CmProbe. Named here so
+  // generic code can say CmProbe<typename Family::DomainTag> for either kind.
+  using DomainTag = ValDomainTag;
   using Validation = ValidationT;
   using Full = ValFullTm<ValidationT, kMode>;
   using Short = ValShortTm<ValidationT, kMode>;

@@ -1,0 +1,73 @@
+// Phase-1 contention management (randomized linear backoff): seeding,
+// streak/cap arithmetic, and the honest worst-case delay bound that
+// CmProbe::backoff_spins reports against.
+#include "src/common/backoff.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/tm/txdesc.h"
+
+namespace spectm {
+namespace {
+
+std::vector<std::uint64_t> DelaySequence(Backoff& b, int n) {
+  std::vector<std::uint64_t> seq;
+  seq.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    seq.push_back(b.OnAbort());
+  }
+  return seq;
+}
+
+TEST(Backoff, DistinctSeedsProduceDistinctDelaySequences) {
+  Backoff a(1);
+  Backoff b(2);
+  EXPECT_NE(DelaySequence(a, 16), DelaySequence(b, 16))
+      << "two differently-seeded backoffs replayed the same delays";
+}
+
+// Regression for the descriptor seeding: one thread owns one descriptor PER
+// DOMAIN, so two descriptors on the same thread slot must still draw
+// different delay sequences — otherwise every domain's retry loop on a thread
+// stays phase-locked and randomized backoff de-synchronizes nothing.
+TEST(Backoff, TwoDescriptorsOnOneThreadDiverge) {
+  TxDesc a;
+  TxDesc b;
+  EXPECT_EQ(a.thread_slot, b.thread_slot);
+  EXPECT_NE(DelaySequence(a.backoff, 16), DelaySequence(b.backoff, 16))
+      << "same-thread descriptors share a backoff stream";
+}
+
+TEST(Backoff, StreakCountsAbortsAndResetsOnCommit) {
+  Backoff b(7);
+  EXPECT_EQ(b.attempts(), 0u);
+  b.OnAbort();
+  b.OnAbort();
+  EXPECT_EQ(b.attempts(), 2u);
+  b.OnCommit();
+  EXPECT_EQ(b.attempts(), 0u);
+}
+
+TEST(Backoff, StreakCapsAtMaxAttemptFactor) {
+  Backoff b(3);
+  for (std::uint64_t i = 0; i < Backoff::kMaxAttemptFactor + 8; ++i) {
+    b.OnAbort();
+  }
+  EXPECT_EQ(b.attempts(), Backoff::kMaxAttemptFactor);
+}
+
+// The worst-case single wait is attempts * kSpinsPerAttempt — the bound the
+// header doc-comment states and CmProbe::backoff_spins accounts against.
+TEST(Backoff, ReturnedSpinsRespectTheLinearBound) {
+  Backoff b(11);
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t spins = b.OnAbort();
+    EXPECT_LE(spins, b.attempts() * Backoff::kSpinsPerAttempt);
+  }
+}
+
+}  // namespace
+}  // namespace spectm

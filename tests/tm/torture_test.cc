@@ -1,0 +1,175 @@
+// Fail-point torture: the linked-set balance invariant (adaptive_val_test.cc)
+// re-run under deterministic fault injection. Plain stress tests hit the
+// protocol's razor-edge windows by luck; here the fail-point layer
+// (src/common/failpoint.h) turns luck into a schedule — forced aborts at the
+// sandwich/validate/lock sites, injected delays inside the publication
+// sequence — all from a fixed seed, so a failing schedule replays.
+//
+// Without SPECTM_FAILPOINTS the injection schedules compile away and this
+// file still runs the un-injected baseline, so the binary is meaningful in
+// every build mode (the CI tsan smoke subset includes it).
+#include "src/common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/structures/hash_tm_full.h"
+#include "src/tm/serial.h"
+#include "src/tm/txdesc.h"
+#include "src/tm/variants.h"
+
+namespace spectm {
+namespace {
+
+// Smaller than adaptive_val_test's battery: this binary runs several
+// schedules per family and rides in the TSan smoke subset.
+constexpr int kWorkers = 4;
+constexpr int kOpsPerThread = 20000;
+constexpr std::uint64_t kKeys = 128;
+
+struct TortureResult {
+  std::int64_t balance_delta = 0;   // (present - expected): 0 iff sound
+  std::uint64_t escalations = 0;    // CmProbe totals over all workers
+  std::uint64_t serial_commits = 0;
+  std::uint64_t max_abort_streak = 0;
+};
+
+template <typename Family>
+TortureResult RunTortureBalance(std::uint64_t seed) {
+  using Probe = CmProbe<typename Family::DomainTag>;
+  TmHashSet<Family> set(32);
+  std::vector<std::int64_t> balance(kWorkers, 0);
+  std::atomic<std::uint64_t> escalations{0};
+  std::atomic<std::uint64_t> serial_commits{0};
+  std::atomic<std::uint64_t> max_streak{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWorkers; ++t) {
+    threads.emplace_back([&, t] {
+      Probe::Reset();
+      Xorshift128Plus rng(seed + static_cast<std::uint64_t>(t) * 7919);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::uint64_t k = rng.NextBounded(kKeys);
+        if (rng.Next() & 1) {
+          if (set.Insert(k)) {
+            ++balance[static_cast<std::size_t>(t)];
+          }
+        } else {
+          if (set.Remove(k)) {
+            --balance[static_cast<std::size_t>(t)];
+          }
+        }
+      }
+      const auto probe = Probe::Get();
+      escalations.fetch_add(probe.escalations);
+      serial_commits.fetch_add(probe.serial_commits);
+      std::uint64_t seen = max_streak.load();
+      while (probe.max_abort_streak > seen &&
+             !max_streak.compare_exchange_weak(seen, probe.max_abort_streak)) {
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  std::int64_t expected = 0;
+  for (const std::int64_t b : balance) {
+    expected += b;
+  }
+  std::int64_t present = 0;
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    present += set.Contains(k) ? 1 : 0;
+  }
+  TortureResult r;
+  r.balance_delta = present - expected;
+  r.escalations = escalations.load();
+  r.serial_commits = serial_commits.load();
+  r.max_abort_streak = max_streak.load();
+  return r;
+}
+
+class TortureTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+#if defined(SPECTM_FAILPOINTS)
+    failpoint::DisarmAll();
+    failpoint::ResetHits();
+#endif
+    SetSerialEscalationStreak(kSerialEscalationStreak);
+  }
+};
+
+TEST_F(TortureTest, BaselineOrecAdaptive) {
+  EXPECT_EQ(RunTortureBalance<OrecLAdaptive>(0x7041).balance_delta, 0);
+}
+
+TEST_F(TortureTest, BaselineValAdaptive) {
+  EXPECT_EQ(RunTortureBalance<ValAdaptive>(0x7042).balance_delta, 0);
+}
+
+TEST_F(TortureTest, BaselineValPart) {
+  EXPECT_EQ(RunTortureBalance<ValPart>(0x7043).balance_delta, 0);
+}
+
+#if defined(SPECTM_FAILPOINTS)
+
+// Forced aborts at the decision sites: every read's sandwich re-check, every
+// skip/walk decision, every lock CAS can spuriously "conflict". The engines
+// must treat an injected abort exactly like a real one — token released, locks
+// restored, logs replayed on retry — or the balance diverges.
+TEST_F(TortureTest, ForcedAbortScheduleKeepsBalance) {
+  failpoint::SetSeed(0xabf0);
+  failpoint::Arm(failpoint::Site::kPostReadPreSandwich, /*abort_pct=*/4);
+  failpoint::Arm(failpoint::Site::kPreValidate, /*abort_pct=*/3);
+  failpoint::Arm(failpoint::Site::kLockAcquire, /*abort_pct=*/4);
+  EXPECT_EQ(RunTortureBalance<OrecLAdaptive>(0x7141).balance_delta, 0);
+  EXPECT_EQ(RunTortureBalance<ValAdaptive>(0x7142).balance_delta, 0);
+  EXPECT_GT(failpoint::Hits(failpoint::Site::kLockAcquire), 0u)
+      << "the schedule never actually fired — the torture was a no-op";
+}
+
+// Delay injection inside the publication sequence (stripe bumps -> counter
+// bump -> ring publish): widens exactly the tail/crossing-committer windows
+// the bump-before-validate discipline (docs/VALIDATION.md) must cover.
+// Spin delays, NOT yields: the pauses run while commit locks are held, and on
+// a single-core host a yielding lock holder hands its whole quantum to peers
+// that spin in backoff against its locks — the run crawls through the
+// scheduler instead of through the protocol. Spins are cheap there and still
+// widen the windows wherever a second core can actually interleave.
+TEST_F(TortureTest, PublicationDelayScheduleKeepsBalance) {
+  failpoint::SetSeed(0xde1a);
+  failpoint::Arm(failpoint::Site::kPreStripeBump, /*abort_pct=*/0,
+                 /*delay_pct=*/25, /*delay_spins=*/400);
+  failpoint::Arm(failpoint::Site::kPreBump, /*abort_pct=*/0,
+                 /*delay_pct=*/25, /*delay_spins=*/400);
+  failpoint::Arm(failpoint::Site::kPreRingPublish, /*abort_pct=*/0,
+                 /*delay_pct=*/25, /*delay_spins=*/400);
+  EXPECT_EQ(RunTortureBalance<ValPart>(0x7243).balance_delta, 0);
+  EXPECT_EQ(RunTortureBalance<OrecLBloom>(0x7244).balance_delta, 0);
+}
+
+// The interop schedule: a low threshold plus a high forced-conflict rate
+// drives real escalations, so serial transactions commit INTERLEAVED with
+// optimistic ones — forced aborts keep firing inside serial attempts too
+// (token released, re-escalated, retried). The invariant must survive the
+// mixing, and the probes must show the escalation path actually ran.
+TEST_F(TortureTest, EscalationScheduleInteropsSeriallyAndOptimistically) {
+  SetSerialEscalationStreak(3);
+  failpoint::SetSeed(0x5e71);
+  failpoint::Arm(failpoint::Site::kLockAcquire, /*abort_pct=*/30);
+  const TortureResult r = RunTortureBalance<OrecLAdaptive>(0x7345);
+  EXPECT_EQ(r.balance_delta, 0)
+      << "serial/optimistic interleaving corrupted the set";
+  EXPECT_GT(r.escalations, 0u) << "the schedule never escalated";
+  EXPECT_GT(r.serial_commits, 0u) << "no escalated attempt ever committed";
+  EXPECT_GE(r.max_abort_streak, 3u);
+}
+
+#endif  // SPECTM_FAILPOINTS
+
+}  // namespace
+}  // namespace spectm
