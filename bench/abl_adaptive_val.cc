@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "bench/set_bench.h"
+#include "src/common/health.h"
 #include "src/structures/hash_tm_full.h"
 #include "src/tm/orec.h"
 #include "src/tm/serial.h"
@@ -272,6 +273,13 @@ struct PathCell {
   std::uint64_t serial_commits = 0;
   std::uint64_t max_abort_streak = 0;
   std::uint64_t backoff_spins = 0;
+  // Health-watchdog deltas; all zero unless built with SPECTM_HEALTH (the
+  // disabled probe is a constexpr all-zero, so no gating is needed here).
+  std::uint64_t health_samples = 0;
+  std::uint64_t health_storms = 0;
+  std::uint64_t degrade_enters = 0;
+  std::uint64_t degrade_exits = 0;
+  std::uint64_t throttled_escalations = 0;
 };
 
 PathCell RunPathologicalPass(bool escalation_on) {
@@ -289,6 +297,7 @@ PathCell RunPathologicalPass(bool escalation_on) {
   const std::uint64_t adversary_budget = 4 * kSerialEscalationStreak;
   Probe::Reset();
   const typename Probe::Counters start = Probe::Get();
+  const health::Counters hstart = health::HealthProbe<Tag>::Get();
   PathCell cell;
 
   for (int storm = 0; storm < kStorms; ++storm) {
@@ -298,8 +307,13 @@ PathCell RunPathologicalPass(bool escalation_on) {
     bool planted = true;
     std::uint64_t failed_attempts = 0;
     while (true) {
+      // The budget fallback also applies with escalation on: an SPECTM_HEALTH
+      // build may degrade mid-storm and THROTTLE the escalation this loop is
+      // waiting for (by design — the throttle delta is the row's evidence), so
+      // the adversary must eventually relent on attempts alone.
       const bool answered = escalation_on
-                                ? Probe::Get().escalations > esc_base
+                                ? (Probe::Get().escalations > esc_base ||
+                                   failed_attempts >= adversary_budget)
                                 : failed_attempts >= adversary_budget;
       if (planted && answered) {
         orec.store(saved, std::memory_order_release);
@@ -334,6 +348,13 @@ PathCell RunPathologicalPass(bool escalation_on) {
   cell.serial_commits = end.serial_commits - start.serial_commits;
   cell.max_abort_streak = end.max_abort_streak;
   cell.backoff_spins = end.backoff_spins - start.backoff_spins;
+  const health::Counters hend = health::HealthProbe<Tag>::Get();
+  cell.health_samples = hend.samples - hstart.samples;
+  cell.health_storms = hend.storms - hstart.storms;
+  cell.degrade_enters = hend.degrade_enters - hstart.degrade_enters;
+  cell.degrade_exits = hend.degrade_exits - hstart.degrade_exits;
+  cell.throttled_escalations =
+      hend.throttled_escalations - hstart.throttled_escalations;
   return cell;
 }
 
@@ -342,8 +363,13 @@ void RunPathologicalSection(JsonReport& report) {
       "\norec-full-l — pathological (planted adversary lock, %d storms, "
       "escalation threshold %llu)\n",
       3, static_cast<unsigned long long>(kSerialEscalationStreak));
-  TextTable table({"cm", "commits", "aborts", "escalations", "serial-commits",
-                   "max-streak", "backoff-spins"});
+  std::vector<std::string> header{"cm",           "commits",    "aborts",
+                                  "escalations",  "serial-commits",
+                                  "max-streak",   "backoff-spins"};
+  if (health::kEnabled) {
+    header.insert(header.end(), {"hwin", "degr-in", "thr-esc"});
+  }
+  TextTable table(std::move(header));
   struct {
     const char* name;
     bool on;
@@ -366,12 +392,25 @@ void RunPathologicalSection(JsonReport& report) {
     r.serial_commits = cell.serial_commits;
     r.max_abort_streak = cell.max_abort_streak;
     r.backoff_spins = cell.backoff_spins;
+    r.has_health = health::kEnabled;
+    r.health_samples = cell.health_samples;
+    r.health_storms = cell.health_storms;
+    r.degrade_enters = cell.degrade_enters;
+    r.degrade_exits = cell.degrade_exits;
+    r.throttled_escalations = cell.throttled_escalations;
     report.Add(r);
-    table.AddRow({spec.name, std::to_string(cell.commits),
-                  std::to_string(cell.aborts), std::to_string(cell.escalations),
-                  std::to_string(cell.serial_commits),
-                  std::to_string(cell.max_abort_streak),
-                  std::to_string(cell.backoff_spins)});
+    std::vector<std::string> row{spec.name, std::to_string(cell.commits),
+                                 std::to_string(cell.aborts),
+                                 std::to_string(cell.escalations),
+                                 std::to_string(cell.serial_commits),
+                                 std::to_string(cell.max_abort_streak),
+                                 std::to_string(cell.backoff_spins)};
+    if (health::kEnabled) {
+      row.insert(row.end(), {std::to_string(cell.health_samples),
+                             std::to_string(cell.degrade_enters),
+                             std::to_string(cell.throttled_escalations)});
+    }
+    table.AddRow(std::move(row));
   }
   SetSerialEscalationStreak(kSerialEscalationStreak);  // restore the default
   std::fputs(table.ToString().c_str(), stdout);

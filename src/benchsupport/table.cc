@@ -156,6 +156,13 @@ std::string JsonReport::ToJson() const {
           << ", \"max_abort_streak\": " << r.max_abort_streak
           << ", \"backoff_spins\": " << r.backoff_spins;
     }
+    if (r.has_health) {
+      out << ", \"health_samples\": " << r.health_samples
+          << ", \"health_storms\": " << r.health_storms
+          << ", \"degrade_enters\": " << r.degrade_enters
+          << ", \"degrade_exits\": " << r.degrade_exits
+          << ", \"throttled_escalations\": " << r.throttled_escalations;
+    }
     out << "}";
   }
   out << "\n  ]\n}\n";

@@ -78,6 +78,16 @@ struct BenchRecord {
   std::uint64_t serial_commits = 0;    // CmProbe: commits under the token
   std::uint64_t max_abort_streak = 0;  // worst consecutive-abort streak in cell
   std::uint64_t backoff_spins = 0;     // CmProbe: phase-1 spins actually waited
+
+  // Health-watchdog extensions (SPECTM_HEALTH builds of the pathological
+  // section): emitted only when has_health is set, so every BENCH_*.json
+  // produced by a watchdog-less build stays byte-stable.
+  bool has_health = false;
+  std::uint64_t health_samples = 0;         // HealthProbe: windows closed
+  std::uint64_t health_storms = 0;          // HealthProbe: abort-storm windows
+  std::uint64_t degrade_enters = 0;         // HealthProbe: entries into degraded mode
+  std::uint64_t degrade_exits = 0;          // HealthProbe: hysteretic recoveries
+  std::uint64_t throttled_escalations = 0;  // HealthProbe: escalations declined
 };
 
 // Collects BenchRecords and renders them as a JSON document:

@@ -28,6 +28,10 @@ class Backoff {
 
   explicit Backoff(std::uint64_t seed = 0x9e3779b9ULL) : rng_(seed) {}
 
+  // Bound on the health watchdog's temporary widening multiplier, so a buggy
+  // caller cannot turn the backoff into an unbounded stall.
+  static constexpr std::uint64_t kMaxWidening = 8;
+
   // Call after an abort; spins for a random time linear in the abort streak.
   // Returns the number of spins actually waited so the caller can account the
   // delay (CmProbe::backoff_spins) instead of it vanishing into dark time.
@@ -35,7 +39,8 @@ class Backoff {
     if (attempts_ < kMaxAttemptFactor) {
       ++attempts_;
     }
-    const std::uint64_t spins = rng_.NextBounded(attempts_ * kSpinsPerAttempt + 1);
+    const std::uint64_t spins =
+        rng_.NextBounded(attempts_ * kSpinsPerAttempt * widening_ + 1);
     for (std::uint64_t i = 0; i < spins; ++i) {
       CpuRelax();
     }
@@ -48,9 +53,18 @@ class Backoff {
   // Consecutive-abort streak: the watchdog signal for serial escalation.
   std::uint64_t attempts() const { return attempts_; }
 
+  // Graceful-degradation hook (src/common/health.h): while a domain is in an
+  // abort storm, the watchdog multiplies the expected wait to shed offered
+  // load, and restores 1 on recovery. Clamped; never changes the streak.
+  void SetWidening(std::uint64_t factor) {
+    widening_ = factor == 0 ? 1 : (factor > kMaxWidening ? kMaxWidening : factor);
+  }
+  std::uint64_t widening() const { return widening_; }
+
  private:
   Xorshift128Plus rng_;
   std::uint64_t attempts_ = 0;
+  std::uint64_t widening_ = 1;
 };
 
 }  // namespace spectm

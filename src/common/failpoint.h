@@ -74,6 +74,18 @@ struct SiteConfig {
   std::atomic<std::uint32_t> delay_pct{0};
   std::atomic<std::uint32_t> delay_spins{0};
   std::atomic<bool> yield_instead{false};
+  std::atomic<std::uint32_t> throw_pct{0};
+};
+
+// Exception injection (PR 7): a throw-armed site raises InjectedFault instead
+// of returning a forced-abort decision — a foreign exception erupting at the
+// protocol's razor edges, exactly where user code can never throw but the
+// unwind machinery (src/tm/txguard.h) must still hold. The engines do NOT
+// catch this type anywhere; it must unwind through their guards and out of
+// the retry loop with every lock restored and the serial token released
+// (tests/tm/exception_safety_test.cc asserts that, site by site).
+struct InjectedFault {
+  Site site;
 };
 
 namespace internal {
@@ -136,7 +148,18 @@ inline void Arm(Site s, std::uint32_t abort_pct, std::uint32_t delay_pct = 0,
   c.abort_pct.store(abort_pct, std::memory_order_release);
 }
 
-inline void Disarm(Site s) { Arm(s, 0, 0, 0, false); }
+// Arms exception injection at `s`: each fire throws InjectedFault with
+// probability throw_pct (drawn from the same per-thread seeded stream as the
+// abort/delay decisions, so a schedule mixing all three replays from one
+// seed). Orthogonal to Arm(): a site can force aborts AND throw.
+inline void ArmThrow(Site s, std::uint32_t throw_pct) {
+  internal::Config(s).throw_pct.store(throw_pct, std::memory_order_release);
+}
+
+inline void Disarm(Site s) {
+  Arm(s, 0, 0, 0, false);
+  ArmThrow(s, 0);
+}
 
 inline void DisarmAll() {
   for (int i = 0; i < kSiteCount; ++i) {
@@ -171,14 +194,27 @@ inline void MaybeDelay(Site s, SiteConfig& c) {
   }
 }
 
+// The RNG is drawn ONLY when throw_pct is armed, so schedules that never arm
+// throws keep their exact historical decision streams (same seed => same
+// forced-abort/delay sequence as before this mode existed).
+inline void MaybeThrow(Site s, SiteConfig& c) {
+  const std::uint32_t throw_pct = c.throw_pct.load(std::memory_order_acquire);
+  if (throw_pct != 0 && ThreadRng().NextPercent() < throw_pct) {
+    HitCounter(s).fetch_add(1, std::memory_order_relaxed);
+    throw InjectedFault{s};
+  }
+}
+
 }  // namespace internal
 
-// Abort-style fire: inject any armed delay, then decide a forced abort.
-// Call sites treat `true` exactly like a real conflict at that point.
+// Abort-style fire: inject any armed delay, then any armed throw, then decide
+// a forced abort. Call sites treat `true` exactly like a real conflict at
+// that point.
 inline bool FireAbort(Site s) {
   SiteConfig& c = internal::Config(s);
   const std::uint32_t abort_pct = c.abort_pct.load(std::memory_order_acquire);
   internal::MaybeDelay(s, c);
+  internal::MaybeThrow(s, c);
   if (abort_pct != 0 && internal::ThreadRng().NextPercent() < abort_pct) {
     internal::HitCounter(s).fetch_add(1, std::memory_order_relaxed);
     return true;
@@ -186,11 +222,16 @@ inline bool FireAbort(Site s) {
   return false;
 }
 
-// Pause-style fire: delay/yield only, for sites that cannot abort (e.g. the
-// publication sequence after locks are held, where a forced abort would have
-// to unwind the bump — widening the window is the useful injection there).
+// Pause-style fire: delay/yield only — no abort decision, for sites that
+// cannot conflict (e.g. the publication sequence after locks are held, where
+// a forced abort would have to unwind the bump — widening the window is the
+// useful injection there). Throw injection IS honored: pause sites run with
+// locks held and gate flags announced, which makes them the harshest unwind
+// tests of all, and "every planted site can erupt" is the tentpole's claim.
 inline void FirePause(Site s) {
-  internal::MaybeDelay(s, internal::Config(s));
+  SiteConfig& c = internal::Config(s);
+  internal::MaybeDelay(s, c);
+  internal::MaybeThrow(s, c);
 }
 
 #else  // !SPECTM_FAILPOINTS

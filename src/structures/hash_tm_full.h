@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/common/tagged.h"
@@ -63,7 +64,10 @@ class TmHashSet {
 
   bool Insert(std::uint64_t key) {
     EpochManager::Guard guard(epoch_);
-    Node* node = new Node(key);
+    // Owned until the publishing commit: an exception unwinding out of the
+    // transaction (TxCancel, injected fault) aborts the attempt with nothing
+    // published, so the node must be reclaimed here, not leaked.
+    std::unique_ptr<Node> node(new Node(key));
     typename Family::FullTx tx;
     bool inserted = false;
     do {
@@ -83,11 +87,11 @@ class TmHashSet {
         continue;
       }
       Family::RawWrite(&node->next, PtrToWord(curr));  // node is still private
-      tx.Write(prev_link, PtrToWord(node));
+      tx.Write(prev_link, PtrToWord(node.get()));
       inserted = true;
     } while (!tx.Commit());
-    if (!inserted) {
-      delete node;  // never published
+    if (inserted) {
+      node.release();  // published: the set owns it now
     }
     return inserted;
   }

@@ -80,21 +80,28 @@ class CheckedShortTx {
 
   CheckedShortTx() = default;
 
+  // Exception safety (src/tm/txguard.h): the engine call runs BEFORE the
+  // wrapper records the access, so a throw erupting inside the engine (an
+  // injected fault, or TxCancel from a conflict hook) leaves this shadow
+  // state describing exactly the accesses the engine saw — a later
+  // Reset()/Abort() then agrees with the engine about what to unwind.
   Word ReadRw(Slot* s) {
     if (!PreAccess(s, /*is_rw=*/true)) {
       return 0;
     }
+    const Word w = tx_.ReadRw(s);
     rw_slots_.push_back(s);
-    return tx_.ReadRw(s);
+    return w;
   }
 
   Word ReadRo(Slot* s) {
     if (!PreAccess(s, /*is_rw=*/false)) {
       return 0;
     }
+    const Word w = tx_.ReadRo(s);
     ro_slots_.push_back(s);
     ro_upgraded_.push_back(false);
-    return tx_.ReadRo(s);
+    return w;
   }
 
   bool Valid() const { return violations_.empty() && tx_.Valid(); }
@@ -114,25 +121,32 @@ class CheckedShortTx {
     if (rw_slots_.size() >= static_cast<std::size_t>(kMaxShortWrites)) {
       return Fail(TxViolation::kTooManyWrites);
     }
+    // Engine first, bookkeeping after (see ReadRw): an upgrade that throws
+    // must not leave the shadow RO entry marked upgraded.
+    const bool upgraded = tx_.UpgradeRoToRw(ro_index);
     ro_upgraded_[static_cast<std::size_t>(ro_index)] = true;
     rw_slots_.push_back(ro_slots_[static_cast<std::size_t>(ro_index)]);
-    return tx_.UpgradeRoToRw(ro_index);
+    return upgraded;
   }
 
   bool CommitRw(std::initializer_list<Word> values) {
     if (!PreCommit(values.size())) {
       return false;
     }
+    // Engine first (see ReadRw): a commit torn by an exception leaves the
+    // wrapper un-finished, matching the engine's still-live attempt.
+    const bool ok = tx_.CommitRw(values);
     finished_ = true;
-    return tx_.CommitRw(values);
+    return ok;
   }
 
   bool CommitMixed(std::initializer_list<Word> values) {
     if (!PreCommit(values.size())) {
       return false;
     }
+    const bool ok = tx_.CommitMixed(values);
     finished_ = true;
-    return tx_.CommitMixed(values);
+    return ok;
   }
 
   void Abort() {

@@ -22,8 +22,10 @@
 #define SPECTM_TM_COMPAT_H_
 
 #include <cassert>
+#include <utility>
 
 #include "src/common/tagged.h"
+#include "src/tm/txguard.h"
 #include "src/tm/variants.h"
 
 namespace spectm {
@@ -41,6 +43,37 @@ struct TX_RECORD {
 
   void Restart() { tx.Reset(); }
 };
+
+// Exception-safe retry driver for paper-style restart loops (src/tm/txguard.h).
+//
+// The C facade's `goto restart` idiom has no place to catch: user code between
+// the numbered calls may throw (or call CancelAndRetry/CancelTx), and the raw
+// loop would then re-enter Tx_RW_R1 on a record whose previous attempt never
+// aborted. Tx_Run closes that hole: `body(record)` is run until it returns
+// true (committed/validated — the body's contract); TxCancel aborts the
+// attempt through ShortTx's ordinary unwind (Reset -> Abort releases every
+// encounter lock, the gate flag, and the serial token, in that order) and
+// retries or returns false per its policy; any foreign exception propagates
+// through ~ShortTx, which aborts the torn attempt before it escapes this
+// frame — nothing leaked, nothing published. Returns true iff a body
+// execution reported success.
+template <typename Family = Val, typename Body>
+bool Tx_Run(Body&& body) {
+  TX_RECORD<Family> t;
+  while (true) {
+    try {
+      if (body(&t)) {
+        return true;
+      }
+      t.Restart();
+    } catch (const TxCancel& cancel) {
+      if (cancel.policy == TxCancel::Policy::kAbort) {
+        return false;  // the record's destructor runs the abort unwind
+      }
+      t.Restart();  // abort the torn attempt, re-arm for the next one
+    }
+  }
+}
 
 // --- Single read/write/CAS transactions ----------------------------------------------
 

@@ -49,6 +49,7 @@
 #include "src/tm/orec.h"
 #include "src/tm/serial.h"
 #include "src/tm/txdesc.h"
+#include "src/tm/txguard.h"
 #include "src/tm/validate_batch.h"
 #include "src/tm/valstrategy.h"
 
@@ -84,6 +85,16 @@ class FullTm {
     Tx(const Tx&) = delete;
     Tx& operator=(const Tx&) = delete;
 
+    // Defensive unwind for manual retry loops that let an exception escape
+    // between Start() and Commit(): no commit lock can be outstanding here
+    // (Commit never escapes while holding any — its internal guard sees to
+    // that), but the serial token and the attempt accounting can be.
+    ~Tx() {
+      if (desc_ != nullptr && active_) {
+        AbortForUnwind();
+      }
+    }
+
     void Start() {
       desc_ = &DescOf<DomainTag>();
       desc_->read_log.Clear();
@@ -91,6 +102,14 @@ class FullTm {
       desc_->lock_log.clear();
       active_ = true;
       user_abort_ = false;
+      // Health watchdog attempt-start feed (no-op unless SPECTM_HEALTH):
+      // observes foreign serial holds before the escalation decision below,
+      // and refreshes the ring-saturation gauge from this thread's intersect
+      // failures so the window close in OnOutcome sees the current level.
+      Cm::NoteAttemptStart(*desc_);
+      if constexpr (health::kEnabled && kMode != ValMode::kPassive) {
+        health::SetRingGauge<DomainTag>(Summary::Fails().intersect);
+      }
       // Two-phase contention manager, phase 2: past the (hysteretic) streak
       // threshold this attempt runs serial-irrevocable. Token first, reads
       // after — once AcquireSerial returns, no other committer is in flight,
@@ -98,7 +117,7 @@ class FullTm {
       if (!serial_ && Cm::ShouldEscalate(*desc_)) {
         Gate::AcquireSerial(desc_);
         serial_ = true;
-        Cm::NoteEscalated();
+        Cm::NoteEscalated(*desc_);
       }
       if constexpr (Clock::kHasGlobalClock) {
         rv_ = Clock::Sample();
@@ -251,9 +270,17 @@ class FullTm {
         }
         gated_ = true;
       }
-      if (!LockWriteSet()) {
+      // Unwind guard over the locked region: every early conflict return AND
+      // any exception erupting between the first lock CAS and the end of
+      // validation (fail-point throw injection — nothing else on this path
+      // throws) runs one release sequence, in OnAbort's mandatory order:
+      // locks restored, then the gate flag retracted, then the serial token
+      // released (docs/VALIDATION.md §8).
+      TxUnwindGuard cleanup([this] {
         ReleaseLocks();
         OnAbort();
+      });
+      if (!LockWriteSet()) {
         return false;
       }
       Word wv = 0;
@@ -302,10 +329,9 @@ class FullTm {
         }
       }
       if (!skip_validation && !ValidateReadLogForCommit()) {
-        ReleaseLocks();
-        OnAbort();
         return false;
       }
+      cleanup.Dismiss();  // past the last throwing/failing operation: commit
       for (const WriteSet::Entry& e : desc_->wset) {
         Layout::Data(*static_cast<Slot*>(e.addr)).store(e.value, std::memory_order_release);
       }
@@ -315,6 +341,22 @@ class FullTm {
       }
       OnCommit();
       return true;
+    }
+
+    // Unwind entry point for the retry loop (and the destructor): finishes an
+    // attempt that an exception tore out of the BODY. Locks are only ever held
+    // inside Commit(), which unwinds them internally, so here only the serial
+    // token and the attempt accounting can be outstanding. Idempotent: after
+    // Commit's internal guard already finished the attempt, this is a no-op.
+    // No backoff — like a user abort, a cancel is not contention.
+    void AbortForUnwind() {
+      if (!active_) {
+        return;
+      }
+      active_ = false;
+      ReleaseSerialIfHeld();
+      desc_->stats.aborts.fetch_add(1, std::memory_order_relaxed);
+      UpdateAbortEwma(desc_->stats, /*aborted=*/true);
     }
 
    private:
@@ -481,13 +523,35 @@ class FullTm {
 
   // Convenience retry wrapper: runs `body(tx)` until it commits. The body must
   // tolerate re-execution and check tx.ok() before dereferencing read results.
+  //
+  // Exception contract (src/tm/txguard.h): a TxCancel thrown anywhere inside
+  // the body aborts the attempt through the ordinary unwind path, then either
+  // retries (Policy::kRetry) or returns false with nothing published
+  // (Policy::kAbort). Any OTHER exception — a foreign throw from user code, or
+  // an injected fault erupting inside Commit itself — aborts the attempt the
+  // same way and rethrows, with every lock restored and the serial token
+  // released before the exception leaves this frame. Returns true iff a body
+  // execution committed.
   template <typename Body>
-  static void Atomically(Body&& body) {
+  static bool Atomically(Body&& body) {
     Tx tx;
-    do {
-      tx.Start();
-      body(tx);
-    } while (!tx.Commit());
+    while (true) {
+      try {
+        tx.Start();
+        body(tx);
+        if (tx.Commit()) {
+          return true;
+        }
+      } catch (const TxCancel& cancel) {
+        tx.AbortForUnwind();
+        if (cancel.policy == TxCancel::Policy::kAbort) {
+          return false;
+        }
+      } catch (...) {
+        tx.AbortForUnwind();
+        throw;
+      }
+    }
   }
 
   static TxStats& StatsForCurrentThread() { return DescOf<DomainTag>().stats; }

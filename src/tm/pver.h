@@ -18,23 +18,28 @@
 //     special cases nor commit counters — general-purpose code is safe by default;
 //   + commit remains a single atomic store (version, payload, and lock released in
 //     one write);
-//   - the version is only 15 bits: validation can be fooled if exactly 2^15 = 32768
-//     commits hit one word within a single read-validate window while its payload
-//     also returns to the original value. The window for a short transaction is
-//     sub-microsecond; we follow the paper's §4.1 position on narrow counters and
-//     accept the bound (documented here, measured in bench/abl_pver, and pinned by
-//     tests/tm/pver_wrap_test.cc, which demonstrates the exact-wrap blind spot and
-//     the detection one commit short of it).
+//   - the version is only 15 bits: raw word equality alone could be fooled if
+//     exactly 2^15 = 32768 commits hit one word within a single read-validate window
+//     while its payload also returns to the original value. That blind spot is
+//     closed by EPOCH-STAMPED VALIDATION WINDOWS: writers advance a per-domain
+//     commit epoch before every version-bumping release store, readers stamp their
+//     window with the epoch at their first logged read, and every validation —
+//     after confirming raw equality — rejects a window whose stamp has drifted by
+//     a full version period. A version field cannot return to a logged value in
+//     fewer commits than the period, and each of those commits advances the epoch,
+//     so a recycled word is never accepted (tests/tm/pver_wrap_test.cc pins
+//     detection one commit short of the wrap, at the exact wrap, and past it).
 //
-// Fix direction if the bound ever stops being acceptable (e.g. a persistently-open
-// full-transaction read-validate window on a very hot word): EPOCH-STAMPED
-// VERSIONS. Reserve the version field's top bit (or steal bit 1's delete mark for
-// non-structure payloads, widening to 16 bits) as a coarse epoch flipped by a
-// quiescence mechanism (src/epoch/epoch.h already tracks exactly the needed
-// "no transaction spans this boundary" property); a validator then rejects any
-// word whose epoch differs from its snapshot epoch, so a wrap would additionally
-// have to straddle an epoch flip that the open window by construction prevents.
-// The static_asserts below keep the layout assumptions loud for whoever does it.
+// The epoch stamp realizes the fix this header previously only sketched, but per
+// WINDOW rather than per WORD: stealing a version bit for a per-word epoch would
+// need a quiescence protocol around each flip (src/epoch/epoch.h tracks the needed
+// "no transaction spans this boundary" property), and a reader that commits writes
+// while holding its own window open — exactly what the wrap test does, legal under
+// the API — would block the flip on one core forever. The window stamp needs no
+// layout change and no blocking, and stays deterministic. Its cost is one shared
+// counter increment per writing commit and a conservative validation failure for
+// any window that spans a full version period of commits — precisely the windows
+// the hazard concerns, and a retry re-stamps them.
 //
 // Families over this layout expose the same Slot/payload semantics as every other
 // family — Raw/Single/Short/Full all speak payloads — so the data structures run on
@@ -64,12 +69,12 @@ inline constexpr int kPverPayloadBits = 48;
 inline constexpr Word kPverPayloadMask = ((Word{1} << kPverPayloadBits) - 1) << 1;
 inline constexpr int kPverVersionShift = kPverPayloadBits + 1;  // bits 49..63
 
-// 15 version bits -> the wrap hazard window is exactly 2^15 commits
-// (tests/tm/pver_wrap_test.cc). Anyone changing the split must re-derive the
-// hazard bound and update that test; the epoch-stamp fix sketched in the file
-// comment would claim one of these bits.
+// 15 version bits -> a version can recur only after exactly 2^15 commits to the
+// word, which is the horizon the epoch guard below enforces on read-validate
+// windows (tests/tm/pver_wrap_test.cc). Anyone changing the split must re-derive
+// kPverVersionPeriod and update that test.
 static_assert(64 - kPverVersionShift == 15,
-              "pver version field is 15 bits; pver_wrap_test pins the 2^15 wrap");
+              "pver version field is 15 bits; pver_wrap_test pins the 2^15 period");
 static_assert(1 + kPverPayloadBits + (64 - kPverVersionShift) == 64,
               "lock bit + payload + version must tile the word exactly");
 
@@ -96,6 +101,40 @@ inline Word MakePverLocked(TxDesc* owner) {
 }
 
 struct PverDomainTag {};
+
+// --- Epoch-stamped validation windows (the wrap guard; see header comment) ------------
+//
+// One shared counter for the pver domain, advanced by every committing writer BEFORE
+// its releasing store. Soundness of the guard: a version field can only return to a
+// logged value after kPverVersionPeriod committed updates of that word (one commit
+// bumps a given word at most once — accesses name distinct locations); each update
+// advances the epoch at least once, sequenced before the release store that publishes
+// the bumped word, and successive updates of one word are ordered through its
+// lock/CAS chain. A validator's acquire load that observes a recycled word therefore
+// also observes at least a full period of epoch advances, and its subsequent epoch
+// load (sequenced after that acquire) reports a drift >= kPverVersionPeriod — so a
+// validator that first confirms raw equality and then finds its stamp within one
+// period has proven no wrap occurred inside its window.
+inline constexpr Word kPverVersionPeriod = Word{1} << (64 - kPverVersionShift);
+
+inline std::atomic<Word>& PverEpochCell() {
+  static CacheAligned<std::atomic<Word>> epoch{};
+  return *epoch;
+}
+
+inline Word PverEpochNow() { return PverEpochCell().load(std::memory_order_acquire); }
+
+// Writers: advance before the version-bumping release store (or bump CAS). Calling it
+// on an attempt that then fails its CAS over-ticks, which only makes readers more
+// conservative.
+inline void PverEpochAdvance() {
+  PverEpochCell().fetch_add(1, std::memory_order_relaxed);
+}
+
+// Readers: true while a window stamped `stamp` provably cannot have seen a wrap.
+inline bool PverEpochFresh(Word stamp) {
+  return PverEpochNow() - stamp < kPverVersionPeriod;
+}
 
 class PverShortTm {
  public:
@@ -142,6 +181,11 @@ class PverShortTm {
         return 0;
       }
       assert(!ro_.Full() && "short transaction exceeds kMaxShortReads locations");
+      if (ro_.Empty()) {
+        // Stamp BEFORE the word load: a stale (lower) stamp only widens the
+        // drift the validator sees, which is the conservative direction.
+        epoch_stamp_ = PverEpochNow();
+      }
       const Word w = s->word.load(std::memory_order_acquire);
       if (PverIsLocked(w)) {
         assert(PverOwnerOf(w) != desc_ && "RO and RW sets must be disjoint");
@@ -158,14 +202,17 @@ class PverShortTm {
 
     bool Valid() const { return valid_; }
 
-    // Version+payload equality; a locked word (bit 0) can never match.
+    // Version+payload equality; a locked word (bit 0) can never match. Equality
+    // alone can be fooled by an exact version wrap, so the window's epoch stamp
+    // is checked after the walk (the walk's acquire loads order the epoch load
+    // after any recycled word's publishing store — see the guard's comment).
     bool ValidateRo() const {
       for (const RoEntry& e : ro_) {
         if (!e.upgraded && e.slot->word.load(std::memory_order_acquire) != e.word) {
           return false;
         }
       }
-      return true;
+      return ro_.Empty() || PverEpochFresh(epoch_stamp_);
     }
 
     bool UpgradeRoToRw(int ro_index) {
@@ -192,6 +239,9 @@ class PverShortTm {
     bool CommitRw(std::initializer_list<Word> payloads) {
       assert(valid_ && !finished_);
       assert(payloads.size() == rw_.Size());
+      if (!rw_.Empty()) {
+        PverEpochAdvance();  // before the releasing stores (wrap-guard contract)
+      }
       const Word* v = payloads.begin();
       for (std::size_t i = 0; i < rw_.Size(); ++i) {
         assert((v[i] & ~kPverPayloadMask) == 0 && "payload exceeds 48-bit field");
@@ -208,6 +258,9 @@ class PverShortTm {
       if (!ValidateRo()) {
         Abort();
         return false;
+      }
+      if (!rw_.Empty()) {
+        PverEpochAdvance();  // before the releasing stores (wrap-guard contract)
       }
       const Word* v = payloads.begin();
       for (std::size_t i = 0; i < rw_.Size(); ++i) {
@@ -267,6 +320,7 @@ class PverShortTm {
     TxDesc* desc_;
     InlineVec<RwEntry, kMaxShortWrites> rw_;
     InlineVec<RoEntry, kMaxShortReads> ro_;
+    Word epoch_stamp_ = 0;  // domain epoch at the first RO read (wrap guard)
     bool valid_ = true;
     bool finished_ = false;
   };
@@ -290,6 +344,7 @@ class PverShortTm {
         w = s->word.load(std::memory_order_relaxed);
         continue;
       }
+      PverEpochAdvance();  // before the bump CAS; a failed attempt over-ticks harmlessly
       if (s->word.compare_exchange_weak(w, PverBump(w, payload),
                                         std::memory_order_acq_rel,
                                         std::memory_order_relaxed)) {
@@ -310,6 +365,7 @@ class PverShortTm {
       if (PverPayloadOf(w) != expected_payload) {
         return PverPayloadOf(w);
       }
+      PverEpochAdvance();  // before the bump CAS; a failed attempt over-ticks harmlessly
       if (s->word.compare_exchange_weak(w, PverBump(w, desired_payload),
                                         std::memory_order_acq_rel,
                                         std::memory_order_relaxed)) {
@@ -350,6 +406,9 @@ class PverFullTm {
       Word buffered;
       if (desc_->wset.Lookup(s, &buffered)) {  // bloom-filtered: miss is AND+TEST
         return buffered;  // wset stores payloads
+      }
+      if (desc_->val_read_log.Size() == 0) {
+        epoch_stamp_ = PverEpochNow();  // before the word load (conservative direction)
       }
       int spins = 0;
       Word w;
@@ -417,6 +476,7 @@ class PverFullTm {
         OnAbort();
         return false;
       }
+      PverEpochAdvance();  // before the releasing stores (wrap-guard contract)
       for (const WriteSet::Entry& e : desc_->wset) {
         auto* word = &static_cast<Slot*>(e.addr)->word;
         // The displaced word (with its version) lives in the lock log.
@@ -434,18 +494,23 @@ class PverFullTm {
     }
 
     // Batched over the SoA lanes (validate_batch.h), like val_full's walk: the
-    // pver word is version-stamped, so a raw 64-bit equality is the whole check.
+    // pver word is version-stamped, so a raw 64-bit equality is the check — plus
+    // the epoch-stamp wrap guard once equality holds (the walk's acquire loads
+    // order the epoch load after any recycled word's publishing store).
     bool ValidateReads() const {
       typename ValProbe<PverDomainTag>::Counters& probe =
           ValProbe<PverDomainTag>::Get();
-      return ValidateEqualSpan(
-          desc_->val_read_log.Ptrs(), desc_->val_read_log.Words(),
-          desc_->val_read_log.Size(), probe.simd_batches, probe.scalar_checks,
-          [this](std::size_t i, Word observed) {
-            return PverIsLocked(observed) && PverOwnerOf(observed) == desc_ &&
-                   FindDisplaced(desc_->val_read_log.PtrAt(i)) ==
-                       desc_->val_read_log.WordAt(i);
-          });
+      if (!ValidateEqualSpan(
+              desc_->val_read_log.Ptrs(), desc_->val_read_log.Words(),
+              desc_->val_read_log.Size(), probe.simd_batches, probe.scalar_checks,
+              [this](std::size_t i, Word observed) {
+                return PverIsLocked(observed) && PverOwnerOf(observed) == desc_ &&
+                       FindDisplaced(desc_->val_read_log.PtrAt(i)) ==
+                           desc_->val_read_log.WordAt(i);
+              })) {
+        return false;
+      }
+      return desc_->val_read_log.Size() == 0 || PverEpochFresh(epoch_stamp_);
     }
 
     Word FindDisplaced(const std::atomic<Word>* word) const {
@@ -475,6 +540,7 @@ class PverFullTm {
     }
 
     TxDesc* desc_ = nullptr;
+    Word epoch_stamp_ = 0;  // domain epoch at the first logged read (wrap guard)
     bool active_ = false;
     bool user_abort_ = false;
   };

@@ -42,6 +42,7 @@
 #include <cstdint>
 
 #include "src/common/cacheline.h"
+#include "src/common/health.h"
 #include "src/common/thread_registry.h"
 #include "src/tm/txdesc.h"
 
@@ -79,6 +80,12 @@ struct CmProbe {
     std::uint64_t serial_commits = 0;   // commits under the token
     std::uint64_t backoff_spins = 0;    // phase-1 spins actually waited
     std::uint64_t max_abort_streak = 0; // streak high-water since Reset()
+    // Replay identity of the LAST descriptor that backed off / escalated on
+    // this thread (see TxDesc::NextBackoffSerial): with the fail-point seed,
+    // these two values make an injected-schedule failure reproducible from
+    // the probe dump alone. Latest-value gauges, not deltas.
+    std::uint64_t backoff_serial = 0;
+    std::uint64_t backoff_seed = 0;
   };
 
   static Counters& Tls() {
@@ -166,6 +173,19 @@ class SerialGate {
     return serial_owner_.load(std::memory_order_acquire);
   }
 
+  // Diagnostic/test helper: the sum of every announced committer flag. A
+  // cleanly unwound domain reads 0 here — exception_safety_test asserts it
+  // after every injected throw, because a leaked flag is invisible to normal
+  // traffic right up until the next AcquireSerial spins on it forever.
+  static std::uint64_t AnnouncedCommitters() {
+    std::uint64_t n = 0;
+    const int bound = ThreadRegistry::IdBound();
+    for (int i = 0; i < bound; ++i) {
+      n += committers_[i].value.load(std::memory_order_acquire);
+    }
+    return n;
+  }
+
  private:
   static inline std::atomic<TxDesc*> serial_owner_{nullptr};
   static inline CacheAligned<std::atomic<std::uint32_t>>
@@ -181,7 +201,11 @@ struct SerialCm {
 
   // Consult at attempt start: does the streak warrant serial mode? During a
   // cooldown the threshold is doubled (hysteresis), so a descriptor that just
-  // went serial must earn the next escalation against a higher bar.
+  // went serial must earn the next escalation against a higher bar. While the
+  // health watchdog holds the domain degraded, escalation is DECLINED outright
+  // (and counted in HealthProbe::throttled_escalations): under an abort storm
+  // every streak saturates at once, and serializing them all converts the
+  // storm into a gate convoy — widened backoff is the storm response instead.
   static bool ShouldEscalate(const TxDesc& desc) {
     const std::uint64_t threshold = SerialEscalationStreak();
     if (threshold == 0) {
@@ -189,7 +213,29 @@ struct SerialCm {
     }
     const std::uint64_t effective =
         desc.cm_cooldown > 0 ? threshold * 2 : threshold;
-    return desc.backoff.attempts() >= effective;
+    if (desc.backoff.attempts() < effective) {
+      return false;
+    }
+    if (health::EscalationThrottled<DomainTag>()) {
+      return false;
+    }
+    return true;
+  }
+
+  // Call at every attempt start (all four engines' Start/Reset paths route
+  // here): feeds the watchdog's serial-gate hold-count signal — K consecutive
+  // attempt starts observing a FOREIGN token holder degrade the domain.
+  static void NoteAttemptStart(TxDesc& desc) {
+#if defined(SPECTM_HEALTH)
+    TxDesc* owner = Gate::SerialOwner();
+    const bool foreign = owner != nullptr && owner != &desc;
+    if (health::NoteAttemptStart<DomainTag>(desc.backoff, foreign) ==
+        health::Event::kDegraded) {
+      EmitHealthSnapshot(desc);
+    }
+#else
+    static_cast<void>(desc);
+#endif
   }
 
   // Phase-1 backoff plus watchdog accounting, called on every contention
@@ -197,6 +243,8 @@ struct SerialCm {
   static std::uint64_t NoteAbortBackoff(TxDesc& desc) {
     typename Probe::Counters& probe = Probe::Tls();
     probe.backoff_spins += desc.backoff.OnAbort();
+    probe.backoff_serial = desc.backoff_serial;
+    probe.backoff_seed = desc.backoff_seed;
     const std::uint64_t streak = desc.backoff.attempts();
     if (streak > probe.max_abort_streak) {
       probe.max_abort_streak = streak;
@@ -204,23 +252,75 @@ struct SerialCm {
     if (streak > desc.stats.max_abort_streak.load(std::memory_order_relaxed)) {
       desc.stats.max_abort_streak.store(streak, std::memory_order_relaxed);
     }
+#if defined(SPECTM_HEALTH)
+    if (health::OnOutcome<DomainTag>(desc.backoff, /*committed=*/false) ==
+        health::Event::kDegraded) {
+      EmitHealthSnapshot(desc);
+    }
+#endif
     return streak;
   }
 
-  static void NoteEscalated() { ++Probe::Tls().escalations; }
+  static void NoteEscalated(TxDesc& desc) {
+    typename Probe::Counters& probe = Probe::Tls();
+    ++probe.escalations;
+    probe.backoff_serial = desc.backoff_serial;
+    probe.backoff_seed = desc.backoff_seed;
+  }
 
   static void OnOptimisticCommit(TxDesc& desc) {
     desc.backoff.OnCommit();
     if (desc.cm_cooldown > 0) {
       --desc.cm_cooldown;
     }
+#if defined(SPECTM_HEALTH)
+    health::OnOutcome<DomainTag>(desc.backoff, /*committed=*/true);
+#endif
   }
 
   static void OnSerialCommit(TxDesc& desc) {
     desc.backoff.OnCommit();
     desc.cm_cooldown = kSerialCooldownCommits;
     ++Probe::Tls().serial_commits;
+#if defined(SPECTM_HEALTH)
+    health::OnOutcome<DomainTag>(desc.backoff, /*committed=*/true);
+#endif
   }
+
+#if defined(SPECTM_HEALTH)
+  // Assembled here rather than in health.h because only this layer can see
+  // both sides: the generic watchdog state AND the domain's CM/stat probes.
+  // Stored per-thread (health::LastSnapshot<DomainTag>()); together with the
+  // fail-point seed, backoff_serial + backoff_seed make the failing schedule
+  // replayable from this dump alone.
+  static void EmitHealthSnapshot(TxDesc& desc) {
+    const typename Probe::Counters cm = Probe::Get();
+    const health::Counters h = health::HealthProbe<DomainTag>::Get();
+    const TxStatsRegistry::Totals totals = TxStatsRegistry::Snapshot();
+    health::SnapshotBuilder b;
+    b.Add("commits", totals.commits)
+        .Add("aborts", totals.aborts)
+        .Add("max_abort_streak", totals.max_abort_streak)
+        .Add("escalations", cm.escalations)
+        .Add("serial_commits", cm.serial_commits)
+        .Add("backoff_spins", cm.backoff_spins)
+        .Add("probe_max_abort_streak", cm.max_abort_streak)
+        .Add("backoff_serial", desc.backoff_serial)
+        .Add("backoff_seed", desc.backoff_seed)
+        .Add("streak", desc.backoff.attempts())
+        .Add("cooldown", desc.cm_cooldown)
+        .Add("backoff_widening", desc.backoff.widening())
+        .Add("health_samples", h.samples)
+        .Add("health_storms", h.storms)
+        .Add("degrade_enters", h.degrade_enters)
+        .Add("degrade_exits", h.degrade_exits)
+        .Add("throttled_escalations", h.throttled_escalations)
+        .Add("gate_overruns", h.gate_overruns)
+        .Add("ring_saturated_windows", h.ring_saturated_windows)
+        .Add("ring_intersect_fails", health::RingGauge<DomainTag>());
+    health::StoreSnapshot<DomainTag>(b.Finish());
+  }
+#endif
 };
 
 }  // namespace spectm

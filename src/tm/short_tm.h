@@ -39,6 +39,7 @@
 #include "src/tm/orec.h"
 #include "src/tm/serial.h"
 #include "src/tm/txdesc.h"
+#include "src/tm/txguard.h"
 #include "src/tm/valstrategy.h"
 
 namespace spectm {
@@ -93,7 +94,7 @@ class ShortTm {
       // transaction instead of pushing past the InlineVec bound. The caller's normal
       // Valid()/Abort()/restart path then surfaces the bug safely.
       if (rw_.Full()) {
-        valid_ = false;
+        UnwindForOverflow();
         return 0;
       }
       // Encounter-time locking makes every RW transaction a committer from its
@@ -140,7 +141,7 @@ class ShortTm {
         return 0;
       }
       if (ro_.Full()) {  // overflow invalidates instead of corrupting (see ReadRw)
-        valid_ = false;
+        UnwindForOverflow();
         return 0;
       }
       std::atomic<Word>& orec = Layout::OrecOf(*s);
@@ -228,7 +229,7 @@ class ShortTm {
       }
       assert(ro_index >= 0 && static_cast<std::size_t>(ro_index) < ro_.Size());
       if (rw_.Full()) {  // overflow invalidates instead of corrupting (see ReadRw)
-        valid_ = false;
+        UnwindForOverflow();
         return false;
       }
       if (!EnterGateForFirstLock()) {  // upgrades lock too (see ReadRw)
@@ -319,10 +320,11 @@ class ShortTm {
     // Tx_RW_k_Abort: releases locks restoring the pre-transaction versions. Also the
     // required cleanup path after any access invalidated the transaction.
     void Abort() {
-      for (const RwEntry& e : rw_) {
-        if (e.old_word != kAlreadyOwned) {
-          e.orec->store(e.old_word, std::memory_order_release);
-        }
+      // After an overflow unwind the encounter locks were already restored —
+      // re-storing the saved words here would clobber whatever other
+      // transactions committed into those slots since.
+      if (!unwound_) {
+        ReleaseLocksAborted();
       }
       // Locks are restored above BEFORE the gate exit: a draining serial
       // transaction must never observe flags at zero while our locks stand.
@@ -359,6 +361,7 @@ class ShortTm {
       ro_.Clear();
       valid_ = true;
       finished_ = false;
+      unwound_ = false;
       StartAttempt();
     }
 
@@ -387,14 +390,55 @@ class ShortTm {
     // checkpoint: past the (hysteretic) abort-streak threshold this attempt
     // takes the serialization token up front and cannot conflict thereafter.
     void StartAttempt() {
+      // Health watchdog attempt-start feed (no-op unless SPECTM_HEALTH):
+      // observes foreign serial holds before the escalation decision below,
+      // and refreshes the ring-saturation gauge from this thread's intersect
+      // failures so the window close in OnOutcome sees the current level.
+      Cm::NoteAttemptStart(*desc_);
+      if constexpr (health::kEnabled && kStrategic) {
+        health::SetRingGauge<DomainTag>(Summary::Fails().intersect);
+      }
       if (!serial_ && Cm::ShouldEscalate(*desc_)) {
         Gate::AcquireSerial(desc_);
         serial_ = true;
-        Cm::NoteEscalated();
+        Cm::NoteEscalated(*desc_);
       }
       if constexpr (kStrategic) {
         state_.StartAttempt(kMode, /*has_bloom_ring=*/true, desc_->stats);
       }
+    }
+
+    // Restores every displaced orec word recorded in the RW set. Shared by
+    // Abort() and the overflow unwind; hash-collision repeats (kAlreadyOwned)
+    // are skipped — only the entry that actually displaced a word restores it.
+    void ReleaseLocksAborted() {
+      for (const RwEntry& e : rw_) {
+        if (e.old_word != kAlreadyOwned) {
+          e.orec->store(e.old_word, std::memory_order_release);
+        }
+      }
+    }
+
+    // Contract-overflow unwind (§2.2 violations surfaced safely): releases the
+    // encounter-time locks, retracts the gate flag, and releases the serial
+    // token — the same mandatory order as Abort() — the moment the overflow is
+    // detected, instead of holding every lock until the caller notices
+    // Valid() == false and aborts. The recorded access arrays are kept intact
+    // (RwCount()/RoCount() still describe the overflowing transaction for
+    // diagnosis); Abort() skips its restore loop afterwards, because the
+    // released slots may since have been re-locked and committed by others.
+    // Kept out of line: this is a cold contract-violation path, and inlining
+    // it into the access fast paths only bloats them (and trips GCC's
+    // flow-insensitive maybe-uninitialized analysis on the InlineVec storage).
+#if defined(__GNUC__)
+    __attribute__((cold, noinline))
+#endif
+    void UnwindForOverflow() {
+      ReleaseLocksAborted();
+      ExitGateIfHeld();
+      ReleaseSerialIfHeld();
+      unwound_ = true;
+      valid_ = false;
     }
 
     // Committer-gate entry, once per attempt, before the FIRST lock CAS.
@@ -539,8 +583,9 @@ class ShortTm {
     StratState state_;
     bool valid_ = true;
     bool finished_ = false;
-    bool serial_ = false;  // this attempt holds the serialization token
-    bool gated_ = false;   // this attempt announced itself as a committer
+    bool unwound_ = false;  // overflow unwind already released the locks
+    bool serial_ = false;   // this attempt holds the serialization token
+    bool gated_ = false;    // this attempt announced itself as a committer
   };
 
   // --- Single-operation transactions (Tx_Single_*, Figure 2) -------------------------
@@ -569,7 +614,16 @@ class ShortTm {
     std::atomic<Word>& orec = Layout::OrecOf(*s);
     TxDesc* self = &DescOf<DomainTag>();
     Gate::EnterCommitterWait(self);
+    // Unwind guards (src/tm/txguard.h): the publication sequence below hosts
+    // pause-style fail points that can throw with the orec locked and the gate
+    // flag announced. Reverse destruction order enforces the mandatory release
+    // sequence — orec restored first, gate flag retracted second. The gate
+    // guard also serves the normal return (never dismissed).
+    TxUnwindGuard gate_guard([self] { Gate::ExitCommitter(self); });
     const Word old_word = AcquireOrec(&orec, self);
+    TxUnwindGuard lock_guard([&orec, old_word] {
+      orec.store(old_word, std::memory_order_release);
+    });
     if constexpr (kStrategic) {
       // Locked, before the data store; one location -> one stripe bumped.
       if constexpr (kMode == ValMode::kPartitioned) {
@@ -585,7 +639,7 @@ class ShortTm {
     }
     orec.store(MakeOrecVersion(Clock::ReleaseVersion(wv, old_word)),
                std::memory_order_release);
-    Gate::ExitCommitter(self);
+    lock_guard.Dismiss();  // the version store above was the lock release
   }
 
   // Linearizable single-word transactional compare-and-swap. Returns the observed
@@ -594,11 +648,16 @@ class ShortTm {
     std::atomic<Word>& orec = Layout::OrecOf(*s);
     TxDesc* self = &DescOf<DomainTag>();
     Gate::EnterCommitterWait(self);
+    // Same guard pair as SingleWrite; the compare-mismatch path returns
+    // through both guards, which restore the unchanged orec word (no update:
+    // version unchanged) and retract the gate flag in the mandatory order.
+    TxUnwindGuard gate_guard([self] { Gate::ExitCommitter(self); });
     const Word old_word = AcquireOrec(&orec, self);
+    TxUnwindGuard lock_guard([&orec, old_word] {
+      orec.store(old_word, std::memory_order_release);
+    });
     const Word observed = Layout::Data(*s).load(std::memory_order_acquire);
     if (observed != expected) {
-      orec.store(old_word, std::memory_order_release);  // no update: version unchanged
-      Gate::ExitCommitter(self);
       return observed;
     }
     if constexpr (kStrategic) {
@@ -616,7 +675,7 @@ class ShortTm {
     }
     orec.store(MakeOrecVersion(Clock::ReleaseVersion(wv, old_word)),
                std::memory_order_release);
-    Gate::ExitCommitter(self);
+    lock_guard.Dismiss();  // the version store above was the lock release
     return observed;
   }
 

@@ -139,7 +139,10 @@ struct ValLockLogEntry {
 //     together on the leading lines, touched on every transaction.
 struct alignas(kCacheLineSize) TxDesc {
   TxDesc()
-      : thread_slot(ThreadRegistry::CurrentId()), backoff(BackoffSeed()) {
+      : thread_slot(ThreadRegistry::CurrentId()),
+        backoff_serial(NextBackoffSerial()),
+        backoff_seed(MixBackoffSeed(thread_slot, backoff_serial)),
+        backoff(backoff_seed) {
     lock_log.reserve(64);
     val_lock_log.reserve(64);
     TxStatsRegistry::Register(&stats);
@@ -156,16 +159,27 @@ struct alignas(kCacheLineSize) TxDesc {
   // descriptors are thread_local, and folding a TLS address into seed
   // arithmetic makes the compiler emit the whole mixed constant as one
   // 32-bit TPOFF relocation addend, which overflows at link time.)
-  std::uint64_t BackoffSeed() const {
+  //
+  // Both the serial and the resulting seed are RETAINED on the descriptor
+  // (and surfaced through CmProbe and the health watchdog's diagnostics
+  // snapshot): an injected-schedule failure replays from the fail-point seed
+  // plus THESE two values — without them the phase-1 backoff delays of the
+  // failing run are unreproducible from the dump alone.
+  static std::uint64_t NextBackoffSerial() {
     static std::atomic<std::uint64_t> serial{0};
-    std::uint64_t mix =
-        0xb0ffULL + static_cast<std::uint64_t>(thread_slot) * 0x9e3779b9ULL +
-        (serial.fetch_add(1, std::memory_order_relaxed) << 32);
+    return serial.fetch_add(1, std::memory_order_relaxed);
+  }
+  static std::uint64_t MixBackoffSeed(int slot, std::uint64_t serial) {
+    std::uint64_t mix = 0xb0ffULL +
+                        static_cast<std::uint64_t>(slot) * 0x9e3779b9ULL +
+                        (serial << 32);
     return Xorshift128Plus::SplitMix64(&mix);
   }
 
   // Owner-private hot fields.
   int thread_slot;
+  std::uint64_t backoff_serial;  // process-wide descriptor construction serial
+  std::uint64_t backoff_seed;    // the seed backoff's RNG was constructed with
   Backoff backoff;
   // Serial-escalation hysteresis: optimistic commits remaining before the
   // escalation threshold drops back from 2x to 1x after a serial commit

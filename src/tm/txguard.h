@@ -1,0 +1,84 @@
+// Unwind-safe abort machinery: the TxCancel control-flow exception and the RAII
+// unwind guard the engines hang their abort paths on.
+//
+// The paper's retry loops assume user code returns; a real service's user code
+// throws. Any exception escaping a transaction body — a deliberate cancel or a
+// foreign std::bad_alloc — must not unwind past held orec/val locks, the
+// serial-irrevocable token (src/tm/serial.h), or half-reset attempt state, or
+// the whole domain wedges (every later committer spins on the orphaned locks,
+// every later escalation blocks on the orphaned token).
+//
+// Two pieces:
+//
+//   * TxCancel — a control-flow exception users throw (via CancelAndRetry /
+//     CancelTx) to abort the current attempt compositionally, from arbitrarily
+//     deep inside the body. The engines' Atomically() loops catch it, unwind
+//     the attempt through the ordinary abort path, and either retry the body
+//     (kRetry) or return false to the caller (kAbort). Foreign exceptions take
+//     the same unwind path but rethrow after the attempt is cleanly aborted.
+//
+//   * TxUnwindGuard — a dismissible scope guard. A commit path constructs one
+//     over "release my locks, finish the attempt as aborted" immediately after
+//     the first acquire; every early `return false` AND every exception runs
+//     the cleanup, and only the fully-committed tail Dismiss()es it. Guards
+//     destruct in reverse construction order, which is exactly the unwind
+//     ordering docs/VALIDATION.md §8 requires: locks restored before the gate
+//     flag retracts, gate before the serial token releases.
+//
+// Cleanup callables must be noexcept in spirit: they run during unwind, where a
+// second exception is std::terminate. The engines' release paths are plain
+// atomic stores and satisfy this by construction (no fail-point sites are
+// planted inside any abort/release path).
+#ifndef SPECTM_TM_TXGUARD_H_
+#define SPECTM_TM_TXGUARD_H_
+
+#include <utility>
+
+namespace spectm {
+
+// Composable user-initiated abort. Thrown from inside a transaction body; the
+// retry loop that owns the attempt catches it (never user code mid-body).
+struct TxCancel {
+  enum class Policy {
+    kRetry,  // abort this attempt, re-run the body
+    kAbort,  // abort and leave the retry loop (Atomically returns false)
+  };
+  Policy policy = Policy::kRetry;
+};
+
+// Abort the current attempt and retry it from the top.
+[[noreturn]] inline void CancelAndRetry() { throw TxCancel{TxCancel::Policy::kRetry}; }
+
+// Abort the current attempt and give up: the enclosing Atomically() returns
+// false without having published anything.
+[[noreturn]] inline void CancelTx() { throw TxCancel{TxCancel::Policy::kAbort}; }
+
+// Dismissible scope guard: runs `cleanup` at scope exit unless Dismiss()ed.
+template <typename Cleanup>
+class TxUnwindGuard {
+ public:
+  explicit TxUnwindGuard(Cleanup cleanup) : cleanup_(std::move(cleanup)) {}
+  ~TxUnwindGuard() {
+    if (armed_) {
+      cleanup_();
+    }
+  }
+
+  TxUnwindGuard(const TxUnwindGuard&) = delete;
+  TxUnwindGuard& operator=(const TxUnwindGuard&) = delete;
+
+  // The success tail calls this after the last operation that can throw or
+  // fail; from here on the attempt is committed and must not be unwound.
+  void Dismiss() { armed_ = false; }
+
+ private:
+  Cleanup cleanup_;
+  bool armed_ = true;
+};
+
+template <typename Cleanup>
+TxUnwindGuard(Cleanup) -> TxUnwindGuard<Cleanup>;
+
+}  // namespace spectm
+
+#endif  // SPECTM_TM_TXGUARD_H_

@@ -34,6 +34,7 @@
 #include "src/tm/config.h"
 #include "src/tm/serial.h"
 #include "src/tm/txdesc.h"
+#include "src/tm/txguard.h"
 #include "src/tm/val_short.h"
 #include "src/tm/val_word.h"
 #include "src/tm/validate_batch.h"
@@ -60,6 +61,16 @@ class ValFullTm {
     Tx(const Tx&) = delete;
     Tx& operator=(const Tx&) = delete;
 
+    // Defensive unwind for manual retry loops that let an exception escape
+    // between Start() and Commit(): value locks are only ever held inside
+    // Commit() (which unwinds them internally), so here only the serial token
+    // and the attempt accounting can be outstanding.
+    ~Tx() {
+      if (desc_ != nullptr && active_) {
+        AbortForUnwind();
+      }
+    }
+
     void Start() {
       desc_ = &DescOf<ValDomainTag>();
       desc_->val_read_log.Clear();
@@ -67,6 +78,15 @@ class ValFullTm {
       desc_->val_lock_log.clear();
       active_ = true;
       user_abort_ = false;
+      // Health watchdog attempt-start feed (no-op unless SPECTM_HEALTH):
+      // observes foreign serial holds before the escalation decision below,
+      // and refreshes the ring-saturation gauge from this thread's intersect
+      // failures so the window close in OnOutcome sees the current level.
+      Cm::NoteAttemptStart(*desc_);
+      if constexpr (health::kEnabled && Validation::kHasBloomRing) {
+        health::SetRingGauge<ValDomainTag>(
+            Validation::Summary::Fails().intersect);
+      }
       // Serial escalation (src/tm/serial.h): token before the first read, so
       // the attempt observes a committer-quiescent domain and cannot abort.
       // The serial commit below still bumps/publishes the writer summary —
@@ -75,7 +95,7 @@ class ValFullTm {
       if (!serial_ && Cm::ShouldEscalate(*desc_)) {
         Gate::AcquireSerial(desc_);
         serial_ = true;
-        Cm::NoteEscalated();
+        Cm::NoteEscalated(*desc_);
       }
       if constexpr (kStrategic) {
         state_.StartAttempt(kMode, Validation::kHasBloomRing, desc_->stats);
@@ -172,6 +192,16 @@ class ValFullTm {
         }
         gated_ = true;
       }
+      // Unwind guard over the locked region: every early conflict return AND
+      // any exception erupting between the first lock CAS and the end of
+      // validation (fail-point throw injection — nothing else on this path
+      // throws) runs one release sequence, in OnAbort's mandatory order:
+      // displaced values restored, then the gate flag retracted, then the
+      // serial token released (docs/VALIDATION.md §8).
+      TxUnwindGuard cleanup([this] {
+        ReleaseLocks();
+        OnAbort();
+      });
       Bloom128 write_bloom = Bloom128All();
       unsigned write_stripes = kAllCounterStripesMask;
       if constexpr (Validation::kHasBloomRing) {
@@ -185,16 +215,12 @@ class ValFullTm {
           write_stripes |= 1u << CounterStripeOf(word);
         }
         if (SPECTM_FAILPOINT(failpoint::Site::kLockAcquire)) {
-          ReleaseLocks();
-          OnAbort();
           return false;
         }
         Word w = word->load(std::memory_order_relaxed);
         while (true) {
           if (ValIsLocked(w)) {
             // Never wait while holding locks (conservative deadlock avoidance).
-            ReleaseLocks();
-            OnAbort();
             return false;
           }
           if (word->compare_exchange_weak(w, MakeValLocked(desc_),
@@ -231,16 +257,32 @@ class ValFullTm {
         skip_walk = state_.TrySkipCommit(own_idx, write_stripes);
       }
       if (!skip_walk && !ValidateReads()) {
-        ReleaseLocks();
-        OnAbort();
         return false;
       }
+      cleanup.Dismiss();  // past the last throwing/failing operation: commit
       for (const WriteSet::Entry& e : desc_->wset) {
         // The value store is also the lock release: one atomic write (§2.4).
         static_cast<Slot*>(e.addr)->word.store(e.value, std::memory_order_release);
       }
       OnCommit();
       return true;
+    }
+
+    // Unwind entry point for the retry loop (and the destructor): finishes an
+    // attempt that an exception tore out of the BODY. Value locks are only
+    // ever held inside Commit(), which unwinds them internally, so here only
+    // the serial token and the attempt accounting can be outstanding.
+    // Idempotent: after Commit's internal guard already finished the attempt,
+    // this is a no-op. No backoff — like a user abort, a cancel is not
+    // contention.
+    void AbortForUnwind() {
+      if (!active_) {
+        return;
+      }
+      active_ = false;
+      ReleaseSerialIfHeld();
+      desc_->stats.aborts.fetch_add(1, std::memory_order_relaxed);
+      UpdateAbortEwma(desc_->stats, /*aborted=*/true);
     }
 
    private:
@@ -347,13 +389,33 @@ class ValFullTm {
     bool gated_ = false;   // this attempt announced itself as a committer
   };
 
+  // Convenience retry wrapper: runs `body(tx)` until it commits. Exception
+  // contract (src/tm/txguard.h): a TxCancel thrown anywhere inside the body
+  // aborts the attempt through the ordinary unwind path, then either retries
+  // (Policy::kRetry) or returns false with nothing published (Policy::kAbort).
+  // Any OTHER exception aborts the attempt the same way and rethrows, with
+  // every displaced value restored and the serial token released before the
+  // exception leaves this frame. Returns true iff a body execution committed.
   template <typename Body>
-  static void Atomically(Body&& body) {
+  static bool Atomically(Body&& body) {
     Tx tx;
-    do {
-      tx.Start();
-      body(tx);
-    } while (!tx.Commit());
+    while (true) {
+      try {
+        tx.Start();
+        body(tx);
+        if (tx.Commit()) {
+          return true;
+        }
+      } catch (const TxCancel& cancel) {
+        tx.AbortForUnwind();
+        if (cancel.policy == TxCancel::Policy::kAbort) {
+          return false;
+        }
+      } catch (...) {
+        tx.AbortForUnwind();
+        throw;
+      }
+    }
   }
 
   static TxStats& StatsForCurrentThread() { return DescOf<ValDomainTag>().stats; }

@@ -28,6 +28,7 @@
 #include "src/tm/config.h"
 #include "src/tm/serial.h"
 #include "src/tm/txdesc.h"
+#include "src/tm/txguard.h"
 #include "src/tm/val_word.h"
 #include "src/tm/valstrategy.h"
 
@@ -66,7 +67,7 @@ class ValShortTm {
       // Contract violation (§2.2) must not become memory corruption in release
       // builds: invalidate instead of pushing past the InlineVec bound.
       if (rw_.Full()) {
-        valid_ = false;
+        UnwindForOverflow();
         return 0;
       }
       // First lock makes this attempt a committer: announce at the gate so a
@@ -103,7 +104,7 @@ class ValShortTm {
         return 0;
       }
       if (ro_.Full()) {  // overflow invalidates instead of corrupting (see ReadRw)
-        valid_ = false;
+        UnwindForOverflow();
         return 0;
       }
       const Word w = s->word.load(std::memory_order_acquire);
@@ -184,7 +185,7 @@ class ValShortTm {
       }
       assert(ro_index >= 0 && static_cast<std::size_t>(ro_index) < ro_.Size());
       if (rw_.Full()) {  // overflow invalidates instead of corrupting (see ReadRw)
-        valid_ = false;
+        UnwindForOverflow();
         return false;
       }
       if (!EnterGateForFirstLock()) {  // upgrades lock too (see ReadRw)
@@ -260,8 +261,11 @@ class ValShortTm {
     // Tx_RW_k_Abort: put the displaced values back. Restores, never publishes: no
     // value was released, so the commit counter must not move.
     void Abort() {
-      for (const RwEntry& e : rw_) {
-        e.slot->word.store(e.old_value, std::memory_order_release);
+      // After an overflow unwind the displaced values were already restored —
+      // re-storing them here would clobber whatever other transactions
+      // committed into those slots since.
+      if (!unwound_) {
+        RestoreDisplacedValues();
       }
       // Values restored BEFORE the gate exit: a draining serial transaction
       // must never observe flags at zero while our locks stand.
@@ -295,6 +299,7 @@ class ValShortTm {
       ro_.Clear();
       valid_ = true;
       finished_ = false;
+      unwound_ = false;
       StartAttempt();
     }
 
@@ -320,14 +325,53 @@ class ValShortTm {
     // publish the writer summary below — concurrent readers' skip anchors
     // depend on it (VALIDATION.md "Serial-irrevocable interop").
     void StartAttempt() {
+      // Health watchdog attempt-start feed (no-op unless SPECTM_HEALTH):
+      // observes foreign serial holds before the escalation decision below,
+      // and refreshes the ring-saturation gauge from this thread's intersect
+      // failures so the window close in OnOutcome sees the current level.
+      Cm::NoteAttemptStart(*desc_);
+      if constexpr (health::kEnabled && Validation::kHasBloomRing) {
+        health::SetRingGauge<ValDomainTag>(
+            Validation::Summary::Fails().intersect);
+      }
       if (!serial_ && Cm::ShouldEscalate(*desc_)) {
         Gate::AcquireSerial(desc_);
         serial_ = true;
-        Cm::NoteEscalated();
+        Cm::NoteEscalated(*desc_);
       }
       if constexpr (kStrategic) {
         state_.StartAttempt(kMode, Validation::kHasBloomRing, desc_->stats);
       }
+    }
+
+    // Restores every displaced value recorded in the RW set. Shared by Abort()
+    // and the overflow unwind; the value store is also the lock release.
+    void RestoreDisplacedValues() {
+      for (const RwEntry& e : rw_) {
+        e.slot->word.store(e.old_value, std::memory_order_release);
+      }
+    }
+
+    // Contract-overflow unwind (§2.2 violations surfaced safely): restores the
+    // displaced values, retracts the gate flag, and releases the serial token —
+    // the same mandatory order as Abort() — the moment the overflow is
+    // detected, instead of holding every lock until the caller notices
+    // Valid() == false and aborts. The recorded access arrays are kept intact
+    // (RwCount()/RoCount() still describe the overflowing transaction for
+    // diagnosis); Abort() skips its restore loop afterwards, because the
+    // released slots may since have been re-locked and committed by others.
+    // Kept out of line: this is a cold contract-violation path, and inlining
+    // it into the access fast paths only bloats them (and trips GCC's
+    // flow-insensitive maybe-uninitialized analysis on the InlineVec storage).
+#if defined(__GNUC__)
+    __attribute__((cold, noinline))
+#endif
+    void UnwindForOverflow() {
+      RestoreDisplacedValues();
+      ExitGateIfHeld();
+      ReleaseSerialIfHeld();
+      unwound_ = true;
+      valid_ = false;
     }
 
     bool EnterGateForFirstLock() {
@@ -421,8 +465,9 @@ class ValShortTm {
     StratState state_;
     bool valid_ = true;
     bool finished_ = false;
-    bool serial_ = false;  // this attempt holds the serialization token
-    bool gated_ = false;   // this attempt announced itself as a committer
+    bool unwound_ = false;  // overflow unwind already restored the values
+    bool serial_ = false;   // this attempt holds the serialization token
+    bool gated_ = false;    // this attempt announced itself as a committer
   };
 
   // --- Single-operation transactions --------------------------------------------------
@@ -457,6 +502,12 @@ class ValShortTm {
     // fail fast into), bounded by the serial transaction's solo execution.
     TxDesc* self = &DescOf<ValDomainTag>();
     Gate::EnterCommitterWait(self);
+    // Unwind guard (src/tm/txguard.h): the bump under a precise policy hosts
+    // pause-style fail points that can throw with the value lock displaced and
+    // the gate flag announced. Serves the normal return too (never dismissed);
+    // the lock guard below is destroyed first, restoring the displaced value
+    // before the gate flag drops — the mandatory release order.
+    TxUnwindGuard gate_guard([self] { Gate::ExitCommitter(self); });
     if constexpr (Validation::kPrecise) {
       Word w = s->word.load(std::memory_order_relaxed);
       while (true) {
@@ -471,13 +522,16 @@ class ValShortTm {
           break;
         }
       }
+      TxUnwindGuard lock_guard([s, w] {
+        s->word.store(w, std::memory_order_release);
+      });
       if constexpr (Validation::kPartitioned) {
         ++Probe::Get().stripe_bumps;
       }
       Validation::OnWriterCommitWithBloom(self, AddrBloom128(&s->word),
                                           1u << CounterStripeOf(&s->word));
       s->word.store(value, std::memory_order_release);
-      Gate::ExitCommitter(self);
+      lock_guard.Dismiss();  // the value store above was the lock release
       return;
     }
     Validation::OnWriterCommit(self);
@@ -490,7 +544,6 @@ class ValShortTm {
       }
       if (s->word.compare_exchange_weak(w, value, std::memory_order_acq_rel,
                                         std::memory_order_relaxed)) {
-        Gate::ExitCommitter(self);
         return;
       }
     }
@@ -504,6 +557,9 @@ class ValShortTm {
     // Gated like SingleWrite, non-reuse path included (see the note there).
     TxDesc* self = &DescOf<ValDomainTag>();
     Gate::EnterCommitterWait(self);
+    // Same guard pattern as SingleWrite: gate retract on every exit, value
+    // restored first when the precise-path bump throws mid-publication.
+    TxUnwindGuard gate_guard([self] { Gate::ExitCommitter(self); });
     if constexpr (Validation::kPrecise) {
       while (true) {
         Word w = s->word.load(std::memory_order_acquire);
@@ -512,7 +568,6 @@ class ValShortTm {
           continue;
         }
         if (w != expected) {
-          Gate::ExitCommitter(self);
           return w;
         }
         if (s->word.compare_exchange_weak(w, MakeValLocked(self),
@@ -520,13 +575,16 @@ class ValShortTm {
                                           std::memory_order_relaxed)) {
           // Locked at the expected value: bump (one location -> one stripe),
           // then store == release.
+          TxUnwindGuard lock_guard([s, w] {
+            s->word.store(w, std::memory_order_release);
+          });
           if constexpr (Validation::kPartitioned) {
             ++Probe::Get().stripe_bumps;
           }
           Validation::OnWriterCommitWithBloom(self, AddrBloom128(&s->word),
                                               1u << CounterStripeOf(&s->word));
           s->word.store(desired, std::memory_order_release);
-          Gate::ExitCommitter(self);
+          lock_guard.Dismiss();  // the value store above was the lock release
           return expected;
         }
       }
@@ -539,12 +597,10 @@ class ValShortTm {
         continue;
       }
       if (w != expected) {
-        Gate::ExitCommitter(self);
         return w;
       }
       if (s->word.compare_exchange_weak(w, desired, std::memory_order_acq_rel,
                                         std::memory_order_relaxed)) {
-        Gate::ExitCommitter(self);
         return expected;
       }
     }

@@ -150,6 +150,12 @@ TEST(SerialEscalation, SerialCommitsRunAgainstLiveReaders) {
   using Tag = OrecLTag;
   ThresholdGuard guard;
   SetSerialEscalationStreak(4);
+  // The fabricated 8-abort streaks below would close an abort-stormed health
+  // window (SPECTM_HEALTH builds) and throttle exactly the escalations this
+  // test counts; park the window past the test's event budget. The watchdog's
+  // own behavior is pinned by tests/common/health_test.cc. No-op when the
+  // watchdog is compiled out.
+  health::SetHealthWindow(1u << 20);
 
   static F::Slot pair_a, pair_b;
   F::SingleWrite(&pair_a, EncodeInt(0));
@@ -208,6 +214,7 @@ TEST(SerialEscalation, SerialCommitsRunAgainstLiveReaders) {
   stop.store(true, std::memory_order_release);
   reader.join();
 
+  health::SetHealthWindow(health::kHealthWindowDefault);
   EXPECT_EQ(torn.load(), 0u) << "a reader saw a serial commit half-applied";
   EXPECT_GE(escalations.load(), 10u);
   EXPECT_GE(serial_commits.load(), 10u)

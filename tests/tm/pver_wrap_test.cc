@@ -1,11 +1,13 @@
-// Regression documentation for pver's 15-bit version wrap hazard (pver.h): the
-// embedded version wraps after exactly 2^15 = 32768 committed updates, so a read
-// log entry whose location absorbs exactly that many commits — with the payload
-// also returning to the original value — inside ONE read-validate window passes
-// validation despite having changed. These tests pin the hazard boundary: one
-// commit short of the wrap is detected, the exact wrap is not. If the epoch-stamp
-// fix (see the pver.h comment trail) lands, the Wrap test flips and must be
-// rewritten to assert detection.
+// Regression anchor for pver's version-wrap protection (pver.h): the embedded
+// version wraps after exactly 2^15 = 32768 committed updates, so raw word equality
+// alone would accept a read log entry whose location absorbed exactly that many
+// commits — with the payload also returning to the original value — inside ONE
+// read-validate window. The epoch-stamped window guard closes that hole: writers
+// advance the domain epoch before every version bump, and a validator rejects any
+// window whose stamp has drifted by a full version period. These tests pin the
+// boundary from both sides: one commit short of the wrap is detected by equality,
+// the exact wrap (formerly the documented blind spot) and every multiple of it are
+// detected by the guard, and a re-stamped retry window validates normally again.
 #include "src/tm/pver.h"
 
 #include <gtest/gtest.h>
@@ -19,10 +21,11 @@ constexpr int kVersionBits = 64 - kPverVersionShift;
 constexpr std::uint64_t kWrapCommits = std::uint64_t{1} << kVersionBits;
 
 TEST(PverWrap, VersionFieldIs15Bits) {
-  // The hazard window is a compile-time property of the layout; if someone widens
-  // or narrows the field, the wrap tests below must be revisited.
+  // The wrap period is a compile-time property of the layout; if someone widens
+  // or narrows the field, the guard horizon and these tests must be revisited.
   EXPECT_EQ(kVersionBits, 15);
   EXPECT_EQ(kWrapCommits, 32768u);
+  EXPECT_EQ(kPverVersionPeriod, kWrapCommits);
   // PverBump wraps modulo 2^15 — version kWrapCommits-1 + 1 == 0.
   const Word top = MakePverWord(kWrapCommits - 1, EncodeInt(1));
   EXPECT_EQ(PverVersionOf(PverBump(top, EncodeInt(1))), 0u);
@@ -37,7 +40,8 @@ TEST(PverWrap, OneCommitShortOfWrapIsDetected) {
   ASSERT_TRUE(tx.Valid());
 
   // 32767 commits, ending back at the original payload: version differs by
-  // kWrapCommits-1, so validation still catches it.
+  // kWrapCommits-1, so plain equality still catches it (the epoch guard has not
+  // tripped yet — the window saw fewer commits than a full period).
   for (std::uint64_t i = 0; i < kWrapCommits - 2; ++i) {
     PverShortTm::SingleWrite(&slot, EncodeInt(2));
   }
@@ -46,7 +50,7 @@ TEST(PverWrap, OneCommitShortOfWrapIsDetected) {
   tx.Abort();
 }
 
-TEST(PverWrap, ExactWrapWithRecycledPayloadIsInvisible) {
+TEST(PverWrap, ExactWrapWithRecycledPayloadIsDetected) {
   PverSlot slot;
   PverShortTm::SingleWrite(&slot, EncodeInt(1));
 
@@ -55,19 +59,81 @@ TEST(PverWrap, ExactWrapWithRecycledPayloadIsInvisible) {
   ASSERT_TRUE(tx.Valid());
 
   // Exactly 2^15 commits with the payload returning to its original value: the
-  // word is bit-for-bit identical to the logged one. THIS IS THE DOCUMENTED
-  // HAZARD — validation cannot see it. The paper's §4.1 position on narrow
-  // counters accepts the bound (the window for a short transaction is
-  // sub-microsecond; 32768 commits cannot fit in it on real hardware — this test
-  // holds the window open artificially).
+  // word is bit-for-bit identical to the logged one. This was the documented
+  // blind spot before the epoch-stamped window guard; the validator must now
+  // reject the window because its stamp has drifted by a full version period.
   for (std::uint64_t i = 0; i < kWrapCommits - 1; ++i) {
     PverShortTm::SingleWrite(&slot, EncodeInt(2));
   }
   PverShortTm::SingleWrite(&slot, EncodeInt(1));
-  EXPECT_TRUE(tx.ValidateRo())
-      << "if this fails, the wrap hazard has been fixed — update pver.h's comment "
-         "trail and rewrite this test to assert detection instead";
+  EXPECT_FALSE(tx.ValidateRo())
+      << "an exact version wrap inside one read-validate window must be detected";
   tx.Abort();
+}
+
+TEST(PverWrap, DetectionSurvivesPastTheWrap) {
+  PverSlot slot;
+  PverShortTm::SingleWrite(&slot, EncodeInt(1));
+
+  PverShortTm::ShortTx tx;
+  EXPECT_EQ(DecodeInt(tx.ReadRo(&slot)), 1u);
+  ASSERT_TRUE(tx.Valid());
+
+  // TWO full periods of commits, again recycling the payload: the word is once
+  // more bit-identical, and the guard must keep failing the window no matter how
+  // many multiples of the period elapse (the drift only grows).
+  for (std::uint64_t i = 0; i < 2 * kWrapCommits - 1; ++i) {
+    PverShortTm::SingleWrite(&slot, EncodeInt(2));
+  }
+  PverShortTm::SingleWrite(&slot, EncodeInt(1));
+  EXPECT_FALSE(tx.ValidateRo())
+      << "detection must survive arbitrarily far past the first wrap";
+  tx.Abort();
+}
+
+TEST(PverWrap, RetryWindowRestampsAndValidates) {
+  PverSlot slot;
+  PverShortTm::SingleWrite(&slot, EncodeInt(1));
+
+  PverShortTm::ShortTx tx;
+  (void)tx.ReadRo(&slot);
+  for (std::uint64_t i = 0; i < kWrapCommits - 1; ++i) {
+    PverShortTm::SingleWrite(&slot, EncodeInt(2));
+  }
+  PverShortTm::SingleWrite(&slot, EncodeInt(1));
+  ASSERT_FALSE(tx.ValidateRo());
+
+  // The guard is a property of the WINDOW, not the word: the retry attempt
+  // stamps afresh at its first read and must validate normally.
+  tx.Reset();
+  EXPECT_EQ(DecodeInt(tx.ReadRo(&slot)), 1u);
+  EXPECT_TRUE(tx.Valid());
+  EXPECT_TRUE(tx.ValidateRo());
+  tx.Abort();
+}
+
+TEST(PverWrap, FullTmReadValidationDetectsTheWrap) {
+  PverSlot slot;
+  PverSlot other;
+  PverShortTm::SingleWrite(&slot, EncodeInt(1));
+  PverShortTm::SingleWrite(&other, EncodeInt(7));
+
+  PverFullTm::Tx tx;
+  tx.Start();
+  EXPECT_EQ(DecodeInt(tx.Read(&slot)), 1u);
+  ASSERT_TRUE(tx.ok());
+
+  // Recycle the logged word across exactly one full period while the full
+  // transaction's read-validate window stays open; the incremental validation
+  // run by the NEXT read must fail the attempt via the epoch guard even though
+  // the logged word re-reads bit-identical.
+  for (std::uint64_t i = 0; i < kWrapCommits - 1; ++i) {
+    PverShortTm::SingleWrite(&slot, EncodeInt(2));
+  }
+  PverShortTm::SingleWrite(&slot, EncodeInt(1));
+  (void)tx.Read(&other);
+  EXPECT_FALSE(tx.ok()) << "full-tm incremental validation must detect the wrap";
+  EXPECT_FALSE(tx.Commit());
 }
 
 }  // namespace

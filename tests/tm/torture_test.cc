@@ -152,6 +152,103 @@ TEST_F(TortureTest, PublicationDelayScheduleKeepsBalance) {
   EXPECT_EQ(RunTortureBalance<OrecLBloom>(0x7244).balance_delta, 0);
 }
 
+// Exception-storm harness: same linked-set balance invariant, but the armed
+// sites THROW (failpoint::InjectedFault) instead of returning an abort
+// verdict, so recovery runs through the C++ unwind path — TxUnwindGuard /
+// ShortTx destructor — rather than the engines' return-coded abort branches.
+// Every throw site precedes the attempt's releasing stores and the unwind
+// publishes nothing, so a thrown op is exactly "the op did not happen": the
+// worker catches the fault, leaves its balance untouched, and moves on. Any
+// leaked orec/val lock or serial-gate token would deadlock or corrupt the
+// concurrent workers; any half-published commit would break the balance.
+template <typename Family>
+TortureResult RunExceptionStormBalance(std::uint64_t seed,
+                                       std::uint64_t* faults_out) {
+  using Probe = CmProbe<typename Family::DomainTag>;
+  TmHashSet<Family> set(32);
+  std::vector<std::int64_t> balance(kWorkers, 0);
+  std::atomic<std::uint64_t> faults{0};
+  std::atomic<std::uint64_t> escalations{0};
+  std::atomic<std::uint64_t> serial_commits{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWorkers; ++t) {
+    threads.emplace_back([&, t] {
+      Probe::Reset();
+      Xorshift128Plus rng(seed + static_cast<std::uint64_t>(t) * 7919);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::uint64_t k = rng.NextBounded(kKeys);
+        try {
+          if (rng.Next() & 1) {
+            if (set.Insert(k)) {
+              ++balance[static_cast<std::size_t>(t)];
+            }
+          } else {
+            if (set.Remove(k)) {
+              --balance[static_cast<std::size_t>(t)];
+            }
+          }
+        } catch (const failpoint::InjectedFault&) {
+          faults.fetch_add(1);  // aborted-by-unwind: the op did not happen
+        }
+      }
+      const auto probe = Probe::Get();
+      escalations.fetch_add(probe.escalations);
+      serial_commits.fetch_add(probe.serial_commits);
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  // Disarm before the verification sweep: it must observe, not participate.
+  failpoint::DisarmAll();
+  std::int64_t expected = 0;
+  for (const std::int64_t b : balance) {
+    expected += b;
+  }
+  std::int64_t present = 0;
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    present += set.Contains(k) ? 1 : 0;
+  }
+  *faults_out = faults.load();
+  TortureResult r;
+  r.balance_delta = present - expected;
+  r.escalations = escalations.load();
+  r.serial_commits = serial_commits.load();
+  return r;
+}
+
+// Throws at the encounter/validate/lock sites under both metadata families,
+// with escalation enabled so some throws land inside serial attempts (the
+// token-release unwind is exercised under load, not just in the directed
+// exception_safety_test). The gate must read clean after the storm — a leaked
+// committer flag or owner pointer is invisible to the balance check but wedges
+// the next AcquireSerial forever.
+TEST_F(TortureTest, ExceptionStormScheduleKeepsBalance) {
+  SetSerialEscalationStreak(4);
+  failpoint::SetSeed(0xe5c4);
+  failpoint::ArmThrow(failpoint::Site::kPostReadPreSandwich, /*throw_pct=*/2);
+  failpoint::ArmThrow(failpoint::Site::kPreValidate, /*throw_pct=*/2);
+  failpoint::ArmThrow(failpoint::Site::kLockAcquire, /*throw_pct=*/3);
+  std::uint64_t faults = 0;
+  const TortureResult orec = RunExceptionStormBalance<OrecLAdaptive>(0xe141, &faults);
+  EXPECT_EQ(orec.balance_delta, 0)
+      << "an unwound attempt published state or broke a peer";
+  EXPECT_GT(faults, 0u) << "the storm never threw — the schedule was a no-op";
+  EXPECT_EQ(SerialGate<typename OrecLAdaptive::DomainTag>::SerialOwner(), nullptr);
+  EXPECT_EQ(SerialGate<typename OrecLAdaptive::DomainTag>::AnnouncedCommitters(), 0u);
+
+  failpoint::SetSeed(0xe5c5);
+  failpoint::ArmThrow(failpoint::Site::kPostReadPreSandwich, /*throw_pct=*/2);
+  failpoint::ArmThrow(failpoint::Site::kPreValidate, /*throw_pct=*/2);
+  failpoint::ArmThrow(failpoint::Site::kLockAcquire, /*throw_pct=*/3);
+  const TortureResult val = RunExceptionStormBalance<ValAdaptive>(0xe142, &faults);
+  EXPECT_EQ(val.balance_delta, 0)
+      << "an unwound attempt published state or broke a peer";
+  EXPECT_GT(faults, 0u) << "the storm never threw — the schedule was a no-op";
+  EXPECT_EQ(SerialGate<typename ValAdaptive::DomainTag>::SerialOwner(), nullptr);
+  EXPECT_EQ(SerialGate<typename ValAdaptive::DomainTag>::AnnouncedCommitters(), 0u);
+}
+
 // The interop schedule: a low threshold plus a high forced-conflict rate
 // drives real escalations, so serial transactions commit INTERLEAVED with
 // optimistic ones — forced aborts keep firing inside serial attempts too
