@@ -163,6 +163,11 @@ std::string JsonReport::ToJson() const {
           << ", \"degrade_exits\": " << r.degrade_exits
           << ", \"throttled_escalations\": " << r.throttled_escalations;
     }
+    if (r.has_sched) {
+      out << ", \"explored_schedules\": " << r.explored_schedules
+          << ", \"preemption_bound\": " << r.preemption_bound
+          << ", \"canary_found\": " << r.canary_found;
+    }
     out << "}";
   }
   out << "\n  ]\n}\n";

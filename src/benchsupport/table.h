@@ -88,6 +88,14 @@ struct BenchRecord {
   std::uint64_t degrade_enters = 0;         // HealthProbe: entries into degraded mode
   std::uint64_t degrade_exits = 0;          // HealthProbe: hysteretic recoveries
   std::uint64_t throttled_escalations = 0;  // HealthProbe: escalations declined
+
+  // Scheduler-exploration extensions (SPECTM_SCHED runs reporting systematic
+  // interleaving coverage): emitted only when has_sched is set, so every
+  // BENCH_*.json produced by a scheduler-less build stays byte-stable.
+  bool has_sched = false;
+  std::uint64_t explored_schedules = 0;  // Explorer: schedules executed
+  std::uint64_t preemption_bound = 0;    // Explorer: bound the walk ran under
+  std::uint64_t canary_found = 0;        // planted-bug schedules surfaced
 };
 
 // Collects BenchRecords and renders them as a JSON document:

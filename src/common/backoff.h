@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "src/common/cacheline.h"
+#include "src/common/failpoint.h"
 #include "src/common/rng.h"
 
 namespace spectm {
@@ -39,6 +40,13 @@ class Backoff {
     if (attempts_ < kMaxAttemptFactor) {
       ++attempts_;
     }
+    // Every contention-abort retry path in every engine funnels through here
+    // (SerialCm::NoteAbortBackoff), so one forced scheduler hand-off per wait
+    // guarantees an aborting transaction under cooperative control always
+    // yields to the peer it conflicted with — retry loops terminate. The
+    // spin count below varies with the backoff RNG but steers no branch, so
+    // schedules stay a deterministic function of the decision sequence.
+    SPECTM_SCHED_SPIN(failpoint::Site::kBackoffWait);
     const std::uint64_t spins =
         rng_.NextBounded(attempts_ * kSpinsPerAttempt * widening_ + 1);
     for (std::uint64_t i = 0; i < spins; ++i) {

@@ -26,6 +26,17 @@
 #endif
 
 namespace spectm {
+
+#if defined(SPECTM_SCHED)
+namespace sched {
+// Bridge into the cooperative scheduler (src/common/sched.h), declared here and
+// defined in src/common/sched.cc so this header never includes sched.h (which
+// includes it back). Both are no-ops on threads not registered with a run.
+void SchedulePointAtSite(int site);  // decision point: the controller picks who runs
+void SpinYieldAtSite(int site);      // forced hand-off out of a spin-wait loop
+}  // namespace sched
+#endif
+
 namespace failpoint {
 
 // Injection sites sit at the protocol's razor edges — the spots where the
@@ -37,6 +48,18 @@ enum class Site : int {
   kPreRingPublish,           // the counter-bump -> ring-publish tail window
   kPreStripeBump,            // before the per-stripe counter bumps
   kLockAcquire,              // before a lock-word CAS
+  // Scheduler-era sites (PR 8): planted with SPECTM_SCHED_POINT/_SPIN, so
+  // they never inject faults — they only mark reach and (under SPECTM_SCHED)
+  // hand the interleaving decision to the cooperative scheduler. Several sit
+  // on exception-unwind paths, where an injected throw would std::terminate.
+  kSerialGateEnter,    // committer flag raised, owner not yet examined
+  kSerialGateExit,     // before the committer flag retract
+  kSerialTokenAcquire, // serial CAS/drain loop, and the instant the drain ends
+  kSerialTokenRelease, // before the owner-pointer clearing store
+  kEpochAdvance,       // epoch advance/reclaim scan entry
+  kEpochRetire,        // object pushed into a limbo bag
+  kPostRingPublish,    // ring entry published, locks still held
+  kBackoffWait,        // once per contention-abort backoff wait
   kCount,
 };
 
@@ -56,6 +79,22 @@ inline const char* SiteName(Site s) {
       return "pre-stripe-bump";
     case Site::kLockAcquire:
       return "lock-acquire";
+    case Site::kSerialGateEnter:
+      return "serial-gate-enter";
+    case Site::kSerialGateExit:
+      return "serial-gate-exit";
+    case Site::kSerialTokenAcquire:
+      return "serial-token-acquire";
+    case Site::kSerialTokenRelease:
+      return "serial-token-release";
+    case Site::kEpochAdvance:
+      return "epoch-advance";
+    case Site::kEpochRetire:
+      return "epoch-retire";
+    case Site::kPostRingPublish:
+      return "post-ring-publish";
+    case Site::kBackoffWait:
+      return "backoff-wait";
     default:
       return "?";
   }
@@ -98,6 +137,16 @@ inline SiteConfig& Config(Site s) {
 inline std::atomic<std::uint64_t>& HitCounter(Site s) {
   static CacheAligned<std::atomic<std::uint64_t>> hits[kSiteCount];
   return hits[static_cast<int>(s)].value;
+}
+
+// Reach counters, distinct from HitCounter: bumped every time control REACHES
+// a planted site, armed or not. Hits() counting only fired injections means a
+// silently-dead site (planted but never executed) is invisible to the suite;
+// SiteHits() below makes "every planted site actually runs" assertable
+// (tests/tm/exception_safety_test.cc).
+inline std::atomic<std::uint64_t>& ReachCounter(Site s) {
+  static CacheAligned<std::atomic<std::uint64_t>> reaches[kSiteCount];
+  return reaches[static_cast<int>(s)].value;
 }
 
 inline std::atomic<std::uint64_t>& GlobalSeed() {
@@ -177,6 +226,24 @@ inline void ResetHits() {
   }
 }
 
+// Marks `s` as reached. Called at the top of FireAbort/FirePause and by the
+// SPECTM_SCHED_POINT/_SPIN macros; no RNG draw, so arming-era decision
+// streams are untouched (same seed => same abort/delay/throw sequence).
+inline void MarkReached(Site s) {
+  internal::ReachCounter(s).fetch_add(1, std::memory_order_relaxed);
+}
+
+// Times control reached `s` since the last ResetSiteHits(), fired or not.
+inline std::uint64_t SiteHits(Site s) {
+  return internal::ReachCounter(s).load(std::memory_order_relaxed);
+}
+
+inline void ResetSiteHits() {
+  for (int i = 0; i < kSiteCount; ++i) {
+    internal::ReachCounter(static_cast<Site>(i)).store(0, std::memory_order_relaxed);
+  }
+}
+
 namespace internal {
 
 inline void MaybeDelay(Site s, SiteConfig& c) {
@@ -211,6 +278,13 @@ inline void MaybeThrow(Site s, SiteConfig& c) {
 // a forced abort. Call sites treat `true` exactly like a real conflict at
 // that point.
 inline bool FireAbort(Site s) {
+  MarkReached(s);
+#if defined(SPECTM_SCHED)
+  // One integration point for the cooperative scheduler: EVERY planted
+  // pause/abort site is a schedule point, so all engines inherit the
+  // controller's interleaving control without per-site wiring.
+  sched::SchedulePointAtSite(static_cast<int>(s));
+#endif
   SiteConfig& c = internal::Config(s);
   const std::uint32_t abort_pct = c.abort_pct.load(std::memory_order_acquire);
   internal::MaybeDelay(s, c);
@@ -229,6 +303,10 @@ inline bool FireAbort(Site s) {
 // locks held and gate flags announced, which makes them the harshest unwind
 // tests of all, and "every planted site can erupt" is the tentpole's claim.
 inline void FirePause(Site s) {
+  MarkReached(s);
+#if defined(SPECTM_SCHED)
+  sched::SchedulePointAtSite(static_cast<int>(s));
+#endif
   SiteConfig& c = internal::Config(s);
   internal::MaybeDelay(s, c);
   internal::MaybeThrow(s, c);
@@ -252,6 +330,29 @@ inline constexpr bool kEnabled = false;
 #else
 #define SPECTM_FAILPOINT(site) (static_cast<void>(site), false)
 #define SPECTM_FAILPOINT_PAUSE(site) static_cast<void>(site)
+#endif
+
+// Pure schedule points (PR 8): mark reach and hand control to the cooperative
+// scheduler, but NEVER run the injection machinery — several of these sit on
+// exception-unwind paths (gate retract, token release), where a second throw
+// would std::terminate. _POINT is a decision point (the controller's policy
+// picks who runs next, recorded in the trace); _SPIN is a forced deterministic
+// hand-off for unbounded wait loops (gate drain, single-op lock waits,
+// backoff), NOT recorded as a decision, so exhaustive exploration stays
+// finite while cooperative runs can never livelock on one core.
+#if defined(SPECTM_SCHED)
+#define SPECTM_SCHED_POINT(site)                 \
+  (::spectm::failpoint::MarkReached(site),       \
+   ::spectm::sched::SchedulePointAtSite(static_cast<int>(site)))
+#define SPECTM_SCHED_SPIN(site)                  \
+  (::spectm::failpoint::MarkReached(site),       \
+   ::spectm::sched::SpinYieldAtSite(static_cast<int>(site)))
+#elif defined(SPECTM_FAILPOINTS)
+#define SPECTM_SCHED_POINT(site) (::spectm::failpoint::MarkReached(site))
+#define SPECTM_SCHED_SPIN(site) (::spectm::failpoint::MarkReached(site))
+#else
+#define SPECTM_SCHED_POINT(site) static_cast<void>(site)
+#define SPECTM_SCHED_SPIN(site) static_cast<void>(site)
 #endif
 
 #endif  // SPECTM_COMMON_FAILPOINT_H_

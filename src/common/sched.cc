@@ -1,0 +1,19 @@
+// Out-of-line bridge between the fail-point dispatch and the cooperative
+// scheduler. failpoint.h declares these two functions (so FireAbort/FirePause
+// can call them without including sched.h, which includes failpoint.h back);
+// this TU is the only place both headers meet.
+#include "src/common/sched.h"
+
+#if defined(SPECTM_SCHED)
+
+namespace spectm {
+namespace sched {
+
+void SchedulePointAtSite(int site) { Controller::Instance().SchedulePoint(site); }
+
+void SpinYieldAtSite(int site) { Controller::Instance().SpinYield(site); }
+
+}  // namespace sched
+}  // namespace spectm
+
+#endif  // SPECTM_SCHED

@@ -1,0 +1,661 @@
+// Cooperative deterministic scheduler: systematic interleaving exploration
+// for the commit protocols, compiled out of production builds.
+//
+// The fail-point layer (PR 6/7) perturbs schedules — forced aborts, widened
+// windows — but the OS scheduler still owns the interleaving, so a razor-edge
+// bug needs luck twice: the perturbation must open the window AND the kernel
+// must run the other thread through it. This layer removes the second coin
+// flip: registered test threads run ONE AT A TIME and block at every planted
+// schedule point (all SPECTM_FAILPOINT/_PAUSE sites plus the PR 8 plants in
+// serial.h / epoch.cc / valstrategy.h), while a controller picks who runs
+// next under a pluggable policy:
+//
+//   * RandomWalkPolicy — seeded uniform choice at every point;
+//   * PctPolicy        — PCT-style randomized priorities with d change points
+//                        (Burckhardt et al.: bug depth beats schedule count);
+//   * PrefixPolicy     — replays a prescribed decision prefix and continues
+//                        with the default (run the current thread), which is
+//                        what Explorer drives its bounded exhaustive DFS with;
+//   * ReplayPolicy     — re-executes a recorded trace tolerantly (divergences
+//                        counted, never fatal), which is what ShrinkTrace
+//                        uses to minimize a failing schedule.
+//
+// Because exactly one registered thread runs at any instant, an execution is
+// a deterministic function of its decision sequence: every run yields a
+// replayable trace of (schedule-point id, chosen thread), and any failing
+// schedule re-executes byte-identically from that trace (asserted by
+// tests/tm/sched_explore_test.cc).
+//
+// Termination under cooperative control: a spin-wait against a parked peer
+// would hang forever, so every unbounded wait loop in the runtime carries a
+// SPECTM_SCHED_SPIN plant — a forced round-robin hand-off that is NOT a
+// recorded decision (keeping exhaustive traces finite) but is itself
+// deterministic (same decisions => same forced switches).
+//
+// Gated on SPECTM_SCHED (CMake option; implies SPECTM_FAILPOINTS). When OFF,
+// the whole namespace folds to constexpr no-ops, pinned by static_assert in
+// tests/common/sched_test.cc — identical to the failpoint/health idiom.
+#ifndef SPECTM_COMMON_SCHED_H_
+#define SPECTM_COMMON_SCHED_H_
+
+#include <cstdint>
+
+#include "src/common/failpoint.h"
+
+#if defined(SPECTM_SCHED)
+#include <algorithm>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#endif
+
+namespace spectm {
+namespace sched {
+
+#if defined(SPECTM_SCHED)
+
+inline constexpr bool kEnabled = true;
+
+// Synthetic point ids used by the controller itself. Planted sites pass
+// failpoint::Site values (>= 0); tests plant their own points with TestPoint
+// using ids >= kTestPointBase to keep traces readable.
+inline constexpr int kPointStart = -2;       // initial "who runs first" decision
+inline constexpr int kPointThreadExit = -1;  // a thread finished; pick a successor
+inline constexpr int kPointYield = -3;       // forced spin-yield hand-off (never recorded)
+inline constexpr int kTestPointBase = 1000;
+
+// One recorded decision: at schedule point `site`, thread `thread` was chosen
+// to run. A run's trace is the full decision sequence; feeding it back through
+// ReplayPolicy re-executes the schedule.
+struct Decision {
+  int site = 0;
+  int thread = 0;
+};
+using Trace = std::vector<Decision>;
+
+// One decision point as the controller saw it: who was running, who was
+// runnable, who got picked. Frames are only recorded where a real choice
+// existed (>= 2 runnable threads); single-successor points cost nothing in
+// the trace and create no DFS branches.
+struct Frame {
+  int site = 0;
+  int current_before = -1;    // thread running when the point fired; -1 at start/exit
+  std::vector<int> runnable;  // ascending thread indices still alive
+  int chosen = -1;
+};
+
+struct RunRecord {
+  std::vector<Frame> frames;          // every recorded decision, in order
+  std::uint64_t points = 0;           // schedule points hit (recorded or not)
+  std::uint64_t forced_switches = 0;  // spin-yield / post-cap hand-offs
+  std::uint64_t preemptions = 0;      // decisions that switched away from a runnable thread
+  std::uint64_t body_exceptions = 0;  // exceptions that escaped a worker body
+  bool point_limit_hit = false;       // run exceeded max_points (degraded to round-robin)
+};
+
+inline Trace TraceOf(const RunRecord& r) {
+  Trace t;
+  t.reserve(r.frames.size());
+  for (const Frame& f : r.frames) {
+    t.push_back(Decision{f.site, f.chosen});
+  }
+  return t;
+}
+
+// "site:thread" pairs, comma-joined — the printable form a failing test
+// reports; docs/TESTING.md shows how to paste it back into a ReplayPolicy.
+inline std::string FormatTrace(const Trace& t) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    out << (i == 0 ? "" : ",") << t[i].site << ':' << t[i].thread;
+  }
+  return out.str();
+}
+
+// Scheduling policy: consulted at every recorded decision point. `runnable`
+// is ascending and non-empty; `current` is the thread that hit the point, or
+// -1 when the previous runner just finished (or at the start point). The
+// return value must be a member of `runnable` (the controller falls back to
+// the default rule otherwise).
+class Policy {
+ public:
+  virtual ~Policy() = default;
+  virtual void BeginRun(int nthreads) { static_cast<void>(nthreads); }
+  virtual int Choose(std::uint64_t point_index, int site, int current,
+                     const std::vector<int>& runnable) = 0;
+};
+
+namespace internal {
+
+// The non-preemptive default: keep running whoever is running; at start/exit
+// points (no current) run the lowest-indexed thread. DFS enumerates
+// alternatives against exactly this rule, so it lives in one place.
+inline int DefaultChoice(int current, const std::vector<int>& runnable) {
+  if (current >= 0 &&
+      std::find(runnable.begin(), runnable.end(), current) != runnable.end()) {
+    return current;
+  }
+  return runnable.front();
+}
+
+inline bool Contains(const std::vector<int>& v, int x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+}  // namespace internal
+
+// (a) Seeded random walk: uniform choice at every decision point. BeginRun
+// re-derives the stream from the seed, so the same (seed, bodies) pair yields
+// the same schedule on every run — replay determinism for free.
+class RandomWalkPolicy : public Policy {
+ public:
+  explicit RandomWalkPolicy(std::uint64_t seed) : seed_(seed ? seed : 1), rng_(seed_) {}
+
+  void BeginRun(int nthreads) override {
+    static_cast<void>(nthreads);
+    rng_ = Xorshift128Plus(seed_);
+  }
+
+  int Choose(std::uint64_t, int, int, const std::vector<int>& runnable) override {
+    return runnable[static_cast<std::size_t>(
+        rng_.NextBounded(static_cast<std::uint64_t>(runnable.size())))];
+  }
+
+ private:
+  std::uint64_t seed_;
+  Xorshift128Plus rng_;
+};
+
+// (b) PCT-style randomized priorities: each thread gets a random distinct
+// priority at run start; the highest-priority runnable thread always runs;
+// at each of d randomly chosen change points the running thread's priority
+// drops below everyone's. A bug of depth d is found with probability
+// >= 1/(n * k^(d-1)) per run (k = schedule length bound), independent of how
+// astronomically many schedules exist.
+class PctPolicy : public Policy {
+ public:
+  PctPolicy(std::uint64_t seed, int change_points, std::uint64_t horizon = 1000)
+      : seed_(seed ? seed : 1), d_(change_points), horizon_(horizon ? horizon : 1) {}
+
+  void BeginRun(int nthreads) override {
+    Xorshift128Plus rng(seed_);
+    prio_.assign(static_cast<std::size_t>(nthreads), 0);
+    for (int i = 0; i < nthreads; ++i) {
+      prio_[static_cast<std::size_t>(i)] = static_cast<std::int64_t>(i) + 1;
+    }
+    // Fisher-Yates over the initial priorities.
+    for (int i = nthreads - 1; i > 0; --i) {
+      const int j = static_cast<int>(rng.NextBounded(static_cast<std::uint64_t>(i) + 1));
+      std::swap(prio_[static_cast<std::size_t>(i)], prio_[static_cast<std::size_t>(j)]);
+    }
+    change_points_.clear();
+    for (int i = 0; i < d_; ++i) {
+      change_points_.push_back(rng.NextBounded(horizon_));
+    }
+    std::sort(change_points_.begin(), change_points_.end());
+    low_water_ = 0;
+  }
+
+  int Choose(std::uint64_t point_index, int, int current,
+             const std::vector<int>& runnable) override {
+    if (current >= 0 &&
+        std::binary_search(change_points_.begin(), change_points_.end(), point_index)) {
+      prio_[static_cast<std::size_t>(current)] = --low_water_;  // drops below everyone
+    }
+    int best = runnable.front();
+    for (const int t : runnable) {
+      if (prio_[static_cast<std::size_t>(t)] > prio_[static_cast<std::size_t>(best)]) {
+        best = t;
+      }
+    }
+    return best;
+  }
+
+ private:
+  std::uint64_t seed_;
+  int d_;
+  std::uint64_t horizon_;
+  std::vector<std::int64_t> prio_;
+  std::vector<std::uint64_t> change_points_;
+  std::int64_t low_water_ = 0;
+};
+
+// Replays a recorded trace positionally and tolerantly: a prescribed thread
+// that is no longer runnable, or a site id that no longer matches, counts a
+// divergence and falls back to the default rule instead of failing the run.
+// Past the end of the trace the default rule continues — which is what makes
+// trace SHRINKING sound: deleting a decision shifts alignment, the replay
+// diverges, and the verifier decides whether the violation still reproduces.
+class ReplayPolicy : public Policy {
+ public:
+  explicit ReplayPolicy(Trace trace) : trace_(std::move(trace)) {}
+
+  void BeginRun(int) override {
+    pos_ = 0;
+    divergence = 0;
+  }
+
+  int Choose(std::uint64_t, int site, int current,
+             const std::vector<int>& runnable) override {
+    if (pos_ < trace_.size()) {
+      const Decision d = trace_[pos_++];
+      if (internal::Contains(runnable, d.thread)) {
+        if (d.site != site) {
+          ++divergence;
+        }
+        return d.thread;
+      }
+      ++divergence;
+    }
+    return internal::DefaultChoice(current, runnable);
+  }
+
+  std::uint64_t divergence = 0;  // tests assert == 0 for byte-identical replay
+
+ private:
+  Trace trace_;
+  std::size_t pos_ = 0;
+};
+
+// (c) The DFS driver's policy: prescribed thread choices for the first
+// prefix.size() decisions, default rule after. Unlike ReplayPolicy this
+// replays by thread index only — the Explorer owns site bookkeeping through
+// the returned frames.
+class PrefixPolicy : public Policy {
+ public:
+  explicit PrefixPolicy(std::vector<int> prefix) : prefix_(std::move(prefix)) {}
+
+  void BeginRun(int) override {
+    pos_ = 0;
+    divergence = 0;
+  }
+
+  int Choose(std::uint64_t, int, int current,
+             const std::vector<int>& runnable) override {
+    if (pos_ < prefix_.size()) {
+      const int t = prefix_[pos_++];
+      if (internal::Contains(runnable, t)) {
+        return t;
+      }
+      ++divergence;  // the run under this prefix is not the recorded one
+    }
+    return internal::DefaultChoice(current, runnable);
+  }
+
+  std::uint64_t divergence = 0;
+
+ private:
+  std::vector<int> prefix_;
+  std::size_t pos_ = 0;
+};
+
+// The controller: owns the one-runner-at-a-time discipline. Worker bodies run
+// in fresh std::threads; each registers a dense index in thread-local state,
+// parks on a condition variable, and runs only while `current_ == index`.
+// Planted sites call SchedulePoint/SpinYield through the failpoint bridge;
+// unregistered threads (the test main thread, production code outside a run)
+// fall through instantly.
+class Controller {
+ public:
+  static Controller& Instance() {
+    static Controller* c = new Controller;  // leaked: outlives TLS destructors
+    return *c;
+  }
+
+  static constexpr std::uint64_t kDefaultMaxPoints = 1u << 20;
+
+  RunRecord Run(std::vector<std::function<void()>> bodies, Policy& policy,
+                std::uint64_t max_points = kDefaultMaxPoints) {
+    const int n = static_cast<int>(bodies.size());
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      active_ = true;
+      policy_ = &policy;
+      nthreads_ = n;
+      finished_.assign(static_cast<std::size_t>(n), 0);
+      started_ = 0;
+      current_ = -1;
+      rec_ = RunRecord{};
+      max_points_ = max_points;
+      policy.BeginRun(n);
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      threads.emplace_back([this, i, body = std::move(bodies[static_cast<std::size_t>(i)])] {
+        tl_index_ = i;
+        {
+          std::unique_lock<std::mutex> lk(mu_);
+          // The run begins only once every worker is parked: the first
+          // decision (kPointStart) then sees the complete runnable set.
+          if (++started_ == nthreads_) {
+            PickNextLocked(kPointStart, -1);
+          }
+          cv_.wait(lk, [&] { return current_ == i; });
+        }
+        try {
+          body();
+        } catch (...) {
+          std::lock_guard<std::mutex> lk(mu_);
+          ++rec_.body_exceptions;
+        }
+        {
+          std::lock_guard<std::mutex> lk(mu_);
+          finished_[static_cast<std::size_t>(i)] = 1;
+          current_ = -1;
+          PickNextLocked(kPointThreadExit, -1);
+        }
+        tl_index_ = -1;
+      });
+    }
+    for (std::thread& t : threads) {
+      t.join();
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    active_ = false;
+    policy_ = nullptr;
+    return rec_;
+  }
+
+  // Decision point: the policy picks who runs next; the caller parks until it
+  // is (re)chosen. No-op off a run or on an unregistered thread. Never throws.
+  void SchedulePoint(int site) {
+    const int self = tl_index_;
+    if (self < 0) {
+      return;
+    }
+    std::unique_lock<std::mutex> lk(mu_);
+    if (!active_ || current_ != self) {
+      return;  // defensive: never park a thread the controller didn't run
+    }
+    PickNextLocked(site, self);
+    cv_.wait(lk, [&] { return current_ == self; });
+  }
+
+  // Forced hand-off for spin-wait loops: control passes to the next runnable
+  // thread in cyclic index order — deterministic, never recorded, so a thread
+  // spinning against a parked lock holder always lets the holder finish
+  // (closes the PR 6 one-core livelock caveat) without branching the DFS.
+  void SpinYield(int site) {
+    static_cast<void>(site);
+    const int self = tl_index_;
+    if (self < 0) {
+      return;
+    }
+    std::unique_lock<std::mutex> lk(mu_);
+    if (!active_ || current_ != self) {
+      return;
+    }
+    int next = self;
+    for (int k = 1; k < nthreads_; ++k) {
+      const int cand = (self + k) % nthreads_;
+      if (!finished_[static_cast<std::size_t>(cand)]) {
+        next = cand;
+        break;
+      }
+    }
+    if (next == self) {
+      return;  // nobody else alive: keep spinning (loop exit is up to the protocol)
+    }
+    ++rec_.points;
+    ++rec_.forced_switches;
+    current_ = next;
+    cv_.notify_all();
+    cv_.wait(lk, [&] { return current_ == self; });
+  }
+
+  bool ActiveOnThisThread() const { return tl_index_ >= 0; }
+
+ private:
+  Controller() = default;
+
+  // mu_ held. Chooses the next runner, records a frame when a real choice
+  // existed, and wakes the winner. After max_points the run degrades to
+  // round-robin (unrecorded) so a runaway schedule still terminates.
+  void PickNextLocked(int site, int current) {
+    std::vector<int> runnable;
+    for (int i = 0; i < nthreads_; ++i) {
+      if (!finished_[static_cast<std::size_t>(i)]) {
+        runnable.push_back(i);
+      }
+    }
+    if (runnable.empty()) {
+      cv_.notify_all();
+      return;
+    }
+    ++rec_.points;
+    int chosen;
+    if (rec_.points > max_points_) {
+      rec_.point_limit_hit = true;
+      chosen = internal::DefaultChoice(current, runnable);
+      if (current >= 0) {  // round-robin past the cap, never stick on one thread
+        for (int k = 1; k <= nthreads_; ++k) {
+          const int cand = (current + k) % nthreads_;
+          if (!finished_[static_cast<std::size_t>(cand)]) {
+            chosen = cand;
+            break;
+          }
+        }
+      }
+      ++rec_.forced_switches;
+    } else if (runnable.size() == 1) {
+      chosen = runnable.front();
+    } else {
+      Frame f;
+      f.site = site;
+      f.current_before = current;
+      f.runnable = runnable;
+      f.chosen = policy_->Choose(static_cast<std::uint64_t>(rec_.frames.size()), site,
+                                 current, runnable);
+      if (!internal::Contains(runnable, f.chosen)) {
+        f.chosen = internal::DefaultChoice(current, runnable);
+      }
+      if (current >= 0 && f.chosen != current) {
+        ++rec_.preemptions;
+      }
+      rec_.frames.push_back(f);
+      chosen = f.chosen;
+    }
+    current_ = chosen;
+    cv_.notify_all();
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool active_ = false;
+  int current_ = -1;
+  int nthreads_ = 0;
+  int started_ = 0;
+  std::vector<char> finished_;
+  std::uint64_t max_points_ = 0;
+  Policy* policy_ = nullptr;
+  RunRecord rec_;
+
+  static inline thread_local int tl_index_ = -1;
+};
+
+// Test-body plants: an arbitrary decision point / forced yield, for model
+// programs (the canary) and converted torture bodies. Ids >= kTestPointBase
+// by convention so traces distinguish them from failpoint::Site plants.
+inline void TestPoint(int id) { Controller::Instance().SchedulePoint(id); }
+inline void Yield() { Controller::Instance().SpinYield(kPointYield); }
+inline bool SchedActive() { return Controller::Instance().ActiveOnThisThread(); }
+
+// Bounded exhaustive exploration: depth-first enumeration of every decision
+// sequence reachable with at most `preemption_bound` preemptions (a decision
+// that switches away from a still-runnable thread; free switches at thread
+// exit don't count). Determinism makes this sound: the same prefix always
+// reproduces the same frames up to the first changed decision, so advancing
+// the deepest frame to its next alternative walks the full bounded tree
+// exactly once (CHESS-style iterative context bounding).
+class Explorer {
+ public:
+  struct Options {
+    int preemption_bound = 2;
+    std::uint64_t max_points = Controller::kDefaultMaxPoints;
+    std::uint64_t max_schedules = 0;  // 0 = no cap
+    bool stop_on_violation = true;
+  };
+
+  struct Result {
+    std::uint64_t schedules = 0;        // runs executed
+    std::uint64_t truncated = 0;        // runs that hit max_points
+    std::uint64_t violations = 0;       // runs whose check() failed
+    bool violation_found = false;
+    Trace violation_trace;              // first failing run's decision trace
+    bool frontier_exhausted = false;    // true iff the bounded tree was fully walked
+    std::uint64_t divergences = 0;      // prefix replays that failed to reproduce
+  };
+
+  // `make_bodies` builds a FRESH set of worker bodies (and the state they
+  // mutate) per schedule; `check` inspects that state after the run and
+  // returns true when the invariant held.
+  static Result Explore(const std::function<std::vector<std::function<void()>>()>& make_bodies,
+                        const std::function<bool()>& check, const Options& opt) {
+    Result res;
+    std::vector<int> prefix;
+    while (true) {
+      PrefixPolicy policy(prefix);
+      const RunRecord rec =
+          Controller::Instance().Run(make_bodies(), policy, opt.max_points);
+      ++res.schedules;
+      res.divergences += policy.divergence;
+      if (rec.point_limit_hit) {
+        ++res.truncated;
+      }
+      if (!check()) {
+        ++res.violations;
+        if (!res.violation_found) {
+          res.violation_found = true;
+          res.violation_trace = TraceOf(rec);
+        }
+        if (opt.stop_on_violation) {
+          return res;
+        }
+      }
+      if (opt.max_schedules != 0 && res.schedules >= opt.max_schedules) {
+        return res;
+      }
+      if (!NextPrefix(rec.frames, opt.preemption_bound, &prefix)) {
+        res.frontier_exhausted = true;
+        return res;
+      }
+    }
+  }
+
+ private:
+  // A switch away from a runnable current thread costs one preemption.
+  static bool IsPreemption(const Frame& f, int choice) {
+    return f.current_before >= 0 && choice != f.current_before &&
+           internal::Contains(f.runnable, f.current_before);
+  }
+
+  // Canonical sibling order at a frame: the default choice first, then the
+  // remaining runnable threads ascending. The first run (empty prefix) takes
+  // the default everywhere, so DFS visits each bounded schedule exactly once.
+  static std::vector<int> CanonicalOrder(const Frame& f) {
+    std::vector<int> order;
+    const int def = internal::DefaultChoice(f.current_before, f.runnable);
+    order.push_back(def);
+    for (const int t : f.runnable) {
+      if (t != def) {
+        order.push_back(t);
+      }
+    }
+    return order;
+  }
+
+  // Backtracks: finds the deepest frame with an untried sibling whose
+  // preemption cost stays within the bound and emits the next prefix.
+  static bool NextPrefix(const std::vector<Frame>& frames, int bound,
+                         std::vector<int>* prefix) {
+    std::vector<int> used(frames.size() + 1, 0);
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      used[i + 1] = used[i] + (IsPreemption(frames[i], frames[i].chosen) ? 1 : 0);
+    }
+    for (std::size_t i = frames.size(); i-- > 0;) {
+      const Frame& f = frames[i];
+      const std::vector<int> order = CanonicalOrder(f);
+      const std::size_t pos = static_cast<std::size_t>(
+          std::find(order.begin(), order.end(), f.chosen) - order.begin());
+      for (std::size_t j = pos + 1; j < order.size(); ++j) {
+        if (used[i] + (IsPreemption(f, order[j]) ? 1 : 0) <= bound) {
+          prefix->clear();
+          for (std::size_t k = 0; k < i; ++k) {
+            prefix->push_back(frames[k].chosen);
+          }
+          prefix->push_back(order[j]);
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+};
+
+// Greedy trace minimizer: tail truncation (binary, then one-by-one), then
+// single-deletion passes to a fixpoint, bounded by `max_attempts` replays.
+// `verify` re-executes the candidate schedule and returns true when the
+// violation still reproduces; tolerant replay makes every candidate runnable.
+inline Trace ShrinkTrace(Trace trace, const std::function<bool(const Trace&)>& verify,
+                         int max_attempts = 256) {
+  int attempts = 0;
+  auto Try = [&](const Trace& cand) {
+    ++attempts;
+    return verify(cand);
+  };
+  if (!Try(trace)) {
+    return trace;  // not reproducible as handed in; nothing to shrink against
+  }
+  while (trace.size() > 1 && attempts < max_attempts) {
+    Trace half(trace.begin(), trace.begin() + static_cast<std::ptrdiff_t>(trace.size() / 2));
+    if (!Try(half)) {
+      break;
+    }
+    trace = std::move(half);
+  }
+  while (!trace.empty() && attempts < max_attempts) {
+    Trace shorter(trace.begin(), trace.end() - 1);
+    if (!Try(shorter)) {
+      break;
+    }
+    trace = std::move(shorter);
+  }
+  bool progress = true;
+  while (progress && attempts < max_attempts) {
+    progress = false;
+    for (std::size_t i = 0; i < trace.size() && attempts < max_attempts; ++i) {
+      Trace cand = trace;
+      cand.erase(cand.begin() + static_cast<std::ptrdiff_t>(i));
+      if (Try(cand)) {
+        trace = std::move(cand);
+        progress = true;
+        break;
+      }
+    }
+  }
+  return trace;
+}
+
+#else  // !SPECTM_SCHED
+
+inline constexpr bool kEnabled = false;
+
+// The OFF shape mirrors health.h: constexpr no-ops a production caller can
+// keep in-line, pinned to compile-time nothingness by sched_test.cc.
+constexpr bool SchedActive() { return false; }
+constexpr void TestPoint(int id) { static_cast<void>(id); }
+constexpr void Yield() {}
+
+#endif  // SPECTM_SCHED
+
+}  // namespace sched
+}  // namespace spectm
+
+#endif  // SPECTM_COMMON_SCHED_H_

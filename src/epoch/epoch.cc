@@ -4,6 +4,8 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "src/common/failpoint.h"
+
 namespace spectm {
 namespace {
 
@@ -165,6 +167,9 @@ void EpochManager::Retire(void* p, void (*deleter)(void*)) {
   ThreadState* ts = StateForCurrentThread();
   assert((ts->word.load(std::memory_order_relaxed) & 1) != 0 &&
          "Retire requires an active Guard");
+  // Schedule point (PR 8): an object entering limbo while a concurrent
+  // advance scans — the reclamation race the 3-bag residue argument covers.
+  SPECTM_SCHED_POINT(failpoint::Site::kEpochRetire);
   const std::uint64_t e = global_epoch_->load(std::memory_order_acquire);
   LimboBag& bag = ts->bags[e % 3];
   if (bag.epoch != e) {
@@ -181,6 +186,10 @@ void EpochManager::Retire(void* p, void (*deleter)(void*)) {
 }
 
 void EpochManager::TryAdvanceAndReclaim(ThreadState* ts) {
+  // Schedule point (PR 8): the straggler scan vs. Enter's publish-then-recheck
+  // handshake — an advance interleaved anywhere inside Enter must either see
+  // the activity word or be adopted by the re-check.
+  SPECTM_SCHED_POINT(failpoint::Site::kEpochAdvance);
   const std::uint64_t e = global_epoch_->load(std::memory_order_seq_cst);
   for (const ThreadState& other : threads_) {
     if (!other.used.load(std::memory_order_acquire)) {

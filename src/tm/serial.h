@@ -42,6 +42,7 @@
 #include <cstdint>
 
 #include "src/common/cacheline.h"
+#include "src/common/failpoint.h"
 #include "src/common/health.h"
 #include "src/common/thread_registry.h"
 #include "src/tm/txdesc.h"
@@ -118,6 +119,11 @@ class SerialGate {
   static bool TryEnterCommitter(TxDesc* self) {
     std::atomic<std::uint32_t>& flag = committers_[self->thread_slot].value;
     flag.fetch_add(1, std::memory_order_seq_cst);
+    // THE Dekker window: flag raised, owner not yet examined. A serial
+    // acquirer interleaved here must see the flag (and drain us) because both
+    // sides are seq_cst — the schedule point lets the explorer drive every
+    // interleaving through the gap instead of sampling it.
+    SPECTM_SCHED_POINT(failpoint::Site::kSerialGateEnter);
     TxDesc* owner = serial_owner_.load(std::memory_order_seq_cst);
     if (owner != nullptr && owner != self) {
       flag.fetch_sub(1, std::memory_order_release);
@@ -130,13 +136,16 @@ class SerialGate {
   // their own. Bounded by the serial transaction's solo execution.
   static void EnterCommitterWait(TxDesc* self) {
     while (!TryEnterCommitter(self)) {
+      SPECTM_SCHED_SPIN(failpoint::Site::kSerialGateEnter);
       CpuRelax();
     }
   }
 
   // Matches every successful TryEnterCommitter/EnterCommitterWait, on commit
-  // AND abort paths.
+  // AND abort paths. Runs on exception-unwind paths, so the plant is a pure
+  // schedule point (never injects, never throws).
   static void ExitCommitter(TxDesc* self) {
+    SPECTM_SCHED_POINT(failpoint::Site::kSerialGateExit);
     committers_[self->thread_slot].value.fetch_sub(1, std::memory_order_release);
   }
 
@@ -149,6 +158,7 @@ class SerialGate {
                                                 std::memory_order_seq_cst,
                                                 std::memory_order_relaxed)) {
       expected = nullptr;
+      SPECTM_SCHED_SPIN(failpoint::Site::kSerialTokenAcquire);
       CpuRelax();
     }
     const int bound = ThreadRegistry::IdBound();
@@ -157,15 +167,22 @@ class SerialGate {
         continue;  // never self-drain (defensive; serial attempts skip the gate)
       }
       while (committers_[i].value.load(std::memory_order_seq_cst) != 0) {
+        // Forced hand-off, not a decision: under cooperative control the
+        // announced committer is parked and must run to retract its flag.
+        SPECTM_SCHED_SPIN(failpoint::Site::kSerialTokenAcquire);
         CpuRelax();
       }
     }
+    // Token held, drain complete: from here no committer may pass the gate
+    // until ReleaseSerial. The explorer asserts exactly that.
+    SPECTM_SCHED_POINT(failpoint::Site::kSerialTokenAcquire);
   }
 
   // Release on EVERY exit from serial mode — commit, user abort, or a forced
-  // (fail-point) abort — or the domain wedges.
+  // (fail-point) abort — or the domain wedges. Unwind path: pure plant only.
   static void ReleaseSerial(TxDesc* self) {
     (void)self;
+    SPECTM_SCHED_POINT(failpoint::Site::kSerialTokenRelease);
     serial_owner_.store(nullptr, std::memory_order_seq_cst);
   }
 

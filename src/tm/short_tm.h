@@ -596,6 +596,7 @@ class ShortTm {
     while (true) {
       const Word o1 = orec.load(std::memory_order_acquire);
       if (OrecIsLocked(o1)) {
+        SPECTM_SCHED_SPIN(failpoint::Site::kLockAcquire);
         CpuRelax();
         continue;
       }
@@ -693,6 +694,7 @@ class ShortTm {
                                       std::memory_order_relaxed)) {
         return w;
       }
+      SPECTM_SCHED_SPIN(failpoint::Site::kLockAcquire);
       CpuRelax();
     }
   }

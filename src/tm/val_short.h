@@ -479,6 +479,7 @@ class ValShortTm {
       if (!ValIsLocked(w)) {
         return w;
       }
+      SPECTM_SCHED_SPIN(failpoint::Site::kLockAcquire);
       CpuRelax();
     }
   }
@@ -512,6 +513,7 @@ class ValShortTm {
       Word w = s->word.load(std::memory_order_relaxed);
       while (true) {
         if (ValIsLocked(w)) {
+          SPECTM_SCHED_SPIN(failpoint::Site::kLockAcquire);
           CpuRelax();
           w = s->word.load(std::memory_order_relaxed);
           continue;
@@ -538,6 +540,7 @@ class ValShortTm {
     Word w = s->word.load(std::memory_order_relaxed);
     while (true) {
       if (ValIsLocked(w)) {
+        SPECTM_SCHED_SPIN(failpoint::Site::kLockAcquire);
         CpuRelax();
         w = s->word.load(std::memory_order_relaxed);
         continue;
@@ -564,6 +567,7 @@ class ValShortTm {
       while (true) {
         Word w = s->word.load(std::memory_order_acquire);
         if (ValIsLocked(w)) {
+          SPECTM_SCHED_SPIN(failpoint::Site::kLockAcquire);
           CpuRelax();
           continue;
         }
@@ -593,6 +597,7 @@ class ValShortTm {
     while (true) {
       Word w = s->word.load(std::memory_order_acquire);
       if (ValIsLocked(w)) {
+        SPECTM_SCHED_SPIN(failpoint::Site::kLockAcquire);
         CpuRelax();
         continue;
       }

@@ -503,6 +503,9 @@ struct WriterSummary {
     const Word idx = Counter().fetch_add(1, std::memory_order_seq_cst) + 1;
     SPECTM_FAILPOINT_PAUSE(failpoint::Site::kPreRingPublish);
     Ring().Publish(idx, write_bloom);
+    // Schedule point (PR 8): entry published, locks still held — the explorer
+    // drives readers through the publish -> release ordering both ways.
+    SPECTM_SCHED_POINT(failpoint::Site::kPostRingPublish);
     return idx;
   }
 

@@ -84,6 +84,28 @@ TEST(JsonReport, StrategyAndProbeFieldsAreOptIn) {
   EXPECT_NE(json.find("\"strategy_switches\": 1"), std::string::npos);
 }
 
+TEST(JsonReport, SchedFieldsAreOptIn) {
+  // Records from scheduler-less builds keep their exact historical shape.
+  JsonReport plain("plain");
+  plain.Add(SampleRecord());
+  const std::string before = plain.ToJson();
+  EXPECT_EQ(before.find("\"explored_schedules\""), std::string::npos);
+  EXPECT_EQ(before.find("\"preemption_bound\""), std::string::npos);
+  EXPECT_EQ(before.find("\"canary_found\""), std::string::npos);
+
+  BenchRecord r = SampleRecord();
+  r.has_sched = true;
+  r.explored_schedules = 144;
+  r.preemption_bound = 2;
+  r.canary_found = 1;
+  JsonReport extended("extended");
+  extended.Add(r);
+  const std::string json = extended.ToJson();
+  EXPECT_NE(json.find("\"explored_schedules\": 144"), std::string::npos);
+  EXPECT_NE(json.find("\"preemption_bound\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"canary_found\": 1"), std::string::npos);
+}
+
 TEST(JsonReport, MultipleRecordsFormAnArray) {
   JsonReport report("b");
   report.Add(SampleRecord());

@@ -14,6 +14,7 @@
 #include <stdexcept>
 
 #include "src/common/failpoint.h"
+#include "src/epoch/epoch.h"
 #include "src/tm/compat.h"
 #include "src/tm/config.h"
 #include "src/tm/serial.h"
@@ -48,6 +49,7 @@ class ExceptionSafetyTest : public ::testing::Test {
 #if defined(SPECTM_FAILPOINTS)
     failpoint::DisarmAll();
     failpoint::ResetHits();
+    failpoint::ResetSiteHits();
 #endif
     SetSerialEscalationStreak(kSerialEscalationStreak);
   }
@@ -313,6 +315,75 @@ TEST_F(ExceptionSafetyTest, ThrowInsideSerialAttemptReleasesToken) {
   EXPECT_TRUE(OrecL::Full::Atomically(
       [&](OrecL::FullTx& tx) { tx.Write(&s, EncodeInt(4)); }));
   EXPECT_EQ(DecodeInt(OrecL::SingleRead(&s)), 4u);
+}
+
+// ---- Reach-counter audit: every planted site actually fires ------------------------
+//
+// SiteHits counts every REACH of a planted site (no RNG draw, no arming), so
+// this is the canary against silently unreachable plants: a refactor that
+// moves a protocol path off its fail-point would otherwise quietly turn the
+// injection batteries above into no-ops without failing anything.
+TEST_F(ExceptionSafetyTest, EveryPlantedSiteActuallyFires) {
+  failpoint::ResetSiteHits();
+  // Optimistic full-tx traffic: read sandwich, validation, lock CAS, and the
+  // commit gate's enter/exit plants.
+  {
+    OrecL::Slot a, b;
+    OrecL::SingleWrite(&a, EncodeInt(1));
+    OrecL::SingleWrite(&b, EncodeInt(2));
+    EXPECT_TRUE(OrecL::Full::Atomically([&](OrecL::FullTx& tx) {
+      const Word v = tx.Read(&a);
+      if (tx.ok()) {
+        tx.Write(&b, EncodeInt(DecodeInt(v) + 1));
+      }
+    }));
+  }
+  // Publication sequence: counter bump, ring publish, the post-publish tail
+  // (bloom family), and the per-stripe bumps (partitioned family).
+  {
+    ValBloom::Slot s;
+    ValBloom::SingleWrite(&s, EncodeInt(1));
+    EXPECT_TRUE(ValBloom::Full::Atomically(
+        [&](ValBloom::FullTx& tx) { tx.Write(&s, EncodeInt(2)); }));
+    ValPart::Slot p;
+    ValPart::SingleWrite(&p, EncodeInt(1));
+    EXPECT_TRUE(ValPart::Full::Atomically(
+        [&](ValPart::FullTx& tx) { tx.Write(&p, EncodeInt(2)); }));
+  }
+  // Contention: forced aborts drive the backoff wait, and with streak 1 the
+  // retries escalate through the serial token acquire/release pair. 60% keeps
+  // each Atomically finite while staying deterministic from the seed; the
+  // loop bound only caps how long we fish for the first escalated commit.
+  {
+    SetSerialEscalationStreak(1);
+    failpoint::SetSeed(0x517e5);
+    failpoint::Arm(Site::kLockAcquire, /*abort_pct=*/60);
+    OrecL::Slot s;
+    OrecL::SingleWrite(&s, EncodeInt(1));
+    for (int i = 0;
+         i < 64 && (failpoint::SiteHits(Site::kSerialTokenRelease) == 0 ||
+                    failpoint::SiteHits(Site::kBackoffWait) == 0);
+         ++i) {
+      (void)OrecL::Full::Atomically(
+          [&](OrecL::FullTx& tx) { tx.Write(&s, EncodeInt(3)); });
+    }
+    failpoint::Disarm(Site::kLockAcquire);
+  }
+  // Epoch machinery: an object into a limbo bag under a Guard, then the
+  // advance/reclaim scan.
+  {
+    EpochManager mgr;
+    {
+      EpochManager::Guard g(mgr);
+      mgr.Retire(new int(7));
+    }
+    mgr.ReclaimAllForTesting();
+  }
+  for (int s = 0; s < failpoint::kSiteCount; ++s) {
+    EXPECT_GT(failpoint::SiteHits(static_cast<Site>(s)), 0u)
+        << "planted site never reached: "
+        << failpoint::SiteName(static_cast<Site>(s));
+  }
 }
 
 #endif  // SPECTM_FAILPOINTS

@@ -14,10 +14,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <thread>
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/sched.h"
 #include "src/structures/hash_tm_full.h"
 #include "src/tm/serial.h"
 #include "src/tm/txdesc.h"
@@ -132,6 +134,63 @@ TEST_F(TortureTest, ForcedAbortScheduleKeepsBalance) {
       << "the schedule never actually fired — the torture was a no-op";
 }
 
+#if defined(SPECTM_SCHED)
+
+// Scheduler-driven publication windows: under SPECTM_SCHED the cooperative
+// controller OWNS the interleaving — every planted site, including the
+// stripe-bump -> counter-bump -> ring-publish sequence, is a schedule point
+// where the seeded random walk can park a committer mid-publication and run
+// every other worker through the half-published window. Unlike the spin-delay
+// variant below this needs no second core to interleave (the PR 6 caveat) and
+// the whole run is deterministic and replayable from the seed.
+template <typename Family>
+std::int64_t RunSchedTortureBalance(std::uint64_t seed, int workers, int ops,
+                                    bool* point_limit_hit) {
+  TmHashSet<Family> set(32);
+  std::vector<std::int64_t> balance(static_cast<std::size_t>(workers), 0);
+  std::vector<std::function<void()>> bodies;
+  for (int t = 0; t < workers; ++t) {
+    bodies.push_back([&, t] {
+      Xorshift128Plus rng(seed + static_cast<std::uint64_t>(t) * 7919);
+      for (int i = 0; i < ops; ++i) {
+        const std::uint64_t k = rng.NextBounded(kKeys);
+        if (rng.Next() & 1) {
+          if (set.Insert(k)) {
+            ++balance[static_cast<std::size_t>(t)];
+          }
+        } else {
+          if (set.Remove(k)) {
+            --balance[static_cast<std::size_t>(t)];
+          }
+        }
+      }
+    });
+  }
+  sched::RandomWalkPolicy policy(seed ^ 0x5c4edull);
+  const sched::RunRecord rec =
+      sched::Controller::Instance().Run(std::move(bodies), policy);
+  *point_limit_hit = rec.point_limit_hit;
+  std::int64_t expected = 0;
+  for (const std::int64_t b : balance) {
+    expected += b;
+  }
+  std::int64_t present = 0;
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    present += set.Contains(k) ? 1 : 0;
+  }
+  return present - expected;
+}
+
+TEST_F(TortureTest, PublicationWindowScheduleKeepsBalance) {
+  bool truncated = false;
+  EXPECT_EQ(RunSchedTortureBalance<ValPart>(0x7243, kWorkers, 300, &truncated), 0);
+  EXPECT_FALSE(truncated) << "the run hit the point cap (livelocked schedule?)";
+  EXPECT_EQ(RunSchedTortureBalance<OrecLBloom>(0x7244, kWorkers, 300, &truncated), 0);
+  EXPECT_FALSE(truncated) << "the run hit the point cap (livelocked schedule?)";
+}
+
+#else  // !SPECTM_SCHED
+
 // Delay injection inside the publication sequence (stripe bumps -> counter
 // bump -> ring publish): widens exactly the tail/crossing-committer windows
 // the bump-before-validate discipline (docs/VALIDATION.md) must cover.
@@ -139,7 +198,9 @@ TEST_F(TortureTest, ForcedAbortScheduleKeepsBalance) {
 // a single-core host a yielding lock holder hands its whole quantum to peers
 // that spin in backoff against its locks — the run crawls through the
 // scheduler instead of through the protocol. Spins are cheap there and still
-// widen the windows wherever a second core can actually interleave.
+// widen the windows wherever a second core can actually interleave. (Under
+// SPECTM_SCHED this test is replaced by the scheduler-driven variant above,
+// which interleaves the same windows deterministically on any core count.)
 TEST_F(TortureTest, PublicationDelayScheduleKeepsBalance) {
   failpoint::SetSeed(0xde1a);
   failpoint::Arm(failpoint::Site::kPreStripeBump, /*abort_pct=*/0,
@@ -151,6 +212,8 @@ TEST_F(TortureTest, PublicationDelayScheduleKeepsBalance) {
   EXPECT_EQ(RunTortureBalance<ValPart>(0x7243).balance_delta, 0);
   EXPECT_EQ(RunTortureBalance<OrecLBloom>(0x7244).balance_delta, 0);
 }
+
+#endif  // SPECTM_SCHED
 
 // Exception-storm harness: same linked-set balance invariant, but the armed
 // sites THROW (failpoint::InjectedFault) instead of returning an abort
