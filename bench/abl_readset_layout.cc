@@ -26,6 +26,13 @@
 // striped ring exists to push out; compare against the pre-PR 32-bit ring by
 // the width at which intersect-failures dominate.
 //
+// MVCC snapshot rows (PR 9): the same btree scans once more under the val-snap
+// family, whose scanner is a pinned-snapshot RO transaction reading version
+// chains instead of validating — the walk and abort columns stay zero at every
+// width (including the 256-wide cell that saturates the ring above), while
+// versions_retired/chain_splices evidence writers threading displaced values
+// onto chains and the trims bounding them.
+//
 // Single-core caveat as with every trajectory file: numbers from a 1-core
 // container prove plumbing and probe wiring, not separations (bench/README.md).
 #include <atomic>
@@ -286,6 +293,167 @@ void RunScanCell(JsonReport& report, TextTable& table, const char* variant,
                 std::to_string(r.ring_window_fails)});
 }
 
+// MVCC snapshot rows: the same btree scan-vs-churn shape as RunScanCell, but
+// under ValSnap the scanner is a pinned-snapshot RO transaction — it reads
+// version chains instead of validating, so its walk and abort columns must
+// stay ZERO at every width, against the bloom rows above where width 256 is
+// exactly where intersect-failures take over. The deterministic probe churns a
+// slot in the SAME counter stripe as the scanned pool (the counter families'
+// worst case): snapshot reads never consult the counter, so stripe placement
+// is irrelevant — the zero-walk column is that claim as evidence. Two churn
+// targets split the protocol's two sides: a never-read slot overwritten past
+// the chain bound drives trims (versions_retired / chain_splices), and a
+// once-written re-read slot drives chain traversal (version_hops) without ever
+// outrunning the pinned stamp, so no read falls off a truncated chain.
+void RunSnapshotCell(JsonReport& report, TextTable& table, int scan_width,
+                     int threads) {
+  using F = ValSnap;
+  using Probe = ValProbe<ValDomainTag>;
+  SetSimdEnabled(SimdAvailable());
+
+  const int runs = BenchRuns(3);
+  const int duration_ms = BenchDurationMs(300);
+  std::vector<double> samples;
+  bench::CellResult cell;
+  for (int run = 0; run < runs; ++run) {
+    TmBTree<F> tree;
+    for (std::uint64_t k = 0; k < kKeyRange; k += 2) {
+      tree.Insert(k);
+    }
+    const TxStatsRegistry::Totals before = TxStatsRegistry::Snapshot();
+    const ThroughputResult r = RunThroughput(
+        threads, duration_ms, [&](int tid, const std::atomic<bool>& stop) {
+          Xorshift128Plus rng(0x5ca9 + static_cast<std::uint64_t>(tid) * 7919);
+          std::uint64_t ops = 0;
+          while (!stop.load(std::memory_order_relaxed)) {
+            if (tid == 0) {
+              const std::uint64_t lo = rng.NextBounded(kKeyRange - scan_width);
+              tree.RangeCount(lo, lo + static_cast<std::uint64_t>(scan_width));
+            } else {
+              const std::uint64_t key = rng.NextBounded(kKeyRange);
+              if (rng.Next() & 1) {
+                tree.Insert(key);
+              } else {
+                tree.Remove(key);
+              }
+            }
+            ++ops;
+          }
+          return ops;
+        });
+    const TxStatsRegistry::Totals after = TxStatsRegistry::Snapshot();
+    samples.push_back(r.ops_per_sec);
+    cell.commits += after.commits - before.commits;
+    cell.aborts += after.aborts - before.aborts;
+    cell.duration_s += r.duration_s;
+  }
+
+  const typename Probe::Counters probe_before = Probe::Get();
+  const TxStatsRegistry::Totals probe_stats_before = TxStatsRegistry::Snapshot();
+  {
+    std::vector<F::Slot> pool(static_cast<std::size_t>(scan_width));
+    std::vector<F::Slot> churn_pool(4096);
+    for (auto& s : pool) {
+      F::RawWrite(&s, EncodeInt(1));
+    }
+    for (auto& s : churn_pool) {
+      F::RawWrite(&s, EncodeInt(1));
+    }
+    unsigned occupied = 0;
+    for (auto& s : pool) {
+      occupied |= 1u << CounterStripeOf(&s.word);
+    }
+    // SAME-stripe churn targets (the inverse of RunScanCell's hunt): any
+    // scanned pool wide enough occupies every stripe, so the first candidates
+    // qualify immediately.
+    F::Slot* churn_deep = &churn_pool.front();
+    F::Slot* churn_read = &churn_pool.back();
+    bool deep_found = false;
+    for (auto& s : churn_pool) {
+      if (((occupied >> CounterStripeOf(&s.word)) & 1u) != 0) {
+        if (!deep_found) {
+          churn_deep = &s;
+          deep_found = true;
+        } else if (&s != churn_deep) {
+          churn_read = &s;
+          break;
+        }
+      }
+    }
+    F::FullTx tx;
+    tx.Start();
+    bool seeded = false;
+    for (int i = 0; i < scan_width; ++i) {
+      tx.Read(&pool[static_cast<std::size_t>(i)]);
+      if (i % 4 == 3) {
+        F::SingleWrite(churn_deep, EncodeInt(static_cast<std::uint64_t>(i)));
+        if (!seeded) {
+          F::SingleWrite(churn_read, EncodeInt(7));
+          seeded = true;
+        }
+        tx.Read(churn_read);  // one hop down its two-node chain, every time
+      }
+    }
+    const bool committed = tx.Commit();  // RO snapshot commit: validates nothing
+    if (!committed) {
+      std::fprintf(stderr, "snapshot probe: RO commit failed (width %d)\n",
+                   scan_width);
+    }
+  }
+  const typename Probe::Counters probe_after = Probe::Get();
+  const TxStatsRegistry::Totals probe_stats_after = TxStatsRegistry::Snapshot();
+
+  cell.ops_per_sec = AggregateRuns(samples);
+  const std::uint64_t attempts = cell.commits + cell.aborts;
+  cell.abort_rate = attempts == 0
+                        ? 0.0
+                        : static_cast<double>(cell.aborts) /
+                              static_cast<double>(attempts);
+
+  BenchRecord r;
+  r.variant = "btree-val";
+  r.clock = "none";
+  r.workload = "range-scan";
+  r.strategy = "snapshot";
+  r.threads = threads;
+  r.ops_per_sec = cell.ops_per_sec;
+  r.abort_rate = cell.abort_rate;
+  r.commits = cell.commits;
+  r.aborts = cell.aborts;
+  r.duration_s = cell.duration_s;
+  r.has_layout = true;
+  r.layout = "hashed";
+  r.simd = SimdAvailable() ? "simd" : "scalar";
+  r.scan_width = scan_width;
+  r.has_probes = true;
+  r.counter_skips = probe_after.counter_skips - probe_before.counter_skips;
+  r.bloom_skips = probe_after.bloom_skips - probe_before.bloom_skips;
+  r.validation_walks =
+      probe_after.validation_walks - probe_before.validation_walks;
+  r.strategy_switches =
+      probe_after.strategy_switches - probe_before.strategy_switches;
+  r.has_mvcc = true;
+  r.snapshot_reads = probe_after.snapshot_reads - probe_before.snapshot_reads;
+  r.version_hops = probe_after.version_hops - probe_before.version_hops;
+  r.versions_retired =
+      probe_after.versions_retired - probe_before.versions_retired;
+  r.chain_splices = probe_after.chain_splices - probe_before.chain_splices;
+  // The acceptance column: the pinned scan plus its interleaved same-stripe
+  // single-op writers, in isolation, abort exactly never.
+  r.snapshot_probe_aborts = probe_stats_after.aborts - probe_stats_before.aborts;
+  report.Add(r);
+
+  table.AddRow({"btree-val/snapshot", std::to_string(scan_width),
+                TextTable::Num(cell.ops_per_sec / 1e6, 3),
+                TextTable::Num(cell.abort_rate * 100.0, 2),
+                std::to_string(r.snapshot_reads),
+                std::to_string(r.version_hops),
+                std::to_string(r.versions_retired),
+                std::to_string(r.chain_splices),
+                std::to_string(r.validation_walks),
+                std::to_string(r.snapshot_probe_aborts)});
+}
+
 bool Run(const std::string& json_path) {
   const std::vector<int> threads = bench::ThreadSweep();
   const int max_threads = threads.back();
@@ -324,6 +492,16 @@ bool Run(const std::string& json_path) {
                                         "partitioned", width, scan_threads);
   }
   std::fputs(scan_table.ToString().c_str(), stdout);
+
+  std::printf("\nMVCC snapshot scans — btree range scans under val-snap, "
+              "%d threads (1 pinned-snapshot scanner + writers)\n", scan_threads);
+  TextTable snap_table({"family/strategy", "scan-width", "Mops/s", "abort%",
+                        "snap-reads", "hops", "retired", "splices", "walks",
+                        "probe-aborts"});
+  for (const int width : kScanWidths) {
+    RunSnapshotCell(report, snap_table, width, scan_threads);
+  }
+  std::fputs(snap_table.ToString().c_str(), stdout);
 
   SetSimdEnabled(SimdAvailable());  // leave the process default restored
   return json_path.empty() || report.WriteFile(json_path);

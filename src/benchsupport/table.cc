@@ -168,6 +168,13 @@ std::string JsonReport::ToJson() const {
           << ", \"preemption_bound\": " << r.preemption_bound
           << ", \"canary_found\": " << r.canary_found;
     }
+    if (r.has_mvcc) {
+      out << ", \"snapshot_reads\": " << r.snapshot_reads
+          << ", \"version_hops\": " << r.version_hops
+          << ", \"versions_retired\": " << r.versions_retired
+          << ", \"chain_splices\": " << r.chain_splices
+          << ", \"snapshot_probe_aborts\": " << r.snapshot_probe_aborts;
+    }
     out << "}";
   }
   out << "\n  ]\n}\n";

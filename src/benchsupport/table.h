@@ -96,6 +96,17 @@ struct BenchRecord {
   std::uint64_t explored_schedules = 0;  // Explorer: schedules executed
   std::uint64_t preemption_bound = 0;    // Explorer: bound the walk ran under
   std::uint64_t canary_found = 0;        // planted-bug schedules surfaced
+
+  // MVCC snapshot extensions (abl_readset_layout snapshot rows): emitted only
+  // when has_mvcc is set, so every BENCH_*.json from a pre-MVCC build stays
+  // byte-stable.
+  bool has_mvcc = false;
+  std::uint64_t snapshot_reads = 0;    // ValProbe: chain reads by pinned RO txs
+  std::uint64_t version_hops = 0;      // ValProbe: nodes traversed past the head
+  std::uint64_t versions_retired = 0;  // ValProbe: nodes unlinked by chain trims
+  std::uint64_t chain_splices = 0;     // ValProbe: chain truncation operations
+  std::uint64_t snapshot_probe_aborts = 0;  // aborts in the deterministic
+                                            // pinned-scan probe pass (must be 0)
 };
 
 // Collects BenchRecords and renders them as a JSON document:

@@ -60,6 +60,14 @@ enum class Site : int {
   kEpochRetire,        // object pushed into a limbo bag
   kPostRingPublish,    // ring entry published, locks still held
   kBackoffWait,        // once per contention-abort backoff wait
+  // MVCC sites (PR 9): the version-chain publication window and the snapshot
+  // reclamation edges. kVersionPublish is a pause site between the displaced
+  // value's chain push and the lazy stamp CAS — the window where an unstamped
+  // head is visible to snapshot readers; the other two are pure schedule
+  // points on the done-stamp scan and the node-reclaim step.
+  kVersionPublish,     // chain node pushed, stamp CAS not yet executed
+  kDoneStampAdvance,   // done-stamp scan over the pinned-snapshot registry
+  kVersionRetire,      // version node unlinked and handed to reclamation
   kCount,
 };
 
@@ -95,6 +103,12 @@ inline const char* SiteName(Site s) {
       return "post-ring-publish";
     case Site::kBackoffWait:
       return "backoff-wait";
+    case Site::kVersionPublish:
+      return "version-publish";
+    case Site::kDoneStampAdvance:
+      return "done-stamp-advance";
+    case Site::kVersionRetire:
+      return "version-retire";
     default:
       return "?";
   }

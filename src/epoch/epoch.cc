@@ -138,12 +138,17 @@ void EpochManager::ReleaseThreadState(ThreadState* ts) {
     }
   }
   ts->word.store(0, std::memory_order_release);
+  ts->pin.store(kNoSnapshot, std::memory_order_release);
+  ts->guard_depth = 0;
   ts->retires_since_scan = 0;
   ts->used.store(false, std::memory_order_release);
 }
 
 void EpochManager::Enter() {
   ThreadState* ts = StateForCurrentThread();
+  if (ts->guard_depth++ > 0) {
+    return;  // re-entrant Guard: the activity word is already published
+  }
   // Publish activity at the current global epoch; re-check so that an advance racing
   // with us either sees our activity or we adopt the newer epoch.
   std::uint64_t e = global_epoch_->load(std::memory_order_seq_cst);
@@ -159,8 +164,47 @@ void EpochManager::Enter() {
 
 void EpochManager::Exit() {
   ThreadState* ts = StateForCurrentThread();
+  assert(ts->guard_depth > 0 && "Exit without matching Enter");
+  if (--ts->guard_depth > 0) {
+    return;  // inner Guard: an enclosing one still owns the activity word
+  }
   ts->word.store(ts->word.load(std::memory_order_relaxed) & ~1ULL,
                  std::memory_order_release);
+}
+
+void EpochManager::BeginSnapshotPin() {
+  // seq_cst intent store: SnapshotDoneStamp's scan either sees it (and then
+  // reclaims nothing) or is ordered wholly before it, in which case the pin's
+  // eventual stamp is >= the clock value the scanner bounded itself by.
+  StateForCurrentThread()->pin.store(kPinPending, std::memory_order_seq_cst);
+}
+
+void EpochManager::SetSnapshotPin(std::uint64_t s) {
+  StateForCurrentThread()->pin.store(s, std::memory_order_seq_cst);
+}
+
+void EpochManager::UnpinSnapshot() {
+  StateForCurrentThread()->pin.store(kNoSnapshot, std::memory_order_release);
+}
+
+std::uint64_t EpochManager::SnapshotDoneStamp(std::uint64_t counter_now) const {
+  // Schedule point (PR 9): the done-stamp scan racing pin publication — the
+  // window the two-step pin protocol exists for.
+  SPECTM_SCHED_POINT(failpoint::Site::kDoneStampAdvance);
+  std::uint64_t done = counter_now;
+  for (const ThreadState& ts : threads_) {
+    if (!ts.used.load(std::memory_order_acquire)) {
+      continue;
+    }
+    const std::uint64_t p = ts.pin.load(std::memory_order_seq_cst);
+    if (p == kPinPending) {
+      return 0;  // a pin is mid-publication: no safe bound exists yet
+    }
+    if (p != kNoSnapshot && p < done) {
+      done = p;
+    }
+  }
+  return done;
 }
 
 void EpochManager::Retire(void* p, void (*deleter)(void*)) {

@@ -40,6 +40,9 @@ class EpochManager {
 
   // RAII critical region. Operations that read or write shared nodes must hold a
   // Guard for their whole duration; Retire may only be called under a Guard.
+  // Guards nest: an inner Guard on a manager the thread already occupies is a
+  // counter bump, and only the outermost Exit retracts the activity word (the
+  // MVCC retire paths run under possibly-already-held guards).
   class Guard {
    public:
     explicit Guard(EpochManager& mgr) : mgr_(mgr) { mgr_.Enter(); }
@@ -58,6 +61,28 @@ class EpochManager {
   void Retire(T* p) {
     Retire(static_cast<void*>(p), [](void* q) { delete static_cast<T*>(q); });
   }
+
+  // --- Snapshot pins (MVCC, src/tm/mvcc.h) ------------------------------------------
+  //
+  // A read-only snapshot transaction publishes the commit-clock value it reads
+  // at, and version-chain splicing truncates only nodes whose stamp is <= the
+  // minimum published pin (the "done stamp"). Publication is two-step so the
+  // scan can never race a pin into premature reclamation: BeginSnapshotPin()
+  // marks intent BEFORE the clock is sampled, SetSnapshotPin() fills in the
+  // sampled value, and SnapshotDoneStamp() returns 0 (reclaim nothing) while
+  // any thread's pin is still in the intent state. docs/VALIDATION.md §10
+  // carries the ordering argument.
+
+  static constexpr std::uint64_t kNoSnapshot = ~std::uint64_t{0};
+  static constexpr std::uint64_t kPinPending = ~std::uint64_t{0} - 1;
+
+  void BeginSnapshotPin();               // pin := kPinPending (intent, pre-sample)
+  void SetSnapshotPin(std::uint64_t s);  // pin := s (the sampled clock value)
+  void UnpinSnapshot();                  // pin := kNoSnapshot
+
+  // min(counter_now, every published pin); 0 while any pin is mid-publication.
+  // `counter_now` must be sampled from the commit clock BEFORE the call.
+  std::uint64_t SnapshotDoneStamp(std::uint64_t counter_now) const;
 
   // --- Introspection / test support -------------------------------------------------
 
@@ -91,6 +116,12 @@ class EpochManager {
     // (local_epoch << 1) | active. Written by the owner, scanned by advancers.
     std::atomic<std::uint64_t> word{0};
     std::atomic<bool> used{false};
+    // Pinned snapshot stamp (kNoSnapshot when idle, kPinPending mid-publish).
+    // Written by the owner, scanned by SnapshotDoneStamp.
+    std::atomic<std::uint64_t> pin{kNoSnapshot};
+    // Owner-only Guard nesting depth; the activity bit in `word` is published
+    // on 0 -> 1 and retracted on 1 -> 0.
+    std::uint64_t guard_depth = 0;
     LimboBag bags[3];
     std::uint64_t retires_since_scan = 0;
   };

@@ -31,7 +31,9 @@
 #include "src/common/cacheline.h"
 #include "src/common/failpoint.h"
 #include "src/common/tagged.h"
+#include "src/epoch/epoch.h"
 #include "src/tm/config.h"
+#include "src/tm/mvcc.h"
 #include "src/tm/serial.h"
 #include "src/tm/txdesc.h"
 #include "src/tm/txguard.h"
@@ -54,6 +56,13 @@ class ValFullTm {
   // Strategy machinery only matters when the counter is precise; otherwise every
   // path degenerates to the incremental walk and the extra state is dead.
   static constexpr bool kStrategic = Validation::kPrecise;
+  // MVCC snapshot mode (PR 9): reads run at a pinned snapshot through the
+  // version chains until the first Write() promotes the attempt, and commits
+  // publish displaced values (src/tm/mvcc.h). Everything it adds compiles out
+  // for every other mode.
+  static constexpr bool kSnapshotMode = kMode == ValMode::kSnapshot;
+  static_assert(!kSnapshotMode || Validation::kMvcc,
+                "ValMode::kSnapshot requires a kMvcc validation policy");
 
   class Tx {
    public:
@@ -102,11 +111,28 @@ class ValFullTm {
       } else {
         state_.Anchor();  // sample kept current for ValidateReads' re-anchor
       }
+      if constexpr (kSnapshotMode) {
+        // Pin-then-sample (two-step, epoch.h): the done-stamp scan either
+        // sees the pending pin and reclaims nothing, or ran wholly before it
+        // and bounded itself by a clock value our sample can only meet or
+        // exceed — either way no node this snapshot can reach is recycled.
+        EpochManager& mgr = mvcc::MvccEpoch();
+        mgr.BeginSnapshotPin();
+        snapshot_ts_ = Validation::Sample();
+        mgr.SetSnapshotPin(snapshot_ts_);
+        pinned_ = true;
+        snapshot_phase_ = true;
+      }
     }
 
     Word Read(Slot* s) {
       if (!active_) {
         return 0;
+      }
+      if constexpr (kSnapshotMode) {
+        if (snapshot_phase_) {
+          return SnapshotPhaseRead(s);  // wset is empty until promotion
+        }
       }
       Word buffered;
       if (desc_->wset.Lookup(s, &buffered)) {  // bloom-filtered: miss is AND+TEST
@@ -159,6 +185,19 @@ class ValFullTm {
         return;
       }
       assert((value & kLockBit) == 0 && "val layout reserves bit 0 (use EncodeInt)");
+      if constexpr (kSnapshotMode) {
+        if (snapshot_phase_) {
+          // Promotion: the snapshot values become an ordinary read log, which
+          // must hold at the current clock before this attempt may buffer
+          // writes (a writer that committed over any of them since the
+          // snapshot aborts us — the snapshot cut cannot extend to a write).
+          snapshot_phase_ = false;
+          if (desc_->val_read_log.Size() > 0 && !ValidateReads()) {
+            Fail();
+            return;
+          }
+        }
+      }
       desc_->wset.Put(s, value);
     }
 
@@ -173,6 +212,7 @@ class ValFullTm {
       }
       active_ = false;
       if (user_abort_) {
+        UnpinIfPinned();
         desc_->stats.aborts.fetch_add(1, std::memory_order_relaxed);
         UpdateAbortEwma(desc_->stats, /*aborted=*/true);
         ReleaseSerialIfHeld();
@@ -199,6 +239,12 @@ class ValFullTm {
       // displaced values restored, then the gate flag retracted, then the
       // serial token released (docs/VALIDATION.md §8).
       TxUnwindGuard cleanup([this] {
+        if constexpr (kSnapshotMode) {
+          // Before the locks restore: a kVersionPublish throw left at most
+          // one half-published (unstamped) head per locked slot; stamp each
+          // with the empty interval so no snapshot ever selects it.
+          TombstoneUnstampedHeads();
+        }
         ReleaseLocks();
         OnAbort();
       });
@@ -259,6 +305,13 @@ class ValFullTm {
       if (!skip_walk && !ValidateReads()) {
         return false;
       }
+      if constexpr (kSnapshotMode) {
+        // Version publication runs after validation (the commit is decided)
+        // but before the guard dismisses: the kVersionPublish pause inside
+        // can throw, and the unwind must tombstone the half-published heads
+        // while we still hold every lock.
+        PublishVersions(own_idx);
+      }
       cleanup.Dismiss();  // past the last throwing/failing operation: commit
       for (const WriteSet::Entry& e : desc_->wset) {
         // The value store is also the lock release: one atomic write (§2.4).
@@ -280,6 +333,7 @@ class ValFullTm {
         return;
       }
       active_ = false;
+      UnpinIfPinned();
       ReleaseSerialIfHeld();
       desc_->stats.aborts.fetch_add(1, std::memory_order_relaxed);
       UpdateAbortEwma(desc_->stats, /*aborted=*/true);
@@ -291,6 +345,94 @@ class ValFullTm {
     Word Fail() {
       active_ = false;
       return 0;
+    }
+
+    // --- MVCC snapshot machinery (compiled only under kSnapshotMode) ---------
+
+    // One read in snapshot phase: the chain read at the pinned stamp, logged
+    // for a later write promotion. Never validates; the only non-wait-free
+    // exit is a chain truncated below the snapshot, which refreshes the pin.
+    Word SnapshotPhaseRead(Slot* s) {
+      while (true) {
+        const SnapshotReadResult r = SnapshotReadSlot(s, snapshot_ts_);
+        if (r.ok) {
+          typename Probe::Counters& probe = Probe::Get();
+          ++probe.snapshot_reads;
+          probe.version_hops += static_cast<std::uint64_t>(r.hops);
+          desc_->val_read_log.PushBack(&s->word, r.value);
+          if constexpr (kStrategic) {
+            state_.NoteRead(&s->word);
+          }
+          return r.value;
+        }
+        if (!RefreshSnapshot()) {
+          return Fail();
+        }
+      }
+    }
+
+    // Truncation fallback: move the pin forward and re-validate the values
+    // already read at a stable clock point, which becomes the new snapshot.
+    // This is the one place snapshot mode can walk or abort — it requires a
+    // writer to have both overflowed a chain and overwritten one of our
+    // reads, i.e. a genuine conflict, never mere same-stripe traffic.
+    bool RefreshSnapshot() {
+      EpochManager& mgr = mvcc::MvccEpoch();
+      mgr.BeginSnapshotPin();
+      snapshot_ts_ = Validation::Sample();
+      mgr.SetSnapshotPin(snapshot_ts_);
+      if (desc_->val_read_log.Size() == 0) {
+        return true;
+      }
+      if (!ValidateReads()) {
+        return false;
+      }
+      // The walk proved the whole log simultaneously valid at the stable
+      // re-anchor point, which may lie past the pre-walk sample; read on at
+      // that point (the pin below it just protects more than needed).
+      snapshot_ts_ = state_.sample();
+      return true;
+    }
+
+    // Publishes every displaced value onto its slot's chain stamped with our
+    // commit index, trims against the done stamp, and drains this thread's
+    // deferred nodes. Caller holds every commit lock; the wset and lock log
+    // were filled by the same iteration, so entries correspond by index.
+    void PublishVersions(Word own_idx) {
+      mvcc::NodePool& pool = mvcc::Pool();
+      const Word done =
+          mvcc::MvccEpoch().SnapshotDoneStamp(Validation::Sample());
+      mvcc::PublishStats pub;
+      std::size_t i = 0;
+      for (const WriteSet::Entry& e : desc_->wset) {
+        Slot* slot = static_cast<Slot*>(e.addr);
+        const ValLockLogEntry& l = desc_->val_lock_log[i++];
+        assert(l.word == &slot->word && "lock log order diverged from write set");
+        mvcc::PublishVersion(slot->versions, l.old_value, own_idx, done, pool,
+                             &pub);
+      }
+      pool.DrainDeferred(done);
+      typename Probe::Counters& probe = Probe::Get();
+      probe.versions_retired += static_cast<std::uint64_t>(pub.retired);
+      probe.chain_splices += static_cast<std::uint64_t>(pub.splices);
+    }
+
+    void TombstoneUnstampedHeads() {
+      for (const ValLockLogEntry& l : desc_->val_lock_log) {
+        // ValSlot is standard-layout with `word` first: the logged word
+        // pointer is pointer-interconvertible with its slot.
+        Slot* slot = reinterpret_cast<Slot*>(l.word);
+        mvcc::TombstoneUnstampedHead(slot->versions);
+      }
+    }
+
+    void UnpinIfPinned() {
+      if constexpr (kSnapshotMode) {
+        if (pinned_) {
+          mvcc::MvccEpoch().UnpinSnapshot();
+          pinned_ = false;
+        }
+      }
     }
 
     // Value-based read-log validation under commit-counter stability, batched:
@@ -361,6 +503,7 @@ class ValFullTm {
     }
 
     void OnCommit() {
+      UnpinIfPinned();
       ExitGateIfHeld();
       desc_->stats.commits.fetch_add(1, std::memory_order_relaxed);
       UpdateAbortEwma(desc_->stats, /*aborted=*/false);
@@ -374,6 +517,7 @@ class ValFullTm {
     }
 
     void OnAbort() {
+      UnpinIfPinned();
       ExitGateIfHeld();
       ReleaseSerialIfHeld();  // fail-point aborts can hit a serial attempt
       desc_->stats.aborts.fetch_add(1, std::memory_order_relaxed);
@@ -387,6 +531,12 @@ class ValFullTm {
     bool user_abort_ = false;
     bool serial_ = false;  // this attempt holds the serialization token
     bool gated_ = false;   // this attempt announced itself as a committer
+    // Snapshot mode only (dead otherwise): the pinned read stamp, whether the
+    // epoch-registry pin is published, and whether reads still run through
+    // the chains (cleared by the first Write()'s promotion).
+    Word snapshot_ts_ = 0;
+    bool pinned_ = false;
+    bool snapshot_phase_ = false;
   };
 
   // Convenience retry wrapper: runs `body(tx)` until it commits. Exception

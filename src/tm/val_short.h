@@ -25,7 +25,9 @@
 #include "src/common/failpoint.h"
 #include "src/common/inline_vec.h"
 #include "src/common/tagged.h"
+#include "src/epoch/epoch.h"
 #include "src/tm/config.h"
+#include "src/tm/mvcc.h"
 #include "src/tm/serial.h"
 #include "src/tm/txdesc.h"
 #include "src/tm/txguard.h"
@@ -46,6 +48,9 @@ class ValShortTm {
   using Gate = SerialGate<ValDomainTag>;
   static constexpr ValMode kValMode = kMode;
   static constexpr bool kStrategic = Validation::kPrecise;
+  static constexpr bool kSnapshotMode = kMode == ValMode::kSnapshot;
+  static_assert(!kSnapshotMode || Validation::kMvcc,
+                "ValMode::kSnapshot requires a kMvcc validation policy");
 
   class ShortTx {
    public:
@@ -106,6 +111,13 @@ class ValShortTm {
       if (ro_.Full()) {  // overflow invalidates instead of corrupting (see ReadRw)
         UnwindForOverflow();
         return 0;
+      }
+      if constexpr (kSnapshotMode) {
+        // Snapshot phase: one chain traversal at the pinned stamp — no
+        // incremental revalidation of the earlier entries, ever.
+        if (snapshot_phase_) {
+          return SnapshotReadRo(s);
+        }
       }
       const Word w = s->word.load(std::memory_order_acquire);
       if (ValIsLocked(w)) {
@@ -214,7 +226,11 @@ class ValShortTm {
     bool CommitRw(std::initializer_list<Word> values) {
       assert(valid_ && !finished_);
       assert(values.size() == rw_.Size() && "commit arity must match RW access count");
-      PublishWriterSummary();  // before the stores, while locks are held
+      // Before the stores, while locks are held.
+      [[maybe_unused]] const Word own_idx = PublishWriterSummary();
+      if constexpr (kSnapshotMode) {
+        PublishShortVersions(own_idx);
+      }
       const Word* v = values.begin();
       for (std::size_t i = 0; i < rw_.Size(); ++i) {
         assert((v[i] & kLockBit) == 0 && "val layout reserves bit 0 (use EncodeInt)");
@@ -234,12 +250,20 @@ class ValShortTm {
       assert(valid_ && !finished_);
       assert(values.size() == rw_.Size());
       bool ro_ok;
+      [[maybe_unused]] Word own_idx = 0;
       if constexpr (kStrategic) {
         if (rw_.Empty()) {
-          ro_ok = ValidateRo();
+          // A pure-RO snapshot commit never promoted (promotion rides the
+          // first lock): the log is simultaneously valid at the pinned stamp
+          // by construction — no validation at all, the tentpole property.
+          if constexpr (kSnapshotMode) {
+            ro_ok = snapshot_phase_ || ValidateRo();
+          } else {
+            ro_ok = ValidateRo();
+          }
         } else {
           unsigned write_stripes = 0;
-          const Word own_idx = PublishWriterSummary(&write_stripes);
+          own_idx = PublishWriterSummary(&write_stripes);
           ro_ok = state_.TrySkipCommit(own_idx, write_stripes) || ValidateRo();
         }
       } else {
@@ -248,6 +272,11 @@ class ValShortTm {
       if (!ro_ok) {
         Abort();
         return false;
+      }
+      if constexpr (kSnapshotMode) {
+        if (!rw_.Empty()) {
+          PublishShortVersions(own_idx);  // locks still held
+        }
       }
       const Word* v = values.begin();
       for (std::size_t i = 0; i < rw_.Size(); ++i) {
@@ -261,6 +290,7 @@ class ValShortTm {
     // Tx_RW_k_Abort: put the displaced values back. Restores, never publishes: no
     // value was released, so the commit counter must not move.
     void Abort() {
+      UnpinIfPinned();
       // After an overflow unwind the displaced values were already restored —
       // re-storing them here would clobber whatever other transactions
       // committed into those slots since.
@@ -342,12 +372,27 @@ class ValShortTm {
       if constexpr (kStrategic) {
         state_.StartAttempt(kMode, Validation::kHasBloomRing, desc_->stats);
       }
+      if constexpr (kSnapshotMode) {
+        // Two-step pin (epoch.h): announce intent, sample, publish — the
+        // done-stamp scan can never miss a pin below its clock bound.
+        EpochManager& mgr = mvcc::MvccEpoch();
+        mgr.BeginSnapshotPin();
+        snapshot_ts_ = Validation::Sample();
+        mgr.SetSnapshotPin(snapshot_ts_);
+        pinned_ = true;
+        snapshot_phase_ = true;
+      }
     }
 
     // Restores every displaced value recorded in the RW set. Shared by Abort()
     // and the overflow unwind; the value store is also the lock release.
     void RestoreDisplacedValues() {
       for (const RwEntry& e : rw_) {
+        if constexpr (kSnapshotMode) {
+          // A throw inside the publish window leaves our unstamped node at
+          // the head: tombstone it while the lock still stands (mvcc.h).
+          mvcc::TombstoneUnstampedHead(e.slot->versions);
+        }
         e.slot->word.store(e.old_value, std::memory_order_release);
       }
     }
@@ -375,6 +420,18 @@ class ValShortTm {
     }
 
     bool EnterGateForFirstLock() {
+      if constexpr (kSnapshotMode) {
+        if (snapshot_phase_) {
+          // Write promotion: leave the snapshot and bring the read log to
+          // "now" — one value-based walk at a stable clock point, after which
+          // the ordinary stripe protocol governs the rest of the attempt.
+          snapshot_phase_ = false;
+          if (!ro_.Empty() && !ValidateRo()) {
+            valid_ = false;
+            return false;
+          }
+        }
+      }
       if (serial_ || gated_) {
         return true;
       }
@@ -437,6 +494,7 @@ class ValShortTm {
     }
 
     void Finish(bool committed) {
+      UnpinIfPinned();
       // The releasing stores already happened; the gate can drop now (and
       // must not before — see Abort()).
       ExitGateIfHeld();
@@ -457,6 +515,74 @@ class ValShortTm {
       }
     }
 
+    // --- MVCC snapshot machinery (compiled only under kSnapshotMode) -------
+
+    // One snapshot-phase RO read: a single chain traversal at the pinned
+    // stamp, logged like any other RO entry (promotion revalidates the log at
+    // "now", so a stale snapshot value correctly fails the upgrade path).
+    Word SnapshotReadRo(Slot* s) {
+      while (true) {
+        const SnapshotReadResult r = SnapshotReadSlot(s, snapshot_ts_);
+        if (r.ok) {
+          typename Probe::Counters& probe = Probe::Get();
+          ++probe.snapshot_reads;
+          probe.version_hops += static_cast<std::uint64_t>(r.hops);
+          ro_.PushBack(RoEntry{s, r.value, /*upgraded=*/false});
+          if constexpr (kStrategic) {
+            state_.NoteRead(&s->word);
+          }
+          return r.value;
+        }
+        if (!RefreshShortSnapshot()) {
+          valid_ = false;
+          return 0;
+        }
+      }
+    }
+
+    // Truncation fallback (see val_full.h RefreshSnapshot): re-pin forward
+    // and prove the existing log simultaneously valid at a stable point.
+    bool RefreshShortSnapshot() {
+      EpochManager& mgr = mvcc::MvccEpoch();
+      mgr.BeginSnapshotPin();
+      snapshot_ts_ = Validation::Sample();
+      mgr.SetSnapshotPin(snapshot_ts_);
+      if (ro_.Empty()) {
+        return true;
+      }
+      if (!ValidateRo()) {
+        return false;
+      }
+      snapshot_ts_ = state_.sample();
+      return true;
+    }
+
+    // Threads every displaced value onto its slot's chain, stamped with this
+    // commit's clock index. Locks held for the whole loop.
+    void PublishShortVersions(Word own_idx) {
+      mvcc::NodePool& pool = mvcc::Pool();
+      const Word done =
+          mvcc::MvccEpoch().SnapshotDoneStamp(Validation::Sample());
+      mvcc::PublishStats pub;
+      for (const RwEntry& e : rw_) {
+        mvcc::PublishVersion(e.slot->versions, e.old_value, own_idx, done,
+                             pool, &pub);
+      }
+      pool.DrainDeferred(done);
+      typename Probe::Counters& probe = Probe::Get();
+      probe.versions_retired += static_cast<std::uint64_t>(pub.retired);
+      probe.chain_splices += static_cast<std::uint64_t>(pub.splices);
+    }
+
+    void UnpinIfPinned() {
+      if constexpr (kSnapshotMode) {
+        if (pinned_) {
+          mvcc::MvccEpoch().UnpinSnapshot();
+          pinned_ = false;
+        }
+      }
+    }
+
     using StratState = StrategyState<Validation, Probe>;
 
     TxDesc* desc_;
@@ -468,6 +594,11 @@ class ValShortTm {
     bool unwound_ = false;  // overflow unwind already restored the values
     bool serial_ = false;   // this attempt holds the serialization token
     bool gated_ = false;    // this attempt announced itself as a committer
+    // Snapshot mode only (dead otherwise): pinned read stamp, pin-published
+    // flag, and whether reads still run through the chains.
+    Word snapshot_ts_ = 0;
+    bool pinned_ = false;
+    bool snapshot_phase_ = false;
   };
 
   // --- Single-operation transactions --------------------------------------------------
@@ -478,6 +609,18 @@ class ValShortTm {
       const Word w = s->word.load(std::memory_order_acquire);
       if (!ValIsLocked(w)) {
         return w;
+      }
+      if constexpr (kSnapshotMode) {
+        // Publish-window shortcut: an unstamped head is the lock owner's own
+        // push of the displaced — still logically current — value, and the
+        // owner stamps before any releasing store. Linearize this read at
+        // the stamp load, before the writer's commit, instead of spinning.
+        mvcc::VersionNode* head = s->versions.load(std::memory_order_acquire);
+        if (head != nullptr &&
+            head->stamp.load(std::memory_order_acquire) == mvcc::kUnstamped) {
+          ++Probe::Get().snapshot_reads;
+          return head->word;
+        }
       }
       SPECTM_SCHED_SPIN(failpoint::Site::kLockAcquire);
       CpuRelax();
@@ -525,13 +668,21 @@ class ValShortTm {
         }
       }
       TxUnwindGuard lock_guard([s, w] {
+        if constexpr (kSnapshotMode) {
+          // A throw inside the publish window below leaves our unstamped
+          // node at the head: tombstone it while the lock still stands.
+          mvcc::TombstoneUnstampedHead(s->versions);
+        }
         s->word.store(w, std::memory_order_release);
       });
       if constexpr (Validation::kPartitioned) {
         ++Probe::Get().stripe_bumps;
       }
-      Validation::OnWriterCommitWithBloom(self, AddrBloom128(&s->word),
-                                          1u << CounterStripeOf(&s->word));
+      [[maybe_unused]] const Word own_idx = Validation::OnWriterCommitWithBloom(
+          self, AddrBloom128(&s->word), 1u << CounterStripeOf(&s->word));
+      if constexpr (kSnapshotMode) {
+        PublishSingleVersion(s, w, own_idx);
+      }
       s->word.store(value, std::memory_order_release);
       lock_guard.Dismiss();  // the value store above was the lock release
       return;
@@ -580,13 +731,22 @@ class ValShortTm {
           // Locked at the expected value: bump (one location -> one stripe),
           // then store == release.
           TxUnwindGuard lock_guard([s, w] {
+            if constexpr (kSnapshotMode) {
+              // Tombstone a half-published node before the restoring store
+              // releases the lock (see SingleWrite).
+              mvcc::TombstoneUnstampedHead(s->versions);
+            }
             s->word.store(w, std::memory_order_release);
           });
           if constexpr (Validation::kPartitioned) {
             ++Probe::Get().stripe_bumps;
           }
-          Validation::OnWriterCommitWithBloom(self, AddrBloom128(&s->word),
-                                              1u << CounterStripeOf(&s->word));
+          [[maybe_unused]] const Word own_idx =
+              Validation::OnWriterCommitWithBloom(
+                  self, AddrBloom128(&s->word), 1u << CounterStripeOf(&s->word));
+          if constexpr (kSnapshotMode) {
+            PublishSingleVersion(s, w, own_idx);
+          }
           s->word.store(desired, std::memory_order_release);
           lock_guard.Dismiss();  // the value store above was the lock release
           return expected;
@@ -612,6 +772,21 @@ class ValShortTm {
   }
 
   static TxStats& StatsForCurrentThread() { return DescOf<ValDomainTag>().stats; }
+
+ private:
+  // Single-op precise-path version publish: one displaced value onto one
+  // chain, stamped with the single-op's own commit index. Caller holds the
+  // slot lock; called between the counter bump and the releasing store.
+  static void PublishSingleVersion(Slot* s, Word displaced, Word own_idx) {
+    mvcc::NodePool& pool = mvcc::Pool();
+    const Word done = mvcc::MvccEpoch().SnapshotDoneStamp(Validation::Sample());
+    mvcc::PublishStats pub;
+    mvcc::PublishVersion(s->versions, displaced, own_idx, done, pool, &pub);
+    pool.DrainDeferred(done);
+    typename Probe::Counters& probe = Probe::Get();
+    probe.versions_retired += static_cast<std::uint64_t>(pub.retired);
+    probe.chain_splices += static_cast<std::uint64_t>(pub.splices);
+  }
 };
 
 }  // namespace spectm

@@ -24,17 +24,27 @@
 
 #include <atomic>
 #include <cstdint>
+#include <thread>
 
 #include "src/common/cacheline.h"
+#include "src/common/failpoint.h"
 #include "src/common/tagged.h"
 #include "src/common/thread_registry.h"
+#include "src/tm/config.h"
+#include "src/tm/mvcc.h"
 #include "src/tm/txdesc.h"
 #include "src/tm/valstrategy.h"
 
 namespace spectm {
 
+// The data+lock word, plus the MVCC chain head (PR 9): an indirect, bounded,
+// newest-first list of displaced values (src/tm/mvcc.h). The head stays null
+// until a kMvcc-policy writer commits over the slot, and no non-snapshot
+// engine ever reads or writes it — the one-word in-place protocol on `word`
+// is unchanged.
 struct ValSlot {
   std::atomic<Word> word{0};
+  std::atomic<mvcc::VersionNode*> versions{nullptr};
 };
 
 constexpr bool ValIsLocked(Word w) { return (w & kLockBit) != 0; }
@@ -82,6 +92,11 @@ inline Word MakeValLocked(TxDesc* owner) {
 // walks when every READ-occupied stripe is unchanged. Non-partitioned policies
 // ignore the mask; StrategyState compiles the stripe paths out for them.
 
+// `kMvcc` marks the policy whose writers additionally publish every displaced
+// value onto the slot's version chain (src/tm/mvcc.h), stamped with their own
+// commit index — the precondition for ValMode::kSnapshot's pinned-snapshot
+// reads. Engines compile every chain touch out when it is false.
+
 // Case-3 reliance: no tracking at all. Sound when values satisfy non-re-use (or one
 // of the other two special cases); this is the paper's default for val-short.
 struct NonReuseValidation {
@@ -89,6 +104,7 @@ struct NonReuseValidation {
   static constexpr bool kPrecise = false;
   static constexpr bool kHasBloomRing = false;
   static constexpr bool kPartitioned = false;
+  static constexpr bool kMvcc = false;
   static Word Sample() { return 0; }
   static bool Stable(Word /*sample*/) { return true; }
   static bool BloomAdvance(Word* /*sample*/, const Bloom128& /*read_bloom*/) {
@@ -108,6 +124,7 @@ struct GlobalCounterValidation {
   static constexpr bool kPrecise = true;
   static constexpr bool kHasBloomRing = false;
   static constexpr bool kPartitioned = false;
+  static constexpr bool kMvcc = false;
 
   static std::atomic<Word>& Counter() {
     static CacheAligned<std::atomic<Word>> counter;
@@ -141,6 +158,7 @@ struct GlobalCounterBloomValidation {
   static constexpr bool kPrecise = true;
   static constexpr bool kHasBloomRing = true;
   static constexpr bool kPartitioned = Summary::kPartitioned;
+  static constexpr bool kMvcc = false;
 
   static Word Sample() { return Summary::Sample(); }
   static bool Stable(Word sample) { return Summary::Stable(sample); }
@@ -173,6 +191,81 @@ struct GlobalCounterBloomValidation {
   }
 };
 
+// MVCC snapshot policy (PR 9): writer-side protocol identical to the
+// partitioned counter+bloom policy — same RingDomainTag summary, same stripe
+// counters, same ring — plus kMvcc: committing writers publish every displaced
+// value onto the slot's version chain stamped with their own commit index
+// (src/tm/mvcc.h). Under ValMode::kSnapshot, read-only transactions pin a
+// snapshot from this clock and read through the chains with zero validation;
+// read-write transactions keep the precise stripe protocol unchanged.
+struct SnapshotValidation : GlobalCounterBloomValidation {
+  static constexpr const char* kName = "snapshot";
+  static constexpr bool kMvcc = true;
+};
+
+// One snapshot read against `s` at pinned snapshot stamp `snapshot`: the
+// current word if its reign began at or before the snapshot, else the newest
+// chain version whose interval [floor, stamp) contains it. Loops past the two
+// transient states (commit lock held with no usable version yet; unstamped
+// head) — in-flight writers resolve both in a handful of instructions, and on
+// a single core the yield hands them the CPU. Returns ok == false only when
+// the chain has been truncated below the snapshot (deepest floor > snapshot):
+// the caller must refresh its snapshot, never guess.
+struct SnapshotReadResult {
+  Word value = 0;
+  int hops = 0;    // chain nodes dereferenced (0 = in-place fast path)
+  bool ok = false;
+};
+
+inline SnapshotReadResult SnapshotReadSlot(ValSlot* s, Word snapshot) {
+  for (int spins = 0;; ++spins) {
+    const Word w = s->word.load(std::memory_order_acquire);
+    mvcc::VersionNode* head = s->versions.load(std::memory_order_acquire);
+    const Word head_stamp =
+        (head != nullptr) ? head->stamp.load(std::memory_order_acquire) : 0;
+    if (!ValIsLocked(w)) {
+      if (head == nullptr || (head_stamp != mvcc::kUnstamped && head_stamp <= snapshot)) {
+        return {w, 0, true};  // current value already reigned at the snapshot
+      }
+      // head_stamp == kUnstamped here means our two loads straddled a
+      // writer's push: retry (the next word load sees its lock or its store).
+    } else {
+      // Commit lock held. The chain serves the read iff a stamped head with
+      // stamp > snapshot exists (the in-flight writer cannot affect versions
+      // at or below its own displaced head); otherwise the value this
+      // snapshot needs is still in the owner's lock log — wait it out.
+      if (head != nullptr && head_stamp != mvcc::kUnstamped && head_stamp > snapshot) {
+        // fall through to the walk
+      } else {
+        if (spins >= kReadLockSpin) {
+          std::this_thread::yield();
+        }
+        SPECTM_SCHED_SPIN(failpoint::Site::kLockAcquire);
+        CpuRelax();
+        continue;
+      }
+    }
+    if (head_stamp == mvcc::kUnstamped) {
+      SPECTM_SCHED_SPIN(failpoint::Site::kLockAcquire);
+      CpuRelax();
+      continue;
+    }
+    // Walk newest -> oldest for the node covering the snapshot. Invariant on
+    // every node reached: stamp > snapshot (head was checked; each deeper
+    // node's stamp equals its predecessor's floor, which exceeded the
+    // snapshot for us to descend).
+    int hops = 0;
+    for (mvcc::VersionNode* n = head; n != nullptr;
+         n = n->next.load(std::memory_order_acquire)) {
+      ++hops;
+      if (n->floor <= snapshot) {
+        return {n->word, hops, true};
+      }
+    }
+    return {0, hops, false};  // truncated below the snapshot
+  }
+}
+
 // Distributed counters (§2.4 last paragraph): each thread bumps its own padded
 // counter on commit — "fast to (logically) increment the shared counter, at the cost
 // of reading all of the threads' counters" when validating. Counters only increase,
@@ -182,6 +275,7 @@ struct PerThreadCounterValidation {
   static constexpr bool kPrecise = true;
   static constexpr bool kHasBloomRing = false;
   static constexpr bool kPartitioned = false;
+  static constexpr bool kMvcc = false;
 
   static Word Sample() {
     const int bound = ThreadRegistry::IdBound();

@@ -105,6 +105,11 @@ enum class ValMode : std::uint8_t {
   kBloom,
   kAdaptive,
   kPartitioned,
+  // MVCC (PR 9): read-only transactions pin a snapshot stamp and read through
+  // the version chains (src/tm/mvcc.h) — no sandwiching, no walks, no aborts;
+  // read-write attempts resolve to the partitioned stripe protocol and
+  // additionally publish displaced values. Requires a kMvcc policy.
+  kSnapshot,
 };
 
 // The strategy a transaction attempt actually runs with (kAdaptive resolves to one
@@ -182,6 +187,10 @@ inline ValStrategy ChooseStrategy(ValMode mode, bool has_bloom_ring,
     case ValMode::kBloom:
       return has_bloom_ring ? ValStrategy::kBloom : ValStrategy::kCounterSkip;
     case ValMode::kPartitioned:
+      return ValStrategy::kStripe;
+    case ValMode::kSnapshot:
+      // Read-only work never reaches a strategy at all (chain reads); this is
+      // the read-write side, which keeps the per-stripe precise protocol.
       return ValStrategy::kStripe;
     case ValMode::kAdaptive: {
       // Efficacy gate: once the engine fell back to walking, skips must prove
@@ -560,6 +569,15 @@ struct ValProbe {
     // jobs each assert their column is the one that moved.
     std::uint64_t simd_batches = 0;
     std::uint64_t scalar_checks = 0;
+    // MVCC evidence (PR 9, ValMode::kSnapshot + src/tm/mvcc.h): reads served
+    // at a pinned snapshot (in place or from a chain); chain nodes
+    // dereferenced beyond the in-place fast path; nodes unlinked by writers
+    // (recycled or deferred); and chain truncation operations. The zero-cost
+    // RO-scan claim is "snapshot_reads > 0 while validation_walks stays 0".
+    std::uint64_t snapshot_reads = 0;
+    std::uint64_t version_hops = 0;
+    std::uint64_t versions_retired = 0;
+    std::uint64_t chain_splices = 0;
     // Not counters: the strategy the last attempt started with (for tests) and
     // the attempt tick driving the periodic skip-efficacy probe.
     ValStrategy last_strategy = ValStrategy::kIncremental;

@@ -191,6 +191,14 @@ using ValAdaptive =
 // 256-entry intersect-failure row, the ROADMAP item this family closes).
 using ValPart =
     internal::ValFamilyT<GlobalCounterBloomValidation, ValMode::kPartitioned>;
+// MVCC snapshot reads (mvcc.h): the one family whose read-only transactions
+// validate NOTHING — each read is a single traversal of the slot's bounded
+// version chain at a stamp pinned at start, so RO work can neither walk nor
+// abort however hot concurrent writers run. Writers keep the ValPart-style
+// stripe protocol and additionally thread their displaced values onto the
+// chains at commit. SnapshotValidation is GlobalCounterBloomValidation plus
+// the kMvcc marker; the commit counter doubles as the version clock.
+using ValSnap = internal::ValFamilyT<SnapshotValidation, ValMode::kSnapshot>;
 
 }  // namespace spectm
 

@@ -106,6 +106,34 @@ TEST(JsonReport, SchedFieldsAreOptIn) {
   EXPECT_NE(json.find("\"canary_found\": 1"), std::string::npos);
 }
 
+TEST(JsonReport, MvccFieldsAreOptIn) {
+  // Records from benches that never touch the snapshot family keep their exact
+  // historical shape.
+  JsonReport plain("plain");
+  plain.Add(SampleRecord());
+  const std::string before = plain.ToJson();
+  EXPECT_EQ(before.find("\"snapshot_reads\""), std::string::npos);
+  EXPECT_EQ(before.find("\"version_hops\""), std::string::npos);
+  EXPECT_EQ(before.find("\"versions_retired\""), std::string::npos);
+  EXPECT_EQ(before.find("\"chain_splices\""), std::string::npos);
+  EXPECT_EQ(before.find("\"snapshot_probe_aborts\""), std::string::npos);
+
+  BenchRecord r = SampleRecord();
+  r.has_mvcc = true;
+  r.snapshot_reads = 320;
+  r.version_hops = 64;
+  r.versions_retired = 56;
+  r.chain_splices = 9;
+  JsonReport extended("extended");
+  extended.Add(r);
+  const std::string json = extended.ToJson();
+  EXPECT_NE(json.find("\"snapshot_reads\": 320"), std::string::npos);
+  EXPECT_NE(json.find("\"version_hops\": 64"), std::string::npos);
+  EXPECT_NE(json.find("\"versions_retired\": 56"), std::string::npos);
+  EXPECT_NE(json.find("\"chain_splices\": 9"), std::string::npos);
+  EXPECT_NE(json.find("\"snapshot_probe_aborts\": 0"), std::string::npos);
+}
+
 TEST(JsonReport, MultipleRecordsFormAnArray) {
   JsonReport report("b");
   report.Add(SampleRecord());

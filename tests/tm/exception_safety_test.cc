@@ -17,6 +17,7 @@
 #include "src/epoch/epoch.h"
 #include "src/tm/compat.h"
 #include "src/tm/config.h"
+#include "src/tm/mvcc.h"
 #include "src/tm/serial.h"
 #include "src/tm/variants.h"
 
@@ -274,6 +275,77 @@ TEST_F(ExceptionSafetyTest, ShortValThrowEverySite) {
   ShortThrowAtSite<Val>(Site::kLockAcquire);
 }
 
+// MVCC publication is the razor-edge the version chains add: at kVersionPublish
+// the node is already linked as the chain head but still UNSTAMPED, and the
+// slot lock is still held. A throw there must tombstone the node (stamp :=
+// floor, an empty validity interval) before restoring the displaced value —
+// an unstamped head left behind would wedge every later snapshot read into
+// its publish-window retry loop, and a selectable interval would expose the
+// aborted write to pinned readers.
+TEST_F(ExceptionSafetyTest, SnapshotFullPublishThrowTombstonesTheHead) {
+  ValSnap::Slot a, b;
+  ValSnap::SingleWrite(&a, EncodeInt(1));
+  ValSnap::SingleWrite(&b, EncodeInt(2));
+  failpoint::ResetHits();
+  failpoint::ArmThrow(Site::kVersionPublish, 100);
+  bool threw = false;
+  try {
+    ValSnap::Full::Atomically([&](ValSnap::FullTx& tx) {
+      const Word v = tx.Read(&a);
+      if (tx.ok()) {
+        tx.Write(&b, EncodeInt(DecodeInt(v) + 10));
+      }
+    });
+  } catch (const failpoint::InjectedFault& fault) {
+    threw = true;
+    EXPECT_EQ(fault.site, Site::kVersionPublish);
+  }
+  failpoint::Disarm(Site::kVersionPublish);
+  EXPECT_TRUE(threw) << "publish site never reached";
+  EXPECT_EQ(DecodeInt(ValSnap::SingleRead(&b)), 2u) << "torn write leaked";
+  mvcc::VersionNode* head = b.versions.load(std::memory_order_acquire);
+  ASSERT_NE(head, nullptr) << "the pre-fault push vanished";
+  const Word stamp = head->stamp.load(std::memory_order_acquire);
+  EXPECT_NE(stamp, mvcc::kUnstamped) << "unstamped head leaked past the unwind";
+  EXPECT_EQ(stamp, head->floor) << "aborted publish left a selectable interval";
+  ExpectGateClean<ValSnap>();
+  // A fresh snapshot over the repaired chain reads the restored value.
+  EXPECT_TRUE(ValSnap::Full::Atomically([&](ValSnap::FullTx& tx) {
+    EXPECT_EQ(DecodeInt(tx.Read(&b)), 2u);
+  }));
+  ExpectDomainLive<ValSnap>(&b, EncodeInt(3));
+}
+
+// Same eruption on the single-op precise path, where the publish runs between
+// the commit bump and the releasing store with the lock guard as the only
+// unwind machinery.
+TEST_F(ExceptionSafetyTest, SnapshotSingleOpPublishThrowRestoresSlotAndChain) {
+  ValSnap::Slot s;
+  ValSnap::SingleWrite(&s, EncodeInt(1));
+  failpoint::ResetHits();
+  failpoint::ArmThrow(Site::kVersionPublish, 100);
+  bool threw = false;
+  try {
+    ValSnap::SingleWrite(&s, EncodeInt(2));
+  } catch (const failpoint::InjectedFault& fault) {
+    threw = true;
+    EXPECT_EQ(fault.site, Site::kVersionPublish);
+  }
+  failpoint::Disarm(Site::kVersionPublish);
+  EXPECT_TRUE(threw) << "publish site never reached";
+  EXPECT_EQ(DecodeInt(ValSnap::SingleRead(&s)), 1u) << "torn single-op leaked";
+  mvcc::VersionNode* head = s.versions.load(std::memory_order_acquire);
+  ASSERT_NE(head, nullptr);
+  const Word stamp = head->stamp.load(std::memory_order_acquire);
+  EXPECT_NE(stamp, mvcc::kUnstamped) << "unstamped head leaked past the unwind";
+  EXPECT_EQ(stamp, head->floor) << "aborted publish left a selectable interval";
+  ExpectGateClean<ValSnap>();
+  EXPECT_TRUE(ValSnap::Full::Atomically([&](ValSnap::FullTx& tx) {
+    EXPECT_EQ(DecodeInt(tx.Read(&s)), 1u);
+  }));
+  ExpectDomainLive<ValSnap>(&s, EncodeInt(4));
+}
+
 // A fault erupting inside an ESCALATED attempt: the serial token is the one
 // piece of state whose leak wedges the whole domain (the next escalation spins
 // on AcquireSerial forever), so the unwind must release it before the fault
@@ -368,6 +440,17 @@ TEST_F(ExceptionSafetyTest, EveryPlantedSiteActuallyFires) {
           [&](OrecL::FullTx& tx) { tx.Write(&s, EncodeInt(3)); });
     }
     failpoint::Disarm(Site::kLockAcquire);
+  }
+  // MVCC publication: every single-op write pushes a version (the publish
+  // pause) and scans the pinned snapshots for the done stamp; overwriting the
+  // same slot past the chain bound trims and retires superseded nodes.
+  {
+    ValSnap::Slot s;
+    for (int i = 0; i < mvcc::kMaxVersions + 2; ++i) {
+      ValSnap::SingleWrite(&s, EncodeInt(static_cast<Word>(i)));
+    }
+    EXPECT_TRUE(ValSnap::Full::Atomically(
+        [&](ValSnap::FullTx& tx) { (void)tx.Read(&s); }));
   }
   // Epoch machinery: an object into a limbo bag under a Guard, then the
   // advance/reclaim scan.

@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/epoch/epoch.h"
 #include "src/tm/config.h"
 #include "src/tm/serial.h"
 #include "src/tm/txdesc.h"
@@ -229,6 +230,188 @@ TEST(SchedExploreGate, SerialDrainExcludesCommittersOnEverySchedule) {
   // The exploration must have driven the committer through BOTH sides of the
   // serial section (before it and after it), or the drain was never raced.
   EXPECT_GE(orders.size(), 2u);
+}
+
+// Three threads at the gate: one serial side against TWO independent
+// committers (PR 9 satellite — the two-thread drain above can never exercise
+// a committer arriving while another committer is already inside during the
+// drain scan). Same invariant, every schedule, bound 2.
+TEST(SchedExploreGate, ThreeThreadDrainExcludesBothCommitters) {
+  using Gate = SerialGate<SchedGateExploreTag>;
+  std::atomic<int> in_serial{0};
+  std::atomic<int> committers_inside{0};
+  std::atomic<bool> violation{false};
+  auto committer_body = [&](int tag) {
+    return [&, tag] {
+      TxDesc* self = &DescOf<SchedGateExploreTag>();
+      while (true) {
+        if (Gate::TryEnterCommitter(self)) {
+          committers_inside.fetch_add(1);
+          if (in_serial.load() != 0) {
+            violation.store(true);
+          }
+          sched::TestPoint(sched::kTestPointBase + tag);
+          if (in_serial.load() != 0) {
+            violation.store(true);
+          }
+          committers_inside.fetch_sub(1);
+          Gate::ExitCommitter(self);
+          return;
+        }
+        sched::Yield();
+      }
+    };
+  };
+  auto make_bodies = [&]() {
+    in_serial.store(0);
+    committers_inside.store(0);
+    violation.store(false);
+    std::vector<std::function<void()>> bodies;
+    bodies.push_back([&] {
+      TxDesc* self = &DescOf<SchedGateExploreTag>();
+      Gate::AcquireSerial(self);
+      if (committers_inside.load() != 0) {
+        violation.store(true);
+      }
+      in_serial.store(1);
+      sched::TestPoint(sched::kTestPointBase + 1);
+      if (committers_inside.load() != 0) {
+        violation.store(true);
+      }
+      in_serial.store(0);
+      Gate::ReleaseSerial(self);
+    });
+    bodies.push_back(committer_body(2));
+    bodies.push_back(committer_body(3));
+    return bodies;
+  };
+  auto check = [&] { return !violation.load(); };
+  Explorer::Options opt;
+  opt.preemption_bound = 2;
+  opt.stop_on_violation = true;
+  const Explorer::Result res = Explorer::Explore(make_bodies, check, opt);
+  EXPECT_FALSE(res.violation_found)
+      << "three-thread gate exclusion broke on: "
+      << sched::FormatTrace(res.violation_trace);
+  EXPECT_TRUE(res.frontier_exhausted);
+  EXPECT_EQ(res.divergences, 0u);
+  EXPECT_EQ(res.truncated, 0u);
+  EXPECT_GT(res.schedules, 20u);
+}
+
+// ---- Epoch advance/retire and the MVCC done-stamp race (PR 9) ----------------------
+//
+// (1) A guarded reader against a retire-then-advance writer: no schedule may
+// free the object while the reader's guard is active — the kEpochRetire /
+// kEpochAdvance plants (PR 8) plus Enter's publish-then-recheck handshake are
+// the decision points, explored exhaustively at bound 2.
+TEST(SchedExploreEpoch, AdvanceNeverFreesUnderAForeignGuard) {
+  struct Shared {
+    EpochManager* mgr = nullptr;
+    std::atomic<bool> linked{true};  // cleared by the writer just before Retire
+    std::atomic<bool> freed{false};
+    std::atomic<bool> violation{false};
+  };
+  auto* sh = new Shared;
+  auto make_bodies = [sh]() {
+    delete sh->mgr;  // previous schedule's manager; its threads have exited
+    sh->mgr = new EpochManager;
+    sh->linked.store(true);
+    sh->freed.store(false);
+    sh->violation.store(false);
+    std::vector<std::function<void()>> bodies;
+    bodies.push_back([sh] {  // the guarded reader
+      EpochManager::Guard g(*sh->mgr);
+      sched::TestPoint(sched::kTestPointBase + 11);
+      // Only a guard that demonstrably predates the retire makes a claim: if
+      // the object is still linked here, the retire (which follows the unlink
+      // in the writer's program order) lands in a bag stamped no older than
+      // this guard's entry epoch, so no advance may free it until we exit.
+      // A guard entered after the unlink may legitimately see freed==true.
+      if (sh->linked.load()) {
+        if (sh->freed.load()) {
+          sh->violation.store(true);
+        }
+        sched::TestPoint(sched::kTestPointBase + 12);
+        if (sh->freed.load()) {
+          sh->violation.store(true);
+        }
+      }
+    });
+    bodies.push_back([sh] {  // unlink, retire, then force advances
+      {
+        EpochManager::Guard g(*sh->mgr);
+        sh->linked.store(false);
+        sh->mgr->Retire(static_cast<void*>(&sh->freed), [](void* p) {
+          static_cast<std::atomic<bool>*>(p)->store(true);
+        });
+      }
+      sh->mgr->ReclaimAllForTesting();
+    });
+    return bodies;
+  };
+  auto check = [sh] { return !sh->violation.load(); };
+  Explorer::Options opt;
+  opt.preemption_bound = 2;
+  opt.stop_on_violation = true;
+  const Explorer::Result res = Explorer::Explore(make_bodies, check, opt);
+  EXPECT_FALSE(res.violation_found)
+      << "an epoch advance freed under a live guard on: "
+      << sched::FormatTrace(res.violation_trace);
+  EXPECT_TRUE(res.frontier_exhausted);
+  EXPECT_EQ(res.divergences, 0u);
+  EXPECT_EQ(res.truncated, 0u);
+}
+
+// (2) The MVCC snapshot against single-op writer churn: a pinned reader must
+// see ONE stable value across repeated reads of a slot the writer overwrites
+// between them, on every schedule. Decision points: the writer's publish
+// window (kVersionRetire on trims, kDoneStampAdvance on every done-stamp
+// scan) and the reader's chain walk — the races the two-step pin and the
+// lazy-stamp protocol exist for.
+TEST(SchedExploreMvcc, PinnedSnapshotIsStableAcrossWriterChurn) {
+  auto* s = new ValSnap::Slot();
+  std::atomic<bool> violation{false};
+  auto make_bodies = [&]() {
+    ValSnap::SingleWrite(s, EncodeInt(1));
+    violation.store(false);
+    std::vector<std::function<void()>> bodies;
+    bodies.push_back([&] {  // snapshot reader: two reads, one cut
+      ValSnap::Full::Atomically([&](ValSnap::FullTx& tx) {
+        const Word v1 = tx.Read(s);
+        if (!tx.ok()) {
+          return;
+        }
+        sched::TestPoint(sched::kTestPointBase + 21);
+        const Word v2 = tx.Read(s);
+        if (!tx.ok()) {
+          return;
+        }
+        if (v1 != v2) {
+          violation.store(true);  // the snapshot moved mid-transaction
+        }
+      });
+    });
+    bodies.push_back([&] {  // single-op writer churn across the reader
+      ValSnap::SingleWrite(s, EncodeInt(2));
+      ValSnap::SingleWrite(s, EncodeInt(3));
+    });
+    return bodies;
+  };
+  auto check = [&] {
+    return !violation.load() && DecodeInt(ValSnap::SingleRead(s)) == 3u;
+  };
+  Explorer::Options opt;
+  opt.preemption_bound = 2;
+  opt.stop_on_violation = true;
+  const Explorer::Result res = Explorer::Explore(make_bodies, check, opt);
+  EXPECT_FALSE(res.violation_found)
+      << "snapshot instability (or lost write) on: "
+      << sched::FormatTrace(res.violation_trace);
+  EXPECT_TRUE(res.frontier_exhausted);
+  EXPECT_EQ(res.divergences, 0u);
+  EXPECT_EQ(res.truncated, 0u);
+  EXPECT_GT(res.schedules, 10u);
 }
 
 // ---- Replay determinism on a real engine schedule ----------------------------------
