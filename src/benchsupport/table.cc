@@ -175,6 +175,15 @@ std::string JsonReport::ToJson() const {
           << ", \"chain_splices\": " << r.chain_splices
           << ", \"snapshot_probe_aborts\": " << r.snapshot_probe_aborts;
     }
+    if (r.has_svc) {
+      out << ", \"batch_size\": " << r.batch_size
+          << ", \"zipf_theta\": " << JsonNum(r.zipf_theta)
+          << ", \"batches\": " << r.batches
+          << ", \"descriptors_per_op\": " << JsonNum(r.descriptors_per_op)
+          << ", \"p50\": " << r.p50
+          << ", \"p99\": " << r.p99
+          << ", \"p999\": " << r.p999;
+    }
     out << "}";
   }
   out << "\n  ]\n}\n";

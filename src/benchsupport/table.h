@@ -107,6 +107,18 @@ struct BenchRecord {
   std::uint64_t chain_splices = 0;     // ValProbe: chain truncation operations
   std::uint64_t snapshot_probe_aborts = 0;  // aborts in the deterministic
                                             // pinned-scan probe pass (must be 0)
+
+  // KV-service extensions (bench/svc_kv batch-request rows): emitted only when
+  // has_svc is set, so every BENCH_*.json from a pre-service build stays
+  // byte-stable.
+  bool has_svc = false;
+  int batch_size = 0;            // keys per batch transaction
+  double zipf_theta = 0.0;       // hot-key skew of the request stream
+  std::uint64_t batches = 0;     // batch transactions attempted (commits+aborts)
+  double descriptors_per_op = 0.0;  // attempts / keys touched; < 1 = amortized
+  std::uint64_t p50 = 0;         // batch latency percentiles, cycle units
+  std::uint64_t p99 = 0;         // (LatencyHistogram bucket upper bounds)
+  std::uint64_t p999 = 0;
 };
 
 // Collects BenchRecords and renders them as a JSON document:

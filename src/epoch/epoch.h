@@ -54,6 +54,36 @@ class EpochManager {
     EpochManager& mgr_;
   };
 
+  // Nullable Guard: an empty slot until Acquire(), released at destruction or
+  // by an explicit Release(). Same nesting semantics as Guard. Exists because
+  // val-engine transactions hold a guard only in snapshot mode, and a
+  // disengaged std::optional<Guard> payload trips GCC's maybe-uninitialized
+  // analysis in every non-snapshot instantiation.
+  class GuardSlot {
+   public:
+    GuardSlot() = default;
+    ~GuardSlot() { Release(); }
+    GuardSlot(const GuardSlot&) = delete;
+    GuardSlot& operator=(const GuardSlot&) = delete;
+
+    void Acquire(EpochManager& mgr) {
+      if (mgr_ == nullptr) {
+        mgr.Enter();
+        mgr_ = &mgr;
+      }
+    }
+
+    void Release() {
+      if (mgr_ != nullptr) {
+        mgr_->Exit();
+        mgr_ = nullptr;
+      }
+    }
+
+   private:
+    EpochManager* mgr_ = nullptr;
+  };
+
   // Defers destruction of p until no concurrent critical region can reference it.
   void Retire(void* p, void (*deleter)(void*));
 

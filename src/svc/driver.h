@@ -1,0 +1,148 @@
+// Request-loop harness for the KV service scenario: turns "millions of users
+// hitting an embedding table" into a seeded, replay-identical stream of batch
+// requests over KvStore<Family>.
+//
+// Key popularity is Zipfian over ranks (svc/zipf.h) with ranks scattered
+// through an odd-multiplier bijection, so the hot set spreads across shards —
+// the skew lives in FREQUENCY, not in address order. A `region_local` mode
+// instead builds every batch from a single shard's key list, which is the
+// stripe-locality shape the partitioned commit counter (valstrategy.h) skips
+// on: benches flip this one knob to move between cross-stripe and
+// stripe-resident traffic.
+//
+// Latency is recorded per BATCH (one transaction = one service request) into
+// the caller's LatencyHistogram through an injected clock function; tests pass
+// a synthetic counter and stay wall-clock-free, benches pass CycleNow.
+#ifndef SPECTM_SVC_DRIVER_H_
+#define SPECTM_SVC_DRIVER_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/svc/kv_store.h"
+#include "src/svc/latency.h"
+#include "src/svc/zipf.h"
+
+namespace spectm {
+namespace svc {
+
+struct DriverConfig {
+  std::uint64_t key_space = 1ULL << 14;  // power of two; fully prefilled
+  double zipf_theta = 0.99;              // 0 = uniform, 0.99 = YCSB hot-key skew
+  std::size_t batch_size = 8;
+  int get_pct = 70;                      // remainder after get+put is BatchScan
+  int put_pct = 20;
+  std::uint64_t seed = 0x5eedULL;
+  bool region_local = false;             // one shard per batch (stripe-resident)
+};
+
+// Clock injected per call so the histogram never owns a time source.
+using NowFn = std::uint64_t (*)();
+
+template <typename Family>
+class RequestDriver {
+ public:
+  RequestDriver(KvStore<Family>& store, DriverConfig cfg)
+      : store_(store),
+        cfg_(cfg),
+        zipf_(cfg.key_space, cfg.zipf_theta, cfg.seed),
+        rng_(Xorshift128Plus::SplitMix64(&cfg.seed) ^ 0x9e3779b97f4a7c15ULL) {
+    assert((cfg_.key_space & (cfg_.key_space - 1)) == 0 &&
+           "key space must be a power of two");
+    assert(cfg_.batch_size >= 1 && cfg_.batch_size <= cfg_.key_space);
+    keys_.resize(cfg_.batch_size);
+    vals_.resize(cfg_.batch_size);
+    if (cfg_.region_local) {
+      shard_keys_.resize(store_.shards());
+      for (std::uint64_t k = 0; k < cfg_.key_space; ++k) {
+        shard_keys_[store_.ShardOf(k)].push_back(k);
+      }
+    }
+  }
+
+  // Populates the whole key space (value = key + 1) in batch-sized chunks —
+  // the service never sees a miss afterwards, so found-rates don't perturb
+  // percentile comparisons across configs.
+  void Prefill() {
+    std::vector<std::uint64_t> keys(cfg_.batch_size);
+    std::vector<std::uint64_t> vals(cfg_.batch_size);
+    for (std::uint64_t base = 0; base < cfg_.key_space; base += cfg_.batch_size) {
+      std::size_t n = 0;
+      for (; n < cfg_.batch_size && base + n < cfg_.key_space; ++n) {
+        keys[n] = base + n;
+        vals[n] = base + n + 1;
+      }
+      store_.BatchPut(keys.data(), vals.data(), n);
+    }
+  }
+
+  // One service request: draws an op and a batch of keys, runs it as a single
+  // transaction, optionally records the batch latency. Returns the number of
+  // keys touched (= batch size), the unit bench throughput is counted in.
+  std::size_t Step(LatencyHistogram* hist = nullptr, NowFn now = nullptr) {
+    const std::size_t n = cfg_.batch_size;
+    const int op = rng_.NextPercent();
+    const std::uint64_t t0 = now != nullptr ? now() : 0;
+    if (op < cfg_.get_pct) {
+      FillKeys();
+      store_.BatchGet(keys_.data(), n, vals_.data(), nullptr);
+    } else if (op < cfg_.get_pct + cfg_.put_pct) {
+      FillKeys();
+      for (std::size_t i = 0; i < n; ++i) {
+        vals_[i] = rng_.Next() >> 8;  // keep clear of the EncodeInt tag bits
+      }
+      store_.BatchPut(keys_.data(), vals_.data(), n);
+    } else {
+      std::uint64_t lo = DrawKey();
+      if (lo + n > cfg_.key_space) {
+        lo = cfg_.key_space - n;
+      }
+      scan_sink_ += store_.BatchScan(lo, n);
+    }
+    if (hist != nullptr && now != nullptr) {
+      hist->Record(now() - t0);
+    }
+    return n;
+  }
+
+  // Scan results fold in here so the compiler can't elide the read traffic.
+  std::uint64_t scan_sink() const { return scan_sink_; }
+
+  // Exposed for tests: the key the next rank maps to, and the batch filler.
+  std::uint64_t DrawKey() { return ScatterRank(zipf_.NextRank(), cfg_.key_space); }
+
+  const std::vector<std::uint64_t>& FillKeys() {
+    if (!cfg_.region_local) {
+      for (std::size_t i = 0; i < cfg_.batch_size; ++i) {
+        keys_[i] = DrawKey();
+      }
+      return keys_;
+    }
+    // Region-local: the Zipfian picks the shard (via its hottest key), then the
+    // whole batch stays inside that shard's key list — every transactional
+    // word the batch touches lives in pages homed to one counter stripe.
+    const std::vector<std::uint64_t>& pool = shard_keys_[store_.ShardOf(DrawKey())];
+    for (std::size_t i = 0; i < cfg_.batch_size; ++i) {
+      keys_[i] = pool[rng_.NextBounded(pool.size())];
+    }
+    return keys_;
+  }
+
+ private:
+  KvStore<Family>& store_;
+  DriverConfig cfg_;
+  ZipfianGenerator zipf_;
+  Xorshift128Plus rng_;
+  std::vector<std::uint64_t> keys_;
+  std::vector<std::uint64_t> vals_;
+  std::vector<std::vector<std::uint64_t>> shard_keys_;
+  std::uint64_t scan_sink_ = 0;
+};
+
+}  // namespace svc
+}  // namespace spectm
+
+#endif  // SPECTM_SVC_DRIVER_H_

@@ -1,0 +1,133 @@
+// Fixed-bucket log-scale latency histogram for the KV service layer.
+//
+// The service bench reports p50/p99/p999 per batch request, which needs a
+// recorder that is (a) allocation-free on the hot path — one array index per
+// sample, no sorting, no reservoir — and (b) exactly testable: the bucket
+// geometry is a pure function of the sample value, so tests feed synthetic
+// counts and assert the percentile landing bucket precisely (no wall clock
+// anywhere in tests; cycle counts appear only in bench binaries via CycleNow).
+//
+// Geometry (HdrHistogram-style sub-bucketed log scale): values below
+// 2^kSubBits land in exact unit buckets; above that, each power-of-two octave
+// is split into 2^kSubBits linear sub-buckets, so relative bucket width is
+// bounded by 2^-kSubBits (~3% at kSubBits = 5) at every magnitude. Percentile
+// queries return the bucket's UPPER bound — a conservative (never optimistic)
+// latency figure, and the property the exactness tests pin: the reported
+// percentile is within one bucket of the true order statistic.
+#ifndef SPECTM_SVC_LATENCY_H_
+#define SPECTM_SVC_LATENCY_H_
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+namespace spectm {
+namespace svc {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBits = 5;                // 32 sub-buckets per octave
+  static constexpr std::uint64_t kSub = 1ULL << kSubBits;
+  static constexpr int kMaxExp = 40;                // covers ~2^40 (minutes of cycles)
+  static constexpr std::size_t kBuckets =
+      static_cast<std::size_t>(kSub) * static_cast<std::size_t>(kMaxExp - kSubBits + 1);
+
+  // Bucket index for a sample value. Total function: values past the covered
+  // range clamp into the last bucket (they still count; the percentile just
+  // saturates at the range ceiling).
+  static std::size_t BucketOf(std::uint64_t v) {
+    if (v < kSub) {
+      return static_cast<std::size_t>(v);  // exact unit buckets
+    }
+    int e = 63 - __builtin_clzll(v);  // v in [2^e, 2^(e+1))
+    if (e >= kMaxExp) {
+      return kBuckets - 1;
+    }
+    const std::uint64_t sub = (v >> (e - kSubBits)) - kSub;  // linear within octave
+    return static_cast<std::size_t>(
+        (static_cast<std::uint64_t>(e - kSubBits) + 1) * kSub + sub);
+  }
+
+  // Largest value mapping to `idx` (the conservative percentile representative).
+  static std::uint64_t BucketUpperBound(std::size_t idx) {
+    if (idx < kSub) {
+      return idx;
+    }
+    const std::uint64_t octave = idx / kSub - 1;  // shift applied within the octave
+    const std::uint64_t sub = idx % kSub;
+    return ((kSub + sub + 1) << octave) - 1;
+  }
+
+  void Record(std::uint64_t v) {
+    ++counts_[BucketOf(v)];
+    ++count_;
+    if (v > max_) {
+      max_ = v;
+    }
+  }
+
+  void Merge(const LatencyHistogram& other) {
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      counts_[i] += other.counts_[i];
+    }
+    count_ += other.count_;
+    if (other.max_ > max_) {
+      max_ = other.max_;
+    }
+  }
+
+  std::uint64_t Count() const { return count_; }
+  std::uint64_t Max() const { return max_; }
+
+  // Value at percentile p (0 < p <= 100): the upper bound of the bucket holding
+  // the ceil(p% * count)-th smallest sample. p == 100 reports the exact
+  // recorded maximum (not a bucket bound). Returns 0 on an empty histogram.
+  std::uint64_t ValueAtPercentile(double p) const {
+    if (count_ == 0) {
+      return 0;
+    }
+    if (p >= 100.0) {
+      return max_;
+    }
+    std::uint64_t target =
+        static_cast<std::uint64_t>(p / 100.0 * static_cast<double>(count_) + 0.9999999);
+    if (target < 1) {
+      target = 1;
+    }
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += counts_[i];
+      if (seen >= target) {
+        return BucketUpperBound(i);
+      }
+    }
+    return max_;  // unreachable with count_ > 0
+  }
+
+  std::uint64_t P50() const { return ValueAtPercentile(50.0); }
+  std::uint64_t P99() const { return ValueAtPercentile(99.0); }
+  std::uint64_t P999() const { return ValueAtPercentile(99.9); }
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+// Cycle counter for BENCH binaries only (tests feed synthetic values, so the
+// histogram itself stays deterministic). rdtsc where the ISA has it; the
+// steady-clock tick fallback keeps non-x86 builds honest rather than fast.
+inline std::uint64_t CycleNow() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_ia32_rdtsc();
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+}  // namespace svc
+}  // namespace spectm
+
+#endif  // SPECTM_SVC_LATENCY_H_

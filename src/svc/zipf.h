@@ -1,0 +1,96 @@
+// Bounded Zipfian rank generator (Gray et al., "Quickly generating
+// billion-record synthetic databases" — the YCSB construction) over the
+// deterministic xorshift128+ stream.
+//
+// theta in [0, 1): 0 degenerates to uniform; 0.99 is the classic YCSB hot-key
+// skew. NextRank() returns a 0-based rank with rank 0 the hottest item;
+// callers map ranks onto keys (svc/driver.h scatters them through a bijection
+// so the hot set spreads across shards instead of clustering in key order).
+//
+// Everything is seeded and replay-identical: same (n, theta, seed) => same
+// rank stream, which is what lets the service tests pin frequency-rank
+// properties and the bench commit deterministic workload shapes
+// (tests/svc/zipf_test.cc).
+#ifndef SPECTM_SVC_ZIPF_H_
+#define SPECTM_SVC_ZIPF_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+#include "src/common/rng.h"
+
+namespace spectm {
+namespace svc {
+
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(std::uint64_t n, double theta, std::uint64_t seed)
+      : n_(n), theta_(theta), rng_(seed) {
+    assert(n >= 2 && "a Zipfian needs at least two items");
+    assert(theta >= 0.0 && theta < 1.0 && "theta must lie in [0, 1)");
+    zetan_ = Zeta(n, theta);
+    const double zeta2 = Zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2 / zetan_);
+  }
+
+  // 0-based rank; rank 0 is drawn with probability ~ 1/zetan.
+  std::uint64_t NextRank() {
+    const double u = NextUnit();
+    const double uz = u * zetan_;
+    if (uz < 1.0) {
+      return 0;
+    }
+    if (uz < 1.0 + std::pow(0.5, theta_)) {
+      return 1;
+    }
+    const double r = static_cast<double>(n_) *
+                     std::pow(eta_ * u - eta_ + 1.0, alpha_);
+    std::uint64_t rank = static_cast<std::uint64_t>(r);
+    if (rank >= n_) {
+      rank = n_ - 1;  // pow round-up at the tail
+    }
+    return rank;
+  }
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  // Harmonic-like normalizer: sum_{i=1..n} 1/i^theta. O(n) once per generator;
+  // service key spaces are <= a few hundred K, so construction stays cheap.
+  static double Zeta(std::uint64_t n, double theta) {
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+ private:
+  // Uniform double in [0, 1) with 53 significant bits.
+  double NextUnit() {
+    return static_cast<double>(rng_.Next() >> 11) * 0x1.0p-53;
+  }
+
+  std::uint64_t n_;
+  double theta_;
+  Xorshift128Plus rng_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+};
+
+// Rank -> key bijection over a power-of-two key space: an odd multiplier is
+// invertible mod 2^k, so hot ranks scatter across the whole space (and hence
+// across hash shards) instead of piling into the first region. Pure function:
+// the test battery replays it.
+inline std::uint64_t ScatterRank(std::uint64_t rank, std::uint64_t key_space_pow2) {
+  return (rank * 0x9e3779b97f4a7c15ULL) & (key_space_pow2 - 1);
+}
+
+}  // namespace svc
+}  // namespace spectm
+
+#endif  // SPECTM_SVC_ZIPF_H_

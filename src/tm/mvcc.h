@@ -20,13 +20,16 @@
 //     ever selects — never by popping, since a concurrent reader may already
 //     hold the pointer (TombstoneUnstampedHead).
 //
-// Reclamation: a node is provably unreachable by any snapshot reader once
+// Reclamation: a node can no longer be SELECTED by any snapshot reader once
 // stamp <= done_stamp (EpochManager::SnapshotDoneStamp — the minimum pinned
-// snapshot, bounded by a pre-scan clock sample). Readers at pinned S only ever
-// dereference nodes with stamp > S >= done_stamp, so such nodes are recycled
-// immediately; chain-bound overflow drops (stamp > done_stamp) park on a
-// deferred list until the done stamp catches up. docs/VALIDATION.md §10
-// carries the full argument.
+// snapshot, bounded by a pre-scan clock sample); such nodes are recycled
+// immediately into the type-stable per-thread pool, and chain-bound overflow
+// drops (stamp > done_stamp) park on a deferred list until the done stamp
+// catches up. Selection-dead is not touch-dead — a reader that loaded a chain
+// pointer just before the unlink may still dereference the node's stamp once —
+// so memory only returns to the allocator through the epoch manager's Retire,
+// and snapshot transactions hold an epoch Guard for their pinned duration.
+// docs/VALIDATION.md §10 carries the full argument.
 #ifndef SPECTM_TM_MVCC_H_
 #define SPECTM_TM_MVCC_H_
 
@@ -82,8 +85,14 @@ inline Spill& GlobalSpill() {
 }  // namespace internal
 
 // Per-thread node allocator. Recycle() is only legal for nodes proven
-// unreachable (stamp <= done_stamp at unlink, or never published); anything
-// else goes through Defer() and waits for the done stamp.
+// unreachable-for-SELECTION (stamp <= done_stamp at unlink, or never
+// published); anything else goes through Defer() and waits for the done
+// stamp. Selection-dead is weaker than touch-dead: a snapshot reader that
+// loaded a chain pointer just before the unlink may still dereference the
+// node's stamp word once, so recycled nodes stay type-stable in the pool and
+// every path that returns memory to the allocator goes through the epoch
+// manager's Retire (snapshot transactions hold an epoch Guard while pinned,
+// so a free can never land under a reader mid-traversal).
 class NodePool {
  public:
   static constexpr std::size_t kMaxFree = 256;
@@ -103,7 +112,9 @@ class NodePool {
     if (free_.size() < kMaxFree) {
       free_.push_back(n);
     } else {
-      delete n;
+      EpochManager& mgr = GlobalEpochManager();
+      EpochManager::Guard g(mgr);
+      mgr.Retire(n);
     }
   }
 
@@ -127,9 +138,11 @@ class NodePool {
     if (!lock.owns_lock()) {
       return;
     }
+    EpochManager& mgr = GlobalEpochManager();
+    EpochManager::Guard g(mgr);
     for (std::size_t i = 0; i < spill.nodes.size();) {
       if (spill.nodes[i].stamp <= done_stamp) {
-        delete spill.nodes[i].node;
+        mgr.Retire(spill.nodes[i].node);
         spill.nodes[i] = spill.nodes.back();
         spill.nodes.pop_back();
       } else {
@@ -141,15 +154,22 @@ class NodePool {
   std::size_t DeferredCount() const { return deferred_.size(); }
 
   ~NodePool() {
+    // Runs from a TLS destructor: the epoch manager's own thread cache may
+    // already be torn down, so no Enter/Retire here. Free-list nodes may
+    // still be transiently dereferenced by a reader that loaded a chain
+    // pointer just before their unlink (stamp 0 = selection-dead at once),
+    // so they join the spill too and a live pool's DrainDeferred retires
+    // them through the epoch manager. The spill itself is reachable-forever
+    // by design, so anything no thread drains stays reachable, not leaked.
+    if (free_.empty() && deferred_.empty()) {
+      return;
+    }
+    internal::Spill& spill = internal::GlobalSpill();
+    std::lock_guard<std::mutex> lock(spill.mu);
     for (VersionNode* n : free_) {
-      delete n;
+      spill.nodes.push_back(DeferredNode{n, 0});
     }
-    if (!deferred_.empty()) {
-      // Possibly still referenced by pinned readers elsewhere: hand off.
-      internal::Spill& spill = internal::GlobalSpill();
-      std::lock_guard<std::mutex> lock(spill.mu);
-      spill.nodes.insert(spill.nodes.end(), deferred_.begin(), deferred_.end());
-    }
+    spill.nodes.insert(spill.nodes.end(), deferred_.begin(), deferred_.end());
   }
 
  private:

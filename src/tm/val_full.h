@@ -116,7 +116,11 @@ class ValFullTm {
         // sees the pending pin and reclaims nothing, or ran wholly before it
         // and bounded itself by a clock value our sample can only meet or
         // exceed — either way no node this snapshot can reach is recycled.
+        // The epoch Guard spans the pin: chain memory retired by writers
+        // (mvcc.h Recycle/DrainDeferred) cannot return to the allocator
+        // while this transaction may still be dereferencing a chain pointer.
         EpochManager& mgr = mvcc::MvccEpoch();
+        chain_guard_.Acquire(mgr);
         mgr.BeginSnapshotPin();
         snapshot_ts_ = Validation::Sample();
         mgr.SetSnapshotPin(snapshot_ts_);
@@ -431,6 +435,7 @@ class ValFullTm {
         if (pinned_) {
           mvcc::MvccEpoch().UnpinSnapshot();
           pinned_ = false;
+          chain_guard_.Release();
         }
       }
     }
@@ -532,11 +537,14 @@ class ValFullTm {
     bool serial_ = false;  // this attempt holds the serialization token
     bool gated_ = false;   // this attempt announced itself as a committer
     // Snapshot mode only (dead otherwise): the pinned read stamp, whether the
-    // epoch-registry pin is published, and whether reads still run through
-    // the chains (cleared by the first Write()'s promotion).
+    // epoch-registry pin is published, whether reads still run through the
+    // chains (cleared by the first Write()'s promotion), and the epoch Guard
+    // held for the pin's duration (keeps retired chain nodes' memory alive
+    // past any pointer this transaction may still hold).
     Word snapshot_ts_ = 0;
     bool pinned_ = false;
     bool snapshot_phase_ = false;
+    EpochManager::GuardSlot chain_guard_;
   };
 
   // Convenience retry wrapper: runs `body(tx)` until it commits. Exception

@@ -374,8 +374,11 @@ class ValShortTm {
       }
       if constexpr (kSnapshotMode) {
         // Two-step pin (epoch.h): announce intent, sample, publish — the
-        // done-stamp scan can never miss a pin below its clock bound.
+        // done-stamp scan can never miss a pin below its clock bound. The
+        // epoch Guard spans the pin so retired chain nodes' memory outlives
+        // any pointer this transaction may still dereference (mvcc.h).
         EpochManager& mgr = mvcc::MvccEpoch();
+        chain_guard_.Acquire(mgr);
         mgr.BeginSnapshotPin();
         snapshot_ts_ = Validation::Sample();
         mgr.SetSnapshotPin(snapshot_ts_);
@@ -579,6 +582,7 @@ class ValShortTm {
         if (pinned_) {
           mvcc::MvccEpoch().UnpinSnapshot();
           pinned_ = false;
+          chain_guard_.Release();
         }
       }
     }
@@ -595,32 +599,29 @@ class ValShortTm {
     bool serial_ = false;   // this attempt holds the serialization token
     bool gated_ = false;    // this attempt announced itself as a committer
     // Snapshot mode only (dead otherwise): pinned read stamp, pin-published
-    // flag, and whether reads still run through the chains.
+    // flag, whether reads still run through the chains, and the epoch Guard
+    // held for the pin's duration (keeps retired chain nodes' memory alive
+    // past any pointer this transaction may still hold).
     Word snapshot_ts_ = 0;
     bool pinned_ = false;
     bool snapshot_phase_ = false;
+    EpochManager::GuardSlot chain_guard_;
   };
 
   // --- Single-operation transactions --------------------------------------------------
 
-  // One atomic load (spinning past transient locks).
+  // One atomic load (spinning past transient locks). Under kSnapshotMode the
+  // lock may cover a publish window (mvcc.h) and the unstamped head holds the
+  // still-current value — but reading it through the chain is unsound without
+  // a snapshot pin: node memory is recycled pool-side once selection-dead, so
+  // an unpinned dereference can land on a node already reused for a different
+  // slot's publish (ABA on the head pointer defeats any revalidation). The
+  // window is a handful of owner instructions; spin it out like any lock.
   static Word SingleRead(Slot* s) {
     while (true) {
       const Word w = s->word.load(std::memory_order_acquire);
       if (!ValIsLocked(w)) {
         return w;
-      }
-      if constexpr (kSnapshotMode) {
-        // Publish-window shortcut: an unstamped head is the lock owner's own
-        // push of the displaced — still logically current — value, and the
-        // owner stamps before any releasing store. Linearize this read at
-        // the stamp load, before the writer's commit, instead of spinning.
-        mvcc::VersionNode* head = s->versions.load(std::memory_order_acquire);
-        if (head != nullptr &&
-            head->stamp.load(std::memory_order_acquire) == mvcc::kUnstamped) {
-          ++Probe::Get().snapshot_reads;
-          return head->word;
-        }
       }
       SPECTM_SCHED_SPIN(failpoint::Site::kLockAcquire);
       CpuRelax();

@@ -200,6 +200,21 @@ using ValPart =
 // the kMvcc marker; the commit counter doubles as the version clock.
 using ValSnap = internal::ValFamilyT<SnapshotValidation, ValMode::kSnapshot>;
 
+// Service-facing aliases (src/svc): the four engine configurations the KV
+// service scenario instantiates over, named by the role they play there rather
+// than by layout internals. SvcOrec is the orec baseline (local clock, passive
+// revalidation — every batch read walks, so wide BatchGets exercise the SIMD
+// batch kernel); SvcOrecPart adds the partitioned counter on the
+// hash-scattered table (overhead row — stripes are placement-blind there);
+// SvcVal is the partitioned-counter val engine where KvStore's stripe-homed
+// shard arenas make region-local batches genuinely stripe-resident; and
+// SvcSnapshot routes read-only batches through pinned MVCC snapshots
+// (never validates, never aborts).
+using SvcOrec = OrecL;
+using SvcOrecPart = OrecLPart;
+using SvcVal = ValPart;
+using SvcSnapshot = ValSnap;
+
 }  // namespace spectm
 
 #endif  // SPECTM_TM_VARIANTS_H_

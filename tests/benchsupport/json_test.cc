@@ -134,6 +134,41 @@ TEST(JsonReport, MvccFieldsAreOptIn) {
   EXPECT_NE(json.find("\"snapshot_probe_aborts\": 0"), std::string::npos);
 }
 
+TEST(JsonReport, SvcFieldsAreOptIn) {
+  // Records from benches predating the KV service layer keep their exact
+  // historical shape.
+  JsonReport plain("plain");
+  plain.Add(SampleRecord());
+  const std::string before = plain.ToJson();
+  EXPECT_EQ(before.find("\"batch_size\""), std::string::npos);
+  EXPECT_EQ(before.find("\"zipf_theta\""), std::string::npos);
+  EXPECT_EQ(before.find("\"batches\""), std::string::npos);
+  EXPECT_EQ(before.find("\"descriptors_per_op\""), std::string::npos);
+  EXPECT_EQ(before.find("\"p50\""), std::string::npos);
+  EXPECT_EQ(before.find("\"p99\""), std::string::npos);
+  EXPECT_EQ(before.find("\"p999\""), std::string::npos);
+
+  BenchRecord r = SampleRecord();
+  r.has_svc = true;
+  r.batch_size = 64;
+  r.zipf_theta = 0.99;
+  r.batches = 4096;
+  r.descriptors_per_op = 0.015625;
+  r.p50 = 2100;
+  r.p99 = 9300;
+  r.p999 = 17000;
+  JsonReport extended("extended");
+  extended.Add(r);
+  const std::string json = extended.ToJson();
+  EXPECT_NE(json.find("\"batch_size\": 64"), std::string::npos);
+  EXPECT_NE(json.find("\"zipf_theta\": 0.99"), std::string::npos);
+  EXPECT_NE(json.find("\"batches\": 4096"), std::string::npos);
+  EXPECT_NE(json.find("\"descriptors_per_op\": 0.015625"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\": 2100"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\": 9300"), std::string::npos);
+  EXPECT_NE(json.find("\"p999\": 17000"), std::string::npos);
+}
+
 TEST(JsonReport, MultipleRecordsFormAnArray) {
   JsonReport report("b");
   report.Add(SampleRecord());

@@ -1,0 +1,134 @@
+// Percentile exactness for the fixed-bucket log-scale histogram
+// (src/svc/latency.h). Everything here is synthetic-value arithmetic — the
+// bucket geometry is a pure function, so the tests pin exact landing buckets
+// rather than tolerances, and no clock appears anywhere.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "src/svc/latency.h"
+
+namespace spectm {
+namespace svc {
+namespace {
+
+using H = LatencyHistogram;
+
+TEST(LatencyHistogram, UnitBucketsAreExactBelowTheSubRange) {
+  for (std::uint64_t v = 0; v < H::kSub; ++v) {
+    EXPECT_EQ(H::BucketOf(v), v);
+    EXPECT_EQ(H::BucketUpperBound(v), v);
+  }
+}
+
+TEST(LatencyHistogram, BucketGeometryRoundTrips) {
+  // Every value maps into a bucket whose bounds contain it, and the bucket's
+  // upper bound maps back to the same bucket (the fixed point the percentile
+  // query reports).
+  for (std::uint64_t v : {0ULL, 1ULL, 31ULL, 32ULL, 33ULL, 63ULL, 64ULL, 100ULL,
+                          500ULL, 1023ULL, 1024ULL, 123456ULL, 87654321ULL,
+                          (1ULL << 39) + 12345ULL}) {
+    const std::size_t idx = H::BucketOf(v);
+    EXPECT_LE(v, H::BucketUpperBound(idx)) << "v=" << v;
+    EXPECT_EQ(H::BucketOf(H::BucketUpperBound(idx)), idx) << "v=" << v;
+    if (idx > 0) {
+      EXPECT_GT(v, H::BucketUpperBound(idx - 1)) << "v=" << v;
+    }
+    // Relative bucket width is bounded by 2^-kSubBits: conservative reporting
+    // can overstate a latency by at most ~3%.
+    if (v >= H::kSub) {
+      EXPECT_LE(static_cast<double>(H::BucketUpperBound(idx)),
+                static_cast<double>(v) * (1.0 + 1.0 / H::kSub) + 1.0)
+          << "v=" << v;
+    }
+  }
+}
+
+TEST(LatencyHistogram, BucketUpperBoundsAreStrictlyMonotonic) {
+  for (std::size_t i = 1; i < H::kBuckets; ++i) {
+    EXPECT_GT(H::BucketUpperBound(i), H::BucketUpperBound(i - 1)) << "i=" << i;
+  }
+}
+
+TEST(LatencyHistogram, EmptyHistogramReportsZero) {
+  H h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.ValueAtPercentile(50.0), 0u);
+  EXPECT_EQ(h.P999(), 0u);
+}
+
+// Uniform 1..1000: the order statistic at percentile p is ceil(10*p), and the
+// reported value must be exactly the upper bound of the bucket holding it —
+// the "within one bucket" acceptance property, pinned as an equality.
+TEST(LatencyHistogram, PercentilesLandInTheOrderStatisticsBucket) {
+  H h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.Count(), 1000u);
+  EXPECT_EQ(h.P50(), H::BucketUpperBound(H::BucketOf(500)));
+  EXPECT_EQ(h.P99(), H::BucketUpperBound(H::BucketOf(990)));
+  EXPECT_EQ(h.P999(), H::BucketUpperBound(H::BucketOf(999)));
+  EXPECT_EQ(h.ValueAtPercentile(100.0), 1000u) << "p100 is the exact max";
+  EXPECT_EQ(h.Max(), 1000u);
+}
+
+// A bimodal service shape: 990 fast requests, 10 slow outliers. p50 sits in
+// the fast mode, p99 exactly at the boundary order statistic (the 990th
+// sample = the last fast one), p99.9 deep in the slow mode.
+TEST(LatencyHistogram, TailModeOnlySurfacesPastItsMass) {
+  H h;
+  for (int i = 0; i < 990; ++i) {
+    h.Record(100);
+  }
+  for (int i = 0; i < 10; ++i) {
+    h.Record(100000);
+  }
+  EXPECT_EQ(h.P50(), H::BucketUpperBound(H::BucketOf(100)));
+  EXPECT_EQ(h.P99(), H::BucketUpperBound(H::BucketOf(100)));
+  EXPECT_EQ(h.P999(), H::BucketUpperBound(H::BucketOf(100000)));
+}
+
+TEST(LatencyHistogram, AllSamplesBelowSubRangeGiveExactPercentiles) {
+  H h;
+  for (std::uint64_t v = 0; v < H::kSub; ++v) {
+    h.Record(v);  // unit buckets: percentiles are exact order statistics
+  }
+  EXPECT_EQ(h.P50(), 15u);   // ceil(0.5 * 32) = 16th smallest = value 15
+  EXPECT_EQ(h.P99(), 31u);
+}
+
+TEST(LatencyHistogram, MergeIsCountPreservingAndOrderInsensitive) {
+  H a, b, all;
+  for (std::uint64_t v = 1; v <= 500; ++v) {
+    a.Record(v);
+    all.Record(v);
+  }
+  for (std::uint64_t v = 501; v <= 1000; ++v) {
+    b.Record(v);
+    all.Record(v);
+  }
+  H merged;
+  merged.Merge(b);
+  merged.Merge(a);
+  EXPECT_EQ(merged.Count(), all.Count());
+  EXPECT_EQ(merged.Max(), all.Max());
+  for (double p : {10.0, 50.0, 90.0, 99.0, 99.9}) {
+    EXPECT_EQ(merged.ValueAtPercentile(p), all.ValueAtPercentile(p)) << "p=" << p;
+  }
+}
+
+TEST(LatencyHistogram, OutOfRangeSamplesClampIntoTheLastBucket) {
+  H h;
+  const std::uint64_t huge = 1ULL << 50;  // past kMaxExp coverage
+  h.Record(huge);
+  h.Record(1);
+  EXPECT_EQ(H::BucketOf(huge), H::kBuckets - 1);
+  EXPECT_EQ(h.ValueAtPercentile(99.0), H::BucketUpperBound(H::kBuckets - 1))
+      << "the percentile saturates at the range ceiling";
+  EXPECT_EQ(h.Max(), huge) << "the max stays exact";
+}
+
+}  // namespace
+}  // namespace svc
+}  // namespace spectm

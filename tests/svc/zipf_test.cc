@@ -1,0 +1,101 @@
+// Property checks for the bounded Zipfian generator (src/svc/zipf.h): fixed
+// seeds give replay-identical streams, frequencies follow rank order with the
+// theoretical head mass, theta = 0 degenerates to uniform, and the rank->key
+// scatter is a true bijection over the power-of-two key space.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/svc/zipf.h"
+
+namespace spectm {
+namespace svc {
+namespace {
+
+TEST(Zipfian, FixedSeedStreamsAreReplayIdentical) {
+  ZipfianGenerator a(1000, 0.99, 42);
+  ZipfianGenerator b(1000, 0.99, 42);
+  ZipfianGenerator c(1000, 0.99, 43);
+  bool any_diff = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t ra = a.NextRank();
+    ASSERT_EQ(ra, b.NextRank()) << "draw " << i;
+    any_diff |= ra != c.NextRank();
+  }
+  EXPECT_TRUE(any_diff) << "a different seed must give a different stream";
+}
+
+TEST(Zipfian, RanksStayInBounds) {
+  ZipfianGenerator g(37, 0.8, 7);  // deliberately non-power-of-two n
+  for (int i = 0; i < 50000; ++i) {
+    EXPECT_LT(g.NextRank(), 37u);
+  }
+}
+
+// Frequency follows rank: the hot head out-draws mid ranks, which out-draw the
+// tail, and rank 0's empirical mass matches its theoretical 1/zetan share.
+TEST(Zipfian, FrequencyFollowsRankWithTheoreticalHeadMass) {
+  constexpr std::uint64_t kN = 100;
+  constexpr int kDraws = 200000;
+  ZipfianGenerator g(kN, 0.99, 1234);
+  std::vector<int> counts(kN, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[g.NextRank()];
+  }
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[10]);
+  EXPECT_GT(counts[10], counts[60]);
+
+  const double zetan = ZipfianGenerator::Zeta(kN, 0.99);
+  const double expected_head = static_cast<double>(kDraws) / zetan;
+  EXPECT_NEAR(static_cast<double>(counts[0]), expected_head, expected_head * 0.05)
+      << "rank 0 mass must match 1/zeta(n) within 5%";
+
+  // The hot-16 head carries the majority of the traffic — the working-set
+  // skew the service scenario exists to produce.
+  int head = 0;
+  for (int r = 0; r < 16; ++r) {
+    head += counts[r];
+  }
+  EXPECT_GT(head, kDraws / 2);
+}
+
+TEST(Zipfian, ThetaZeroIsUniform) {
+  constexpr std::uint64_t kN = 16;
+  constexpr int kDraws = 160000;
+  ZipfianGenerator g(kN, 0.0, 99);
+  std::vector<int> counts(kN, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[g.NextRank()];
+  }
+  const int expected = kDraws / static_cast<int>(kN);
+  for (std::uint64_t r = 0; r < kN; ++r) {
+    EXPECT_NEAR(counts[r], expected, expected / 5) << "rank " << r;
+  }
+}
+
+TEST(Zipfian, ZetaMatchesTheHarmonicDefinition) {
+  EXPECT_DOUBLE_EQ(ZipfianGenerator::Zeta(3, 0.0), 3.0);
+  const double z = ZipfianGenerator::Zeta(4, 0.5);
+  const double by_hand = 1.0 + 1.0 / std::sqrt(2.0) + 1.0 / std::sqrt(3.0) + 0.5;
+  EXPECT_DOUBLE_EQ(z, by_hand);
+}
+
+TEST(ScatterRank, IsABijectionOverThePowerOfTwoKeySpace) {
+  constexpr std::uint64_t kSpace = 1024;
+  std::vector<bool> seen(kSpace, false);
+  for (std::uint64_t rank = 0; rank < kSpace; ++rank) {
+    const std::uint64_t key = ScatterRank(rank, kSpace);
+    ASSERT_LT(key, kSpace);
+    ASSERT_FALSE(seen[key]) << "collision at rank " << rank;
+    seen[key] = true;
+  }
+  // And it genuinely scatters: consecutive hot ranks land far apart.
+  EXPECT_NE(ScatterRank(0, kSpace) + 1, ScatterRank(1, kSpace));
+}
+
+}  // namespace
+}  // namespace svc
+}  // namespace spectm

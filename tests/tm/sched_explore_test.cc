@@ -15,11 +15,13 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <set>
 #include <utility>
 #include <vector>
 
 #include "src/epoch/epoch.h"
+#include "src/svc/kv_store.h"
 #include "src/tm/config.h"
 #include "src/tm/serial.h"
 #include "src/tm/txdesc.h"
@@ -235,7 +237,9 @@ TEST(SchedExploreGate, SerialDrainExcludesCommittersOnEverySchedule) {
 // Three threads at the gate: one serial side against TWO independent
 // committers (PR 9 satellite — the two-thread drain above can never exercise
 // a committer arriving while another committer is already inside during the
-// drain scan). Same invariant, every schedule, bound 2.
+// drain scan). Same invariant, every schedule, bound 3 (the ROADMAP
+// carry-over: bound 2 cannot preempt the drain scan once per committer AND
+// split the two committers' windows in one schedule).
 TEST(SchedExploreGate, ThreeThreadDrainExcludesBothCommitters) {
   using Gate = SerialGate<SchedGateExploreTag>;
   std::atomic<int> in_serial{0};
@@ -287,7 +291,7 @@ TEST(SchedExploreGate, ThreeThreadDrainExcludesBothCommitters) {
   };
   auto check = [&] { return !violation.load(); };
   Explorer::Options opt;
-  opt.preemption_bound = 2;
+  opt.preemption_bound = 3;
   opt.stop_on_violation = true;
   const Explorer::Result res = Explorer::Explore(make_bodies, check, opt);
   EXPECT_FALSE(res.violation_found)
@@ -297,6 +301,73 @@ TEST(SchedExploreGate, ThreeThreadDrainExcludesBothCommitters) {
   EXPECT_EQ(res.divergences, 0u);
   EXPECT_EQ(res.truncated, 0u);
   EXPECT_GT(res.schedules, 20u);
+}
+
+// ---- Batch-granularity retry through the service store (PR 10) ---------------------
+//
+// Two threads run whole-batch read-modify-writes over the SAME two keys of a
+// KvStore: T0 adds (+1, +2), T1 adds (+10, +20), both from (0, 0). A batch is
+// ONE transaction, so retry-at-batch-granularity must make each batch atomic
+// as a unit on every schedule: the only reachable final state is (11, 22).
+// A torn batch (one key's delta applied without the other) or a lost update
+// (a batch re-applying against a stale read) surfaces as any other pair.
+TEST(SchedExploreSvc, BatchRetryNeverCommitsATornBatch) {
+  using F = Val;
+  constexpr std::uint64_t kA = 3, kB = 11;
+  std::unique_ptr<svc::KvStore<F>> store;
+  auto transfer_body = [&store](std::uint64_t da, std::uint64_t db) {
+    return [&store, da, db] {
+      const std::uint64_t keys[2] = {kA, kB};
+      store->BatchTransact(
+          keys, 2,
+          [da, db](std::uint64_t* vals, const std::vector<bool>& found,
+                   std::size_t) {
+            if (found[0]) {
+              vals[0] += da;
+            }
+            if (found[1]) {
+              vals[1] += db;
+            }
+          });
+    };
+  };
+  auto make_bodies = [&] {
+    svc::KvStore<F>::Config cfg;
+    cfg.shards = 2;  // tiny store: the exploration rebuilds it per schedule
+    cfg.buckets_per_shard = 4;
+    store = std::make_unique<svc::KvStore<F>>(cfg);
+    store->Put(kA, 0);
+    store->Put(kB, 0);
+    std::vector<std::function<void()>> bodies;
+    bodies.push_back(transfer_body(1, 2));
+    bodies.push_back(transfer_body(10, 20));
+    return bodies;
+  };
+  std::set<std::pair<std::uint64_t, std::uint64_t>> outcomes;
+  auto check = [&] {
+    F::Slot* a = store->DebugValueSlotOf(kA);
+    F::Slot* b = store->DebugValueSlotOf(kB);
+    if (a == nullptr || b == nullptr) {
+      return false;  // a torn insert lost a key entirely
+    }
+    const std::uint64_t ra = DecodeInt(F::RawRead(a));
+    const std::uint64_t rb = DecodeInt(F::RawRead(b));
+    outcomes.insert({ra, rb});
+    return ra == 11 && rb == 22;
+  };
+  Explorer::Options opt;
+  opt.preemption_bound = 2;
+  opt.stop_on_violation = true;
+  const Explorer::Result res = Explorer::Explore(make_bodies, check, opt);
+  EXPECT_FALSE(res.violation_found)
+      << "a torn or lost batch committed on: "
+      << sched::FormatTrace(res.violation_trace);
+  EXPECT_TRUE(res.frontier_exhausted);
+  EXPECT_EQ(res.divergences, 0u);
+  EXPECT_EQ(res.truncated, 0u) << "a schedule hit the point cap (runaway retry?)";
+  EXPECT_GT(res.schedules, 20u);
+  // Every explored schedule converged to the single serializable total.
+  EXPECT_EQ(outcomes.size(), 1u);
 }
 
 // ---- Epoch advance/retire and the MVCC done-stamp race (PR 9) ----------------------

@@ -36,7 +36,11 @@ std::uint64_t RoAbortsNow() {
 // or at least force full read-set walks.
 TEST(SnapshotReads, SeeStartStateDespiteInterleavedWriters) {
   constexpr int kSlots = 8;
-  std::vector<F::Slot> a(kSlots);
+  // Slots here (and below) have static duration: committed writers hang
+  // version chains off them, and chain nodes are reclaimed by later publishes,
+  // not by slot destruction — a slot dying with history attached would strand
+  // its nodes (LeakSanitizer-visible). Static slots keep every node reachable.
+  static F::Slot a[kSlots];
   for (int i = 0; i < kSlots; ++i) {
     F::SingleWrite(&a[i], EncodeInt(static_cast<Word>(i)));
   }
@@ -69,7 +73,7 @@ TEST(SnapshotReads, SeeStartStateDespiteInterleavedWriters) {
 // Same property through the short-transaction API: RO reads are single chain
 // traversals at the pinned stamp, with no incremental revalidation.
 TEST(SnapshotReads, ShortRoReadsAreChainReadsWithoutValidation) {
-  F::Slot x, y;
+  static F::Slot x, y;
   F::SingleWrite(&x, EncodeInt(7));
   F::SingleWrite(&y, EncodeInt(9));
   Probe::Reset();
@@ -94,7 +98,7 @@ TEST(SnapshotReads, ShortRoReadsAreChainReadsWithoutValidation) {
 // The snapshot cut cannot extend to a write: the first Write() promotes the
 // attempt, which must fail when a writer committed over a snapshot read.
 TEST(SnapshotPromotion, FirstWriteValidatesAndFailsOnConflict) {
-  F::Slot x, out;
+  static F::Slot x, out;
   F::SingleWrite(&x, EncodeInt(1));
   F::SingleWrite(&out, EncodeInt(0));
 
@@ -109,7 +113,7 @@ TEST(SnapshotPromotion, FirstWriteValidatesAndFailsOnConflict) {
 }
 
 TEST(SnapshotPromotion, CleanPromotionCommitsAndPublishesVersions) {
-  F::Slot x, out;
+  static F::Slot x, out;
   F::SingleWrite(&x, EncodeInt(5));
   F::SingleWrite(&out, EncodeInt(1));
 
@@ -130,7 +134,7 @@ TEST(SnapshotPromotion, CleanPromotionCommitsAndPublishesVersions) {
 
 // Promotion through the short API rides the first lock (ReadRw / upgrade).
 TEST(SnapshotPromotion, ShortFirstLockValidatesSnapshotLog) {
-  F::Slot x, out;
+  static F::Slot x, out;
   F::SingleWrite(&x, EncodeInt(3));
   F::SingleWrite(&out, EncodeInt(0));
 
@@ -159,7 +163,7 @@ TEST(SnapshotPromotion, ShortFirstLockValidatesSnapshotLog) {
 // serve: the reader refreshes its pin (one validation walk over what it
 // already read) and continues at the new snapshot — it does not abort.
 TEST(SnapshotChains, OverflowFallsBackToRefreshedSnapshot) {
-  F::Slot stable, hot;
+  static F::Slot stable, hot;
   F::SingleWrite(&stable, EncodeInt(11));
   F::SingleWrite(&hot, EncodeInt(0));
   Probe::Reset();
@@ -191,7 +195,7 @@ TEST(SnapshotChains, OverflowFallsBackToRefreshedSnapshot) {
 // exceeds the done stamp (a pinned reader could still reach it) parks on the
 // deferred list instead of being recycled, and drains once the pin lifts.
 TEST(SnapshotChains, RetirementDefersNodesAPinnedReaderCouldReach) {
-  F::Slot hot;
+  static F::Slot hot;
   F::SingleWrite(&hot, EncodeInt(0));
   // Settle earlier deferred traffic from this thread so the counts below are
   // attributable: with no pin, one more publish drains everything stale.
@@ -218,7 +222,7 @@ TEST(SnapshotChains, RetirementDefersNodesAPinnedReaderCouldReach) {
 // popping: an aborted writer's displaced-value node must be unreachable to
 // every snapshot (empty validity interval), while the slot value is restored.
 TEST(SnapshotChains, AbortedWriterLeavesNoSelectableVersion) {
-  F::Slot x;
+  static F::Slot x;
   F::SingleWrite(&x, EncodeInt(21));
 
   // A short RW attempt locks x (displacing 21), then aborts.
@@ -267,6 +271,52 @@ TEST(EpochGuardNesting, InnerGuardDoesNotRetractActivity) {
   EXPECT_TRUE(freed.load());
 }
 
+// A chain node that leaves the pool's bounded free list must go through the
+// epoch manager, never straight back to the allocator: a snapshot reader that
+// loaded a chain pointer just before the node's unlink may still dereference
+// its stamp word once (mvcc.h "selection-dead is not touch-dead").
+TEST(NodePoolReclamation, FreeListOverflowRoutesThroughTheEpochManager) {
+  EpochManager& mgr = GlobalEpochManager();
+  mgr.ReclaimAllForTesting();
+  const std::uint64_t freed_before = mgr.FreedCount();
+  constexpr std::size_t kOverflow = 32;
+  {
+    mvcc::NodePool pool;
+    for (std::size_t i = 0; i < mvcc::NodePool::kMaxFree + kOverflow; ++i) {
+      pool.Recycle(new mvcc::VersionNode);
+    }
+    // The overflow nodes are retired (pending or already epoch-freed), not
+    // raw-deleted; the kMaxFree resident nodes stay type-stable in the pool.
+    EXPECT_GE((mgr.FreedCount() - freed_before) + mgr.PendingCount(), kOverflow);
+    mgr.ReclaimAllForTesting();
+    EXPECT_GE(mgr.FreedCount() - freed_before, kOverflow);
+  }
+}
+
+// The reader-side half of the same contract: while any guard is held (a
+// pinned snapshot transaction holds one for its whole duration), nodes
+// retired by writers must NOT reach the allocator.
+TEST(NodePoolReclamation, AHeldGuardBlocksRetiredNodeFrees) {
+  EpochManager& mgr = GlobalEpochManager();
+  mgr.ReclaimAllForTesting();
+  const std::uint64_t freed_before = mgr.FreedCount();
+  {
+    EpochManager::Guard reader(mgr);  // stands in for a pinned snapshot tx
+    std::thread writer([] {
+      mvcc::NodePool pool;
+      for (std::size_t i = 0; i < mvcc::NodePool::kMaxFree + 32; ++i) {
+        pool.Recycle(new mvcc::VersionNode);
+      }
+    });
+    writer.join();
+    mgr.ReclaimAllForTesting();  // frees nothing: our guard pins the epoch
+    EXPECT_EQ(mgr.FreedCount(), freed_before)
+        << "a retired chain node was freed under a live guard";
+  }
+  mgr.ReclaimAllForTesting();
+  EXPECT_GE(mgr.FreedCount() - freed_before, 32u);
+}
+
 // --- Concurrency battery (run under TSan in CI) -------------------------------------
 
 // Writers move value between two slots keeping x + y constant; snapshot
@@ -277,8 +327,8 @@ TEST(SnapshotConcurrency, ScannersSeeConsistentCutsUnderTransfer) {
   constexpr int kTransfers = 4000;
   constexpr int kScans = 4000;
   constexpr Word kTotal = 1000;
-  auto* x = new F::Slot();
-  auto* y = new F::Slot();
+  static auto* x = new F::Slot();
+  static auto* y = new F::Slot();
   F::SingleWrite(x, EncodeInt(kTotal));
   F::SingleWrite(y, EncodeInt(0));
   std::atomic<bool> stop{false};
@@ -349,11 +399,11 @@ TEST(SnapshotConcurrency, ScannersSeeConsistentCutsUnderTransfer) {
 
 // Single-op churn against full-transaction snapshot scans: exercises the
 // single-op publish path (displace -> bump -> publish -> store) under real
-// concurrency, including the publish-window read shortcut.
+// concurrency, with single-op readers spinning out publish windows.
 TEST(SnapshotConcurrency, SingleOpChurnKeepsChainsSoundForScanners) {
   constexpr int kWrites = 6000;
   constexpr int kScans = 3000;
-  auto* s = new F::Slot();
+  static auto* s = new F::Slot();
   F::SingleWrite(s, EncodeInt(0));
   std::atomic<std::uint64_t> regressions{0};
 
